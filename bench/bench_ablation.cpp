@@ -1,0 +1,212 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   A. AP-Rad's LP radius estimation vs fixed-radius strategies (the
+//      Theorem-3 motivation: fixed upper bounds inflate the region, fixed
+//      low values lose coverage);
+//   B. M-Loc's vertex-average estimate vs the exact region centroid;
+//   C. passive monitoring vs the active deauth attack (probing yield);
+//   D. splitter fan-out: per-card budget vs channel coverage.
+#include <iostream>
+
+#include "capture/wardrive.h"
+#include "common.h"
+#include "marauder/aploc.h"
+#include "rf/receiver_chain.h"
+#include "sim/population.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mm;
+
+void ablation_radius_strategy(std::uint64_t seed) {
+  std::cout << "A. AP-Rad radius estimation vs fixed radii\n\n";
+  bench::CampusRunConfig cfg;
+  cfg.seed = seed;
+  const bench::CampusRun run = bench::run_campus(cfg);
+
+  util::Table table({"strategy", "avg error (m)", "avg area (m^2)", "coverage"});
+  auto evaluate_fixed = [&](const char* name, double radius) {
+    marauder::ApDatabase db = marauder::ApDatabase::from_truth(run.truth, false);
+    for (const auto& ap : run.truth) db.set_radius(ap.bssid, radius);
+    marauder::Tracker tracker(std::move(db), {.algorithm = marauder::Algorithm::kMLoc});
+    util::RunningStats err;
+    util::RunningStats area;
+    std::size_t covered = 0;
+    std::size_t total = 0;
+    for (const auto& o : bench::evaluate(run, tracker)) {
+      err.add(o.error_m());
+      area.add(marauder::intersected_area(o.result));
+      covered += marauder::region_covers(o.result, o.true_position) ? 1 : 0;
+      ++total;
+    }
+    table.add_row({name, util::Table::fmt(err.mean(), 2), util::Table::fmt(area.mean(), 0),
+                   util::Table::fmt(total ? static_cast<double>(covered) / total : 0.0, 3)});
+  };
+
+  // The LP strategy.
+  {
+    marauder::Tracker aprad(marauder::ApDatabase::from_truth(run.truth, false),
+                            {.algorithm = marauder::Algorithm::kApRad});
+    util::RunningStats err;
+    util::RunningStats area;
+    std::size_t covered = 0;
+    std::size_t total = 0;
+    for (const auto& o : bench::evaluate(run, aprad)) {
+      err.add(o.error_m());
+      area.add(marauder::intersected_area(o.result));
+      covered += marauder::region_covers(o.result, o.true_position) ? 1 : 0;
+      ++total;
+    }
+    table.add_row({"LP (AP-Rad)", util::Table::fmt(err.mean(), 2),
+                   util::Table::fmt(area.mean(), 0),
+                   util::Table::fmt(total ? static_cast<double>(covered) / total : 0.0, 3)});
+  }
+  evaluate_fixed("fixed R = 250 m (upper bound)", 250.0);
+  evaluate_fixed("fixed R = 100 m (true mean)", 100.0);
+  evaluate_fixed("fixed R = 60 m (underestimate)", 60.0);
+  table.print(std::cout);
+  std::cout << "\nexpected: the LP sits between the loose upper bound (huge area) and\n"
+            << "the underestimate (coverage collapse, Theorem 3)\n\n";
+}
+
+void ablation_centroid_mode(std::uint64_t seed) {
+  std::cout << "B. M-Loc estimate: vertex average (paper) vs exact region centroid\n\n";
+  util::Table table({"estimator", "avg error (m)"});
+  for (const bool exact : {false, true}) {
+    util::RunningStats err;
+    for (int run_idx = 0; run_idx < 3; ++run_idx) {
+      bench::CampusRunConfig cfg;
+      cfg.seed = seed + static_cast<std::uint64_t>(run_idx) * 131;
+      const bench::CampusRun run = bench::run_campus(cfg);
+      marauder::TrackerOptions options;
+      options.algorithm = marauder::Algorithm::kMLoc;
+      options.mloc.exact_region_centroid = exact;
+      marauder::Tracker tracker(marauder::ApDatabase::from_truth(run.truth, true), options);
+      for (const auto& o : bench::evaluate(run, tracker)) err.add(o.error_m());
+    }
+    table.add_row({exact ? "exact region centroid" : "vertex average (paper)",
+                   util::Table::fmt(err.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void ablation_active_attack(std::uint64_t seed) {
+  std::cout << "C. Passive monitoring vs active deauth attack (probing yield)\n\n";
+  util::Table table({"mode", "avg % of devices probing"});
+  for (const bool active : {false, true}) {
+    sim::PopulationConfig cfg;
+    cfg.active_attack = active;
+    util::Rng rng(seed);
+    double total = 0.0;
+    const auto days = sim::simulate_population(cfg, rng);
+    for (const auto& day : days) total += day.probing_fraction();
+    table.add_row({active ? "active (deauth)" : "passive",
+                   util::Table::fmt(total / days.size() * 100.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void ablation_ap_placement(std::uint64_t seed) {
+  std::cout << "E. AP-Loc placement estimator (one wardriving pass)\n\n";
+  bench::CampusRunConfig cfg;
+  cfg.seed = seed;
+  bench::CampusRun run = bench::run_campus(cfg);
+  capture::Wardriver driver;
+  driver.attach(*run.world);
+  const auto finish = driver.drive_route(sim::lawnmower_route(320.0, 9), 8.0, 40.0);
+  run.world->run_until(finish + 2.0);
+
+  util::Table table({"estimator", "APs placed", "avg placement error (m)"});
+  for (const auto placement : {marauder::ApPlacement::kBoundedIntersection,
+                               marauder::ApPlacement::kSmallestEnclosingCircle}) {
+    marauder::ApLocOptions options;
+    options.placement = placement;
+    options.training_disc_radius_m = 160.0;
+    const auto positions = marauder::aploc_estimate_positions(driver.tuples(), options);
+    util::RunningStats err;
+    for (const auto& ap : run.truth) {
+      const auto it = positions.find(ap.bssid);
+      if (it != positions.end()) err.add(it->second.distance_to(ap.position));
+    }
+    table.add_row({placement == marauder::ApPlacement::kBoundedIntersection
+                       ? "bounded disc intersection (paper)"
+                       : "smallest enclosing circle",
+                   std::to_string(positions.size()), util::Table::fmt(err.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void ablation_db_noise(std::uint64_t seed) {
+  std::cout << "F. M-Loc robustness to AP-database position noise (WiGLE accuracy)\n\n";
+  bench::CampusRunConfig cfg;
+  cfg.seed = seed ^ 0xdb;
+  const bench::CampusRun run = bench::run_campus(cfg);
+
+  util::Table table({"DB position noise sigma (m)", "avg error (m)", "coverage"});
+  util::Rng noise_rng(seed ^ 0x11);
+  for (const double sigma : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+    marauder::ApDatabase db;
+    for (const auto& ap : run.truth) {
+      db.add({ap.bssid, ap.ssid,
+              ap.position + geo::Vec2{noise_rng.gaussian(0.0, sigma),
+                                      noise_rng.gaussian(0.0, sigma)},
+              ap.radius_m});
+    }
+    marauder::Tracker tracker(std::move(db), {.algorithm = marauder::Algorithm::kMLoc});
+    util::RunningStats err;
+    std::size_t covered = 0;
+    std::size_t total = 0;
+    for (const auto& o : bench::evaluate(run, tracker)) {
+      err.add(o.error_m());
+      covered += marauder::region_covers(o.result, o.true_position, 1.0) ? 1 : 0;
+      ++total;
+    }
+    table.add_row({util::Table::fmt(sigma, 0), util::Table::fmt(err.mean(), 2),
+                   util::Table::fmt(total ? static_cast<double>(covered) / total : 0.0, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: error degrades gracefully with database noise; the coverage\n"
+            << "guarantee erodes because the discs no longer sit where the APs are\n\n";
+}
+
+void ablation_splitter(std::uint64_t /*seed*/) {
+  std::cout << "D. Splitter fan-out: channels covered vs per-card link budget\n\n";
+  util::Table table({"splitter", "channels covered", "chain NF (dB)",
+                     "sensitivity (dBm)", "Theorem-1 radius (m)"});
+  const rf::Transmitter mobile = rf::presets::laptop_client();
+  for (int ways : {1, 2, 4, 8}) {
+    rf::Splitter splitter{"ablation", ways, 0.5};
+    rf::ReceiverChain chain("LNA+" + std::to_string(ways) + "way",
+                            rf::presets::hyperlink_hg2415u(), rf::presets::rf_lambda_lna(),
+                            ways == 1 ? std::optional<rf::Splitter>{} : splitter,
+                            rf::presets::ubiquiti_src());
+    table.add_row({std::to_string(ways) + "-way", std::to_string(ways),
+                   util::Table::fmt(chain.cascade_noise_figure_db(), 2),
+                   util::Table::fmt(chain.sensitivity_dbm(), 1),
+                   util::Table::fmt(chain.theorem1_coverage_radius_m(mobile, 2437.0), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: the 45 dB LNA hides the splitter loss almost entirely —\n"
+            << "fanning one antenna out to 4 cards costs almost no coverage (the\n"
+            << "paper's '45 - 10log4 = 39 dB still amplified' argument)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(999);
+  std::cout << "Ablation studies\n================\n\n";
+  ablation_radius_strategy(seed);
+  ablation_centroid_mode(seed);
+  ablation_active_attack(seed);
+  ablation_splitter(seed);
+  ablation_ap_placement(seed);
+  ablation_db_noise(seed);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Section I claims check: the paper dismisses classic positioning
+// techniques for a real-world adversary —
+//   (ii) trilateration "ineffective in urban areas because obstructing
+//        buildings often prevent the signal strength ... from being
+//        accurately measured";
+//   (iv) closest AP "provides poor localization accuracy due to the large
+//        coverage area of an AP".
+// This bench quantifies both against disc-intersection under increasing
+// log-normal shadowing: trilateration inverts RSSI to distances (corrupted
+// multiplicatively by shadowing) while M-Loc only consumes binary in-range
+// evidence, which shadowing cannot corrupt in the worst-case disc model.
+#include <iostream>
+
+#include "marauder/baselines.h"
+#include "marauder/mloc.h"
+#include "marauder/trilateration.h"
+#include "rf/units.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  const util::Flags flags(argc, argv);
+  const int trials = static_cast<int>(flags.get_int("trials", 3000));
+  util::Rng rng(flags.get_seed(1));
+
+  const double radius = 100.0;
+  const double exponent = 2.9;
+  const double tx_power = 20.0;
+  const double ref_loss = rf::free_space_path_loss_db(1.0, 2437.0);
+
+  std::cout << "Section I claims: trilateration / nearest-AP vs disc-intersection\n"
+            << "(k = 8 APs within " << radius << " m, log-distance n = " << exponent
+            << ", " << trials << " trials per row)\n\n";
+
+  util::Table table({"shadowing sigma (dB)", "Trilateration avg err (m)",
+                     "NearestAP avg err (m)", "M-Loc avg err (m)"});
+  double trilat_at_zero = 0.0;
+  double trilat_at_eight = 0.0;
+  double mloc_at_eight = 0.0;
+  for (const double sigma : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+    util::RunningStats err_trilat;
+    util::RunningStats err_nearest;
+    util::RunningStats err_mloc;
+    for (int t = 0; t < trials; ++t) {
+      const geo::Vec2 mobile{0.0, 0.0};
+      std::vector<std::pair<geo::Vec2, double>> anchors;   // (pos, est. distance)
+      std::vector<std::pair<geo::Vec2, double>> with_rssi; // (pos, rssi)
+      std::vector<geo::Circle> discs;
+      for (int i = 0; i < 8; ++i) {
+        const geo::Vec2 ap =
+            mobile + geo::Vec2::from_polar(radius * std::sqrt(rng.uniform()), rng.angle());
+        const double true_d = std::max(1.0, ap.distance_to(mobile));
+        // What the AP measures: log-distance path loss + shadowing.
+        const double rssi = tx_power - (ref_loss + 10.0 * exponent * std::log10(true_d) +
+                                        rng.gaussian(0.0, sigma));
+        anchors.emplace_back(
+            ap, marauder::rssi_to_distance_m(rssi, tx_power, ref_loss, exponent));
+        with_rssi.emplace_back(ap, rssi);
+        discs.push_back({ap, radius});
+      }
+      err_trilat.add(marauder::trilaterate(anchors).estimate.distance_to(mobile));
+      err_nearest.add(
+          marauder::nearest_ap_locate(with_rssi).estimate.distance_to(mobile));
+      err_mloc.add(marauder::mloc_locate(discs).estimate.distance_to(mobile));
+    }
+    if (sigma == 0.0) trilat_at_zero = err_trilat.mean();
+    if (sigma == 8.0) {
+      trilat_at_eight = err_trilat.mean();
+      mloc_at_eight = err_mloc.mean();
+    }
+    table.add_row({util::Table::fmt(sigma, 1), util::Table::fmt(err_trilat.mean(), 2),
+                   util::Table::fmt(err_nearest.mean(), 2),
+                   util::Table::fmt(err_mloc.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper claims check:\n"
+            << "  clean RF: trilateration wins (" << util::Table::fmt(trilat_at_zero, 1)
+            << " m) — which is why positioning *services* use it;\n"
+            << "  urban shadowing (8 dB): trilateration degrades to "
+            << util::Table::fmt(trilat_at_eight, 1) << " m while disc-intersection holds at "
+            << util::Table::fmt(mloc_at_eight, 1)
+            << " m — the adversary's robust choice, as the paper argues\n";
+  return trilat_at_eight > mloc_at_eight ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+// Defense evaluation — the paper's concluding call for "mobile identity
+// camouflaging protocols". The same Marauder's-Map attacker (M-Loc +
+// implicit-identifier linking + trajectory assembly) runs against a victim
+// deploying the defenses Section V surveys:
+//   none                     -> full trajectory under one identity;
+//   MAC rotation only        -> linker re-links via directed-probe SSIDs;
+//   rotation, no SSID leaks  -> trajectory shatters into 1-point pseudonyms;
+//   + random silent periods  -> fewer observable points overall;
+//   + mix zone               -> a spatial hole where tracking goes blind.
+#include <iostream>
+#include <memory>
+
+#include "capture/sniffer.h"
+#include "marauder/linker.h"
+#include "marauder/tracker.h"
+#include "marauder/trajectory.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mm;
+
+struct DefenseOutcome {
+  std::size_t macs_seen = 0;
+  std::size_t best_track_points = 0;  ///< longest single-identity trajectory
+  double best_track_error_m = 0.0;
+  std::size_t scheduled_scans = 0;
+};
+
+struct DefenseSetup {
+  const char* name;
+  bool rotate_and_silence = false;
+  double silent_mean_s = 0.0;
+  bool leak_ssids = false;
+  bool mix_zone = false;
+};
+
+DefenseOutcome run_defense(std::uint64_t seed, const DefenseSetup& setup) {
+  sim::CampusConfig campus;
+  campus.seed = seed;
+  campus.num_aps = 140;
+  campus.half_extent_m = 300.0;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  sim::World world({.seed = seed ^ 0xdef, .propagation = nullptr});
+  sim::populate_world(world, truth, false);
+
+  auto walk = std::make_shared<sim::RouteWalk>(sim::lawnmower_route(220.0, 2), 1.5);
+  sim::MobileConfig mc;
+  mc.mac = *net80211::MacAddress::parse("00:16:6f:de:fe:01");
+  mc.profile.probes = true;
+  mc.profile.scan_interval_s = 40.0;
+  if (setup.leak_ssids) mc.profile.directed_ssids = {"home-wifi-2819"};
+  if (setup.rotate_and_silence) {
+    mc.profile.silent_period_mean_s = setup.silent_mean_s > 0.0 ? setup.silent_mean_s : 0.001;
+  }
+  if (setup.mix_zone) mc.profile.mix_zones = {{{0.0, 0.0}, 120.0}};
+  mc.mobility = walk;
+  world.add_mobile(std::make_unique<sim::MobileDevice>(mc));
+
+  capture::ObservationStore store;
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 0.0};
+  sc.antenna_height_m = 20.0;
+  capture::Sniffer sniffer(sc, &store);
+  sniffer.attach(world);
+  world.run_until(walk->arrival_time() + 5.0);
+
+  marauder::Tracker tracker(marauder::ApDatabase::from_truth(truth, true),
+                            {.algorithm = marauder::Algorithm::kMLoc});
+  marauder::LinkerOptions linker_options;
+  linker_options.max_ssid_popularity = 1000;  // single victim: no crowd to hide in
+  const auto identities = marauder::link_identities(store, linker_options);
+
+  DefenseOutcome outcome;
+  outcome.macs_seen = store.device_count();
+  outcome.scheduled_scans =
+      static_cast<std::size_t>(walk->arrival_time() / mc.profile.scan_interval_s);
+  for (const auto& identity : identities) {
+    const auto track = marauder::build_trajectory(tracker, store, identity.macs);
+    if (track.size() <= outcome.best_track_points) continue;
+    outcome.best_track_points = track.size();
+    double err = 0.0;
+    for (const auto& point : track) {
+      err += point.position.distance_to(walk->position(point.time));
+    }
+    outcome.best_track_error_m = track.empty() ? 0.0 : err / static_cast<double>(track.size());
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(5150);
+
+  const DefenseSetup setups[] = {
+      {"none (static MAC)", false, 0.0, true, false},
+      {"MAC rotation, SSIDs leak (Pang et al. re-links)", true, 0.001, true, false},
+      {"MAC rotation, no SSID leaks", true, 0.001, false, false},
+      {"rotation + silent periods (mean 60 s)", true, 60.0, false, false},
+      {"rotation + mix zone (r=120 m at campus center)", true, 0.001, false, true},
+  };
+
+  std::cout << "Defense evaluation: the Marauder's Map vs Section V countermeasures\n\n";
+  util::Table table({"defense", "MACs seen", "longest linked track (pts)",
+                     "track avg error (m)"});
+  std::vector<std::size_t> points;
+  for (const DefenseSetup& setup : setups) {
+    const DefenseOutcome outcome = run_defense(seed, setup);
+    points.push_back(outcome.best_track_points);
+    table.add_row({setup.name, std::to_string(outcome.macs_seen),
+                   std::to_string(outcome.best_track_points),
+                   util::Table::fmt(outcome.best_track_error_m, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: the full trajectory survives rotation when SSIDs leak\n"
+            << "(implicit identifiers), shatters without them, and silent periods /\n"
+            << "mix zones further starve the tracker of points\n";
+  const bool shape = points[0] > 5 && points[1] >= points[0] / 2 && points[2] <= 2 &&
+                     points[3] <= points[1] && points[4] < points[1];
+  std::cout << "shape check: " << (shape ? "HOLDS" : "VIOLATED") << "\n";
+  return shape ? 0 : 1;
+}

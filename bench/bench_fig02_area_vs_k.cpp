@@ -1,0 +1,30 @@
+// Fig 2 — Intersected area vs number of communicable APs (Theorem 2, r=1).
+// Prints the closed-form curve next to a Monte-Carlo cross-check and the
+// paper's qualitative claim (area roughly inversely proportional to k).
+#include <iostream>
+
+#include "analysis/theorems.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  const util::Flags flags(argc, argv);
+  const int k_max = static_cast<int>(flags.get_int("kmax", 20));
+  const int trials = static_cast<int>(flags.get_int("trials", 8000));
+  const std::uint64_t seed = flags.get_seed(2);
+
+  std::cout << "Fig 2: expected intersected area vs #communicable APs (r = 1)\n\n";
+  util::Table table({"k", "CA (Theorem 2)", "CA (Monte Carlo)", "k*CA"});
+  for (int k = 1; k <= k_max; ++k) {
+    const double formula = analysis::thm2_expected_area(k, 1.0);
+    const double mc = analysis::thm2_monte_carlo_area(
+        k, 1.0, trials, seed + static_cast<std::uint64_t>(k));
+    table.add_row({std::to_string(k), util::Table::fmt(formula, 4),
+                   util::Table::fmt(mc, 4), util::Table::fmt(k * formula, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape check: CA decays like ~1/k (slightly faster): doubling k\n"
+            << "roughly halves-to-thirds the intersected area\n";
+  return 0;
+}

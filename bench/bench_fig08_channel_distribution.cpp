@@ -1,0 +1,59 @@
+// Fig 8 — Channel distribution around the UML north campus. A Kismet-style
+// hopping sniffer collects AP beacons across all 11 b/g channels; the
+// histogram shows ~93.7% of APs on channels 1/6/11 with channel 6 the most
+// popular.
+#include <iostream>
+#include <map>
+
+#include "capture/sniffer.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  const util::Flags flags(argc, argv);
+
+  sim::CampusConfig campus;
+  campus.seed = flags.get_seed(8);
+  campus.num_aps = static_cast<std::size_t>(flags.get_int("aps", 300));
+  campus.half_extent_m = 400.0;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  sim::World world({.seed = campus.seed ^ 0x8, .propagation = nullptr});
+  sim::populate_world(world, truth, /*beacons_enabled=*/true);
+
+  capture::ObservationStore store;
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 0.0};
+  sc.antenna_height_m = 25.0;
+  sc.hopping = true;  // Kismet-style survey with a single hopping card
+  sc.hop_dwell_s = 4.0;
+  capture::Sniffer sniffer(sc, &store);
+  sniffer.attach(world);
+
+  // One full hop cycle covers all 11 channels: 44 s; run two cycles.
+  world.run_until(88.0);
+
+  std::map<int, int> histogram;
+  for (const auto& [mac, sighting] : store.ap_sightings()) {
+    histogram[sighting.channel]++;
+  }
+  const auto total = static_cast<double>(store.ap_sightings().size());
+
+  std::cout << "Fig 8: channel distribution (simulated UML-north-campus survey, "
+            << store.ap_sightings().size() << "/" << truth.size() << " APs heard)\n\n";
+  util::Table table({"channel", "APs", "fraction"});
+  double main_three = 0.0;
+  for (int ch = 1; ch <= 11; ++ch) {
+    const double frac = total > 0 ? histogram[ch] / total : 0.0;
+    if (ch == 1 || ch == 6 || ch == 11) main_three += frac;
+    std::string bar(static_cast<std::size_t>(frac * 60.0), '#');
+    table.add_row({std::to_string(ch), std::to_string(histogram[ch]),
+                   util::Table::fmt(frac, 3) + " " + bar});
+  }
+  table.print(std::cout);
+  std::cout << "\nchannels 1/6/11 carry " << util::Table::fmt(main_three * 100.0, 1)
+            << "% of APs (paper: 93.7%) -> three fixed cards suffice\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig 9 — Cross-channel packet recognition. A transmitter beacons on
+// channel 11; five sniffers listen on channels 7..11. The co-channel card
+// decodes everything; the adjacent channel catches "few", and two or more
+// channels away "none" — the experimental result that debunks the
+// 3-cards-on-3/6/9 folklore and motivates fixed cards on 1/6/11.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "capture/sniffer.h"
+#include "sim/ap.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  const util::Flags flags(argc, argv);
+  const double distance = flags.get_double("distance", 120.0);
+
+  sim::World world({.seed = flags.get_seed(9), .propagation = nullptr});
+
+  // The transmitter: an AP beaconing on channel 11.
+  sim::ApConfig ap_cfg;
+  ap_cfg.bssid = *net80211::MacAddress::parse("00:1a:2b:00:0b:0b");
+  ap_cfg.ssid = "tx-ch11";
+  ap_cfg.channel = {rf::Band::kBg24GHz, 11};
+  ap_cfg.position = {distance, 0.0};
+  ap_cfg.beacons_enabled = true;
+  sim::AccessPoint* tx = world.add_access_point(std::make_unique<sim::AccessPoint>(ap_cfg));
+
+  // Five sniffers, one per listening channel 7..11.
+  std::vector<std::unique_ptr<capture::ObservationStore>> stores;
+  std::vector<std::unique_ptr<capture::Sniffer>> sniffers;
+  for (int ch = 7; ch <= 11; ++ch) {
+    capture::SnifferConfig sc;
+    sc.position = {0.0, 0.0};
+    sc.antenna_height_m = 10.0;
+    sc.card_channels = {{rf::Band::kBg24GHz, ch}};
+    sc.seed = 900 + static_cast<std::uint64_t>(ch);
+    stores.push_back(std::make_unique<capture::ObservationStore>());
+    sniffers.push_back(std::make_unique<capture::Sniffer>(sc, stores.back().get()));
+    sniffers.back()->attach(world);
+  }
+
+  world.run_until(30.0);  // ~290 beacons
+
+  std::cout << "Fig 9: packets recognized per listening channel (transmitter on ch 11,\n"
+            << "distance " << distance << " m, " << tx->beacons_sent() << " beacons sent)\n\n";
+  util::Table table({"listening channel", "recognized", "fraction"});
+  for (std::size_t i = 0; i < sniffers.size(); ++i) {
+    const auto& stats = sniffers[i]->stats();
+    const double frac =
+        static_cast<double>(stats.frames_decoded) / static_cast<double>(tx->beacons_sent());
+    std::string bar(static_cast<std::size_t>(frac * 50.0), '#');
+    table.add_row({std::to_string(7 + static_cast<int>(i)),
+                   std::to_string(stats.frames_decoded),
+                   util::Table::fmt(frac, 3) + " " + bar});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape check: neighbouring channels recognize few or none of the\n"
+            << "packets -> one card per non-overlapping channel (1/6/11) is required\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig 16 — Probability that the intersected area covers the mobile's real
+// location, vs minimum number of communicable APs. With exact radii (M-Loc)
+// coverage is guaranteed (probability 1); AP-Rad's estimated radii can
+// undershoot, losing coverage occasionally — and more often at larger k
+// (Theorem 3's (R/r)^{2k} effect).
+#include <iostream>
+
+#include "common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  const util::Flags flags(argc, argv);
+  const int runs = static_cast<int>(flags.get_int("runs", 5));
+  const std::uint64_t seed = flags.get_seed(16);
+
+  std::vector<bench::SampleOutcome> mloc_all;
+  std::vector<bench::SampleOutcome> aprad_all;
+  for (int run_idx = 0; run_idx < runs; ++run_idx) {
+    bench::CampusRunConfig cfg;
+    cfg.seed = seed + static_cast<std::uint64_t>(run_idx) * 1013;
+    const bench::CampusRun run = bench::run_campus(cfg);
+    marauder::Tracker mloc(marauder::ApDatabase::from_truth(run.truth, true),
+                           {.algorithm = marauder::Algorithm::kMLoc});
+    marauder::Tracker aprad(marauder::ApDatabase::from_truth(run.truth, false),
+                            {.algorithm = marauder::Algorithm::kApRad});
+    for (auto& o : bench::evaluate(run, mloc)) mloc_all.push_back(o);
+    for (auto& o : bench::evaluate(run, aprad)) aprad_all.push_back(o);
+  }
+
+  auto coverage_for_min_k = [](const std::vector<bench::SampleOutcome>& outcomes,
+                               std::size_t min_k, std::size_t& count) {
+    std::size_t covered = 0;
+    count = 0;
+    for (const auto& o : outcomes) {
+      if (o.gamma_size < min_k) continue;
+      ++count;
+      // 1 m tolerance: the victim walks ~0.3 m during a scan sweep, so the
+      // recorded sample position can sit marginally outside a boundary disc
+      // that legitimately answered mid-sweep.
+      if (marauder::region_covers(o.result, o.true_position, 1.0)) ++covered;
+    }
+    return count == 0 ? 0.0 : static_cast<double>(covered) / static_cast<double>(count);
+  };
+
+  std::cout << "Fig 16: coverage probability vs minimum #communicable APs\n\n";
+  util::Table table({"min k", "samples", "M-Loc coverage", "AP-Rad coverage"});
+  bool mloc_guarantee = true;
+  for (std::size_t k = 1; k <= 10; ++k) {
+    std::size_t n_m = 0;
+    std::size_t n_a = 0;
+    const double cov_m = coverage_for_min_k(mloc_all, k, n_m);
+    const double cov_a = coverage_for_min_k(aprad_all, k, n_a);
+    if (n_m < 5) break;
+    mloc_guarantee = mloc_guarantee && cov_m > 0.999;
+    table.add_row({std::to_string(k), std::to_string(n_m), util::Table::fmt(cov_m, 3),
+                   util::Table::fmt(cov_a, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape check: exact radii guarantee coverage (M-Loc = 1.0): "
+            << (mloc_guarantee ? "HOLDS" : "VIOLATED")
+            << "; AP-Rad's estimation error costs some coverage\n";
+  return mloc_guarantee ? 0 : 1;
+}

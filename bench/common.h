@@ -1,0 +1,125 @@
+// Shared experiment pipeline for the accuracy benches (Figs 13-17): build a
+// campus, walk a victim through it, capture its probing traffic, and hand
+// per-sample ground truth + observations to the caller.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "capture/sniffer.h"
+#include "marauder/tracker.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+
+namespace mm::bench {
+
+inline const net80211::MacAddress kVictim =
+    *net80211::MacAddress::parse("00:16:6f:ca:fe:99");
+
+struct CampusRun {
+  std::unique_ptr<sim::World> world;
+  std::vector<sim::ApTruth> truth;
+  capture::ObservationStore store;
+  std::unique_ptr<capture::Sniffer> sniffer;
+  /// (sample time, victim's true position) for every triggered scan.
+  std::vector<std::pair<double, geo::Vec2>> samples;
+};
+
+struct CampusRunConfig {
+  std::uint64_t seed = 2009;
+  std::size_t num_aps = 170;
+  double half_extent_m = 350.0;
+  double route_extent_m = 250.0;
+  int route_passes = 3;
+  double sample_interval_s = 45.0;
+  double walk_speed_mps = 1.5;
+  /// Other people's devices on campus: they probe on their own schedule and
+  /// enrich AP-Rad's co-observation evidence exactly as the paper's campus
+  /// population did.
+  std::size_t background_mobiles = 30;
+  double background_scan_interval_s = 60.0;
+};
+
+/// Runs the full pipeline; deterministic in cfg.seed.
+inline CampusRun run_campus(const CampusRunConfig& cfg) {
+  CampusRun run;
+  sim::CampusConfig campus;
+  campus.seed = cfg.seed;
+  campus.num_aps = cfg.num_aps;
+  campus.half_extent_m = cfg.half_extent_m;
+  run.truth = sim::generate_campus_aps(campus);
+
+  run.world = std::make_unique<sim::World>(sim::World::Config{cfg.seed ^ 0xf00d, nullptr});
+  sim::populate_world(*run.world, run.truth, /*beacons_enabled=*/false);
+
+  auto walk = std::make_shared<sim::RouteWalk>(
+      sim::lawnmower_route(cfg.route_extent_m, cfg.route_passes), cfg.walk_speed_mps);
+
+  sim::MobileConfig mc;
+  mc.mac = kVictim;
+  mc.profile.probes = false;
+  mc.mobility = walk;
+  sim::MobileDevice* victim = run.world->add_mobile(std::make_unique<sim::MobileDevice>(mc));
+
+  util::Rng bg_rng(cfg.seed ^ 0xb6);
+  for (std::size_t i = 0; i < cfg.background_mobiles; ++i) {
+    sim::MobileConfig bg;
+    bg.mac = net80211::MacAddress::random(bg_rng, {0x00, 0x21, 0x5c});
+    bg.profile.probes = true;
+    bg.profile.scan_interval_s = cfg.background_scan_interval_s;
+    // Background devices wander (students crossing campus): their scans
+    // from many distinct positions give AP-Rad the "sufficient amount of
+    // time" of co-observation evidence the paper's constraint rule assumes.
+    bg.mobility = std::make_shared<sim::RandomWaypoint>(
+        geo::Vec2{-cfg.half_extent_m, -cfg.half_extent_m},
+        geo::Vec2{cfg.half_extent_m, cfg.half_extent_m}, 0.8, 2.0,
+        /*duration=*/4000.0, cfg.seed ^ (0xbb00 + i));
+    run.world->add_mobile(std::make_unique<sim::MobileDevice>(bg));
+  }
+
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 0.0};
+  sc.antenna_height_m = 20.0;
+  sc.seed = cfg.seed ^ 0x51;
+  run.sniffer = std::make_unique<capture::Sniffer>(sc, &run.store);
+  run.sniffer->attach(*run.world);
+
+  for (double t = 1.0; t < walk->arrival_time(); t += cfg.sample_interval_s) {
+    run.world->queue().schedule(t, [victim] { victim->trigger_scan(); });
+    run.samples.emplace_back(t, walk->position(t));
+  }
+  run.world->run_until(walk->arrival_time() + 5.0);
+  return run;
+}
+
+struct SampleOutcome {
+  double time = 0.0;
+  geo::Vec2 true_position;
+  std::size_t gamma_size = 0;
+  marauder::LocalizationResult result;
+
+  [[nodiscard]] double error_m() const {
+    return result.estimate.distance_to(true_position);
+  }
+};
+
+/// Locates the victim at every sample with a prepared tracker.
+inline std::vector<SampleOutcome> evaluate(const CampusRun& run,
+                                           marauder::Tracker& tracker) {
+  tracker.prepare(run.store);
+  std::vector<SampleOutcome> outcomes;
+  for (const auto& [t, true_pos] : run.samples) {
+    const capture::ObservationWindow window{t - 1.0, t + 5.0};
+    SampleOutcome outcome;
+    outcome.time = t;
+    outcome.true_position = true_pos;
+    outcome.gamma_size = run.store.gamma(kVictim, window).size();
+    outcome.result = tracker.locate(run.store, kVictim, window);
+    if (outcome.result.ok) outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace mm::bench

@@ -1,0 +1,88 @@
+// The active attack (Sections II-A / IV-B): quiet devices that never probe
+// are invisible to passive monitoring — until the attacker broadcasts
+// spoofed deauthentication frames and every device in range rescans.
+//
+// This example populates a campus with a mix of chatty and quiet devices,
+// runs the sniffer passively for a while, then switches the deauth blaster
+// on and shows the jump in devices found and localized.
+//
+//   ./examples/active_attack [--seed N]
+#include <iostream>
+#include <memory>
+
+#include "capture/sniffer.h"
+#include "marauder/tracker.h"
+#include "sim/attacker.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  const util::Flags flags(argc, argv);
+
+  sim::CampusConfig campus;
+  campus.seed = flags.get_seed(616);
+  campus.num_aps = 100;
+  campus.half_extent_m = 250.0;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  sim::World world({.seed = campus.seed ^ 0x6, .propagation = nullptr});
+  sim::populate_world(world, truth, false);
+
+  // 24 devices: one third probe on their own, two thirds stay quiet.
+  util::Rng rng(campus.seed ^ 0x24);
+  std::vector<sim::MobileDevice*> devices;
+  for (int i = 0; i < 24; ++i) {
+    sim::MobileConfig mc;
+    mc.mac = net80211::MacAddress::random(rng, {0x00, 0x16, 0x6f});
+    mc.profile.probes = (i % 3 == 0);
+    mc.profile.scan_interval_s = 60.0;
+    mc.mobility = std::make_shared<sim::StaticPosition>(
+        geo::Vec2{rng.uniform(-220.0, 220.0), rng.uniform(-220.0, 220.0)});
+    devices.push_back(world.add_mobile(std::make_unique<sim::MobileDevice>(mc)));
+  }
+
+  capture::ObservationStore store;
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 0.0};
+  sc.antenna_height_m = 20.0;
+  capture::Sniffer sniffer(sc, &store);
+  sniffer.attach(world);
+
+  marauder::Tracker tracker(marauder::ApDatabase::from_truth(truth, true),
+                            {.algorithm = marauder::Algorithm::kMLoc});
+  auto census = [&](const char* label, double t_begin, double t_end) {
+    const capture::ObservationWindow window{t_begin, t_end};
+    std::size_t located = 0;
+    for (const auto& device : devices) {
+      if (tracker.locate(store, device->mac(), window).ok) ++located;
+    }
+    std::cout << label << ": " << store.device_count() << "/" << devices.size()
+              << " devices ever seen, " << located << "/" << devices.size()
+              << " localizable in this phase\n";
+    return located;
+  };
+
+  // Phase 1: passive monitoring only.
+  world.run_until(300.0);
+  const std::size_t passive = census("passive (0-300 s)   ", 0.0, 300.0);
+
+  // Phase 2: deauth blaster on.
+  sim::ActiveProber prober({.position = {0.0, 0.0},
+                            .antenna_height_m = 20.0,
+                            .tx_power_dbm = 27.0,
+                            .antenna_gain_dbi = 15.0,
+                            .interval_s = 20.0});
+  prober.attach(world);
+  world.run_until(600.0);
+  const std::size_t active = census("active (300-600 s)  ", 300.0, 600.0);
+
+  std::cout << "\ndeauth frames sent: " << prober.deauths_sent() << "\n"
+            << "the active attack raised per-phase coverage from " << passive << " to "
+            << active << " of " << devices.size()
+            << " devices — the paper's answer to non-probing mobiles\n";
+  return active > passive ? 0 : 1;
+}

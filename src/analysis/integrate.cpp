@@ -1,0 +1,42 @@
+#include "analysis/integrate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mm::analysis {
+
+namespace {
+double simpson(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double recurse(const std::function<double(double)>& f, double a, double b, double fa,
+               double fm, double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, m - a);
+  const double right = simpson(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1) +
+         recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1);
+}
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double a, double b,
+                        double tol, int max_depth) {
+  if (b < a) throw std::invalid_argument("adaptive_simpson: reversed interval");
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(0.5 * (a + b));
+  const double whole = simpson(fa, fm, fb, b - a);
+  return recurse(f, a, b, fa, fm, fb, whole, tol, max_depth);
+}
+
+}  // namespace mm::analysis

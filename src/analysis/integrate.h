@@ -1,0 +1,13 @@
+// Adaptive Simpson quadrature for the Theorem 2/3 integrals.
+#pragma once
+
+#include <functional>
+
+namespace mm::analysis {
+
+/// Integrates f over [a, b] with adaptive Simpson to absolute tolerance
+/// `tol`. Throws std::invalid_argument for a reversed interval.
+[[nodiscard]] double adaptive_simpson(const std::function<double(double)>& f, double a,
+                                      double b, double tol = 1e-10, int max_depth = 40);
+
+}  // namespace mm::analysis

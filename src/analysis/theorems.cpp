@@ -1,0 +1,120 @@
+#include "analysis/theorems.h"
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/integrate.h"
+#include "geo/circle.h"
+#include "geo/disc_intersection.h"
+#include "util/rng.h"
+
+namespace mm::analysis {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+void validate(int k, double r) {
+  if (k < 1) throw std::invalid_argument("theorem: k must be >= 1");
+  if (!(r > 0.0)) throw std::invalid_argument("theorem: r must be positive");
+}
+
+/// Integrates over [a, b] in fixed panels before going adaptive. For large
+/// k the integrands p(y)^k are sharply peaked near one end; plain adaptive
+/// Simpson samples three points, sees ~0 everywhere, and returns 0.
+double panelled_integral(const std::function<double(double)>& f, double a, double b,
+                         double tol) {
+  constexpr int kPanels = 64;
+  const double step = (b - a) / kPanels;
+  double total = 0.0;
+  for (int i = 0; i < kPanels; ++i) {
+    total += adaptive_simpson(f, a + i * step, a + (i + 1) * step, tol / kPanels);
+  }
+  return total;
+}
+
+/// Uniform point in the disc of radius `radius` around `center`.
+geo::Vec2 uniform_in_disc(util::Rng& rng, geo::Vec2 center, double radius) {
+  return center + geo::Vec2::from_polar(radius * std::sqrt(rng.uniform()), rng.angle());
+}
+}  // namespace
+
+double thm2_expected_area(int k, double r) {
+  validate(k, r);
+  // p(y): probability that one AP lands in the lens between the mobile's
+  // disc and a disc around a point at distance x = 2ry.
+  auto integrand = [k](double y) {
+    const double p = (2.0 / kPi) * (std::acos(y) - y * std::sqrt(1.0 - y * y));
+    return y * std::pow(p, k);
+  };
+  return 8.0 * kPi * r * r * panelled_integral(integrand, 0.0, 1.0, 1e-12);
+}
+
+double thm2_monte_carlo_area(int k, double r, int trials, std::uint64_t seed) {
+  validate(k, r);
+  util::Rng rng(seed);
+  double total = 0.0;
+  std::vector<geo::Circle> discs;
+  for (int t = 0; t < trials; ++t) {
+    discs.clear();
+    for (int i = 0; i < k; ++i) {
+      discs.push_back({uniform_in_disc(rng, {0.0, 0.0}, r), r});
+    }
+    const auto region = geo::DiscIntersection::compute(discs);
+    total += region.empty() ? 0.0 : region.area();
+  }
+  return total / trials;
+}
+
+double thm3_expected_area(int k, double r, double big_r) {
+  validate(k, r);
+  if (big_r < r) {
+    throw std::invalid_argument("thm3_expected_area: requires R >= r (Theorem 3 case 1)");
+  }
+  // CA = pi * Int_0^{2R} Pr{alpha in Theta} d(x^2)
+  //    = Int_0^{r+R} (A(C12)(x) / (pi r^2))^k * 2 pi x dx,
+  // with A(C12) the lens area of discs (r, R) at center distance x
+  // (== pi r^2 for x <= R - r; 0 beyond r + R).
+  const geo::Circle c1{{0.0, 0.0}, r};
+  auto integrand = [&](double x) {
+    const geo::Circle c2{{x, 0.0}, big_r};
+    const double p = geo::lens_area(c1, c2) / (kPi * r * r);
+    return std::pow(p, k) * 2.0 * kPi * x;
+  };
+  return panelled_integral(integrand, 0.0, r + big_r, 1e-10);
+}
+
+double thm3_coverage_probability(int k, double r, double big_r) {
+  validate(k, r);
+  if (!(big_r > 0.0)) throw std::invalid_argument("thm3: R must be positive");
+  if (big_r >= r) return 1.0;
+  return std::pow(big_r / r, 2.0 * k);
+}
+
+Thm3MonteCarlo thm3_monte_carlo(int k, double r, double big_r, int trials,
+                                std::uint64_t seed) {
+  validate(k, r);
+  util::Rng rng(seed);
+  Thm3MonteCarlo out;
+  std::vector<geo::Circle> discs;
+  int covered = 0;
+  double area_total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    discs.clear();
+    for (int i = 0; i < k; ++i) {
+      discs.push_back({uniform_in_disc(rng, {0.0, 0.0}, r), big_r});
+    }
+    const auto region = geo::DiscIntersection::compute(discs);
+    if (!region.empty()) {
+      area_total += region.area();
+      if (region.contains({0.0, 0.0}, 1e-9)) ++covered;
+    }
+  }
+  out.mean_area = area_total / trials;
+  out.coverage_probability = static_cast<double>(covered) / trials;
+  return out;
+}
+
+}  // namespace mm::analysis

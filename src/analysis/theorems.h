@@ -1,0 +1,39 @@
+// Closed-form curves of the paper's theorems plus Monte-Carlo cross-checks.
+//
+// Theorem 2: expected intersected area for a mobile communicable with k
+// uniformly-placed APs of transmission distance r (appendix derivation:
+// CA = 8 pi r^2 * Int_0^1 y * p(y)^k dy with p(y) = (2/pi)(acos y - y sqrt(1-y^2))).
+// Corollary 1: CA decreases monotonically in k (hence in density rho).
+// Theorem 3: effect of running disc-intersection with an *estimated*
+// distance R: expected area for R >= r; coverage probability (R/r)^{2k}
+// when R < r.
+#pragma once
+
+#include <cstdint>
+
+namespace mm::analysis {
+
+/// Theorem 2 expected intersected area. Requires k >= 1, r > 0.
+[[nodiscard]] double thm2_expected_area(int k, double r = 1.0);
+
+/// Monte-Carlo estimate of the same quantity (k APs uniform in the disc of
+/// radius r around the mobile; exact disc-intersection area per trial).
+[[nodiscard]] double thm2_monte_carlo_area(int k, double r, int trials,
+                                           std::uint64_t seed);
+
+/// Theorem 3 expected intersected area when the estimated distance R >= r.
+[[nodiscard]] double thm3_expected_area(int k, double r, double big_r);
+
+/// Theorem 3 coverage probability: 1 for R >= r, (R/r)^{2k} for R < r.
+[[nodiscard]] double thm3_coverage_probability(int k, double r, double big_r);
+
+/// Monte-Carlo estimates for Theorem 3 (area and empirical coverage of the
+/// mobile's true location) under estimated distance R.
+struct Thm3MonteCarlo {
+  double mean_area = 0.0;
+  double coverage_probability = 0.0;
+};
+[[nodiscard]] Thm3MonteCarlo thm3_monte_carlo(int k, double r, double big_r, int trials,
+                                              std::uint64_t seed);
+
+}  // namespace mm::analysis

@@ -1,0 +1,150 @@
+#include "capture/observation_store.h"
+
+#include <algorithm>
+
+namespace mm::capture {
+
+namespace {
+DeviceRecord& touch_device(std::map<net80211::MacAddress, DeviceRecord>& devices,
+                           const net80211::MacAddress& mac, sim::SimTime time) {
+  auto [it, inserted] = devices.try_emplace(mac);
+  DeviceRecord& rec = it->second;
+  if (inserted) {
+    rec.mac = mac;
+    rec.first_seen = time;
+  }
+  rec.last_seen = std::max(rec.last_seen, time);
+  return rec;
+}
+}  // namespace
+
+void ObservationStore::record_probe_request(const net80211::MacAddress& device,
+                                            sim::SimTime time,
+                                            const std::optional<std::string>& directed_ssid) {
+  DeviceRecord& rec = touch_device(devices_, device, time);
+  ++rec.probe_requests;
+  if (directed_ssid && !directed_ssid->empty()) {
+    if (std::find(rec.directed_ssids.begin(), rec.directed_ssids.end(), *directed_ssid) ==
+        rec.directed_ssids.end()) {
+      rec.directed_ssids.push_back(*directed_ssid);
+    }
+  }
+}
+
+void ObservationStore::record_presence(const net80211::MacAddress& device,
+                                       sim::SimTime time) {
+  (void)touch_device(devices_, device, time);
+}
+
+void ObservationStore::record_contact(const net80211::MacAddress& ap,
+                                      const net80211::MacAddress& device, sim::SimTime time,
+                                      double rssi_dbm) {
+  DeviceRecord& rec = touch_device(devices_, device, time);
+  auto [it, inserted] = rec.contacts.try_emplace(ap);
+  ApContact& contact = it->second;
+  if (inserted) contact.first_seen = time;
+  contact.last_seen = time;
+  ++contact.count;
+  contact.last_rssi_dbm = rssi_dbm;
+  contact.times.push_back(time);
+}
+
+void ObservationStore::record_beacon(const net80211::MacAddress& bssid,
+                                     const std::string& ssid, int channel,
+                                     sim::SimTime /*time*/, double rssi_dbm) {
+  auto [it, inserted] = sightings_.try_emplace(bssid);
+  ApSighting& s = it->second;
+  if (inserted) {
+    s.bssid = bssid;
+    s.ssid = ssid;
+    s.channel = channel;
+  }
+  ++s.beacons;
+  s.last_rssi_dbm = rssi_dbm;
+}
+
+std::vector<net80211::MacAddress> ObservationStore::devices() const {
+  std::vector<net80211::MacAddress> out;
+  out.reserve(devices_.size());
+  for (const auto& [mac, rec] : devices_) out.push_back(mac);
+  return out;
+}
+
+const DeviceRecord* ObservationStore::device(const net80211::MacAddress& mac) const {
+  const auto it = devices_.find(mac);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+std::set<net80211::MacAddress> ObservationStore::gamma(
+    const net80211::MacAddress& device, const ObservationWindow& window) const {
+  std::set<net80211::MacAddress> aps;
+  const DeviceRecord* rec = this->device(device);
+  if (rec == nullptr) return aps;
+  for (const auto& [ap, contact] : rec->contacts) {
+    const bool in_window = std::any_of(contact.times.begin(), contact.times.end(),
+                                       [&](sim::SimTime t) { return window.contains(t); });
+    if (in_window) aps.insert(ap);
+  }
+  return aps;
+}
+
+std::vector<std::set<net80211::MacAddress>> ObservationStore::all_gammas(
+    const ObservationWindow& window) const {
+  std::vector<std::set<net80211::MacAddress>> gammas;
+  gammas.reserve(devices_.size());
+  for (const auto& [mac, rec] : devices_) {
+    auto g = gamma(mac, window);
+    if (!g.empty()) gammas.push_back(std::move(g));
+  }
+  return gammas;
+}
+
+std::vector<std::set<net80211::MacAddress>> ObservationStore::session_gammas(
+    double session_gap_s, const ObservationWindow& window) const {
+  std::vector<std::set<net80211::MacAddress>> gammas;
+  for (const auto& [mac, rec] : devices_) {
+    // Flatten the device's contact events into a time-sorted list.
+    std::vector<std::pair<sim::SimTime, net80211::MacAddress>> events;
+    for (const auto& [ap, contact] : rec.contacts) {
+      for (sim::SimTime t : contact.times) {
+        if (window.contains(t)) events.emplace_back(t, ap);
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    std::set<net80211::MacAddress> session;
+    sim::SimTime last = 0.0;
+    for (const auto& [t, ap] : events) {
+      if (!session.empty() && t - last > session_gap_s) {
+        gammas.push_back(std::move(session));
+        session.clear();
+      }
+      session.insert(ap);
+      last = t;
+    }
+    if (!session.empty()) gammas.push_back(std::move(session));
+  }
+  return gammas;
+}
+
+std::size_t ObservationStore::probing_device_count() const {
+  std::size_t count = 0;
+  for (const auto& [mac, rec] : devices_) count += rec.probe_requests > 0 ? 1 : 0;
+  return count;
+}
+
+void ObservationStore::clear() {
+  devices_.clear();
+  sightings_.clear();
+}
+
+void ObservationStore::restore_device(DeviceRecord record) {
+  devices_[record.mac] = std::move(record);
+}
+
+void ObservationStore::restore_sighting(ApSighting sighting) {
+  sightings_[sighting.bssid] = std::move(sighting);
+}
+
+}  // namespace mm::capture

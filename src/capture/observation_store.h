@@ -1,0 +1,107 @@
+// The sniffer's knowledge base: per-device probing evidence and the set of
+// APs observed communicating with each device (the Gamma sets consumed by
+// M-Loc / AP-Rad / AP-Loc), plus AP beacon sightings (channel distribution,
+// SSID inventory).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net80211/mac_address.h"
+#include "sim/event_queue.h"
+
+namespace mm::capture {
+
+struct ObservationWindow {
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 1e300;
+
+  [[nodiscard]] bool contains(sim::SimTime t) const noexcept {
+    return t >= begin && t <= end;
+  }
+};
+
+/// Evidence that one AP communicated with one device.
+struct ApContact {
+  sim::SimTime first_seen = 0.0;
+  sim::SimTime last_seen = 0.0;
+  std::uint64_t count = 0;
+  double last_rssi_dbm = -200.0;
+  std::vector<sim::SimTime> times;  ///< every observation instant
+};
+
+struct DeviceRecord {
+  net80211::MacAddress mac;
+  sim::SimTime first_seen = 0.0;
+  sim::SimTime last_seen = 0.0;
+  std::uint64_t probe_requests = 0;
+  std::vector<std::string> directed_ssids;  ///< implicit identifiers leaked
+  std::map<net80211::MacAddress, ApContact> contacts;
+};
+
+struct ApSighting {
+  net80211::MacAddress bssid;
+  std::string ssid;
+  int channel = 0;
+  std::uint64_t beacons = 0;
+  double last_rssi_dbm = -200.0;
+};
+
+class ObservationStore {
+ public:
+  void record_probe_request(const net80211::MacAddress& device, sim::SimTime time,
+                            const std::optional<std::string>& directed_ssid);
+  /// Marks a device as seen (association/data traffic) without counting a
+  /// probe — the "found but not probing" class of Fig 10/11.
+  void record_presence(const net80211::MacAddress& device, sim::SimTime time);
+  void record_contact(const net80211::MacAddress& ap, const net80211::MacAddress& device,
+                      sim::SimTime time, double rssi_dbm);
+  void record_beacon(const net80211::MacAddress& bssid, const std::string& ssid,
+                     int channel, sim::SimTime time, double rssi_dbm);
+
+  [[nodiscard]] std::size_t device_count() const noexcept { return devices_.size(); }
+  [[nodiscard]] std::vector<net80211::MacAddress> devices() const;
+  [[nodiscard]] const DeviceRecord* device(const net80211::MacAddress& mac) const;
+
+  /// Gamma: APs observed communicating with the device inside the window.
+  [[nodiscard]] std::set<net80211::MacAddress> gamma(
+      const net80211::MacAddress& device, const ObservationWindow& window = {}) const;
+
+  /// Gamma sets of all devices (input to AP-Rad's co-observation constraints).
+  [[nodiscard]] std::vector<std::set<net80211::MacAddress>> all_gammas(
+      const ObservationWindow& window = {}) const;
+
+  /// Session-split Gamma sets: each device's contact timeline is partitioned
+  /// wherever consecutive observations are more than `session_gap_s` apart,
+  /// and each session yields its own Gamma. This is the right co-observation
+  /// evidence for AP-Rad — the paper's r_i + r_j >= d_ij constraint assumes
+  /// the two APs were seen by the mobile "within a short period of time";
+  /// treating a whole walk as one Gamma would co-observe APs hundreds of
+  /// meters apart and poison (or render infeasible) the LP.
+  [[nodiscard]] std::vector<std::set<net80211::MacAddress>> session_gammas(
+      double session_gap_s, const ObservationWindow& window = {}) const;
+
+  /// Devices that sent at least one probe request (the Fig 10/11 statistic).
+  [[nodiscard]] std::size_t probing_device_count() const;
+
+  [[nodiscard]] const std::map<net80211::MacAddress, ApSighting>& ap_sightings() const {
+    return sightings_;
+  }
+
+  void clear();
+
+  /// Wholesale state restoration (used by the persistence layer; see
+  /// capture/persistence.h). Replaces any existing record with the same key.
+  void restore_device(DeviceRecord record);
+  void restore_sighting(ApSighting sighting);
+
+ private:
+  std::map<net80211::MacAddress, DeviceRecord> devices_;
+  std::map<net80211::MacAddress, ApSighting> sightings_;
+};
+
+}  // namespace mm::capture

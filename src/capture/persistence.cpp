@@ -1,0 +1,130 @@
+#include "capture/persistence.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace mm::capture {
+
+namespace {
+
+std::string fmt(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::size_t begin = 0;
+  while (true) {
+    const auto end = text.find(sep, begin);
+    out.push_back(text.substr(begin, end - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+net80211::MacAddress parse_mac(const std::string& text, std::size_t row) {
+  const auto mac = net80211::MacAddress::parse(text);
+  if (!mac) {
+    throw std::runtime_error("observations: bad MAC in row " + std::to_string(row));
+  }
+  return *mac;
+}
+
+}  // namespace
+
+void save_observations(const ObservationStore& store, const std::filesystem::path& path) {
+  std::vector<util::CsvRow> rows;
+  for (const auto& mac : store.devices()) {
+    const DeviceRecord* rec = store.device(mac);
+    rows.push_back({"device", mac.to_string(), fmt(rec->first_seen), fmt(rec->last_seen),
+                    std::to_string(rec->probe_requests), join(rec->directed_ssids, '|')});
+    for (const auto& [ap, contact] : rec->contacts) {
+      std::vector<std::string> times;
+      times.reserve(contact.times.size());
+      for (const sim::SimTime t : contact.times) times.push_back(fmt(t));
+      rows.push_back({"contact", mac.to_string(), ap.to_string(), fmt(contact.first_seen),
+                      fmt(contact.last_seen), std::to_string(contact.count),
+                      fmt(contact.last_rssi_dbm), join(times, ';')});
+    }
+  }
+  for (const auto& [bssid, sighting] : store.ap_sightings()) {
+    rows.push_back({"sighting", bssid.to_string(), sighting.ssid,
+                    std::to_string(sighting.channel), std::to_string(sighting.beacons),
+                    fmt(sighting.last_rssi_dbm)});
+  }
+  util::csv_write_file(path, rows);
+}
+
+ObservationStore load_observations(const std::filesystem::path& path) {
+  ObservationStore store;
+  const auto rows = util::csv_read_file(path);
+  // Two passes: devices first so contacts can attach to them.
+  std::map<net80211::MacAddress, DeviceRecord> devices;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.empty()) continue;
+    if (row[0] == "device") {
+      if (row.size() < 6) throw std::runtime_error("observations: short device row");
+      DeviceRecord rec;
+      rec.mac = parse_mac(row[1], i);
+      rec.first_seen = std::stod(row[2]);
+      rec.last_seen = std::stod(row[3]);
+      rec.probe_requests = std::stoull(row[4]);
+      rec.directed_ssids = split(row[5], '|');
+      devices[rec.mac] = std::move(rec);
+    }
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.empty()) continue;
+    if (row[0] == "contact") {
+      if (row.size() < 8) throw std::runtime_error("observations: short contact row");
+      const auto device = parse_mac(row[1], i);
+      const auto it = devices.find(device);
+      if (it == devices.end()) {
+        throw std::runtime_error("observations: contact before device in row " +
+                                 std::to_string(i));
+      }
+      ApContact contact;
+      contact.first_seen = std::stod(row[3]);
+      contact.last_seen = std::stod(row[4]);
+      contact.count = std::stoull(row[5]);
+      contact.last_rssi_dbm = std::stod(row[6]);
+      for (const std::string& t : split(row[7], ';')) {
+        contact.times.push_back(std::stod(t));
+      }
+      it->second.contacts[parse_mac(row[2], i)] = std::move(contact);
+    } else if (row[0] == "sighting") {
+      if (row.size() < 6) throw std::runtime_error("observations: short sighting row");
+      ApSighting sighting;
+      sighting.bssid = parse_mac(row[1], i);
+      sighting.ssid = row[2];
+      sighting.channel = std::stoi(row[3]);
+      sighting.beacons = std::stoull(row[4]);
+      sighting.last_rssi_dbm = std::stod(row[5]);
+      store.restore_sighting(std::move(sighting));
+    } else if (row[0] != "device") {
+      throw std::runtime_error("observations: unknown row tag '" + row[0] + "'");
+    }
+  }
+  for (auto& [mac, rec] : devices) store.restore_device(std::move(rec));
+  return store;
+}
+
+}  // namespace mm::capture

@@ -1,0 +1,25 @@
+// Observation-store persistence: save the attack's accumulated evidence to
+// a CSV file and restore it exactly. Lets the capture rig run unattended
+// and the analysis happen elsewhere/later (complementing replay_pcap, which
+// rebuilds evidence from raw frames instead).
+//
+// Format: one row per record, tagged in column 0:
+//   device,<mac>,<first>,<last>,<probe_requests>,<ssid|ssid|...>
+//   contact,<device>,<ap>,<first>,<last>,<count>,<last_rssi>,<t;t;...>
+//   sighting,<bssid>,<ssid>,<channel>,<beacons>,<last_rssi>
+#pragma once
+
+#include <filesystem>
+
+#include "capture/observation_store.h"
+
+namespace mm::capture {
+
+/// Writes the store's full state. Throws std::runtime_error on I/O failure.
+void save_observations(const ObservationStore& store, const std::filesystem::path& path);
+
+/// Restores a store saved by save_observations (exact round-trip). Throws
+/// std::runtime_error on malformed rows.
+[[nodiscard]] ObservationStore load_observations(const std::filesystem::path& path);
+
+}  // namespace mm::capture

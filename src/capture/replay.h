@@ -1,0 +1,29 @@
+// Offline analysis: rebuild an ObservationStore from a recorded monitor-mode
+// pcap (radiotap linktype). This is the workflow an attacker uses when the
+// capture rig and the analysis machine are separate — and it doubles as a
+// consumer for real-world captures, since the reader speaks the standard
+// pcap + radiotap + 802.11 management-frame formats.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "capture/observation_store.h"
+
+namespace mm::capture {
+
+struct ReplayStats {
+  std::uint64_t records = 0;        ///< pcap records read
+  std::uint64_t malformed = 0;      ///< radiotap/frame parse failures
+  std::uint64_t probe_requests = 0;
+  std::uint64_t probe_responses = 0;
+  std::uint64_t beacons = 0;
+  std::uint64_t other = 0;          ///< valid frames with nothing to learn
+};
+
+/// Replays every record of the capture into the store. Throws
+/// std::runtime_error if the file cannot be opened, is not a pcap, or does
+/// not carry radiotap frames; malformed records are counted, not fatal.
+ReplayStats replay_pcap(const std::filesystem::path& path, ObservationStore& store);
+
+}  // namespace mm::capture

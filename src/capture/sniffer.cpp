@@ -1,0 +1,131 @@
+#include "capture/sniffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net80211/radiotap.h"
+
+namespace mm::capture {
+
+namespace {
+/// Logistic decode curve: ~0.5 at the NIC's minimum SNR, steep 1.5 dB slope
+/// (DSSS management frames either lock or they don't).
+double logistic_decode(double margin_db) {
+  return 1.0 / (1.0 + std::exp(-margin_db / 1.5));
+}
+}  // namespace
+
+Sniffer::Sniffer(SnifferConfig config, ObservationStore* store)
+    : config_(std::move(config)), store_(store), rng_(config_.seed) {
+  if (store_ == nullptr) throw std::invalid_argument("Sniffer: observation store required");
+  if (!config_.hopping && config_.card_channels.empty()) {
+    throw std::invalid_argument("Sniffer: need at least one card channel");
+  }
+  if (config_.pcap_path) {
+    pcap_ = std::make_unique<net80211::PcapWriter>(*config_.pcap_path,
+                                                   net80211::kLinktypeRadiotap);
+  }
+}
+
+Sniffer::~Sniffer() = default;
+
+void Sniffer::attach(sim::World& world) {
+  world_ = &world;
+  world.register_receiver(this);
+}
+
+std::size_t Sniffer::card_count() const noexcept {
+  return config_.hopping ? 1 : config_.card_channels.size();
+}
+
+rf::Channel Sniffer::card_channel(std::size_t card, sim::SimTime t) const {
+  if (!config_.hopping) return config_.card_channels.at(card);
+  const auto all = rf::all_channels(rf::Band::kBg24GHz);
+  const auto slot = static_cast<std::size_t>(std::max(0.0, t) / config_.hop_dwell_s);
+  return all[slot % all.size()];
+}
+
+double Sniffer::decode_probability(double rssi_dbm, rf::Channel tx, rf::Channel card) const {
+  const double ceiling = rf::cross_channel_lock_ceiling(tx, card);
+  if (ceiling <= 0.0) return 0.0;
+  const double penalty = rf::cross_channel_penalty_db(tx, card);
+  if (std::isinf(penalty)) return 0.0;
+  const double snr = config_.chain.effective_snr_db(rssi_dbm) - penalty;
+  // The SNR term gates weak signals; the lock ceiling caps off-channel
+  // capture regardless of power (Fig 9: "few or none").
+  return ceiling * logistic_decode(snr - config_.chain.nic().snr_min_db);
+}
+
+void Sniffer::on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) {
+  ++stats_.frames_on_air;
+  bool decoded = false;
+  for (std::size_t card = 0; card < card_count() && !decoded; ++card) {
+    const rf::Channel listening = card_channel(card, rx.time);
+    const double p = decode_probability(rx.rssi_dbm, rx.channel, listening);
+    if (p > 0.0 && rng_.bernoulli(p)) decoded = true;
+  }
+  if (!decoded) return;
+  ++stats_.frames_decoded;
+  record(frame, rx);
+}
+
+void Sniffer::record(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) {
+  switch (frame.subtype) {
+    case net80211::ManagementSubtype::kProbeRequest: {
+      ++stats_.probe_requests;
+      store_->record_probe_request(frame.addr2, rx.time, frame.ssid());
+      break;
+    }
+    case net80211::ManagementSubtype::kProbeResponse: {
+      ++stats_.probe_responses;
+      // addr2 = AP, addr1 = client: evidence the client communicates with
+      // the AP (the Gamma-set building block of Section II-A).
+      store_->record_contact(frame.addr2, frame.addr1, rx.time, rx.rssi_dbm);
+      break;
+    }
+    case net80211::ManagementSubtype::kBeacon: {
+      ++stats_.beacons;
+      store_->record_beacon(frame.addr2, frame.ssid().value_or(""),
+                            frame.ds_channel().value_or(0), rx.time, rx.rssi_dbm);
+      break;
+    }
+    case net80211::ManagementSubtype::kAssociationRequest: {
+      ++stats_.associations;
+      // The device exists ("found") even though it never probed.
+      store_->record_presence(frame.addr2, rx.time);
+      break;
+    }
+    case net80211::ManagementSubtype::kAssociationResponse: {
+      ++stats_.associations;
+      if (frame.status_code == 0) {
+        // A successful association is two-way proof of communicability.
+        store_->record_contact(frame.addr2, frame.addr1, rx.time, rx.rssi_dbm);
+      }
+      break;
+    }
+    case net80211::ManagementSubtype::kDataNull: {
+      ++stats_.data_frames;
+      // Ongoing data exchange: the client (addr2) talks to its AP (addr3).
+      store_->record_contact(frame.addr3, frame.addr2, rx.time, rx.rssi_dbm);
+      break;
+    }
+    case net80211::ManagementSubtype::kDeauthentication:
+      break;  // our own active attack traffic; nothing to learn
+  }
+
+  if (pcap_) {
+    net80211::Radiotap rt;
+    rt.channel_freq_mhz =
+        static_cast<std::uint16_t>(rf::channel_center_mhz(rx.channel));
+    rt.antenna_signal_dbm = static_cast<std::int8_t>(
+        std::clamp(rx.rssi_dbm + config_.chain.antenna().gain_dbi, -127.0, 0.0));
+    rt.antenna_noise_dbm = -100;
+    std::vector<std::uint8_t> packet = rt.serialize();
+    const auto body = frame.serialize();
+    packet.insert(packet.end(), body.begin(), body.end());
+    pcap_->write(static_cast<std::uint64_t>(rx.time * 1e6), packet);
+  }
+}
+
+}  // namespace mm::capture

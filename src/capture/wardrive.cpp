@@ -1,0 +1,77 @@
+#include "capture/wardrive.h"
+
+#include <stdexcept>
+
+namespace mm::capture {
+
+Wardriver::Wardriver(WardriverConfig config) : config_(std::move(config)) {}
+
+void Wardriver::attach(sim::World& world) {
+  world_ = &world;
+  world.register_receiver(this);
+}
+
+void Wardriver::sample_at(sim::SimTime when, geo::Vec2 where) {
+  if (world_ == nullptr) throw std::logic_error("Wardriver: attach before sampling");
+  world_->queue().schedule(when, [this, where] {
+    current_position_ = where;
+    collecting_ = true;
+    open_tuple_ = TrainingTuple{where, {}};
+    // NetStumbler-style active scan: probe every b/g channel quickly.
+    const auto channels = rf::all_channels(rf::Band::kBg24GHz);
+    const double step = config_.sample_window_s * 0.5 / static_cast<double>(channels.size());
+    double offset = 0.0;
+    for (const rf::Channel channel : channels) {
+      world_->queue().schedule_in(offset, [this, channel] {
+        world_->transmit(
+            net80211::make_probe_request(config_.mac, std::nullopt, sequence_++),
+            {current_position_, config_.antenna_height_m, config_.tx_power_dbm,
+             config_.antenna_gain_dbi, channel, this});
+      });
+      offset += step;
+    }
+  });
+  world_->queue().schedule(when + config_.sample_window_s, [this] {
+    collecting_ = false;
+    tuples_.push_back(open_tuple_);
+  });
+}
+
+sim::SimTime Wardriver::drive_route(const std::vector<geo::Vec2>& route, double speed_mps,
+                                    double spacing_m) {
+  if (world_ == nullptr) throw std::logic_error("Wardriver: attach before driving");
+  if (route.size() < 2) throw std::invalid_argument("Wardriver: route needs >= 2 points");
+  if (!(speed_mps > 0.0) || !(spacing_m > 0.0)) {
+    throw std::invalid_argument("Wardriver: speed and spacing must be positive");
+  }
+  const sim::SimTime start = world_->now();
+  double along = 0.0;        // distance of the next sample from route start
+  double travelled = 0.0;    // cumulative route distance at segment start
+  sim::SimTime finish = start;
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const geo::Vec2 from = route[i - 1];
+    const geo::Vec2 to = route[i];
+    const double seg_len = from.distance_to(to);
+    while (along <= travelled + seg_len) {
+      const double frac = seg_len > 0.0 ? (along - travelled) / seg_len : 0.0;
+      const geo::Vec2 where = from + (to - from) * frac;
+      const sim::SimTime when = start + along / speed_mps;
+      sample_at(when, where);
+      finish = when + config_.sample_window_s;
+      along += spacing_m;
+    }
+    travelled += seg_len;
+  }
+  return finish;
+}
+
+void Wardriver::on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo&) {
+  if (!collecting_) return;
+  if (frame.subtype != net80211::ManagementSubtype::kProbeResponse) return;
+  if (frame.addr1 != config_.mac) return;
+  // The AP only answers clients inside its service disc, so receiving the
+  // response certifies communicability at this training location.
+  open_tuple_.heard_aps.insert(frame.addr2);
+}
+
+}  // namespace mm::capture

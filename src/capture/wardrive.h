@@ -1,0 +1,63 @@
+// Wardriving collector (the optional training phase, Section II-A): a
+// GPS-equipped mobile sniffer driven through the target area that actively
+// probes and records, at each sample location, the set of APs it could
+// communicate with. The resulting training tuples are exactly AP-Loc's
+// input: (longitude/latitude -> local position, heard-AP set).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "net80211/mac_address.h"
+#include "sim/world.h"
+
+namespace mm::capture {
+
+struct TrainingTuple {
+  geo::Vec2 position;
+  std::set<net80211::MacAddress> heard_aps;
+};
+
+struct WardriverConfig {
+  net80211::MacAddress mac = *net80211::MacAddress::parse("02:77:61:72:64:72");
+  double antenna_height_m = 1.8;
+  double tx_power_dbm = 17.0;  ///< card + external antenna
+  double antenna_gain_dbi = 4.0;
+  /// Time window after each sample's probe sweep in which responses are
+  /// attributed to that sample.
+  double sample_window_s = 0.8;
+};
+
+class Wardriver final : public sim::FrameReceiver {
+ public:
+  explicit Wardriver(WardriverConfig config = {});
+
+  /// Registers with the medium.
+  void attach(sim::World& world);
+
+  /// Schedules a probe sweep from `where` at absolute time `when`; the tuple
+  /// closes (and becomes visible in tuples()) at `when + sample_window_s`.
+  void sample_at(sim::SimTime when, geo::Vec2 where);
+
+  /// Drives a route, sampling every `spacing_m` meters at `speed_mps`,
+  /// starting at the world's current time. Returns the finish time.
+  sim::SimTime drive_route(const std::vector<geo::Vec2>& route, double speed_mps,
+                           double spacing_m);
+
+  [[nodiscard]] const std::vector<TrainingTuple>& tuples() const noexcept { return tuples_; }
+
+  [[nodiscard]] geo::Vec2 position() const override { return current_position_; }
+  [[nodiscard]] double antenna_height_m() const override { return config_.antenna_height_m; }
+  void on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) override;
+
+ private:
+  WardriverConfig config_;
+  sim::World* world_ = nullptr;
+  geo::Vec2 current_position_;
+  std::uint16_t sequence_ = 0;
+  bool collecting_ = false;
+  TrainingTuple open_tuple_;
+  std::vector<TrainingTuple> tuples_;
+};
+
+}  // namespace mm::capture

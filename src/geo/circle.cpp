@@ -1,0 +1,43 @@
+#include "geo/circle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm::geo {
+
+std::optional<std::pair<Vec2, Vec2>> circle_circle_intersection(const Circle& a,
+                                                                const Circle& b,
+                                                                double eps) {
+  const Vec2 delta = b.center - a.center;
+  const double d = delta.norm();
+  if (d < eps) return std::nullopt;  // concentric: no boundary intersection
+  if (d > a.radius + b.radius + eps) return std::nullopt;            // separate
+  if (d < std::abs(a.radius - b.radius) - eps) return std::nullopt;  // nested
+
+  // Distance from a.center to the chord's midpoint along the center line.
+  const double along = (d * d + a.radius * a.radius - b.radius * b.radius) / (2.0 * d);
+  const double h_sq = a.radius * a.radius - along * along;
+  const double h = h_sq > 0.0 ? std::sqrt(h_sq) : 0.0;
+  const Vec2 u = delta / d;
+  const Vec2 mid = a.center + u * along;
+  const Vec2 offset = u.perp() * h;
+  return std::make_pair(mid + offset, mid - offset);
+}
+
+double lens_area(const Circle& a, const Circle& b) {
+  const double d = a.center.distance_to(b.center);
+  const double r1 = a.radius;
+  const double r2 = b.radius;
+  if (d >= r1 + r2) return 0.0;
+  if (d <= std::abs(r1 - r2)) {
+    const double rmin = std::min(r1, r2);
+    return Circle{{}, rmin}.area();
+  }
+  const double alpha = std::acos(std::clamp((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1), -1.0, 1.0));
+  const double beta = std::acos(std::clamp((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2), -1.0, 1.0));
+  const double tri = 0.5 * std::sqrt(std::max(0.0, ((r1 + r2) * (r1 + r2) - d * d) *
+                                                       (d * d - (r1 - r2) * (r1 - r2))));
+  return r1 * r1 * alpha + r2 * r2 * beta - tri;
+}
+
+}  // namespace mm::geo

@@ -1,0 +1,48 @@
+// Circles/discs in the local tangent plane. The paper's worst-case coverage
+// model treats every AP as a disc of its maximum transmission distance; all
+// three localization algorithms reason over such discs.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "geo/vec2.h"
+
+namespace mm::geo {
+
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(Vec2 c, double r) : center(c), radius(r) {}
+
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-9) const {
+    return center.distance_to(p) <= radius + eps;
+  }
+  [[nodiscard]] constexpr double area() const {
+    return 3.14159265358979323846 * radius * radius;
+  }
+  /// True if this disc lies entirely inside `other` (boundary touching ok).
+  [[nodiscard]] bool inside_of(const Circle& other, double eps = 1e-9) const {
+    return center.distance_to(other.center) + radius <= other.radius + eps;
+  }
+  /// True if the two discs share no point.
+  [[nodiscard]] bool disjoint_from(const Circle& other, double eps = 1e-9) const {
+    return center.distance_to(other.center) > radius + other.radius + eps;
+  }
+  [[nodiscard]] Vec2 point_at(double theta) const {
+    return center + Vec2::from_polar(radius, theta);
+  }
+};
+
+/// Intersection points of two circle *boundaries*. Empty when the circles are
+/// separate or nested; a tangency yields a single (duplicated) point pair.
+[[nodiscard]] std::optional<std::pair<Vec2, Vec2>> circle_circle_intersection(
+    const Circle& a, const Circle& b, double eps = 1e-12);
+
+/// Area of the lens formed by two overlapping discs (0 when disjoint; the
+/// smaller disc's area when nested). This is A(C12) in Theorem 3.
+[[nodiscard]] double lens_area(const Circle& a, const Circle& b);
+
+}  // namespace mm::geo

@@ -1,0 +1,71 @@
+#include "geo/enclosing_circle.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mm::geo {
+
+namespace {
+
+constexpr double kEps = 1e-7;
+
+Circle from_two(Vec2 a, Vec2 b) {
+  const Vec2 center = (a + b) / 2.0;
+  return {center, center.distance_to(a)};
+}
+
+/// Circumcircle of three points; falls back to a two-point circle for
+/// (near-)collinear triples.
+Circle from_three(Vec2 a, Vec2 b, Vec2 c) {
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  if (std::abs(d) < 1e-12) {
+    // Collinear: the diametral circle of the farthest pair.
+    Circle best = from_two(a, b);
+    for (const Circle& candidate : {from_two(a, c), from_two(b, c)}) {
+      if (candidate.radius > best.radius) best = candidate;
+    }
+    return best;
+  }
+  const double a2 = a.norm_sq();
+  const double b2 = b.norm_sq();
+  const double c2 = c.norm_sq();
+  const Vec2 center{(a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+                    (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+  return {center, center.distance_to(a)};
+}
+
+bool covers(const Circle& circle, Vec2 p) {
+  return circle.center.distance_to(p) <= circle.radius + kEps;
+}
+
+}  // namespace
+
+Circle smallest_enclosing_circle(std::span<const Vec2> points, std::uint64_t seed) {
+  if (points.empty()) {
+    throw std::invalid_argument("smallest_enclosing_circle: no points");
+  }
+  std::vector<Vec2> shuffled(points.begin(), points.end());
+  util::Rng rng(seed);
+  rng.shuffle(shuffled);
+
+  // Welzl's move-to-front incremental construction (iterative form).
+  Circle circle{shuffled[0], 0.0};
+  for (std::size_t i = 1; i < shuffled.size(); ++i) {
+    if (covers(circle, shuffled[i])) continue;
+    circle = {shuffled[i], 0.0};
+    for (std::size_t j = 0; j < i; ++j) {
+      if (covers(circle, shuffled[j])) continue;
+      circle = from_two(shuffled[i], shuffled[j]);
+      for (std::size_t k = 0; k < j; ++k) {
+        if (covers(circle, shuffled[k])) continue;
+        circle = from_three(shuffled[i], shuffled[j], shuffled[k]);
+      }
+    }
+  }
+  return circle;
+}
+
+}  // namespace mm::geo

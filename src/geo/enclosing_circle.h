@@ -1,0 +1,25 @@
+// Smallest enclosing circle (the 1-center problem), Welzl's randomized
+// algorithm — expected O(n).
+//
+// Used by AP-Loc's refined placement: every training location that heard an
+// AP lies within the AP's (unknown) transmission radius, so the AP is within
+// R of all hearers for every feasible R; shrinking the paper's
+// disc-intersection radius to the smallest feasible value collapses the
+// region to exactly the center of the smallest circle enclosing the hearers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geo/circle.h"
+#include "geo/vec2.h"
+
+namespace mm::geo {
+
+/// Smallest circle containing all points (radius 0 for a single point).
+/// Throws std::invalid_argument on empty input. Deterministic for a given
+/// seed (the shuffle only affects running time, not the result).
+[[nodiscard]] Circle smallest_enclosing_circle(std::span<const Vec2> points,
+                                               std::uint64_t seed = 0x5ec);
+
+}  // namespace mm::geo

@@ -1,0 +1,92 @@
+#include "geo/geodetic.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mm::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+}  // namespace
+
+Ecef to_ecef(const Geodetic& g) noexcept {
+  const double lat = g.lat_deg * kDegToRad;
+  const double lon = g.lon_deg * kDegToRad;
+  const double sin_lat = std::sin(lat);
+  const double cos_lat = std::cos(lat);
+  const double n = kWgs84A / std::sqrt(1.0 - kWgs84E2 * sin_lat * sin_lat);
+  return {
+      (n + g.alt_m) * cos_lat * std::cos(lon),
+      (n + g.alt_m) * cos_lat * std::sin(lon),
+      (n * (1.0 - kWgs84E2) + g.alt_m) * sin_lat,
+  };
+}
+
+Geodetic to_geodetic(const Ecef& e) noexcept {
+  const double p = std::hypot(e.x, e.y);
+  const double theta = std::atan2(e.z * kWgs84A, p * kWgs84B);
+  const double ep2 = (kWgs84A * kWgs84A - kWgs84B * kWgs84B) / (kWgs84B * kWgs84B);
+  const double sin_t = std::sin(theta);
+  const double cos_t = std::cos(theta);
+  const double lat = std::atan2(e.z + ep2 * kWgs84B * sin_t * sin_t * sin_t,
+                                p - kWgs84E2 * kWgs84A * cos_t * cos_t * cos_t);
+  const double lon = std::atan2(e.y, e.x);
+  const double sin_lat = std::sin(lat);
+  const double n = kWgs84A / std::sqrt(1.0 - kWgs84E2 * sin_lat * sin_lat);
+  const double alt = (std::abs(std::cos(lat)) > 1e-10) ? p / std::cos(lat) - n
+                                                       : std::abs(e.z) - kWgs84B;
+  return {lat * kRadToDeg, lon * kRadToDeg, alt};
+}
+
+EnuFrame::EnuFrame(const Geodetic& origin) noexcept
+    : origin_(origin), origin_ecef_(to_ecef(origin)) {
+  const double lat = origin.lat_deg * kDegToRad;
+  const double lon = origin.lon_deg * kDegToRad;
+  const double sl = std::sin(lat);
+  const double cl = std::cos(lat);
+  const double so = std::sin(lon);
+  const double co = std::cos(lon);
+  east_[0] = -so;
+  east_[1] = co;
+  east_[2] = 0.0;
+  north_[0] = -sl * co;
+  north_[1] = -sl * so;
+  north_[2] = cl;
+  up_[0] = cl * co;
+  up_[1] = cl * so;
+  up_[2] = sl;
+}
+
+Vec2 EnuFrame::to_enu(const Geodetic& g) const noexcept {
+  const Ecef e = to_ecef(g);
+  const double dx = e.x - origin_ecef_.x;
+  const double dy = e.y - origin_ecef_.y;
+  const double dz = e.z - origin_ecef_.z;
+  return {
+      east_[0] * dx + east_[1] * dy + east_[2] * dz,
+      north_[0] * dx + north_[1] * dy + north_[2] * dz,
+  };
+}
+
+Geodetic EnuFrame::to_geodetic(Vec2 enu) const noexcept {
+  // Invert the rotation with up-component zero (points on the tangent plane).
+  const double dx = east_[0] * enu.x + north_[0] * enu.y;
+  const double dy = east_[1] * enu.x + north_[1] * enu.y;
+  const double dz = east_[2] * enu.x + north_[2] * enu.y;
+  Geodetic g = mm::geo::to_geodetic(
+      Ecef{origin_ecef_.x + dx, origin_ecef_.y + dy, origin_ecef_.z + dz});
+  g.alt_m = origin_.alt_m;  // tangent-plane points stay at anchor altitude
+  return g;
+}
+
+double ecef_distance_m(const Geodetic& a, const Geodetic& b) noexcept {
+  const Ecef ea = to_ecef(a);
+  const Ecef eb = to_ecef(b);
+  const double dx = ea.x - eb.x;
+  const double dy = ea.y - eb.y;
+  const double dz = ea.z - eb.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace mm::geo

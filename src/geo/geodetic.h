@@ -1,0 +1,63 @@
+// WGS-84 geodetic <-> ECEF <-> local east-north-up conversions.
+//
+// The paper runs its algorithms in Earth-Centered Earth-Fixed coordinates;
+// at campus scale an ECEF-derived local tangent plane is equivalent and lets
+// the geometry work in plain meters. AP databases (the WiGLE substitute)
+// store geodetic coordinates and are projected through an EnuFrame anchored
+// at the sniffer before localization runs.
+#pragma once
+
+#include "geo/vec2.h"
+
+namespace mm::geo {
+
+/// WGS-84 ellipsoid constants.
+inline constexpr double kWgs84A = 6378137.0;             ///< semi-major axis, m
+inline constexpr double kWgs84F = 1.0 / 298.257223563;   ///< flattening
+inline constexpr double kWgs84B = kWgs84A * (1.0 - kWgs84F);
+inline constexpr double kWgs84E2 = kWgs84F * (2.0 - kWgs84F);  ///< eccentricity^2
+
+struct Geodetic {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;
+};
+
+struct Ecef {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Geodetic -> ECEF (exact closed form).
+[[nodiscard]] Ecef to_ecef(const Geodetic& g) noexcept;
+
+/// ECEF -> geodetic using Bowring's method (sub-millimeter at Earth surface).
+[[nodiscard]] Geodetic to_geodetic(const Ecef& e) noexcept;
+
+/// Local tangent plane anchored at a geodetic origin. `to_enu` returns
+/// east/north meters (the up component is dropped — campus terrain height is
+/// modeled separately by the RF layer); `to_geodetic` is the inverse at the
+/// anchor altitude.
+class EnuFrame {
+ public:
+  explicit EnuFrame(const Geodetic& origin) noexcept;
+
+  [[nodiscard]] const Geodetic& origin() const noexcept { return origin_; }
+  [[nodiscard]] Vec2 to_enu(const Geodetic& g) const noexcept;
+  [[nodiscard]] Geodetic to_geodetic(Vec2 enu) const noexcept;
+
+ private:
+  Geodetic origin_;
+  Ecef origin_ecef_;
+  // Rows of the ECEF->ENU rotation matrix (east, north, up basis vectors).
+  double east_[3];
+  double north_[3];
+  double up_[3];
+};
+
+/// Great-circle-free straight ECEF chord distance between two geodetic
+/// points; accurate at the few-km scales the tracker operates over.
+[[nodiscard]] double ecef_distance_m(const Geodetic& a, const Geodetic& b) noexcept;
+
+}  // namespace mm::geo

@@ -1,0 +1,56 @@
+// 2-D vector in the local east-north tangent plane (meters). All
+// localization algorithms operate on Vec2 after geodetic coordinates have
+// been projected through geo::EnuFrame.
+#pragma once
+
+#include <cmath>
+
+namespace mm::geo {
+
+struct Vec2 {
+  double x = 0.0;  ///< east, meters
+  double y = 0.0;  ///< north, meters
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product z-component (signed parallelogram area).
+  [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+  [[nodiscard]] double distance_to(Vec2 o) const { return (*this - o).norm(); }
+  /// Unit vector; returns {0,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise perpendicular.
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+  /// Angle from +x axis in radians, range (-pi, pi].
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+
+  [[nodiscard]] static Vec2 from_polar(double radius, double theta) {
+    return {radius * std::cos(theta), radius * std::sin(theta)};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+}  // namespace mm::geo

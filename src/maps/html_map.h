@@ -1,0 +1,59 @@
+// The digital Marauder's map display (Fig 7). The paper overlays AP
+// locations, real mobile positions (red tags) and estimated positions (blue
+// tags) on Google Maps; the offline substitute renders the same overlay as a
+// self-contained SVG-in-HTML document, with geodetic coordinates in the
+// tooltips via the provided ENU frame.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geodetic.h"
+#include "geo/vec2.h"
+
+namespace mm::maps {
+
+class MarauderMap {
+ public:
+  explicit MarauderMap(std::string title, const geo::EnuFrame& frame);
+
+  void add_ap(geo::Vec2 position, const std::string& label,
+              std::optional<double> radius_m = std::nullopt);
+  /// Red tag: the mobile's real position.
+  void add_true_position(geo::Vec2 position, const std::string& label);
+  /// Blue tag: the attack's estimate.
+  void add_estimate(geo::Vec2 position, const std::string& label);
+  /// Polyline (e.g., the victim's walk or the wardriving route).
+  void add_path(std::vector<geo::Vec2> points, const std::string& label);
+  /// Sniffer marker with its nominal coverage radius.
+  void add_sniffer(geo::Vec2 position, double coverage_radius_m);
+
+  [[nodiscard]] std::string to_html() const;
+  void write_html(const std::filesystem::path& path) const;
+
+  [[nodiscard]] std::string to_geojson() const;
+  void write_geojson(const std::filesystem::path& path) const;
+
+ private:
+  struct Marker {
+    geo::Vec2 position;
+    std::string label;
+    std::optional<double> radius_m;
+  };
+  struct Path {
+    std::vector<geo::Vec2> points;
+    std::string label;
+  };
+
+  std::string title_;
+  geo::EnuFrame frame_;
+  std::vector<Marker> aps_;
+  std::vector<Marker> truths_;
+  std::vector<Marker> estimates_;
+  std::vector<Path> paths_;
+  std::optional<Marker> sniffer_;
+};
+
+}  // namespace mm::maps

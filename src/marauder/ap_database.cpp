@@ -1,0 +1,134 @@
+#include "marauder/ap_database.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace mm::marauder {
+
+void ApDatabase::add(KnownAp ap) { aps_[ap.bssid] = std::move(ap); }
+
+const KnownAp* ApDatabase::find(const net80211::MacAddress& bssid) const {
+  const auto it = aps_.find(bssid);
+  return it == aps_.end() ? nullptr : &it->second;
+}
+
+void ApDatabase::set_radius(const net80211::MacAddress& bssid, double radius_m) {
+  const auto it = aps_.find(bssid);
+  if (it == aps_.end()) throw std::out_of_range("ApDatabase::set_radius: unknown BSSID");
+  it->second.radius_m = radius_m;
+}
+
+void ApDatabase::strip_radii() {
+  for (auto& [mac, ap] : aps_) ap.radius_m.reset();
+}
+
+std::vector<geo::Circle> ApDatabase::discs_for(
+    const std::set<net80211::MacAddress>& gamma, double default_radius_m) const {
+  std::vector<geo::Circle> discs;
+  discs.reserve(gamma.size());
+  for (const auto& mac : gamma) {
+    const KnownAp* ap = find(mac);
+    if (ap == nullptr) continue;
+    discs.push_back({ap->position, ap->radius_m.value_or(default_radius_m)});
+  }
+  return discs;
+}
+
+std::vector<geo::Vec2> ApDatabase::positions_for(
+    const std::set<net80211::MacAddress>& gamma) const {
+  std::vector<geo::Vec2> positions;
+  positions.reserve(gamma.size());
+  for (const auto& mac : gamma) {
+    const KnownAp* ap = find(mac);
+    if (ap != nullptr) positions.push_back(ap->position);
+  }
+  return positions;
+}
+
+ApDatabase ApDatabase::from_truth(std::span<const sim::ApTruth> truth, bool include_radii) {
+  ApDatabase db;
+  for (const sim::ApTruth& ap : truth) {
+    KnownAp known;
+    known.bssid = ap.bssid;
+    known.ssid = ap.ssid;
+    known.position = ap.position;
+    if (include_radii) known.radius_m = ap.radius_m;
+    db.add(std::move(known));
+  }
+  return db;
+}
+
+ApDatabase ApDatabase::from_csv(const std::filesystem::path& path,
+                                const geo::EnuFrame& frame) {
+  ApDatabase db;
+  const auto rows = util::csv_read_file(path);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (i == 0 && !row.empty() && row[0] == "bssid") continue;  // header
+    if (row.size() < 4) {
+      throw std::runtime_error("ApDatabase: malformed CSV row " + std::to_string(i));
+    }
+    const auto mac = net80211::MacAddress::parse(row[0]);
+    if (!mac) throw std::runtime_error("ApDatabase: bad BSSID in row " + std::to_string(i));
+    KnownAp ap;
+    ap.bssid = *mac;
+    ap.ssid = row[1];
+    ap.position = frame.to_enu({std::stod(row[2]), std::stod(row[3]), frame.origin().alt_m});
+    if (row.size() >= 5 && !row[4].empty()) ap.radius_m = std::stod(row[4]);
+    db.add(std::move(ap));
+  }
+  return db;
+}
+
+ApDatabase ApDatabase::from_wigle_csv(const std::filesystem::path& path,
+                                      const geo::EnuFrame& frame) {
+  ApDatabase db;
+  const auto rows = util::csv_read_file(path);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.empty()) continue;
+    if (row[0].rfind("WigleWifi", 0) == 0) continue;  // app pre-header
+    if (row[0] == "netid") continue;                  // column header
+    if (row.size() < 8) continue;                     // malformed sighting
+    // Column 10 ("type") distinguishes WIFI from BT/GSM when present.
+    if (row.size() > 10 && !row[10].empty() && row[10] != "WIFI") continue;
+    const auto mac = net80211::MacAddress::parse(row[0]);
+    if (!mac) continue;
+    KnownAp ap;
+    ap.bssid = *mac;
+    ap.ssid = row[1];
+    try {
+      ap.position = frame.to_enu({std::stod(row[6]), std::stod(row[7]),
+                                  frame.origin().alt_m});
+    } catch (const std::exception&) {
+      continue;  // unparsable coordinates
+    }
+    db.add(std::move(ap));
+  }
+  return db;
+}
+
+void ApDatabase::to_csv(const std::filesystem::path& path, const geo::EnuFrame& frame) const {
+  // 9 decimal places of lat/lon ~ 0.1 mm: std::to_string's fixed 6 would
+  // quantize positions by ~10 cm.
+  auto fmt = [](double value) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(9);
+    out << value;
+    return out.str();
+  };
+  std::vector<util::CsvRow> rows;
+  rows.push_back({"bssid", "ssid", "lat", "lon", "radius_m"});
+  for (const auto& [mac, ap] : aps_) {
+    const geo::Geodetic g = frame.to_geodetic(ap.position);
+    util::CsvRow row{mac.to_string(), ap.ssid, fmt(g.lat_deg), fmt(g.lon_deg),
+                     ap.radius_m ? fmt(*ap.radius_m) : std::string{}};
+    rows.push_back(std::move(row));
+  }
+  util::csv_write_file(path, rows);
+}
+
+}  // namespace mm::marauder

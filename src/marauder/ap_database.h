@@ -1,0 +1,79 @@
+// The attacker's AP knowledge base — the WiGLE substitute (Section II-A).
+// Stores per-AP location (and, when available, maximum transmission
+// distance), round-trips through a WiGLE-style CSV, and projects geodetic
+// records into the local tangent plane the algorithms work in.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/circle.h"
+#include "geo/geodetic.h"
+#include "net80211/mac_address.h"
+#include "sim/scenario.h"
+
+namespace mm::marauder {
+
+struct KnownAp {
+  net80211::MacAddress bssid;
+  std::string ssid;
+  geo::Vec2 position;                 ///< local ENU meters
+  std::optional<double> radius_m;     ///< max transmission distance when known
+};
+
+class ApDatabase {
+ public:
+  void add(KnownAp ap);
+
+  [[nodiscard]] std::size_t size() const noexcept { return aps_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return aps_.empty(); }
+  [[nodiscard]] const KnownAp* find(const net80211::MacAddress& bssid) const;
+  [[nodiscard]] const std::map<net80211::MacAddress, KnownAp>& records() const {
+    return aps_;
+  }
+
+  /// Overwrites the stored radius of one AP (used by AP-Rad's LP output).
+  void set_radius(const net80211::MacAddress& bssid, double radius_m);
+  /// Drops all radius knowledge (simulating location-only WiGLE data).
+  void strip_radii();
+
+  /// Discs for the subset of Gamma present in the database; APs with unknown
+  /// radius use `default_radius_m`. Unknown BSSIDs are skipped.
+  [[nodiscard]] std::vector<geo::Circle> discs_for(
+      const std::set<net80211::MacAddress>& gamma, double default_radius_m) const;
+
+  /// Positions of Gamma's members known to the database.
+  [[nodiscard]] std::vector<geo::Vec2> positions_for(
+      const std::set<net80211::MacAddress>& gamma) const;
+
+  /// Builds the ground-truth database from a simulated deployment; radii are
+  /// included only when `include_radii` (M-Loc scenario) and dropped
+  /// otherwise (AP-Rad scenario).
+  [[nodiscard]] static ApDatabase from_truth(std::span<const sim::ApTruth> truth,
+                                             bool include_radii);
+
+  /// CSV round-trip ("bssid,ssid,lat,lon[,radius_m]"); positions are stored
+  /// geodetically and projected through `frame`.
+  [[nodiscard]] static ApDatabase from_csv(const std::filesystem::path& path,
+                                           const geo::EnuFrame& frame);
+  void to_csv(const std::filesystem::path& path, const geo::EnuFrame& frame) const;
+
+  /// Imports a WiGLE export file (the "WigleWifi-1.4" CSV app format: a
+  /// pre-header line, then netid,ssid,authmode,firstseen,channel,rssi,
+  /// currentlatitude,currentlongitude,...,type). Non-WIFI rows and rows
+  /// with unparsable BSSIDs are skipped; duplicate BSSIDs keep the last
+  /// sighting. WiGLE carries no transmission distances — radii stay unset
+  /// (the AP-Rad scenario, Section III-C.2).
+  [[nodiscard]] static ApDatabase from_wigle_csv(const std::filesystem::path& path,
+                                                 const geo::EnuFrame& frame);
+
+ private:
+  std::map<net80211::MacAddress, KnownAp> aps_;
+};
+
+}  // namespace mm::marauder

@@ -1,0 +1,146 @@
+#include "marauder/aprad.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "lp/simplex.h"
+
+namespace mm::marauder {
+
+std::map<net80211::MacAddress, double> aprad_estimate_radii(
+    const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
+    const ApRadOptions& options) {
+  // Observed APs (known to the database) become LP variables.
+  std::vector<net80211::MacAddress> observed;
+  std::map<net80211::MacAddress, std::size_t> index;
+  for (const auto& gamma : gammas) {
+    for (const auto& mac : gamma) {
+      if (db.find(mac) == nullptr) continue;
+      if (index.emplace(mac, observed.size()).second) observed.push_back(mac);
+    }
+  }
+  std::map<net80211::MacAddress, double> radii;
+  if (observed.empty()) return radii;
+
+  // Co-observation matrix: pairs that appear together in some Gamma.
+  std::set<std::pair<std::size_t, std::size_t>> co_observed;
+  for (const auto& gamma : gammas) {
+    std::vector<std::size_t> members;
+    for (const auto& mac : gamma) {
+      const auto it = index.find(mac);
+      if (it != index.end()) members.push_back(it->second);
+    }
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        co_observed.emplace(std::min(members[a], members[b]),
+                            std::max(members[a], members[b]));
+      }
+    }
+  }
+
+  std::vector<geo::Vec2> position(observed.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    position[i] = db.find(observed[i])->position;
+  }
+
+  // Soft "<" upper bounds against each AP's nearest non-co-observed
+  // neighbours (the binding pressure is local; an unlimited O(n^2) set of
+  // soft rows would swamp the solver on a dense campus).
+  std::set<std::pair<std::size_t, std::size_t>> less_pairs;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    std::vector<std::pair<double, std::size_t>> candidates;
+    for (std::size_t j = 0; j < observed.size(); ++j) {
+      if (j == i) continue;
+      const auto key = std::minmax(i, j);
+      if (co_observed.count({key.first, key.second}) != 0) continue;
+      const double d = position[i].distance_to(position[j]);
+      if (d < 2.0 * options.max_radius_m) candidates.emplace_back(d, j);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::size_t take = std::min(options.max_less_neighbors, candidates.size());
+    for (std::size_t c = 0; c < take; ++c) {
+      const auto key = std::minmax(i, candidates[c].second);
+      less_pairs.insert({key.first, key.second});
+    }
+  }
+
+  // Hard ">=" co-observation rows by *row generation*: rich evidence yields
+  // thousands of co-observed pairs, but maximizing sum(r) satisfies nearly
+  // all of them for free — only those the "<" pressure actually violates
+  // need to enter the LP. Solve, find violated rows, add them, repeat.
+  std::set<std::pair<std::size_t, std::size_t>> active_hard;
+  lp::Solution solution;
+  for (int round = 0; round < 8; ++round) {
+    lp::LinearProgram program(observed.size());
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      program.set_objective(i, 1.0);  // maximize sum of radii (overestimate bias)
+      program.add_upper_bound(i, options.max_radius_m);
+    }
+    for (const auto& [i, j] : less_pairs) {
+      program.add_constraint({{{i, 1.0}, {j, 1.0}},
+                              lp::Relation::kLessEqual,
+                              position[i].distance_to(position[j]) - options.epsilon_m,
+                              /*soft=*/true,
+                              options.soft_penalty});
+    }
+    for (const auto& [i, j] : active_hard) {
+      const double d = position[i].distance_to(position[j]);
+      // Under the disc model d <= r_i + r_j <= 2*cap always holds; polluted
+      // evidence (a device that moved between two sightings) can violate
+      // that, so rows the caps cannot satisfy become soft instead of making
+      // the whole LP infeasible.
+      const bool satisfiable = d <= 2.0 * options.max_radius_m;
+      program.add_constraint({{{i, 1.0}, {j, 1.0}},
+                              lp::Relation::kGreaterEqual,
+                              d,
+                              /*soft=*/!satisfiable,
+                              options.soft_penalty * 10.0});
+    }
+
+    solution = program.solve();
+    if (!solution.optimal()) {
+      throw std::runtime_error(std::string("AP-Rad: LP failed: ") +
+                               lp::to_string(solution.status));
+    }
+
+    std::size_t added = 0;
+    for (const auto& pair : co_observed) {
+      if (active_hard.count(pair) != 0) continue;
+      const double d = position[pair.first].distance_to(position[pair.second]);
+      if (solution.values[pair.first] + solution.values[pair.second] < d - 1e-6) {
+        active_hard.insert(pair);
+        ++added;
+      }
+    }
+    if (added == 0) break;
+  }
+
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    radii[observed[i]] =
+        std::min(solution.values[i] + options.overestimate_bias_m, options.max_radius_m);
+  }
+  return radii;
+}
+
+LocalizationResult aprad_locate(const ApDatabase& db,
+                                const std::vector<std::set<net80211::MacAddress>>& gammas,
+                                const std::set<net80211::MacAddress>& target,
+                                const ApRadOptions& options) {
+  const auto radii = aprad_estimate_radii(db, gammas, options);
+
+  std::vector<geo::Circle> discs;
+  discs.reserve(target.size());
+  for (const auto& mac : target) {
+    const KnownAp* ap = db.find(mac);
+    if (ap == nullptr) continue;
+    const auto it = radii.find(mac);
+    const double r = it != radii.end() ? it->second : options.max_radius_m;
+    if (r > 0.0) discs.push_back({ap->position, r});
+  }
+  LocalizationResult result = mloc_locate(discs, options.mloc);
+  result.method = "AP-Rad";
+  return result;
+}
+
+}  // namespace mm::marauder

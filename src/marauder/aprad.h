@@ -1,0 +1,63 @@
+// AP-Rad (Section III-C.2 / III-D): when only AP locations are known,
+// estimate every observed AP's maximum transmission distance by linear
+// programming over co-observation evidence, then call M-Loc.
+//
+// Constraint generation follows the paper: for APs i, j both observed,
+//   r_i + r_j >= d_ij   if some mobile's Gamma contains both,
+//   r_i + r_j <  d_ij   if no mobile ever saw both.
+// Practical deviations (documented in DESIGN.md):
+//   * only APs appearing in at least one Gamma become LP variables — an AP
+//     nobody ever heard carries no information and would otherwise inject
+//     spurious "<" constraints against every observed AP;
+//   * "<" constraints are only generated for pairs closer than 2x the radius
+//     cap (beyond that the box bounds already imply them), and only against
+//     each AP's nearest `max_less_neighbors` non-co-observed APs — the
+//     nearest pairs carry (almost) all the binding pressure, and without the
+//     limit a dense campus produces O(n^2) soft rows that swamp the LP;
+//   * "<" constraints are soft — real observation sets make them mutually
+//     infeasible — while co-observation ">=" constraints stay hard;
+//   * radii are capped by the Theorem-1 bound, without which maximizing
+//     sum(r) is unbounded for APs with no "<" neighbour.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "marauder/ap_database.h"
+#include "marauder/localization.h"
+#include "marauder/mloc.h"
+#include "net80211/mac_address.h"
+
+namespace mm::marauder {
+
+struct ApRadOptions {
+  /// Theorem-1-style cap on any AP's maximum transmission distance.
+  double max_radius_m = 250.0;
+  /// Margin that turns the strict "<" into "<= d - epsilon".
+  double epsilon_m = 1.0;
+  /// Penalty per meter of "<" violation in the LP objective.
+  double soft_penalty = 50.0;
+  /// Per-AP limit on "<" constraints (nearest non-co-observed neighbours).
+  std::size_t max_less_neighbors = 8;
+  /// Added to every LP radius (clamped to the cap): Theorem 3 shows an
+  /// overestimate costs area linearly while an underestimate destroys the
+  /// coverage guarantee exponentially in k, so residual noise in the
+  /// co-observation evidence is absorbed upward.
+  double overestimate_bias_m = 10.0;
+  MLocOptions mloc;
+};
+
+/// Radii estimated by the LP, keyed by BSSID (only observed APs appear).
+/// Throws std::runtime_error if the LP fails to reach an optimum.
+[[nodiscard]] std::map<net80211::MacAddress, double> aprad_estimate_radii(
+    const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
+    const ApRadOptions& options = {});
+
+/// Full AP-Rad: estimate radii from all observed Gammas, then locate the
+/// device whose Gamma is `target` with M-Loc.
+[[nodiscard]] LocalizationResult aprad_locate(
+    const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
+    const std::set<net80211::MacAddress>& target, const ApRadOptions& options = {});
+
+}  // namespace mm::marauder

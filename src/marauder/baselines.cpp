@@ -1,0 +1,53 @@
+#include "marauder/baselines.h"
+
+#include "rf/units.h"
+
+namespace mm::marauder {
+
+LocalizationResult centroid_locate(std::span<const geo::Vec2> ap_positions) {
+  LocalizationResult result;
+  result.method = "Centroid";
+  result.num_aps = ap_positions.size();
+  if (ap_positions.empty()) return result;
+  geo::Vec2 acc;
+  for (const geo::Vec2& p : ap_positions) acc += p;
+  result.ok = true;
+  result.estimate = acc / static_cast<double>(ap_positions.size());
+  return result;
+}
+
+LocalizationResult nearest_ap_locate(
+    std::span<const std::pair<geo::Vec2, double>> aps_with_rssi) {
+  LocalizationResult result;
+  result.method = "NearestAP";
+  result.num_aps = aps_with_rssi.size();
+  if (aps_with_rssi.empty()) return result;
+  const auto* best = &aps_with_rssi.front();
+  for (const auto& candidate : aps_with_rssi) {
+    if (candidate.second > best->second) best = &candidate;
+  }
+  result.ok = true;
+  result.estimate = best->first;
+  return result;
+}
+
+LocalizationResult weighted_centroid_locate(
+    std::span<const std::pair<geo::Vec2, double>> aps_with_rssi) {
+  LocalizationResult result;
+  result.method = "WeightedCentroid";
+  result.num_aps = aps_with_rssi.size();
+  if (aps_with_rssi.empty()) return result;
+  geo::Vec2 acc;
+  double total_weight = 0.0;
+  for (const auto& [position, rssi_dbm] : aps_with_rssi) {
+    const double weight = rf::dbm_to_mw(rssi_dbm);
+    acc += position * weight;
+    total_weight += weight;
+  }
+  if (total_weight <= 0.0) return result;
+  result.ok = true;
+  result.estimate = acc / total_weight;
+  return result;
+}
+
+}  // namespace mm::marauder

@@ -1,0 +1,27 @@
+// Baseline localization approaches the paper compares against:
+//   * Centroid [26]: the mean of the communicable APs' positions —
+//     vulnerable to skewed AP distributions (Fig 4);
+//   * Nearest AP: the position of the AP with the strongest observed signal
+//     (reduces to the closest-AP positioning class of Section I).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "marauder/localization.h"
+
+namespace mm::marauder {
+
+[[nodiscard]] LocalizationResult centroid_locate(std::span<const geo::Vec2> ap_positions);
+
+/// Pairs of (AP position, observed RSSI dBm); picks the strongest.
+[[nodiscard]] LocalizationResult nearest_ap_locate(
+    std::span<const std::pair<geo::Vec2, double>> aps_with_rssi);
+
+/// Weighted centroid (WCL): AP positions weighted by linear received power.
+/// A classic range-free refinement of the centroid; shares the centroid's
+/// vulnerability to skewed AP placement but down-weights distant APs.
+[[nodiscard]] LocalizationResult weighted_centroid_locate(
+    std::span<const std::pair<geo::Vec2, double>> aps_with_rssi);
+
+}  // namespace mm::marauder

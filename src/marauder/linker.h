@@ -1,0 +1,49 @@
+// Pseudonym linking via implicit identifiers.
+//
+// The paper notes (Sections I and V) that MAC pseudonyms are broken by the
+// implicit identifiers of Pang et al. — above all the remembered-network
+// SSIDs a device leaks in directed probe requests. This module clusters the
+// pseudonymous MACs in an ObservationStore into probable user identities so
+// the tracker can follow a victim across address rotations:
+//
+//   * fingerprint = the set of directed-probe SSIDs (the strongest implicit
+//     identifier; broadcast-only devices have an empty fingerprint and are
+//     never merged);
+//   * two MACs link when their fingerprints overlap by at least
+//     `min_overlap` SSIDs (Jaccard-free threshold — SSID sets are tiny);
+//   * linking is transitive (union-find over the overlap graph).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capture/observation_store.h"
+#include "net80211/mac_address.h"
+
+namespace mm::marauder {
+
+struct LinkedIdentity {
+  /// All MACs attributed to this user, in first-seen order.
+  std::vector<net80211::MacAddress> macs;
+  /// The SSID fingerprint shared across them.
+  std::set<std::string> fingerprint;
+
+  [[nodiscard]] bool pseudonymous() const noexcept { return macs.size() > 1; }
+};
+
+struct LinkerOptions {
+  /// Minimum number of shared directed-probe SSIDs for two MACs to link.
+  std::size_t min_overlap = 1;
+  /// Ignore SSIDs probed by more than this many distinct MACs — an SSID
+  /// half the campus probes for ("eduroam") identifies nobody.
+  std::size_t max_ssid_popularity = 3;
+};
+
+/// Clusters the store's devices into identities. Every observed MAC appears
+/// in exactly one identity (singletons for unlinkable devices).
+[[nodiscard]] std::vector<LinkedIdentity> link_identities(
+    const capture::ObservationStore& store, const LinkerOptions& options = {});
+
+}  // namespace mm::marauder

@@ -1,0 +1,36 @@
+// Shared types for the malicious localization algorithms (Section III-D).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/circle.h"
+#include "geo/vec2.h"
+
+namespace mm::marauder {
+
+struct LocalizationResult {
+  bool ok = false;
+  geo::Vec2 estimate;
+  std::string method;
+  std::size_t num_aps = 0;
+  /// True when a degenerate-geometry fallback produced the estimate (empty
+  /// vertex set, inconsistent discs, ...).
+  bool used_fallback = false;
+  /// Discs the estimate was computed from; lets callers derive region
+  /// statistics (intersected area, coverage of the true location).
+  std::vector<geo::Circle> discs;
+};
+
+/// Area of the intersection of the result's discs (the paper's "intersected
+/// area", Figs 2/3/5/15); 0 when empty or no discs.
+[[nodiscard]] double intersected_area(const LocalizationResult& result);
+
+/// Whether the intersection of the result's discs covers a point (the
+/// coverage probability statistic of Figs 6/16).
+[[nodiscard]] bool region_covers(const LocalizationResult& result, geo::Vec2 point,
+                                 double eps_m = 1e-9);
+
+}  // namespace mm::marauder

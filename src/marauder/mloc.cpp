@@ -1,0 +1,74 @@
+#include "marauder/mloc.h"
+
+#include "geo/disc_intersection.h"
+
+namespace mm::marauder {
+
+double intersected_area(const LocalizationResult& result) {
+  if (result.discs.empty()) return 0.0;
+  const auto region = geo::DiscIntersection::compute(result.discs);
+  return region.empty() ? 0.0 : region.area();
+}
+
+bool region_covers(const LocalizationResult& result, geo::Vec2 point, double eps_m) {
+  if (result.discs.empty()) return false;
+  for (const geo::Circle& disc : result.discs) {
+    if (!disc.contains(point, eps_m)) return false;
+  }
+  return true;
+}
+
+LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
+                               const MLocOptions& options) {
+  LocalizationResult result;
+  result.method = "M-Loc";
+  result.num_aps = discs.size();
+  result.discs.assign(discs.begin(), discs.end());
+  if (discs.empty()) return result;
+
+  // |Gamma| = 1: the disc-intersection approach reduces to nearest-AP
+  // (Section III-C.1).
+  if (discs.size() == 1) {
+    result.ok = true;
+    result.estimate = discs.front().center;
+    return result;
+  }
+
+  const auto region = geo::DiscIntersection::compute(discs);
+
+  if (region.empty()) {
+    // Inconsistent discs (underestimated radii). Fall back to the centroid
+    // of AP positions so the attack still produces an answer.
+    geo::Vec2 acc;
+    for (const geo::Circle& disc : discs) acc += disc.center;
+    result.ok = true;
+    result.used_fallback = true;
+    result.estimate = acc / static_cast<double>(discs.size());
+    return result;
+  }
+
+  if (options.exact_region_centroid || region.is_full_disc()) {
+    // Exact centroid; also the only sensible answer when one disc is nested
+    // inside all others (the vertex set Delta is empty there).
+    result.ok = true;
+    result.used_fallback = region.is_full_disc() && !options.exact_region_centroid;
+    result.estimate = region.centroid();
+    return result;
+  }
+
+  // Paper-faithful path: average of the boundary vertices Delta.
+  const auto vertices = region.vertices();
+  if (vertices.empty()) {
+    result.ok = true;
+    result.used_fallback = true;
+    result.estimate = region.centroid();
+    return result;
+  }
+  geo::Vec2 acc;
+  for (const geo::Vec2& v : vertices) acc += v;
+  result.ok = true;
+  result.estimate = acc / static_cast<double>(vertices.size());
+  return result;
+}
+
+}  // namespace mm::marauder

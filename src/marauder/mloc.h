@@ -1,0 +1,26 @@
+// M-Loc (Section III-D): locate a mobile from the discs of its communicable
+// APs when both locations and maximum transmission distances are known.
+//
+// The paper's pseudo-code collects every pairwise circle-circle intersection
+// point that lies within all discs (the set Delta) and returns their average.
+// Degenerate inputs the pseudo-code leaves open are handled explicitly:
+//   * |Gamma| = 1          -> the AP's position (nearest-AP reduction);
+//   * nested discs, Delta empty, non-empty region -> the inner disc's center;
+//   * inconsistent discs (empty intersection; possible under AP-Rad's
+//     estimated radii) -> centroid of the AP positions, flagged as fallback.
+// `exact_region_centroid` switches the estimate from the vertex average to
+// the true centroid of the intersection region (ablation in bench_ablation).
+#pragma once
+
+#include "marauder/localization.h"
+
+namespace mm::marauder {
+
+struct MLocOptions {
+  bool exact_region_centroid = false;
+};
+
+[[nodiscard]] LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
+                                             const MLocOptions& options = {});
+
+}  // namespace mm::marauder

@@ -1,0 +1,123 @@
+#include "marauder/tracker.h"
+
+#include <stdexcept>
+
+namespace mm::marauder {
+
+const char* to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kMLoc:
+      return "M-Loc";
+    case Algorithm::kApRad:
+      return "AP-Rad";
+    case Algorithm::kApLoc:
+      return "AP-Loc";
+    case Algorithm::kCentroid:
+      return "Centroid";
+    case Algorithm::kNearestAp:
+      return "NearestAP";
+    case Algorithm::kWeightedCentroid:
+      return "WeightedCentroid";
+  }
+  return "?";
+}
+
+Tracker::Tracker(ApDatabase db, TrackerOptions options)
+    : db_(std::move(db)), options_(std::move(options)) {
+  if (options_.algorithm == Algorithm::kApLoc) {
+    throw std::invalid_argument("Tracker: AP-Loc requires from_training()");
+  }
+  if (options_.algorithm == Algorithm::kApRad) {
+    // Location-only knowledge: radii must come from the LP, not the input.
+    db_.strip_radii();
+  }
+}
+
+Tracker Tracker::from_training(const std::vector<capture::TrainingTuple>& tuples,
+                               TrackerOptions options) {
+  ApDatabase db = aploc_build_database(tuples, options.aploc);
+  // AP-Loc proceeds exactly like AP-Rad on the trained database.
+  TrackerOptions adjusted = options;
+  adjusted.algorithm = Algorithm::kApRad;
+  adjusted.aprad = options.aploc.aprad;
+  Tracker tracker(std::move(db), std::move(adjusted));
+  for (const capture::TrainingTuple& tuple : tuples) {
+    if (tuple.heard_aps.size() >= 2) tracker.training_evidence_.push_back(tuple.heard_aps);
+  }
+  return tracker;
+}
+
+void Tracker::prepare(const capture::ObservationStore& store,
+                      const capture::ObservationWindow& window) {
+  if (options_.algorithm != Algorithm::kApRad) {
+    prepared_ = true;
+    return;
+  }
+  std::vector<std::set<net80211::MacAddress>> gammas =
+      store.session_gammas(options_.session_gap_s, window);
+  gammas.insert(gammas.end(), training_evidence_.begin(), training_evidence_.end());
+  const auto radii = aprad_estimate_radii(db_, gammas, options_.aprad);
+  for (const auto& [mac, radius] : radii) {
+    if (radius > 0.0) db_.set_radius(mac, radius);
+  }
+  prepared_ = true;
+}
+
+LocalizationResult Tracker::locate(const capture::ObservationStore& store,
+                                   const net80211::MacAddress& device,
+                                   const capture::ObservationWindow& window) const {
+  const auto gamma = store.gamma(device, window);
+  switch (options_.algorithm) {
+    case Algorithm::kMLoc: {
+      LocalizationResult result =
+          mloc_locate(db_.discs_for(gamma, options_.default_radius_m), options_.mloc);
+      result.method = "M-Loc";
+      return result;
+    }
+    case Algorithm::kApRad: {
+      if (!prepared_) {
+        throw std::logic_error("Tracker: call prepare() before locate() for AP-Rad/AP-Loc");
+      }
+      // Radii were materialized into db_ by prepare(); unknown ones fall
+      // back to the cap (overestimates preferred, Theorem 3).
+      LocalizationResult result = mloc_locate(
+          db_.discs_for(gamma, options_.aprad.max_radius_m), options_.aprad.mloc);
+      result.method = "AP-Rad";
+      return result;
+    }
+    case Algorithm::kApLoc:
+      throw std::logic_error("Tracker: AP-Loc trackers run as AP-Rad after training");
+    case Algorithm::kCentroid: {
+      return centroid_locate(db_.positions_for(gamma));
+    }
+    case Algorithm::kNearestAp:
+    case Algorithm::kWeightedCentroid: {
+      std::vector<std::pair<geo::Vec2, double>> with_rssi;
+      const capture::DeviceRecord* rec = store.device(device);
+      if (rec != nullptr) {
+        for (const auto& [mac, contact] : rec->contacts) {
+          if (gamma.count(mac) == 0) continue;
+          const KnownAp* ap = db_.find(mac);
+          if (ap != nullptr) with_rssi.emplace_back(ap->position, contact.last_rssi_dbm);
+        }
+      }
+      return options_.algorithm == Algorithm::kNearestAp
+                 ? nearest_ap_locate(with_rssi)
+                 : weighted_centroid_locate(with_rssi);
+    }
+  }
+  return {};
+}
+
+std::map<net80211::MacAddress, LocalizationResult> Tracker::locate_all(
+    const capture::ObservationStore& store,
+    const capture::ObservationWindow& window) const {
+  std::map<net80211::MacAddress, LocalizationResult> results;
+  for (const auto& mac : store.devices()) {
+    LocalizationResult result = locate(store, mac, window);
+    if (result.ok) results.emplace(mac, std::move(result));
+  }
+  return results;
+}
+
+}  // namespace mm::marauder

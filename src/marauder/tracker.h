@@ -1,0 +1,71 @@
+// The end-to-end attack pipeline (Fig 1): consume the sniffer's observation
+// store and produce a location estimate for every monitored device, using a
+// selectable localization algorithm. This is the class the digital
+// Marauder's map display feeds from.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "capture/observation_store.h"
+#include "capture/wardrive.h"
+#include "marauder/ap_database.h"
+#include "marauder/aploc.h"
+#include "marauder/aprad.h"
+#include "marauder/baselines.h"
+#include "marauder/mloc.h"
+
+namespace mm::marauder {
+
+enum class Algorithm { kMLoc, kApRad, kApLoc, kCentroid, kNearestAp, kWeightedCentroid };
+
+[[nodiscard]] const char* to_string(Algorithm algorithm) noexcept;
+
+struct TrackerOptions {
+  Algorithm algorithm = Algorithm::kMLoc;
+  /// Radius used by M-Loc when the database lacks one for an AP.
+  double default_radius_m = 100.0;
+  /// Co-observation sessionization gap for AP-Rad's evidence: contacts of
+  /// one device further apart than this are separate Gamma sessions (the
+  /// paper's "within a short period of time").
+  double session_gap_s = 5.0;
+  ApRadOptions aprad;
+  ApLocOptions aploc;
+  MLocOptions mloc;
+};
+
+class Tracker {
+ public:
+  /// External-knowledge construction (M-Loc / AP-Rad / baselines).
+  Tracker(ApDatabase db, TrackerOptions options);
+
+  /// Training-phase construction (AP-Loc): the database is built from the
+  /// wardriving tuples; tuples also seed co-observation evidence.
+  static Tracker from_training(const std::vector<capture::TrainingTuple>& tuples,
+                               TrackerOptions options);
+
+  /// Estimates radii (AP-Rad / AP-Loc) from every Gamma observed in the
+  /// window. Must be called before locate() for those algorithms; a no-op
+  /// for the others. Safe to call repeatedly as observations accumulate.
+  void prepare(const capture::ObservationStore& store,
+               const capture::ObservationWindow& window = {});
+
+  [[nodiscard]] LocalizationResult locate(const capture::ObservationStore& store,
+                                          const net80211::MacAddress& device,
+                                          const capture::ObservationWindow& window = {}) const;
+
+  [[nodiscard]] std::map<net80211::MacAddress, LocalizationResult> locate_all(
+      const capture::ObservationStore& store,
+      const capture::ObservationWindow& window = {}) const;
+
+  [[nodiscard]] const ApDatabase& database() const noexcept { return db_; }
+  [[nodiscard]] const TrackerOptions& options() const noexcept { return options_; }
+
+ private:
+  ApDatabase db_;
+  TrackerOptions options_;
+  std::vector<std::set<net80211::MacAddress>> training_evidence_;
+  bool prepared_ = false;
+};
+
+}  // namespace mm::marauder

@@ -1,0 +1,97 @@
+#include "marauder/trajectory.h"
+
+#include <algorithm>
+
+namespace mm::marauder {
+
+namespace {
+
+struct Burst {
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 0.0;
+  net80211::MacAddress mac;
+};
+
+/// Clusters the identity's contact timestamps into scan bursts.
+std::vector<Burst> find_bursts(const capture::ObservationStore& store,
+                               std::span<const net80211::MacAddress> identity,
+                               double burst_gap_s) {
+  std::vector<std::pair<sim::SimTime, net80211::MacAddress>> events;
+  for (const auto& mac : identity) {
+    const capture::DeviceRecord* rec = store.device(mac);
+    if (rec == nullptr) continue;
+    for (const auto& [ap, contact] : rec->contacts) {
+      for (const sim::SimTime t : contact.times) events.emplace_back(t, mac);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<Burst> bursts;
+  for (const auto& [t, mac] : events) {
+    if (bursts.empty() || t - bursts.back().end > burst_gap_s) {
+      bursts.push_back({t, t, mac});
+    } else {
+      bursts.back().end = t;
+    }
+  }
+  return bursts;
+}
+
+}  // namespace
+
+std::vector<TrackPoint> build_trajectory(const Tracker& tracker,
+                                         const capture::ObservationStore& store,
+                                         std::span<const net80211::MacAddress> identity,
+                                         const TrajectoryOptions& options) {
+  std::vector<TrackPoint> track;
+  for (const Burst& burst : find_bursts(store, identity, options.burst_gap_s)) {
+    const capture::ObservationWindow window{burst.begin - options.window_pad_s,
+                                            burst.end + options.window_pad_s};
+    const LocalizationResult result = tracker.locate(store, burst.mac, window);
+    if (!result.ok) continue;
+
+    TrackPoint point;
+    point.time = 0.5 * (burst.begin + burst.end);
+    point.raw_position = result.estimate;
+    point.position = result.estimate;
+    point.num_aps = result.num_aps;
+    point.mac = burst.mac;
+
+    if (options.max_speed_mps > 0.0 && !track.empty()) {
+      const TrackPoint& prev = track.back();
+      const double dt = std::max(1e-6, point.time - prev.time);
+      if (point.raw_position.distance_to(prev.raw_position) / dt > options.max_speed_mps) {
+        continue;  // physically impossible jump: drop the estimate
+      }
+    }
+    track.push_back(point);
+  }
+
+  // Centered moving average over the raw positions.
+  if (options.smoothing_span > 1 && track.size() > 2) {
+    const auto half = static_cast<std::ptrdiff_t>(options.smoothing_span / 2);
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(track.size()); ++i) {
+      const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
+      const std::ptrdiff_t hi =
+          std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(track.size()) - 1, i + half);
+      geo::Vec2 acc;
+      for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+        acc += track[static_cast<std::size_t>(j)].raw_position;
+      }
+      track[static_cast<std::size_t>(i)].position =
+          acc / static_cast<double>(hi - lo + 1);
+    }
+  }
+  return track;
+}
+
+double track_length_m(std::span<const TrackPoint> track) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    total += track[i].position.distance_to(track[i - 1].position);
+  }
+  return total;
+}
+
+}  // namespace mm::marauder

@@ -1,0 +1,124 @@
+#include "net80211/pcap.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace mm::net80211 {
+
+namespace {
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+
+void put_u32(std::ofstream& out, std::uint32_t v) {
+  std::array<char, 4> bytes{
+      static_cast<char>(v & 0xff),
+      static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff),
+      static_cast<char>((v >> 24) & 0xff),
+  };
+  out.write(bytes.data(), bytes.size());
+}
+
+void put_u16(std::ofstream& out, std::uint16_t v) {
+  std::array<char, 2> bytes{
+      static_cast<char>(v & 0xff),
+      static_cast<char>((v >> 8) & 0xff),
+  };
+  out.write(bytes.data(), bytes.size());
+}
+
+bool take_u32(std::ifstream& in, std::uint32_t& v) {
+  std::array<char, 4> bytes{};
+  if (!in.read(bytes.data(), bytes.size())) return false;
+  v = static_cast<std::uint8_t>(bytes[0]) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[1])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[2])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[3])) << 24);
+  return true;
+}
+
+bool take_u16(std::ifstream& in, std::uint16_t& v) {
+  std::array<char, 2> bytes{};
+  if (!in.read(bytes.data(), bytes.size())) return false;
+  v = static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(bytes[0]) |
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(bytes[1])) << 8));
+  return true;
+}
+}  // namespace
+
+PcapWriter::PcapWriter(const std::filesystem::path& path, std::uint32_t linktype,
+                       std::uint32_t snaplen)
+    : out_(path, std::ios::binary), snaplen_(snaplen) {
+  if (!out_) throw std::runtime_error("pcap: cannot create " + path.string());
+  put_u32(out_, kMagicUsec);
+  put_u16(out_, 2);  // version major
+  put_u16(out_, 4);  // version minor
+  put_u32(out_, 0);  // thiszone
+  put_u32(out_, 0);  // sigfigs
+  put_u32(out_, snaplen_);
+  put_u32(out_, linktype);
+}
+
+void PcapWriter::write(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame) {
+  const std::size_t incl = std::min<std::size_t>(frame.size(), snaplen_);
+  put_u32(out_, static_cast<std::uint32_t>(timestamp_us / 1000000));
+  put_u32(out_, static_cast<std::uint32_t>(timestamp_us % 1000000));
+  put_u32(out_, static_cast<std::uint32_t>(incl));
+  put_u32(out_, static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(incl));
+  if (!out_) throw std::runtime_error("pcap: write failed");
+  ++records_;
+}
+
+PcapReader::PcapReader(const std::filesystem::path& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("pcap: cannot open " + path.string());
+  std::uint32_t magic = 0;
+  if (!take_u32(in_, magic)) throw std::runtime_error("pcap: missing global header");
+  if (magic == kMagicUsecSwapped) {
+    throw std::runtime_error("pcap: big-endian capture files are not supported");
+  }
+  if (magic == kMagicNsec) {
+    throw std::runtime_error("pcap: nanosecond-resolution captures are not supported");
+  }
+  if (magic != kMagicUsec) throw std::runtime_error("pcap: bad magic number");
+  std::uint16_t major = 0;
+  std::uint16_t minor = 0;
+  std::uint32_t skip = 0;
+  if (!take_u16(in_, major) || !take_u16(in_, minor) || !take_u32(in_, skip) ||
+      !take_u32(in_, skip) || !take_u32(in_, snaplen_) || !take_u32(in_, linktype_)) {
+    throw std::runtime_error("pcap: truncated global header");
+  }
+  if (major != 2) throw std::runtime_error("pcap: unsupported version");
+}
+
+std::optional<PcapRecord> PcapReader::next() {
+  std::uint32_t ts_sec = 0;
+  if (!take_u32(in_, ts_sec)) return std::nullopt;  // clean EOF
+  std::uint32_t ts_usec = 0;
+  std::uint32_t incl_len = 0;
+  std::uint32_t orig_len = 0;
+  if (!take_u32(in_, ts_usec) || !take_u32(in_, incl_len) || !take_u32(in_, orig_len)) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  PcapRecord record;
+  record.timestamp_us = static_cast<std::uint64_t>(ts_sec) * 1000000 + ts_usec;
+  record.data.resize(incl_len);
+  if (!in_.read(reinterpret_cast<char*>(record.data.data()),
+                static_cast<std::streamsize>(incl_len))) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  return record;
+}
+
+std::vector<PcapRecord> PcapReader::read_all() {
+  std::vector<PcapRecord> records;
+  while (auto record = next()) records.push_back(std::move(*record));
+  return records;
+}
+
+}  // namespace mm::net80211

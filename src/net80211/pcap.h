@@ -1,0 +1,69 @@
+// From-scratch pcap file format support (the libpcap substitute). Classic
+// microsecond-resolution little-endian pcap: 24-byte global header followed
+// by 16-byte-headed records. The capture layer writes radiotap-framed
+// monitor-mode captures (linktype 127) that Wireshark can open.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mm::net80211 {
+
+/// LINKTYPE_IEEE802_11_RADIOTAP.
+inline constexpr std::uint32_t kLinktypeRadiotap = 127;
+/// LINKTYPE_IEEE802_11 (bare frames).
+inline constexpr std::uint32_t kLinktype80211 = 105;
+
+struct PcapRecord {
+  std::uint64_t timestamp_us = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const PcapRecord&) const = default;
+};
+
+/// Streaming pcap writer. Throws std::runtime_error if the file cannot be
+/// created; flushes on destruction (RAII).
+class PcapWriter {
+ public:
+  explicit PcapWriter(const std::filesystem::path& path,
+                      std::uint32_t linktype = kLinktypeRadiotap,
+                      std::uint32_t snaplen = 65535);
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  void write(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame);
+  [[nodiscard]] std::size_t records_written() const noexcept { return records_; }
+
+ private:
+  std::ofstream out_;
+  std::uint32_t snaplen_;
+  std::size_t records_ = 0;
+};
+
+/// Pcap reader. Throws std::runtime_error on open/magic failures; truncated
+/// trailing records terminate iteration and set truncated().
+class PcapReader {
+ public:
+  explicit PcapReader(const std::filesystem::path& path);
+
+  [[nodiscard]] std::uint32_t linktype() const noexcept { return linktype_; }
+  [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
+  /// Next record, or nullopt at end-of-file (or on truncation).
+  [[nodiscard]] std::optional<PcapRecord> next();
+  /// True if the file ended mid-record.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] std::vector<PcapRecord> read_all();
+
+ private:
+  std::ifstream in_;
+  std::uint32_t linktype_ = 0;
+  std::uint32_t snaplen_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace mm::net80211

@@ -1,0 +1,37 @@
+// Minimal radiotap capture header (what a monitor-mode capture prepends to
+// each 802.11 frame). The sniffer records per-frame channel frequency and
+// signal/noise levels through it, and the pcap files carry
+// LINKTYPE_IEEE802_11_RADIOTAP (127) records.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mm::net80211 {
+
+struct Radiotap {
+  std::uint16_t channel_freq_mhz = 2412;
+  std::uint16_t channel_flags = 0x00a0;  // CCK + 2.4 GHz band
+  std::int8_t antenna_signal_dbm = -90;
+  std::int8_t antenna_noise_dbm = -100;
+
+  bool operator==(const Radiotap&) const = default;
+
+  /// Wire layout: version 0 header with Channel + dBm signal + dBm noise
+  /// present bits, little-endian fields.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  struct Parsed;
+
+  [[nodiscard]] static util::Result<Parsed> parse(std::span<const std::uint8_t> bytes);
+};
+
+struct Radiotap::Parsed {
+  Radiotap header;
+  std::size_t header_length = 0;  ///< bytes consumed; frame body follows
+};
+
+}  // namespace mm::net80211

@@ -1,0 +1,71 @@
+#include "rf/buildings.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mm::rf {
+
+void BuildingMap::add(const Building& building) {
+  if (building.min_corner.x > building.max_corner.x ||
+      building.min_corner.y > building.max_corner.y) {
+    throw std::invalid_argument("BuildingMap: min_corner must not exceed max_corner");
+  }
+  buildings_.push_back(building);
+}
+
+int BuildingMap::walls_crossed(const Building& building, geo::Vec2 a,
+                               geo::Vec2 b) noexcept {
+  const bool a_inside = building.contains(a);
+  const bool b_inside = building.contains(b);
+  if (a_inside && b_inside) return 0;  // same interior; no exterior wall
+  if (a_inside != b_inside) return 1;
+
+  // Both endpoints outside: Liang-Barsky clip of the segment against the
+  // rectangle; a non-empty clip interval means the segment passes through
+  // (2 walls).
+  const geo::Vec2 d = b - a;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  auto clip = [&](double p, double q) {
+    if (p == 0.0) return q >= 0.0;  // parallel: inside iff q >= 0
+    const double r = q / p;
+    if (p < 0.0) {
+      if (r > t1) return false;
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) return false;
+      t1 = std::min(t1, r);
+    }
+    return t0 <= t1;
+  };
+  const bool hits = clip(-d.x, a.x - building.min_corner.x) &&
+                    clip(d.x, building.max_corner.x - a.x) &&
+                    clip(-d.y, a.y - building.min_corner.y) &&
+                    clip(d.y, building.max_corner.y - a.y);
+  if (!hits || t1 - t0 < 1e-12) return 0;  // miss or grazing a corner
+  return 2;
+}
+
+double BuildingMap::penetration_loss_db(geo::Vec2 a, geo::Vec2 b) const noexcept {
+  double loss = 0.0;
+  for (const Building& building : buildings_) {
+    loss += walls_crossed(building, a, b) * building.wall_loss_db;
+  }
+  return loss;
+}
+
+UrbanModel::UrbanModel(std::shared_ptr<const PropagationModel> base,
+                       std::shared_ptr<const BuildingMap> buildings)
+    : base_(std::move(base)), buildings_(std::move(buildings)) {
+  if (!base_ || !buildings_) {
+    throw std::invalid_argument("UrbanModel: base model and building map are required");
+  }
+}
+
+double UrbanModel::path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
+                                double rx_height_m, double freq_mhz) const {
+  return base_->path_loss_db(tx, tx_height_m, rx, rx_height_m, freq_mhz) +
+         buildings_->penetration_loss_db(tx, rx);
+}
+
+}  // namespace mm::rf

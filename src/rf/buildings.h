@@ -1,0 +1,65 @@
+// Building penetration model. The paper's core argument for the worst-case
+// disc model is that "obstructing buildings" make signal strength useless in
+// urban areas; this module gives the simulator those buildings: axis-aligned
+// footprints whose walls each cost a fixed penetration loss, composed onto
+// any base propagation model.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "rf/propagation.h"
+
+namespace mm::rf {
+
+struct Building {
+  geo::Vec2 min_corner;
+  geo::Vec2 max_corner;
+  double wall_loss_db = 6.0;  ///< loss per exterior wall crossed
+
+  [[nodiscard]] bool contains(geo::Vec2 p) const noexcept {
+    return p.x >= min_corner.x && p.x <= max_corner.x && p.y >= min_corner.y &&
+           p.y <= max_corner.y;
+  }
+};
+
+class BuildingMap {
+ public:
+  /// Throws std::invalid_argument if the corners are not ordered.
+  void add(const Building& building);
+
+  [[nodiscard]] bool empty() const noexcept { return buildings_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return buildings_.size(); }
+  [[nodiscard]] const std::vector<Building>& buildings() const noexcept {
+    return buildings_;
+  }
+
+  /// Number of exterior walls the segment a->b crosses for one building:
+  /// 2 when passing through, 1 when exactly one endpoint is inside, 0 when
+  /// the segment misses it (or both endpoints are inside — same room).
+  [[nodiscard]] static int walls_crossed(const Building& building, geo::Vec2 a,
+                                         geo::Vec2 b) noexcept;
+
+  /// Total penetration loss (dB) along the link a->b.
+  [[nodiscard]] double penetration_loss_db(geo::Vec2 a, geo::Vec2 b) const noexcept;
+
+ private:
+  std::vector<Building> buildings_;
+};
+
+/// Decorates a base model with building penetration loss.
+class UrbanModel final : public PropagationModel {
+ public:
+  UrbanModel(std::shared_ptr<const PropagationModel> base,
+             std::shared_ptr<const BuildingMap> buildings);
+
+  [[nodiscard]] double path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
+                                    double rx_height_m, double freq_mhz) const override;
+
+ private:
+  std::shared_ptr<const PropagationModel> base_;
+  std::shared_ptr<const BuildingMap> buildings_;
+};
+
+}  // namespace mm::rf

@@ -1,0 +1,96 @@
+#include "rf/channels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mm::rf {
+
+namespace {
+// US 802.11a channel set: 8 UNII-1/2 channels + 4 UNII-3 channels = 12,
+// matching the paper's "support for 802.11a requires 12 cards".
+constexpr int kAChannels[] = {36, 40, 44, 48, 52, 56, 60, 64, 149, 153, 157, 161};
+
+// Demodulation distortion penalty (dB) by channel offset. With one channel
+// of offset (5 MHz of a 22 MHz signal truncated) the DSSS correlator still
+// locks occasionally at high SNR — Fig 9's "few" packets; at two or more
+// channels the spectrum is mangled beyond any power level — "none".
+double distortion_penalty_db(double offset_steps) {
+  if (offset_steps <= 0.0) return 0.0;
+  if (offset_steps <= 1.0) return 25.0 * offset_steps;
+  // Steep cliff past one channel of offset.
+  return 25.0 + 45.0 * (offset_steps - 1.0);
+}
+}  // namespace
+
+double channel_center_mhz(Channel ch) {
+  switch (ch.band) {
+    case Band::kBg24GHz:
+      if (ch.number < 1 || ch.number > 11) {
+        throw std::invalid_argument("802.11b/g channel out of range 1..11: " +
+                                    std::to_string(ch.number));
+      }
+      return 2412.0 + 5.0 * (ch.number - 1);
+    case Band::kA5GHz: {
+      const bool valid = std::any_of(std::begin(kAChannels), std::end(kAChannels),
+                                     [&](int n) { return n == ch.number; });
+      if (!valid) {
+        throw std::invalid_argument("802.11a channel not in US set: " +
+                                    std::to_string(ch.number));
+      }
+      return 5000.0 + 5.0 * ch.number;
+    }
+  }
+  throw std::invalid_argument("unknown band");
+}
+
+double channel_width_mhz(Channel ch) noexcept {
+  return ch.band == Band::kBg24GHz ? 22.0 : 20.0;
+}
+
+std::vector<Channel> all_channels(Band band) {
+  std::vector<Channel> out;
+  if (band == Band::kBg24GHz) {
+    for (int n = 1; n <= 11; ++n) out.push_back({band, n});
+  } else {
+    for (int n : kAChannels) out.push_back({band, n});
+  }
+  return out;
+}
+
+std::vector<Channel> nonoverlapping_bg_channels() {
+  return {{Band::kBg24GHz, 1}, {Band::kBg24GHz, 6}, {Band::kBg24GHz, 11}};
+}
+
+double spectral_overlap(Channel tx, Channel rx) {
+  if (tx.band != rx.band) return 0.0;
+  const double f_tx = channel_center_mhz(tx);
+  const double f_rx = channel_center_mhz(rx);
+  const double w_tx = channel_width_mhz(tx);
+  const double w_rx = channel_width_mhz(rx);
+  const double lo = std::max(f_tx - w_tx / 2.0, f_rx - w_rx / 2.0);
+  const double hi = std::min(f_tx + w_tx / 2.0, f_rx + w_rx / 2.0);
+  return std::max(0.0, (hi - lo) / w_tx);
+}
+
+double cross_channel_lock_ceiling(Channel tx, Channel rx) {
+  if (tx == rx) return 1.0;
+  if (spectral_overlap(tx, rx) <= 0.0) return 0.0;
+  const double offset_steps =
+      std::abs(channel_center_mhz(tx) - channel_center_mhz(rx)) / 5.0;
+  if (offset_steps <= 1.0) return 0.08;
+  if (offset_steps <= 2.0) return 0.005;
+  return 0.0;
+}
+
+double cross_channel_penalty_db(Channel tx, Channel rx) {
+  if (tx == rx) return 0.0;
+  const double overlap = spectral_overlap(tx, rx);
+  if (overlap <= 0.0) return std::numeric_limits<double>::infinity();
+  const double power_loss_db = -10.0 * std::log10(overlap);
+  const double offset_mhz = std::abs(channel_center_mhz(tx) - channel_center_mhz(rx));
+  return power_loss_db + distortion_penalty_db(offset_mhz / 5.0);
+}
+
+}  // namespace mm::rf

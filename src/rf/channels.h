@@ -1,0 +1,63 @@
+// 802.11 channelization. The paper monitors all 11 802.11b/g channels (plus
+// the 12 802.11a channels) and shows experimentally (Fig 9) that a card tuned
+// to a neighbouring channel decodes few or none of a transmitter's packets,
+// which motivates monitoring exactly channels 1/6/11. This header models
+// channel center frequencies, spectral overlap, and the decode penalty a
+// receiver suffers when listening off-channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mm::rf {
+
+enum class Band : std::uint8_t {
+  kBg24GHz,  ///< 802.11 b/g, channels 1-11 (US), 22 MHz wide, 5 MHz spacing
+  kA5GHz,    ///< 802.11a, 20 MHz OFDM channels
+};
+
+struct Channel {
+  Band band = Band::kBg24GHz;
+  int number = 1;
+
+  constexpr bool operator==(const Channel&) const = default;
+};
+
+/// Center frequency in MHz. Throws std::invalid_argument for an unknown
+/// channel number in the band.
+[[nodiscard]] double channel_center_mhz(Channel ch);
+
+/// Occupied bandwidth in MHz (22 for b/g DSSS, 20 for 802.11a OFDM).
+[[nodiscard]] double channel_width_mhz(Channel ch) noexcept;
+
+/// All valid channels of a band: 1..11 for b/g, the 12 US 802.11a channels.
+[[nodiscard]] std::vector<Channel> all_channels(Band band);
+
+/// The three mutually non-interfering b/g channels the paper monitors.
+[[nodiscard]] std::vector<Channel> nonoverlapping_bg_channels();
+
+/// Fraction of the transmitter's occupied spectrum that falls inside the
+/// receiver's channel filter, in [0, 1]. 1 when co-channel; 0 when the
+/// channels do not overlap at all (e.g., b/g channels >= 5 apart).
+[[nodiscard]] double spectral_overlap(Channel tx, Channel rx);
+
+/// Effective SNR penalty (dB) when receiving a transmission from channel
+/// `tx` with a card tuned to channel `rx`. Co-channel is 0. Off-channel
+/// combines the captured-power loss with a demodulation-distortion penalty:
+/// the leaked energy is spectrally truncated, so even at high SNR the
+/// baseband rarely locks. Returns +infinity for disjoint spectra.
+///
+/// Calibrated so that (as in Fig 9) a neighbouring channel decodes "few or
+/// none" of the packets even at short range.
+[[nodiscard]] double cross_channel_penalty_db(Channel tx, Channel rx);
+
+/// Upper bound on the decode probability from the correlator's ability to
+/// lock onto a frequency-offset signal — independent of SNR. Co-channel 1;
+/// one channel off ~0.08 (the "few" packets of Fig 9, no matter how strong
+/// the signal); two off ~0.005; 0 beyond. A 5 MHz offset leaves the DSSS
+/// despreader mostly unable to synchronize even when the captured power is
+/// ample, which is why raw SNR arithmetic alone would wrongly predict
+/// near-perfect adjacent-channel capture at short range.
+[[nodiscard]] double cross_channel_lock_ceiling(Channel tx, Channel rx);
+
+}  // namespace mm::rf

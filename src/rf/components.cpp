@@ -1,0 +1,32 @@
+#include "rf/components.h"
+
+#include <cmath>
+
+#include "rf/units.h"
+
+namespace mm::rf {
+
+double Splitter::insertion_loss_db() const noexcept {
+  return 10.0 * std::log10(static_cast<double>(ways)) + excess_loss_db;
+}
+
+double Nic::sensitivity_dbm() const noexcept {
+  return kThermalNoiseDbmHz + noise_figure_db + snr_min_db +
+         10.0 * std::log10(bandwidth_hz);
+}
+
+namespace presets {
+
+Antenna hyperlink_hg2415u() { return {"HyperLink HG2415U 15dBi", 15.0}; }
+Antenna clip_mount_4dbi() { return {"tri-band clip mount 4dBi", 4.0}; }
+Antenna integrated_2dbi() { return {"integrated PCMCIA 2dBi", 2.0}; }
+Lna rf_lambda_lna() { return {"RF-Lambda narrow band LNA", 45.0, 1.5}; }
+Splitter hyperlink_4way() { return {"HyperLink 4-way splitter", 4, 0.5}; }
+Nic ubiquiti_src() { return {"Ubiquiti SuperRange Cardbus SRC", 4.0, 5.0, 22e6, 24.8}; }
+Nic dlink_dwl_g650() { return {"D-Link DWL-G650", 6.0, 5.0, 22e6, 16.0}; }
+Transmitter laptop_client() { return {15.0, 0.0}; }
+Transmitter consumer_ap() { return {20.0, 2.0}; }
+
+}  // namespace presets
+
+}  // namespace mm::rf

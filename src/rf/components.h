@@ -1,0 +1,74 @@
+// Receiver-chain components with presets matching the paper's hardware:
+// HyperLink HG2415U 15 dBi omni antenna, RF-Lambda narrow-band LNA (45 dB
+// gain, 1.5 dB noise figure), HyperLink 4-way splitter, Ubiquiti SuperRange
+// Cardbus (SRC) and D-Link DWL-G650 wireless cards.
+#pragma once
+
+#include <string>
+
+namespace mm::rf {
+
+struct Antenna {
+  std::string name;
+  double gain_dbi = 0.0;
+};
+
+struct Lna {
+  std::string name;
+  double gain_db = 0.0;
+  double noise_figure_db = 0.0;
+};
+
+struct Splitter {
+  std::string name;
+  int ways = 1;
+  double excess_loss_db = 0.0;  ///< loss beyond the ideal 10*log10(ways) split
+
+  /// Total per-port insertion loss in dB.
+  [[nodiscard]] double insertion_loss_db() const noexcept;
+};
+
+/// Wireless NIC receive parameters. `snr_min_db` is the minimum SNR for
+/// acceptable demodulation of 1 Mbps DSSS management frames (probe traffic);
+/// `bandwidth_hz` the baseband filter bandwidth (Theorem 1's B).
+struct Nic {
+  std::string name;
+  double noise_figure_db = 5.0;
+  double snr_min_db = 5.0;
+  double bandwidth_hz = 22e6;
+  double tx_power_dbm = 15.0;
+
+  /// Receiver sensitivity (dBm) of the bare card: -174 + NF + SNRmin + 10logB.
+  [[nodiscard]] double sensitivity_dbm() const noexcept;
+};
+
+/// Transmitter-side parameters (the victim mobile or an AP).
+struct Transmitter {
+  double power_dbm = 15.0;
+  double antenna_gain_dbi = 0.0;
+};
+
+namespace presets {
+
+/// HyperLink HG2415U 15 dBi omnidirectional antenna.
+[[nodiscard]] Antenna hyperlink_hg2415u();
+/// Tri-band 4 dBi laptop clip-mount antenna used with the SRC card.
+[[nodiscard]] Antenna clip_mount_4dbi();
+/// Integrated PCMCIA antenna of the D-Link card.
+[[nodiscard]] Antenna integrated_2dbi();
+/// RF-Lambda narrow-band LNA: 45 dB gain, 1.5 dB noise figure.
+[[nodiscard]] Lna rf_lambda_lna();
+/// HyperLink 4-way signal splitter.
+[[nodiscard]] Splitter hyperlink_4way();
+/// Ubiquiti SuperRange Cardbus SRC 300 mW 802.11a/b/g card.
+[[nodiscard]] Nic ubiquiti_src();
+/// D-Link DWL-G650 PCMCIA card.
+[[nodiscard]] Nic dlink_dwl_g650();
+/// Typical laptop/phone client radio (the victim).
+[[nodiscard]] Transmitter laptop_client();
+/// Typical consumer AP: 20 dBm with a 2 dBi antenna.
+[[nodiscard]] Transmitter consumer_ap();
+
+}  // namespace presets
+
+}  // namespace mm::rf

@@ -1,0 +1,108 @@
+#include "rf/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "rf/units.h"
+#include "util/rng.h"
+
+namespace mm::rf {
+
+namespace {
+constexpr double kMinDistanceM = 1.0;  // clamp to avoid log(0) in near field
+
+/// Deterministic standard-normal draw for a link, symmetric in endpoints.
+double link_gaussian(geo::Vec2 a, geo::Vec2 b, std::uint64_t seed) {
+  // Quantize endpoints to a 1 m grid so tiny mobility steps see smoothly
+  // correlated (here: piecewise-constant) shadowing, then order-normalize.
+  auto cell = [](geo::Vec2 p) {
+    const auto qx = static_cast<std::int64_t>(std::floor(p.x));
+    const auto qy = static_cast<std::int64_t>(std::floor(p.y));
+    return (static_cast<std::uint64_t>(qx) << 32) ^ static_cast<std::uint64_t>(qy & 0xffffffff);
+  };
+  std::uint64_t ca = cell(a);
+  std::uint64_t cb = cell(b);
+  if (ca > cb) std::swap(ca, cb);
+  std::uint64_t h = util::hash_combine(util::hash_combine(seed, ca), cb);
+  // Box-Muller from two hashed uniforms.
+  const double u1 = (static_cast<double>(util::splitmix64(h) >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = (static_cast<double>(util::splitmix64(h) >> 11) + 0.5) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+}  // namespace
+
+double Terrain::ground_height_m(geo::Vec2 p) const noexcept {
+  double h = 0.0;
+  for (const Hill& hill : hills_) {
+    const double d2 = (p - hill.center).norm_sq();
+    h += hill.height_m * std::exp(-d2 / (2.0 * hill.sigma_m * hill.sigma_m));
+  }
+  return h;
+}
+
+double Terrain::obstruction_depth_m(geo::Vec2 a, double height_a_m, geo::Vec2 b,
+                                    double height_b_m, int samples) const noexcept {
+  if (hills_.empty() || samples <= 0) return 0.0;
+  const double za = ground_height_m(a) + height_a_m;
+  const double zb = ground_height_m(b) + height_b_m;
+  double worst = 0.0;
+  for (int i = 1; i < samples; ++i) {
+    const double t = static_cast<double>(i) / samples;
+    const geo::Vec2 p = a + (b - a) * t;
+    const double los_z = za + (zb - za) * t;
+    worst = std::max(worst, ground_height_m(p) - los_z);
+  }
+  return worst;
+}
+
+double FreeSpaceModel::path_loss_db(geo::Vec2 tx, double /*tx_height_m*/, geo::Vec2 rx,
+                                    double /*rx_height_m*/, double freq_mhz) const {
+  const double d = std::max(kMinDistanceM, tx.distance_to(rx));
+  return free_space_path_loss_db(d, freq_mhz);
+}
+
+LogDistanceModel::LogDistanceModel(double exponent, double shadowing_sigma_db,
+                                   std::uint64_t seed)
+    : exponent_(exponent), shadowing_sigma_db_(shadowing_sigma_db), seed_(seed) {
+  if (exponent < 1.0 || exponent > 6.0) {
+    throw std::invalid_argument("LogDistanceModel: exponent outside plausible range [1, 6]");
+  }
+}
+
+double LogDistanceModel::path_loss_db(geo::Vec2 tx, double /*tx_height_m*/, geo::Vec2 rx,
+                                      double /*rx_height_m*/, double freq_mhz) const {
+  const double d = std::max(kMinDistanceM, tx.distance_to(rx));
+  double loss = free_space_path_loss_db(1.0, freq_mhz) + 10.0 * exponent_ * std::log10(d);
+  if (shadowing_sigma_db_ > 0.0) {
+    loss += shadowing_sigma_db_ * link_gaussian(tx, rx, seed_);
+  }
+  return loss;
+}
+
+TerrainAwareModel::TerrainAwareModel(std::shared_ptr<const PropagationModel> base,
+                                     std::shared_ptr<const Terrain> terrain,
+                                     double base_nlos_db, double db_per_meter_depth,
+                                     double max_obstruction_db)
+    : base_(std::move(base)),
+      terrain_(std::move(terrain)),
+      base_nlos_db_(base_nlos_db),
+      db_per_meter_depth_(db_per_meter_depth),
+      max_obstruction_db_(max_obstruction_db) {
+  if (!base_ || !terrain_) {
+    throw std::invalid_argument("TerrainAwareModel: base model and terrain are required");
+  }
+}
+
+double TerrainAwareModel::path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
+                                       double rx_height_m, double freq_mhz) const {
+  double loss = base_->path_loss_db(tx, tx_height_m, rx, rx_height_m, freq_mhz);
+  const double depth = terrain_->obstruction_depth_m(tx, tx_height_m, rx, rx_height_m);
+  if (depth > 0.0) {
+    loss += std::min(max_obstruction_db_, base_nlos_db_ + db_per_meter_depth_ * depth);
+  }
+  return loss;
+}
+
+}  // namespace mm::rf

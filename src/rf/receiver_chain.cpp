@@ -1,0 +1,96 @@
+#include "rf/receiver_chain.h"
+
+#include <cmath>
+#include <utility>
+
+#include "rf/units.h"
+
+namespace mm::rf {
+
+ReceiverChain::ReceiverChain(std::string name, Antenna antenna, Nic nic)
+    : ReceiverChain(std::move(name), std::move(antenna), std::nullopt, std::nullopt,
+                    std::move(nic)) {}
+
+ReceiverChain::ReceiverChain(std::string name, Antenna antenna, std::optional<Lna> lna,
+                             std::optional<Splitter> splitter, Nic nic)
+    : name_(std::move(name)),
+      antenna_(std::move(antenna)),
+      lna_(std::move(lna)),
+      splitter_(std::move(splitter)),
+      nic_(std::move(nic)) {}
+
+double ReceiverChain::cascade_noise_figure_db() const noexcept {
+  // Friis: F = F1 + (F2-1)/G1 + (F3-1)/(G1*G2) + ...
+  // Stage list: [LNA] -> [splitter as passive attenuator: F = L, G = 1/L] -> NIC.
+  double total_f = 1.0;
+  double gain_product = 1.0;
+  auto add_stage = [&](double nf_db, double gain_db) {
+    const double f = db_to_linear(nf_db);
+    total_f += (f - 1.0) / gain_product;
+    gain_product *= db_to_linear(gain_db);
+  };
+  if (lna_) add_stage(lna_->noise_figure_db, lna_->gain_db);
+  if (splitter_) {
+    const double loss = splitter_->insertion_loss_db();
+    add_stage(loss, -loss);
+  }
+  add_stage(nic_.noise_figure_db, 0.0);
+  return linear_to_db(total_f);
+}
+
+double ReceiverChain::sensitivity_dbm() const noexcept {
+  return kThermalNoiseDbmHz + cascade_noise_figure_db() + nic_.snr_min_db +
+         10.0 * std::log10(nic_.bandwidth_hz);
+}
+
+double ReceiverChain::nic_input_dbm(double at_antenna_port_dbm) const noexcept {
+  double power = at_antenna_port_dbm;
+  if (lna_) power += lna_->gain_db;
+  if (splitter_) power -= splitter_->insertion_loss_db();
+  return power;
+}
+
+double ReceiverChain::effective_snr_db(double prx_iso_dbm) const noexcept {
+  const double at_port = prx_iso_dbm + antenna_.gain_dbi;
+  const double noise = noise_floor_dbm(nic_.bandwidth_hz) + cascade_noise_figure_db();
+  return at_port - noise;
+}
+
+double ReceiverChain::theorem1_coverage_radius_m(const Transmitter& tx,
+                                                 double freq_mhz) const noexcept {
+  const double lambda = wavelength_m(freq_mhz);
+  const double c = tx.power_dbm + tx.antenna_gain_dbi -
+                   20.0 * std::log10(4.0 * 3.14159265358979323846 / lambda) -
+                   10.0 * std::log10(nic_.bandwidth_hz) - kThermalNoiseDbmHz;
+  const double rhs =
+      antenna_.gain_dbi - cascade_noise_figure_db() - nic_.snr_min_db + c;
+  return std::pow(10.0, rhs / 20.0);
+}
+
+double ReceiverChain::free_space_margin_db(const Transmitter& tx, double freq_mhz,
+                                           double distance_m) const noexcept {
+  const double prx_iso =
+      tx.power_dbm + tx.antenna_gain_dbi - free_space_path_loss_db(distance_m, freq_mhz);
+  return effective_snr_db(prx_iso) - nic_.snr_min_db;
+}
+
+namespace presets {
+
+ReceiverChain chain_dlink() {
+  return {"DLink", integrated_2dbi(), dlink_dwl_g650()};
+}
+
+ReceiverChain chain_src() { return {"SRC", clip_mount_4dbi(), ubiquiti_src()}; }
+
+ReceiverChain chain_hg2415u() {
+  return {"HG2415U", hyperlink_hg2415u(), ubiquiti_src()};
+}
+
+ReceiverChain chain_lna() {
+  return {"LNA", hyperlink_hg2415u(), rf_lambda_lna(), hyperlink_4way(),
+          ubiquiti_src()};
+}
+
+}  // namespace presets
+
+}  // namespace mm::rf

@@ -1,0 +1,75 @@
+// The wireless receiver chain of Section II-B / III-A: antenna -> (optional)
+// LNA -> (optional) splitter -> NIC, with the Friis cascade-noise-figure link
+// budget of Theorem 1.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rf/components.h"
+
+namespace mm::rf {
+
+class ReceiverChain {
+ public:
+  /// Bare card with its own antenna (the "DLink"/"SRC" chains of Fig 12).
+  ReceiverChain(std::string name, Antenna antenna, Nic nic);
+  /// Full chain with LNA and splitter (the "LNA" chain of Fig 12). Either
+  /// optional component may be omitted (e.g., "HG2415U" = antenna + card).
+  ReceiverChain(std::string name, Antenna antenna, std::optional<Lna> lna,
+                std::optional<Splitter> splitter, Nic nic);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Antenna& antenna() const noexcept { return antenna_; }
+  [[nodiscard]] const Nic& nic() const noexcept { return nic_; }
+  [[nodiscard]] bool has_lna() const noexcept { return lna_.has_value(); }
+  [[nodiscard]] int splitter_ways() const noexcept {
+    return splitter_ ? splitter_->ways : 1;
+  }
+
+  /// Cascade noise figure of the whole chain referenced to the antenna port
+  /// (Friis formula; Eq. 12-15 of the paper's appendix). With a high-gain
+  /// LNA this approaches the LNA's own 1.5 dB.
+  [[nodiscard]] double cascade_noise_figure_db() const noexcept;
+
+  /// Minimum signal power at the antenna port for successful demodulation:
+  /// -174 + NF_chain + SNRmin + 10 log10 B   (Eq. 16).
+  [[nodiscard]] double sensitivity_dbm() const noexcept;
+
+  /// Signal power presented to the NIC for a given power at the antenna port
+  /// (adds antenna gain, LNA gain, subtracts splitter loss).
+  [[nodiscard]] double nic_input_dbm(double at_antenna_port_dbm) const noexcept;
+
+  /// Effective SNR (dB) seen by the demodulator for an on-channel signal
+  /// whose isotropic receive level (before antenna gain) is `prx_iso_dbm`.
+  [[nodiscard]] double effective_snr_db(double prx_iso_dbm) const noexcept;
+
+  /// Theorem 1: maximum free-space distance at which a signal from `tx` is
+  /// received: 20 log10 D < Grx - NF - SNRmin + C.
+  [[nodiscard]] double theorem1_coverage_radius_m(const Transmitter& tx,
+                                                  double freq_mhz) const noexcept;
+
+  /// The link-budget headroom (dB) at distance d in free space; positive
+  /// means the frame is decodable.
+  [[nodiscard]] double free_space_margin_db(const Transmitter& tx, double freq_mhz,
+                                            double distance_m) const noexcept;
+
+ private:
+  std::string name_;
+  Antenna antenna_;
+  std::optional<Lna> lna_;
+  std::optional<Splitter> splitter_;
+  Nic nic_;
+};
+
+namespace presets {
+
+/// The four receiver chains compared in Fig 12.
+[[nodiscard]] ReceiverChain chain_dlink();
+[[nodiscard]] ReceiverChain chain_src();
+[[nodiscard]] ReceiverChain chain_hg2415u();
+[[nodiscard]] ReceiverChain chain_lna();
+
+}  // namespace presets
+
+}  // namespace mm::rf

@@ -1,0 +1,44 @@
+// Decibel arithmetic helpers. Powers are carried as dBm, gains/losses as dB,
+// exactly as in the paper's link-budget (Theorem 1).
+#pragma once
+
+#include <cmath>
+
+namespace mm::rf {
+
+/// Thermal noise power density at the NIC input impedance, dBm/Hz (the
+/// "-174" constant of Theorem 1).
+inline constexpr double kThermalNoiseDbmHz = -174.0;
+
+/// Speed of light, m/s.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+[[nodiscard]] inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+[[nodiscard]] inline double linear_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept { return db_to_linear(dbm); }
+
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept { return linear_to_db(mw); }
+
+/// Free-space wavelength for a carrier frequency in MHz.
+[[nodiscard]] inline double wavelength_m(double freq_mhz) noexcept {
+  return kSpeedOfLight / (freq_mhz * 1e6);
+}
+
+/// Free-space path loss (dB) between isotropic antennas at distance d meters.
+[[nodiscard]] inline double free_space_path_loss_db(double distance_m, double freq_mhz) noexcept {
+  const double lambda = wavelength_m(freq_mhz);
+  return 20.0 * std::log10(4.0 * 3.14159265358979323846 * distance_m / lambda);
+}
+
+/// Thermal noise floor (dBm) for a receiver bandwidth in Hz.
+[[nodiscard]] inline double noise_floor_dbm(double bandwidth_hz) noexcept {
+  return kThermalNoiseDbmHz + 10.0 * std::log10(bandwidth_hz);
+}
+
+}  // namespace mm::rf

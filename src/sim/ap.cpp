@@ -1,0 +1,67 @@
+#include "sim/ap.h"
+
+namespace mm::sim {
+
+void AccessPoint::attach(World& world) {
+  world_ = &world;
+  if (config_.beacons_enabled) {
+    // Stagger the first beacon so co-channel APs do not all fire at once.
+    const SimTime jitter = world.rng().uniform(0.0, config_.beacon_interval_s);
+    world.queue().schedule_in(jitter, [this] { send_beacon(); });
+  }
+}
+
+TxRadio AccessPoint::radio() const {
+  return {config_.position, config_.antenna_height_m, config_.tx_power_dbm,
+          config_.antenna_gain_dbi, config_.channel, this};
+}
+
+void AccessPoint::send_beacon() {
+  if (world_ == nullptr) return;
+  const auto timestamp_us = static_cast<std::uint64_t>(world_->now() * 1e6);
+  world_->transmit(net80211::make_beacon(config_.bssid, config_.ssid,
+                                         config_.channel.number, timestamp_us, sequence_++),
+                   radio());
+  ++beacons_sent_;
+  world_->queue().schedule_in(config_.beacon_interval_s, [this] { send_beacon(); });
+}
+
+void AccessPoint::on_air_frame(const net80211::ManagementFrame& frame, const RxInfo& rx) {
+  if (world_ == nullptr) return;
+  if (rx.channel != config_.channel) return;  // listening on our channel only
+  // The worst-case disc model: the AP serves exactly the clients within its
+  // maximum transmission distance.
+  if (rx.distance_m > config_.service_radius_m) return;
+
+  if (frame.subtype == net80211::ManagementSubtype::kProbeRequest) {
+    // Directed probes must match our SSID; the wildcard (empty) SSID matches.
+    const auto requested = frame.ssid();
+    if (requested.has_value() && !requested->empty() && *requested != config_.ssid) return;
+
+    const net80211::MacAddress client = frame.addr2;
+    world_->queue().schedule_in(config_.response_delay_s, [this, client] {
+      const auto timestamp_us = static_cast<std::uint64_t>(world_->now() * 1e6);
+      world_->transmit(
+          net80211::make_probe_response(config_.bssid, client, config_.ssid,
+                                        config_.channel.number, timestamp_us, sequence_++),
+          radio());
+      ++probes_answered_;
+    });
+    return;
+  }
+
+  if (frame.subtype == net80211::ManagementSubtype::kAssociationRequest &&
+      frame.addr1 == config_.bssid) {
+    if (frame.ssid().value_or("") != config_.ssid) return;
+    const net80211::MacAddress client = frame.addr2;
+    const auto aid = static_cast<std::uint16_t>(++last_association_id_);
+    world_->queue().schedule_in(config_.response_delay_s, [this, client, aid] {
+      world_->transmit(net80211::make_association_response(config_.bssid, client,
+                                                           /*status=*/0, aid, sequence_++),
+                       radio());
+      ++associations_;
+    });
+  }
+}
+
+}  // namespace mm::sim

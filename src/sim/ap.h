@@ -1,0 +1,62 @@
+// Simulated access point: beacons on its channel and answers probe requests
+// from clients inside its service disc (the paper's maximum-transmission-
+// distance model — the ground truth the localization attack reasons over).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/vec2.h"
+#include "net80211/mac_address.h"
+#include "rf/channels.h"
+#include "sim/world.h"
+
+namespace mm::sim {
+
+struct ApConfig {
+  net80211::MacAddress bssid;
+  std::string ssid;
+  rf::Channel channel{rf::Band::kBg24GHz, 6};
+  geo::Vec2 position;
+  /// Maximum transmission distance r_i: clients within this disc can
+  /// communicate with the AP; the AP's probe responses reach this far.
+  double service_radius_m = 100.0;
+  double antenna_height_m = 8.0;
+  double tx_power_dbm = 20.0;
+  double antenna_gain_dbi = 2.0;
+  bool beacons_enabled = false;
+  double beacon_interval_s = 0.1024;
+  /// Response latency for probe responses.
+  double response_delay_s = 0.002;
+};
+
+class AccessPoint final : public FrameReceiver {
+ public:
+  explicit AccessPoint(ApConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const ApConfig& config() const noexcept { return config_; }
+  [[nodiscard]] geo::Vec2 position() const override { return config_.position; }
+  [[nodiscard]] double antenna_height_m() const override { return config_.antenna_height_m; }
+  [[nodiscard]] std::uint64_t probes_answered() const noexcept { return probes_answered_; }
+  [[nodiscard]] std::uint64_t beacons_sent() const noexcept { return beacons_sent_; }
+  [[nodiscard]] std::uint64_t associations() const noexcept { return associations_; }
+
+  /// Called by World::add_access_point; schedules beaconing if enabled.
+  void attach(World& world);
+
+  void on_air_frame(const net80211::ManagementFrame& frame, const RxInfo& rx) override;
+
+ private:
+  void send_beacon();
+  [[nodiscard]] TxRadio radio() const;
+
+  ApConfig config_;
+  World* world_ = nullptr;
+  std::uint16_t sequence_ = 0;
+  std::uint64_t probes_answered_ = 0;
+  std::uint64_t beacons_sent_ = 0;
+  std::uint64_t associations_ = 0;
+  std::uint32_t last_association_id_ = 0;
+};
+
+}  // namespace mm::sim

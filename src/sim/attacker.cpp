@@ -1,0 +1,28 @@
+#include "sim/attacker.h"
+
+namespace mm::sim {
+
+void ActiveProber::attach(World& world) {
+  world_ = &world;
+  world.queue().schedule_in(config_.interval_s, [this] { tick(); });
+}
+
+void ActiveProber::tick() {
+  blast_once();
+  world_->queue().schedule_in(config_.interval_s, [this] { tick(); });
+}
+
+void ActiveProber::blast_once() {
+  if (world_ == nullptr) return;
+  for (const rf::Channel channel : rf::nonoverlapping_bg_channels()) {
+    const TxRadio radio{config_.position, config_.antenna_height_m, config_.tx_power_dbm,
+                        config_.antenna_gain_dbi, channel, this};
+    world_->transmit(net80211::make_deauth(net80211::MacAddress::broadcast(),
+                                           config_.spoofed_bssid,
+                                           /*reason=*/7, sequence_++),
+                     radio);
+    ++deauths_sent_;
+  }
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace mm::sim {
+
+void EventQueue::schedule(SimTime when, std::function<void()> action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule into the past");
+  }
+  events_.push({when, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run_until(SimTime t_end) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().when <= t_end) {
+    // Move the action out before popping so the callback may schedule more.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  now_ = t_end;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace mm::sim

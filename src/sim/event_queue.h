@@ -1,0 +1,55 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks with
+// stable FIFO ordering for simultaneous events (deterministic replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mm::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `when`. Throws std::invalid_argument
+  /// if `when` precedes the current time.
+  void schedule(SimTime when, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, std::function<void()> action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+  /// Runs events with time <= t_end; afterwards now() == t_end.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime t_end);
+
+  /// Runs everything (use only for workloads known to terminate).
+  std::size_t run_all();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mm::sim

@@ -1,0 +1,157 @@
+#include "sim/mobile.h"
+
+#include <stdexcept>
+
+namespace mm::sim {
+
+MobileDevice::MobileDevice(MobileConfig config) : config_(std::move(config)) {
+  if (!config_.mobility) throw std::invalid_argument("MobileDevice: mobility model required");
+}
+
+geo::Vec2 MobileDevice::position() const {
+  return config_.mobility->position(world_ != nullptr ? world_->now() : 0.0);
+}
+
+void MobileDevice::attach(World& world) {
+  world_ = &world;
+  if (config_.profile.probes) {
+    const SimTime jitter = world.rng().uniform(0.0, config_.profile.scan_interval_s);
+    world.queue().schedule_in(jitter, [this] {
+      trigger_scan();
+      schedule_next_scan();
+    });
+  }
+}
+
+void MobileDevice::schedule_next_scan() {
+  const SimTime gap = world_->rng().exponential(1.0 / config_.profile.scan_interval_s);
+  world_->queue().schedule_in(gap, [this] {
+    trigger_scan();
+    schedule_next_scan();
+  });
+}
+
+void MobileDevice::trigger_scan() {
+  if (world_ == nullptr) return;
+  // Debounce: a deauth storm must not multiply concurrent sweeps.
+  if (last_scan_time_ >= 0.0 && world_->now() - last_scan_time_ < 0.5) return;
+  last_scan_time_ = world_->now();
+  ++scans_started_;
+  sweep_channels();
+}
+
+bool MobileDevice::radio_silenced() const {
+  if (world_ != nullptr && world_->now() < silent_until_) return true;
+  const geo::Vec2 at = position();
+  for (const geo::Circle& zone : config_.profile.mix_zones) {
+    if (zone.contains(at)) return true;
+  }
+  return false;
+}
+
+void MobileDevice::sweep_channels() {
+  std::vector<rf::Channel> channels;
+  for (const rf::Band band : config_.profile.scan_bands) {
+    const auto band_channels = rf::all_channels(band);
+    channels.insert(channels.end(), band_channels.begin(), band_channels.end());
+  }
+  SimTime offset = 0.0;
+  for (const rf::Channel channel : channels) {
+    world_->queue().schedule_in(offset, [this, channel] {
+      if (radio_silenced()) {
+        ++suppressed_;
+        return;
+      }
+      const TxRadio radio{position(), config_.antenna_height_m, config_.tx_power_dbm,
+                          config_.antenna_gain_dbi, channel, this};
+      // Wildcard probe first; directed probes reveal remembered networks.
+      world_->transmit(net80211::make_probe_request(config_.mac, std::nullopt, sequence_++),
+                       radio);
+      ++probes_sent_;
+      for (const std::string& ssid : config_.profile.directed_ssids) {
+        world_->transmit(net80211::make_probe_request(config_.mac, ssid, sequence_++),
+                         radio);
+        ++probes_sent_;
+      }
+    });
+    offset += config_.profile.channel_dwell_s;
+  }
+  // Hu & Wang: enter a random silent period after the sweep and come back
+  // under a fresh pseudonym.
+  if (config_.profile.silent_period_mean_s > 0.0) {
+    const SimTime sweep_end = offset + 0.01;
+    world_->queue().schedule_in(sweep_end, [this] {
+      silent_until_ =
+          world_->now() + world_->rng().exponential(1.0 / config_.profile.silent_period_mean_s);
+      rotate_mac(net80211::MacAddress::random_local(world_->rng()));
+    });
+  }
+}
+
+void MobileDevice::on_air_frame(const net80211::ManagementFrame& frame, const RxInfo& rx) {
+  if (world_ == nullptr) return;
+  switch (frame.subtype) {
+    case net80211::ManagementSubtype::kProbeResponse:
+    case net80211::ManagementSubtype::kBeacon: {
+      const bool addressed_to_us =
+          frame.addr1 == config_.mac || frame.addr1.is_broadcast();
+      if (!addressed_to_us || rx.rssi_dbm <= -95.0) break;
+      if (frame.subtype == net80211::ManagementSubtype::kProbeResponse) {
+        heard_aps_.insert(frame.addr2);
+      }
+      // Join the remembered home network when we discover it.
+      if (config_.profile.home_ssid && !associated_bssid_ && !association_pending_ &&
+          frame.ssid() == config_.profile.home_ssid) {
+        association_pending_ = true;
+        const net80211::MacAddress bssid = frame.addr2;
+        const rf::Channel channel{rx.channel.band,
+                                  frame.ds_channel().value_or(rx.channel.number)};
+        world_->queue().schedule_in(0.005, [this, bssid, channel] {
+          associated_channel_ = channel;
+          world_->transmit(net80211::make_association_request(
+                               config_.mac, bssid, *config_.profile.home_ssid, sequence_++),
+                           {position(), config_.antenna_height_m, config_.tx_power_dbm,
+                            config_.antenna_gain_dbi, channel, this});
+        });
+      }
+      break;
+    }
+    case net80211::ManagementSubtype::kAssociationResponse:
+      if (frame.addr1 == config_.mac && frame.status_code == 0 &&
+          rx.rssi_dbm > -95.0) {
+        associated_bssid_ = frame.addr2;
+        association_pending_ = false;
+        world_->queue().schedule_in(config_.profile.keepalive_interval_s,
+                                    [this] { send_keepalive(); });
+      }
+      break;
+    case net80211::ManagementSubtype::kDeauthentication:
+      // The active attack: spoofed deauth provokes a rescan even from quiet
+      // devices. React to broadcast or targeted deauth at plausible level.
+      if ((frame.addr1 == config_.mac || frame.addr1.is_broadcast()) &&
+          rx.rssi_dbm > -85.0) {
+        trigger_scan();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void MobileDevice::send_keepalive() {
+  if (!associated_bssid_) return;
+  if (radio_silenced()) {
+    ++suppressed_;
+  } else {
+    world_->transmit(net80211::make_data_null(config_.mac, *associated_bssid_, sequence_++),
+                     {position(), config_.antenna_height_m, config_.tx_power_dbm,
+                      config_.antenna_gain_dbi, associated_channel_, this});
+    ++keepalives_sent_;
+  }
+  world_->queue().schedule_in(config_.profile.keepalive_interval_s,
+                              [this] { send_keepalive(); });
+}
+
+void MobileDevice::rotate_mac(const net80211::MacAddress& fresh) { config_.mac = fresh; }
+
+}  // namespace mm::sim

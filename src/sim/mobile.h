@@ -1,0 +1,120 @@
+// Simulated mobile device (the victim). Devices actively scan by sweeping
+// probe requests across all 802.11b/g channels — the probing traffic the
+// Marauder's Map feeds on (Section II-A). Quiet profiles never probe but
+// react to the active attack's spoofed deauthentication by rescanning.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geo/circle.h"
+#include "net80211/mac_address.h"
+#include "sim/mobility.h"
+#include "sim/world.h"
+
+namespace mm::sim {
+
+/// How a device's OS scans. Defaults model the common aggressive scanner;
+/// `probes=false` models devices that stay silent unless provoked.
+struct ScanProfile {
+  bool probes = true;
+  double scan_interval_s = 30.0;   ///< mean time between scan sweeps
+  double channel_dwell_s = 0.02;   ///< per-channel spacing within a sweep
+  /// Remembered networks probed for by name (the implicit identifiers of
+  /// Pang et al. that survive MAC pseudonyms).
+  std::vector<std::string> directed_ssids;
+  /// Bands swept during a scan. Dual-band (a/b/g) devices add kA5GHz —
+  /// which is what forces the attacker toward 12 more cards (Section III-B).
+  std::vector<rf::Band> scan_bands = {rf::Band::kBg24GHz};
+  /// Network this device associates with when discovered (beacon or probe
+  /// response carrying this SSID). Associated devices exchange keep-alive
+  /// data frames — visible to the sniffer even if the device never probes
+  /// (the "found but not probing" class of Fig 10/11).
+  std::optional<std::string> home_ssid;
+  double keepalive_interval_s = 20.0;
+
+  // --- Location-privacy defenses (Section V of the paper) ---
+  /// Random silent period (Hu & Wang): after each scan sweep the radio goes
+  /// silent for Exp(mean) seconds and the MAC is rotated when the silence
+  /// ends, decorrelating consecutive pseudonyms. 0 disables.
+  double silent_period_mean_s = 0.0;
+  /// Mix zones (Beresford & Stajano): regions where the device transmits
+  /// nothing at all, mixing its identity with everyone else's.
+  std::vector<geo::Circle> mix_zones;
+};
+
+struct MobileConfig {
+  net80211::MacAddress mac;
+  ScanProfile profile;
+  std::shared_ptr<const MobilityModel> mobility;
+  double antenna_height_m = 1.5;
+  double tx_power_dbm = 15.0;
+  double antenna_gain_dbi = 0.0;
+};
+
+class MobileDevice final : public FrameReceiver {
+ public:
+  explicit MobileDevice(MobileConfig config);
+
+  [[nodiscard]] const MobileConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const net80211::MacAddress& mac() const noexcept { return config_.mac; }
+  [[nodiscard]] geo::Vec2 position() const override;
+  [[nodiscard]] double antenna_height_m() const override { return config_.antenna_height_m; }
+
+  /// Called by World::add_mobile; schedules periodic scanning if the profile
+  /// probes.
+  void attach(World& world);
+
+  /// Starts a full channel sweep now (measurement hook & deauth reaction).
+  void trigger_scan();
+
+  /// APs whose probe responses this device has received.
+  [[nodiscard]] const std::set<net80211::MacAddress>& heard_aps() const noexcept {
+    return heard_aps_;
+  }
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+  [[nodiscard]] std::uint64_t scans_started() const noexcept { return scans_started_; }
+  /// BSSID of the AP this device is associated with, if any.
+  [[nodiscard]] const std::optional<net80211::MacAddress>& associated_bssid() const noexcept {
+    return associated_bssid_;
+  }
+  [[nodiscard]] std::uint64_t keepalives_sent() const noexcept { return keepalives_sent_; }
+
+  void on_air_frame(const net80211::ManagementFrame& frame, const RxInfo& rx) override;
+
+  /// Replaces the MAC (the pseudonym defense examined in the privacy
+  /// example); clears nothing else — trackers must cope on their own.
+  void rotate_mac(const net80211::MacAddress& fresh);
+
+  /// True when a defense currently muzzles the radio (silent period active
+  /// or the device sits inside a mix zone).
+  [[nodiscard]] bool radio_silenced() const;
+  [[nodiscard]] std::uint64_t suppressed_transmissions() const noexcept {
+    return suppressed_;
+  }
+
+ private:
+  void schedule_next_scan();
+  void sweep_channels();
+  void send_keepalive();
+
+  MobileConfig config_;
+  World* world_ = nullptr;
+  std::uint16_t sequence_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t scans_started_ = 0;
+  std::uint64_t keepalives_sent_ = 0;
+  std::uint64_t suppressed_ = 0;
+  SimTime silent_until_ = -1.0;
+  SimTime last_scan_time_ = -1.0;
+  std::set<net80211::MacAddress> heard_aps_;
+  std::optional<net80211::MacAddress> associated_bssid_;
+  rf::Channel associated_channel_{rf::Band::kBg24GHz, 6};
+  bool association_pending_ = false;
+};
+
+}  // namespace mm::sim

@@ -1,0 +1,72 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mm::sim {
+
+RouteWalk::RouteWalk(std::vector<geo::Vec2> waypoints, double speed_mps, SimTime start_time)
+    : waypoints_(std::move(waypoints)), speed_(speed_mps), start_(start_time) {
+  if (waypoints_.empty()) throw std::invalid_argument("RouteWalk: need waypoints");
+  if (!(speed_ > 0.0)) throw std::invalid_argument("RouteWalk: speed must be positive");
+  cumulative_.reserve(waypoints_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    total_length_ += waypoints_[i - 1].distance_to(waypoints_[i]);
+    cumulative_.push_back(total_length_);
+  }
+}
+
+geo::Vec2 RouteWalk::position(SimTime t) const {
+  if (t <= start_ || waypoints_.size() == 1) return waypoints_.front();
+  const double travelled = (t - start_) * speed_;
+  if (travelled >= total_length_) return waypoints_.back();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), travelled);
+  const auto seg = static_cast<std::size_t>(it - cumulative_.begin());  // in [1, n)
+  const double seg_start = cumulative_[seg - 1];
+  const double seg_len = cumulative_[seg] - seg_start;
+  const double frac = seg_len > 0.0 ? (travelled - seg_start) / seg_len : 0.0;
+  return waypoints_[seg - 1] + (waypoints_[seg] - waypoints_[seg - 1]) * frac;
+}
+
+SimTime RouteWalk::arrival_time() const noexcept { return start_ + total_length_ / speed_; }
+
+RandomWaypoint::RandomWaypoint(geo::Vec2 min_corner, geo::Vec2 max_corner,
+                               double speed_min_mps, double speed_max_mps,
+                               SimTime duration, std::uint64_t seed) {
+  if (!(speed_min_mps > 0.0) || speed_max_mps < speed_min_mps) {
+    throw std::invalid_argument("RandomWaypoint: bad speed range");
+  }
+  util::Rng rng(seed);
+  auto random_point = [&] {
+    return geo::Vec2{rng.uniform(min_corner.x, max_corner.x),
+                     rng.uniform(min_corner.y, max_corner.y)};
+  };
+  SimTime t = 0.0;
+  geo::Vec2 at = random_point();
+  while (t < duration) {
+    const geo::Vec2 target = random_point();
+    const double speed = rng.uniform(speed_min_mps, speed_max_mps);
+    const SimTime travel = at.distance_to(target) / speed;
+    segments_.push_back({t, t + travel, at, target});
+    t += travel;
+    at = target;
+  }
+}
+
+geo::Vec2 RandomWaypoint::position(SimTime t) const {
+  if (segments_.empty()) return {};
+  if (t <= segments_.front().start) return segments_.front().from;
+  if (t >= segments_.back().end) return segments_.back().to;
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](SimTime value, const Segment& s) { return value < s.end; });
+  const Segment& seg = *it;
+  const double span = seg.end - seg.start;
+  const double frac = span > 0.0 ? std::clamp((t - seg.start) / span, 0.0, 1.0) : 0.0;
+  return seg.from + (seg.to - seg.from) * frac;
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,70 @@
+// Mobility models. A model is a pure function of time so entity positions
+// never need per-tick update events; the victim in the paper's accuracy
+// experiments "walks around the campus", which RouteWalk reproduces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "sim/event_queue.h"
+
+namespace mm::sim {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  [[nodiscard]] virtual geo::Vec2 position(SimTime t) const = 0;
+};
+
+class StaticPosition final : public MobilityModel {
+ public:
+  explicit StaticPosition(geo::Vec2 where) : where_(where) {}
+  [[nodiscard]] geo::Vec2 position(SimTime) const override { return where_; }
+
+ private:
+  geo::Vec2 where_;
+};
+
+/// Walks a waypoint list at constant speed, holding the final waypoint.
+class RouteWalk final : public MobilityModel {
+ public:
+  /// Requires at least one waypoint and speed > 0.
+  RouteWalk(std::vector<geo::Vec2> waypoints, double speed_mps,
+            SimTime start_time = 0.0);
+
+  [[nodiscard]] geo::Vec2 position(SimTime t) const override;
+  /// Time at which the final waypoint is reached.
+  [[nodiscard]] SimTime arrival_time() const noexcept;
+  [[nodiscard]] double route_length_m() const noexcept { return total_length_; }
+
+ private:
+  std::vector<geo::Vec2> waypoints_;
+  std::vector<double> cumulative_;  // distance from start to each waypoint
+  double speed_;
+  SimTime start_;
+  double total_length_ = 0.0;
+};
+
+/// Classic random-waypoint inside a rectangle: pick a uniform point, walk to
+/// it at a uniform speed, repeat. Segments are pre-generated to `duration`
+/// so position(t) stays a pure lookup.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(geo::Vec2 min_corner, geo::Vec2 max_corner, double speed_min_mps,
+                 double speed_max_mps, SimTime duration, std::uint64_t seed);
+
+  [[nodiscard]] geo::Vec2 position(SimTime t) const override;
+
+ private:
+  struct Segment {
+    SimTime start;
+    SimTime end;
+    geo::Vec2 from;
+    geo::Vec2 to;
+  };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace mm::sim

@@ -1,0 +1,38 @@
+#include "sim/population.h"
+
+#include <algorithm>
+
+namespace mm::sim {
+
+std::vector<DayStats> simulate_population(const PopulationConfig& cfg, util::Rng& rng) {
+  std::vector<DayStats> days;
+  days.reserve(cfg.days);
+  for (std::size_t d = 0; d < cfg.days; ++d) {
+    const int dow = (cfg.start_day_of_week + static_cast<int>(d)) % 7;
+    DayStats day;
+    day.weekend = (dow == 0 || dow == 6);
+    day.label = cfg.month_label + " " + std::to_string(cfg.start_month_day + static_cast<int>(d));
+
+    const double mean =
+        day.weekend ? cfg.weekend_mean_mobiles : cfg.weekday_mean_mobiles;
+    day.mobiles_found = std::max<std::uint64_t>(1, rng.poisson(mean));
+
+    const double base_p =
+        day.weekend ? cfg.weekend_probing_prob : cfg.weekday_probing_prob;
+    // Day-to-day variation of the population mix.
+    const double p = std::clamp(base_p + rng.gaussian(0.0, 0.03), 0.05, 0.99);
+    std::size_t probing = 0;
+    for (std::size_t i = 0; i < day.mobiles_found; ++i) {
+      bool probes = rng.bernoulli(p);
+      if (!probes && cfg.active_attack) {
+        probes = rng.bernoulli(cfg.active_attack_conversion);
+      }
+      if (probes) ++probing;
+    }
+    day.probing_mobiles = probing;
+    days.push_back(std::move(day));
+  }
+  return days;
+}
+
+}  // namespace mm::sim

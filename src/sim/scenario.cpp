@@ -1,0 +1,129 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <array>
+
+namespace mm::sim {
+
+namespace {
+constexpr std::array<const char*, 12> kSsidStems = {
+    "linksys", "NETGEAR", "dlink", "UML-Guest",   "eduroam",  "belkin54g",
+    "2WIRE",   "default", "xfinity", "riverhawks", "home-net", "WLAN-24",
+};
+}  // namespace
+
+geo::Geodetic uml_north_campus() { return {42.6555, -71.3248, 30.0}; }
+
+const std::vector<double>& default_channel_weights() {
+  // Channels 1..11. 1: 28%, 6: 42%, 11: 23.7%, the rest share 6.3% —
+  // reproducing the Fig 8 finding that 93.7% of APs sit on 1/6/11.
+  static const std::vector<double> kWeights = {
+      0.280, 0.0079, 0.0079, 0.0079, 0.0079, 0.420, 0.0079, 0.0079, 0.0079, 0.0077, 0.237};
+  return kWeights;
+}
+
+CampusLayout generate_campus(const CampusConfig& cfg) {
+  CampusLayout layout;
+  layout.aps = generate_campus_aps(cfg);
+  // Building footprints around the same cluster centers the AP generator
+  // uses (regenerated with the same seed so the two stay aligned).
+  util::Rng rng(cfg.seed);
+  for (std::size_t b = 0; b < cfg.num_buildings; ++b) {
+    const geo::Vec2 center{rng.uniform(-0.8 * cfg.half_extent_m, 0.8 * cfg.half_extent_m),
+                           rng.uniform(-0.8 * cfg.half_extent_m, 0.8 * cfg.half_extent_m)};
+    const double half = 2.0 * cfg.building_spread_m;
+    layout.buildings.push_back(
+        {{center.x - half, center.y - half}, {center.x + half, center.y + half}, 6.0});
+  }
+  return layout;
+}
+
+std::vector<ApTruth> generate_campus_aps(const CampusConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  const auto& weights = default_channel_weights();
+  // Building centers (kept away from the border so clusters stay inside).
+  std::vector<geo::Vec2> buildings;
+  for (std::size_t b = 0; b < cfg.num_buildings; ++b) {
+    buildings.push_back({rng.uniform(-0.8 * cfg.half_extent_m, 0.8 * cfg.half_extent_m),
+                         rng.uniform(-0.8 * cfg.half_extent_m, 0.8 * cfg.half_extent_m)});
+  }
+  std::vector<ApTruth> aps;
+  aps.reserve(cfg.num_aps);
+  for (std::size_t i = 0; i < cfg.num_aps; ++i) {
+    ApTruth ap;
+    ap.bssid = net80211::MacAddress::random(rng, {0x00, 0x1a, 0x2b});
+    ap.ssid = std::string(kSsidStems[i % kSsidStems.size()]) + "-" + std::to_string(i);
+    if (cfg.five_ghz_fraction > 0.0 && rng.bernoulli(cfg.five_ghz_fraction)) {
+      const auto a_channels = rf::all_channels(rf::Band::kA5GHz);
+      ap.band = rf::Band::kA5GHz;
+      ap.channel =
+          a_channels[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(a_channels.size()) - 1))]
+              .number;
+    } else {
+      ap.channel = static_cast<int>(rng.weighted_index(weights)) + 1;
+    }
+    if (!buildings.empty() && rng.bernoulli(cfg.building_fraction)) {
+      const auto& center = buildings[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(buildings.size()) - 1))];
+      ap.position = {
+          std::clamp(center.x + rng.gaussian(0.0, cfg.building_spread_m),
+                     -cfg.half_extent_m, cfg.half_extent_m),
+          std::clamp(center.y + rng.gaussian(0.0, cfg.building_spread_m),
+                     -cfg.half_extent_m, cfg.half_extent_m)};
+    } else {
+      ap.position = {rng.uniform(-cfg.half_extent_m, cfg.half_extent_m),
+                     rng.uniform(-cfg.half_extent_m, cfg.half_extent_m)};
+    }
+    ap.radius_m = rng.uniform(cfg.radius_min_m, cfg.radius_max_m);
+    aps.push_back(std::move(ap));
+  }
+  return aps;
+}
+
+ApConfig to_ap_config(const ApTruth& truth, bool beacons_enabled) {
+  ApConfig cfg;
+  cfg.bssid = truth.bssid;
+  cfg.ssid = truth.ssid;
+  cfg.channel = {truth.band, truth.channel};
+  cfg.position = truth.position;
+  cfg.service_radius_m = truth.radius_m;
+  cfg.beacons_enabled = beacons_enabled;
+  return cfg;
+}
+
+void populate_world(World& world, const std::vector<ApTruth>& aps, bool beacons_enabled) {
+  for (const ApTruth& truth : aps) {
+    world.add_access_point(std::make_unique<AccessPoint>(to_ap_config(truth, beacons_enabled)));
+  }
+}
+
+std::shared_ptr<rf::Terrain> uml_hills() {
+  auto terrain = std::make_shared<rf::Terrain>();
+  // Small hills obstructing parts of the neighbourhood around the sniffer
+  // (the paper's explanation for HG2415U covering as much as LNA).
+  terrain->add_hill({{620.0, 180.0}, 14.0, 90.0});
+  terrain->add_hill({{-540.0, -260.0}, 18.0, 120.0});
+  terrain->add_hill({{150.0, -700.0}, 12.0, 100.0});
+  terrain->add_hill({{-220.0, 640.0}, 16.0, 110.0});
+  return terrain;
+}
+
+std::vector<geo::Vec2> lawnmower_route(double half_extent_m, int passes) {
+  std::vector<geo::Vec2> route;
+  if (passes < 1) passes = 1;
+  const double step = 2.0 * half_extent_m / passes;
+  for (int p = 0; p <= passes; ++p) {
+    const double y = -half_extent_m + step * p;
+    if (p % 2 == 0) {
+      route.push_back({-half_extent_m, y});
+      route.push_back({half_extent_m, y});
+    } else {
+      route.push_back({half_extent_m, y});
+      route.push_back({-half_extent_m, y});
+    }
+  }
+  return route;
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,87 @@
+// Scenario builders: generate a UML-north-campus-like deployment — APs with
+// a realistic channel mix (Fig 8: ~93.7% on channels 1/6/11), varied service
+// radii, SSIDs, and the small hills that shape Fig 12's coverage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/geodetic.h"
+#include "rf/buildings.h"
+#include "rf/propagation.h"
+#include "sim/ap.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace mm::sim {
+
+/// Ground truth for one deployed AP (what WiGLE would know, plus the radius
+/// only the attack's training phase could measure).
+struct ApTruth {
+  net80211::MacAddress bssid;
+  std::string ssid;
+  rf::Band band = rf::Band::kBg24GHz;
+  int channel = 6;
+  geo::Vec2 position;
+  double radius_m = 100.0;
+};
+
+struct CampusConfig {
+  std::uint64_t seed = 2009;
+  /// APs are placed uniformly inside the square [-half_extent, half_extent]^2.
+  double half_extent_m = 450.0;
+  std::size_t num_aps = 120;
+  double radius_min_m = 70.0;
+  double radius_max_m = 130.0;
+  bool beacons_enabled = false;
+  /// Fraction of APs deployed on 802.11a (5 GHz) channels. 0 reproduces the
+  /// paper's b/g-dominated 2008 campus.
+  double five_ghz_fraction = 0.0;
+  /// Campus APs cluster in buildings. This fraction of APs is placed around
+  /// `num_buildings` random building centers (Gaussian spread
+  /// `building_spread_m`); the rest are uniform. Skewed placement is what
+  /// makes the Centroid baseline degrade (Fig 4 / Fig 14).
+  double building_fraction = 0.6;
+  std::size_t num_buildings = 12;
+  double building_spread_m = 30.0;
+};
+
+/// The paper's UML north campus anchor (display frame for maps / geodetic
+/// round-trips).
+[[nodiscard]] geo::Geodetic uml_north_campus();
+
+/// Per-channel deployment weights for b/g channels 1..11 matching the
+/// measured Fig 8 distribution (1/6/11 carry 93.7%).
+[[nodiscard]] const std::vector<double>& default_channel_weights();
+
+/// Complete campus layout: APs plus the building footprints the clustered
+/// APs live in (for the rf::UrbanModel penetration loss).
+struct CampusLayout {
+  std::vector<ApTruth> aps;
+  std::vector<rf::Building> buildings;
+};
+
+/// Generates the full layout; deterministic in cfg.seed.
+[[nodiscard]] CampusLayout generate_campus(const CampusConfig& cfg);
+
+/// Generates AP ground truth only; deterministic in cfg.seed (same APs as
+/// generate_campus for the same config).
+[[nodiscard]] std::vector<ApTruth> generate_campus_aps(const CampusConfig& cfg);
+
+/// Instantiates one simulated AP from ground truth.
+[[nodiscard]] ApConfig to_ap_config(const ApTruth& truth, bool beacons_enabled);
+
+/// Adds every AP of the scenario to the world.
+void populate_world(World& world, const std::vector<ApTruth>& aps, bool beacons_enabled);
+
+/// The hilly terrain of the UML north campus used by Fig 12: a handful of
+/// small hills around the monitored neighbourhood.
+[[nodiscard]] std::shared_ptr<rf::Terrain> uml_hills();
+
+/// Rectangular lawnmower route through the campus area, used to generate
+/// victim walks and wardriving tracks.
+[[nodiscard]] std::vector<geo::Vec2> lawnmower_route(double half_extent_m, int passes);
+
+}  // namespace mm::sim

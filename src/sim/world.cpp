@@ -1,0 +1,62 @@
+#include "sim/world.h"
+
+#include <algorithm>
+
+#include "sim/ap.h"
+#include "sim/mobile.h"
+
+namespace mm::sim {
+
+World::World(Config config) : rng_(config.seed), propagation_(std::move(config.propagation)) {
+  if (!propagation_) propagation_ = std::make_shared<rf::FreeSpaceModel>();
+}
+
+World::~World() = default;
+
+AccessPoint* World::add_access_point(std::unique_ptr<AccessPoint> ap) {
+  AccessPoint* raw = ap.get();
+  aps_.push_back(std::move(ap));
+  register_receiver(raw);
+  raw->attach(*this);
+  return raw;
+}
+
+MobileDevice* World::add_mobile(std::unique_ptr<MobileDevice> mobile) {
+  MobileDevice* raw = mobile.get();
+  mobiles_.push_back(std::move(mobile));
+  register_receiver(raw);
+  raw->attach(*this);
+  return raw;
+}
+
+void World::register_receiver(FrameReceiver* receiver) {
+  if (receiver == nullptr) return;
+  if (std::find(receivers_.begin(), receivers_.end(), receiver) == receivers_.end()) {
+    receivers_.push_back(receiver);
+  }
+}
+
+void World::unregister_receiver(FrameReceiver* receiver) {
+  receivers_.erase(std::remove(receivers_.begin(), receivers_.end(), receiver),
+                   receivers_.end());
+}
+
+void World::transmit(const net80211::ManagementFrame& frame, const TxRadio& tx) {
+  ++tx_count_;
+  const double freq_mhz = rf::channel_center_mhz(tx.channel);
+  for (FrameReceiver* receiver : receivers_) {
+    if (receiver == tx.sender) continue;
+    const geo::Vec2 rx_pos = receiver->position();
+    const double loss = propagation_->path_loss_db(tx.position, tx.height_m, rx_pos,
+                                                   receiver->antenna_height_m(), freq_mhz);
+    RxInfo info;
+    info.rssi_dbm = tx.power_dbm + tx.antenna_gain_dbi - loss;
+    info.channel = tx.channel;
+    info.time = queue_.now();
+    info.tx_position = tx.position;
+    info.distance_m = tx.position.distance_to(rx_pos);
+    receiver->on_air_frame(frame, info);
+  }
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,110 @@
+// The simulated wireless world: a shared medium that delivers every
+// transmitted 802.11 management frame to every registered receiver with a
+// per-link receive level from the propagation model. Receivers (APs, mobile
+// devices, and the capture layer's sniffers) decide for themselves what they
+// can decode — the sniffer applies its receiver-chain link budget, while
+// AP<->mobile communicability follows the paper's worst-case disc model
+// (Section III-A: the sphere model is deliberately used as the bound the
+// localization algorithms reason over).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "net80211/frames.h"
+#include "rf/channels.h"
+#include "rf/propagation.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace mm::sim {
+
+/// Per-delivery reception metadata.
+struct RxInfo {
+  double rssi_dbm = -200.0;  ///< isotropic receive level (before rx antenna gain)
+  rf::Channel channel;       ///< transmitter's channel
+  SimTime time = 0.0;
+  geo::Vec2 tx_position;
+  double distance_m = 0.0;
+};
+
+/// Transmitter-side parameters for one frame.
+struct TxRadio {
+  geo::Vec2 position;
+  double height_m = 1.5;
+  double power_dbm = 15.0;
+  double antenna_gain_dbi = 0.0;
+  rf::Channel channel;
+  const void* sender = nullptr;  ///< excluded from delivery
+};
+
+class FrameReceiver {
+ public:
+  virtual ~FrameReceiver() = default;
+  [[nodiscard]] virtual geo::Vec2 position() const = 0;
+  [[nodiscard]] virtual double antenna_height_m() const = 0;
+  virtual void on_air_frame(const net80211::ManagementFrame& frame, const RxInfo& rx) = 0;
+};
+
+class AccessPoint;
+class MobileDevice;
+
+/// Owns the event queue, RNG, propagation model, and all simulated entities.
+class World {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// Defaults to a clutter-free free-space model when null.
+    std::shared_ptr<const rf::PropagationModel> propagation;
+  };
+
+  explicit World(Config config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] const rf::PropagationModel& propagation() const noexcept {
+    return *propagation_;
+  }
+
+  /// Takes ownership; the entity is attached (scheduling its behaviour) and
+  /// registered with the medium. Returns a stable non-owning pointer.
+  AccessPoint* add_access_point(std::unique_ptr<AccessPoint> ap);
+  MobileDevice* add_mobile(std::unique_ptr<MobileDevice> mobile);
+
+  /// Non-owning receivers (sniffers). The caller keeps them alive until
+  /// unregistered or the world is destroyed.
+  void register_receiver(FrameReceiver* receiver);
+  void unregister_receiver(FrameReceiver* receiver);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<AccessPoint>>& access_points() const {
+    return aps_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<MobileDevice>>& mobiles() const {
+    return mobiles_;
+  }
+
+  /// Broadcasts a frame over the medium to all receivers except the sender.
+  void transmit(const net80211::ManagementFrame& frame, const TxRadio& tx);
+
+  /// Runs the simulation to `t_end` seconds.
+  void run_until(SimTime t_end) { queue_.run_until(t_end); }
+
+  [[nodiscard]] std::uint64_t frames_transmitted() const noexcept { return tx_count_; }
+
+ private:
+  EventQueue queue_;
+  util::Rng rng_;
+  std::shared_ptr<const rf::PropagationModel> propagation_;
+  std::vector<std::unique_ptr<AccessPoint>> aps_;
+  std::vector<std::unique_ptr<MobileDevice>> mobiles_;
+  std::vector<FrameReceiver*> receivers_;
+  std::uint64_t tx_count_ = 0;
+};
+
+}  // namespace mm::sim

@@ -1,0 +1,32 @@
+// Minimal CSV reader/writer with RFC-4180 quoting. Used for the WiGLE-style
+// AP database import/export and for dumping experiment series alongside the
+// console tables.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mm::util {
+
+/// One parsed CSV row (fields already unescaped).
+using CsvRow = std::vector<std::string>;
+
+/// Escapes a field if it contains separators, quotes, or newlines.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Joins fields into one CSV line (no trailing newline).
+[[nodiscard]] std::string csv_join(const CsvRow& fields);
+
+/// Parses one CSV line into fields, honoring quoted fields with embedded
+/// commas and doubled quotes. Throws std::runtime_error on unterminated quotes.
+[[nodiscard]] CsvRow csv_parse_line(const std::string& line);
+
+/// Writes rows (with optional header as first row) to a file.
+void csv_write_file(const std::filesystem::path& path, const std::vector<CsvRow>& rows);
+
+/// Reads all rows of a CSV file. Handles quoted fields spanning one line;
+/// throws std::runtime_error if the file cannot be opened.
+[[nodiscard]] std::vector<CsvRow> csv_read_file(const std::filesystem::path& path);
+
+}  // namespace mm::util

@@ -1,0 +1,33 @@
+// Command-line flag parsing for the bench/example binaries: `--key=value` or
+// `--key value`; everything else is a positional argument. Keeps the
+// experiment entry points uniform (`--seed`, `--trials`, `--out`, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mm::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::uint64_t get_seed(std::uint64_t fallback) const {
+    return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mm::util

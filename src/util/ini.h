@@ -1,0 +1,45 @@
+// Minimal INI-style config parser for the mmctl experiment runner:
+// `[section]` headers, `key = value` pairs, `#`/`;` comments, trailing
+// whitespace trimmed. Sections and keys are case-sensitive.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mm::util {
+
+class IniFile {
+ public:
+  /// Parses text; throws std::runtime_error with a line number on malformed
+  /// input (junk outside a section, lines without '=').
+  [[nodiscard]] static IniFile parse(const std::string& text);
+  [[nodiscard]] static IniFile load(const std::filesystem::path& path);
+
+  [[nodiscard]] bool has_section(const std::string& section) const;
+  [[nodiscard]] bool has(const std::string& section, const std::string& key) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& section, const std::string& key,
+                                   const std::string& fallback) const;
+  /// Numeric accessors throw std::runtime_error on unparsable values.
+  [[nodiscard]] double get_double(const std::string& section, const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& section, const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section, const std::string& key,
+                              bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::map<std::string, std::string>>& sections()
+      const noexcept {
+    return sections_;
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+}  // namespace mm::util

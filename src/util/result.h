@@ -1,0 +1,48 @@
+// Minimal expected-like result type (C++20 has no std::expected yet). Used
+// by the frame/pcap parsers so malformed input is reported as a value, not
+// an exception, on the capture hot path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mm::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error());
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const std::string& error() const {
+    static const std::string kNone = "(no error)";
+    if (ok()) return kNone;
+    return std::get<Error>(storage_).message;
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Result(Error e) : storage_(std::move(e)) {}
+
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace mm::util

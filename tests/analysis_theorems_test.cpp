@@ -1,0 +1,150 @@
+#include "analysis/theorems.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/integrate.h"
+
+namespace mm::analysis {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Integrate, PolynomialExact) {
+  EXPECT_NEAR(adaptive_simpson([](double x) { return x * x; }, 0.0, 3.0), 9.0, 1e-9);
+  EXPECT_NEAR(adaptive_simpson([](double x) { return 2.0 * x + 1.0; }, -1.0, 2.0), 6.0,
+              1e-9);
+}
+
+TEST(Integrate, TranscendentalAccurate) {
+  EXPECT_NEAR(adaptive_simpson([](double x) { return std::sin(x); }, 0.0, kPi), 2.0, 1e-9);
+  EXPECT_NEAR(adaptive_simpson([](double x) { return std::exp(x); }, 0.0, 1.0),
+              std::numbers::e - 1.0, 1e-9);
+}
+
+TEST(Integrate, EmptyAndReversedIntervals) {
+  EXPECT_DOUBLE_EQ(adaptive_simpson([](double) { return 1.0; }, 2.0, 2.0), 0.0);
+  EXPECT_THROW((void)adaptive_simpson([](double) { return 1.0; }, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Thm2, KOneIsLensExpectation) {
+  // For k=1 the expected area has closed form: the mean lens area of two
+  // unit discs whose centers are distance x apart, x ~ with density 2x on
+  // [0,1] scaled... cross-check against Monte Carlo instead of deriving.
+  const double formula = thm2_expected_area(1, 1.0);
+  const double mc = thm2_monte_carlo_area(1, 1.0, 20000, 99);
+  EXPECT_NEAR(formula, mc, 0.02 * formula);
+}
+
+// Fig 2: the curve is monotone decreasing in k, roughly ~1/k.
+TEST(Thm2, MonotoneDecreasingInK) {
+  double prev = thm2_expected_area(1, 1.0);
+  for (int k = 2; k <= 20; ++k) {
+    const double ca = thm2_expected_area(k, 1.0);
+    EXPECT_LT(ca, prev) << "k=" << k;
+    prev = ca;
+  }
+}
+
+TEST(Thm2, RoughInverseProportionality) {
+  // Paper: "roughly inversely proportional with the number of APs". The
+  // exact decay is slightly faster than 1/k (doubling k from 5 to 10 cuts
+  // the area by ~3.2x), so bound the ratio loosely around 2.
+  const double ca5 = thm2_expected_area(5, 1.0);
+  const double ca10 = thm2_expected_area(10, 1.0);
+  const double ratio = ca5 / ca10;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+// Corollary 1 scaling: CA proportional to r^2 at fixed k.
+TEST(Thm2, ScalesWithRadiusSquared) {
+  const double base = thm2_expected_area(6, 1.0);
+  EXPECT_NEAR(thm2_expected_area(6, 2.0), base * 4.0, 1e-9);
+  EXPECT_NEAR(thm2_expected_area(6, 0.5), base * 0.25, 1e-9);
+}
+
+class Thm2MonteCarloMatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm2MonteCarloMatch, FormulaMatchesSimulation) {
+  const int k = GetParam();
+  const double formula = thm2_expected_area(k, 1.0);
+  const double mc =
+      thm2_monte_carlo_area(k, 1.0, 20000, 1234 + static_cast<std::uint64_t>(k));
+  EXPECT_NEAR(mc, formula, 0.05 * formula + 1e-4) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, Thm2MonteCarloMatch, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+TEST(Thm2, InvalidArguments) {
+  EXPECT_THROW((void)thm2_expected_area(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)thm2_expected_area(3, 0.0), std::invalid_argument);
+}
+
+TEST(Thm3, ReducesToThm2WhenREqualsR) {
+  for (int k : {2, 5, 10}) {
+    EXPECT_NEAR(thm3_expected_area(k, 1.0, 1.0), thm2_expected_area(k, 1.0), 1e-6)
+        << "k=" << k;
+  }
+}
+
+// Fig 5: expected area grows rapidly with the overestimated radius R.
+TEST(Thm3, AreaGrowsWithR) {
+  double prev = thm3_expected_area(10, 1.0, 1.0);
+  for (double big_r : {1.2, 1.5, 2.0, 3.0}) {
+    const double ca = thm3_expected_area(10, 1.0, big_r);
+    EXPECT_GT(ca, prev);
+    prev = ca;
+  }
+  // Growth is steep: R=2 is much worse than R=1.
+  EXPECT_GT(thm3_expected_area(10, 1.0, 2.0), 4.0 * thm3_expected_area(10, 1.0, 1.0));
+}
+
+TEST(Thm3, AreaRequiresROverR) {
+  EXPECT_THROW((void)thm3_expected_area(5, 1.0, 0.5), std::invalid_argument);
+}
+
+// Fig 6: coverage probability collapses like (R/r)^{2k} for underestimates.
+TEST(Thm3, CoverageProbabilityFormula) {
+  EXPECT_DOUBLE_EQ(thm3_coverage_probability(5, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(thm3_coverage_probability(5, 1.0, 2.0), 1.0);
+  EXPECT_NEAR(thm3_coverage_probability(1, 1.0, 0.5), 0.25, 1e-12);
+  EXPECT_NEAR(thm3_coverage_probability(10, 1.0, 0.9), std::pow(0.9, 20.0), 1e-12);
+  // Large k + underestimate: essentially zero (the paper's warning).
+  EXPECT_LT(thm3_coverage_probability(10, 1.0, 0.5), 1e-5);
+}
+
+class Thm3CoverageMonteCarlo : public ::testing::TestWithParam<double> {};
+
+TEST_P(Thm3CoverageMonteCarlo, EmpiricalCoverageMatchesFormula) {
+  const double big_r = GetParam();
+  const int k = 4;
+  const auto mc = thm3_monte_carlo(k, 1.0, big_r, 20000, 555);
+  const double expected = thm3_coverage_probability(k, 1.0, big_r);
+  EXPECT_NEAR(mc.coverage_probability, expected, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(RSweep, Thm3CoverageMonteCarlo,
+                         ::testing::Values(0.7, 0.8, 0.9, 1.0, 1.3));
+
+TEST(Thm3, MonteCarloAreaMatchesFormulaForOverestimates) {
+  for (double big_r : {1.0, 1.5, 2.0}) {
+    const double formula = thm3_expected_area(6, 1.0, big_r);
+    const auto mc = thm3_monte_carlo(6, 1.0, big_r, 15000, 777);
+    EXPECT_NEAR(mc.mean_area, formula, 0.05 * formula) << "R=" << big_r;
+  }
+}
+
+TEST(Thm3, OverestimatePreferredOverUnderestimate) {
+  // The paper's conclusion from Figs 5/6: prefer R > r because an
+  // underestimate destroys the coverage guarantee exponentially in k.
+  const int k = 10;
+  EXPECT_GT(thm3_coverage_probability(k, 1.0, 1.1), 0.999);
+  EXPECT_LT(thm3_coverage_probability(k, 1.0, 0.9), 0.13);
+}
+
+}  // namespace
+}  // namespace mm::analysis

@@ -1,0 +1,109 @@
+#include "capture/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mm::capture {
+namespace {
+
+const net80211::MacAddress kDev = *net80211::MacAddress::parse("00:16:6f:00:00:0a");
+const net80211::MacAddress kAp1 = *net80211::MacAddress::parse("00:1a:2b:00:00:01");
+const net80211::MacAddress kAp2 = *net80211::MacAddress::parse("00:1a:2b:00:00:02");
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+ObservationStore make_populated_store() {
+  ObservationStore store;
+  store.record_probe_request(kDev, 1.5, std::string("HomeNet"));
+  store.record_probe_request(kDev, 2.5, std::string("WorkNet"));
+  store.record_contact(kAp1, kDev, 3.0, -72.5);
+  store.record_contact(kAp1, kDev, 4.0, -70.25);
+  store.record_contact(kAp2, kDev, 5.0, -80.0);
+  store.record_beacon(kAp1, "NetOne", 6, 1.0, -55.0);
+  store.record_beacon(kAp1, "NetOne", 6, 2.0, -54.5);
+  return store;
+}
+
+TEST(Persistence, ExactRoundtrip) {
+  const auto path = temp_file("mm_obs_roundtrip.csv");
+  const ObservationStore original = make_populated_store();
+  save_observations(original, path);
+  const ObservationStore loaded = load_observations(path);
+
+  ASSERT_EQ(loaded.device_count(), original.device_count());
+  const DeviceRecord* orig_rec = original.device(kDev);
+  const DeviceRecord* load_rec = loaded.device(kDev);
+  ASSERT_NE(load_rec, nullptr);
+  EXPECT_EQ(load_rec->probe_requests, orig_rec->probe_requests);
+  EXPECT_DOUBLE_EQ(load_rec->first_seen, orig_rec->first_seen);
+  EXPECT_DOUBLE_EQ(load_rec->last_seen, orig_rec->last_seen);
+  EXPECT_EQ(load_rec->directed_ssids, orig_rec->directed_ssids);
+  ASSERT_EQ(load_rec->contacts.size(), 2u);
+  const ApContact& c1 = load_rec->contacts.at(kAp1);
+  EXPECT_EQ(c1.count, 2u);
+  EXPECT_DOUBLE_EQ(c1.first_seen, 3.0);
+  EXPECT_DOUBLE_EQ(c1.last_seen, 4.0);
+  EXPECT_DOUBLE_EQ(c1.last_rssi_dbm, -70.25);
+  EXPECT_EQ(c1.times, (std::vector<sim::SimTime>{3.0, 4.0}));
+
+  // Gamma queries behave identically.
+  EXPECT_EQ(loaded.gamma(kDev), original.gamma(kDev));
+  EXPECT_EQ(loaded.gamma(kDev, {2.9, 3.1}), original.gamma(kDev, {2.9, 3.1}));
+  EXPECT_EQ(loaded.session_gammas(5.0).size(), original.session_gammas(5.0).size());
+
+  // Sightings too.
+  ASSERT_EQ(loaded.ap_sightings().size(), 1u);
+  EXPECT_EQ(loaded.ap_sightings().at(kAp1).beacons, 2u);
+  EXPECT_EQ(loaded.ap_sightings().at(kAp1).ssid, "NetOne");
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, EmptyStoreRoundtrip) {
+  const auto path = temp_file("mm_obs_empty.csv");
+  save_observations(ObservationStore{}, path);
+  const ObservationStore loaded = load_observations(path);
+  EXPECT_EQ(loaded.device_count(), 0u);
+  EXPECT_TRUE(loaded.ap_sightings().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, SsidWithCommaSurvives) {
+  const auto path = temp_file("mm_obs_comma.csv");
+  ObservationStore store;
+  store.record_beacon(kAp1, "Cafe, The \"Best\"", 11, 1.0, -60.0);
+  save_observations(store, path);
+  const ObservationStore loaded = load_observations(path);
+  EXPECT_EQ(loaded.ap_sightings().at(kAp1).ssid, "Cafe, The \"Best\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, UnknownTagThrows) {
+  const auto path = temp_file("mm_obs_badtag.csv");
+  {
+    std::ofstream out(path);
+    out << "gibberish,1,2,3\n";
+  }
+  EXPECT_THROW((void)load_observations(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, ContactWithoutDeviceThrows) {
+  const auto path = temp_file("mm_obs_orphan.csv");
+  {
+    std::ofstream out(path);
+    out << "contact,00:16:6f:00:00:0a,00:1a:2b:00:00:01,1,2,1,-70,1\n";
+  }
+  EXPECT_THROW((void)load_observations(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, MissingFileThrows) {
+  EXPECT_THROW((void)load_observations("/nonexistent/obs.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mm::capture

@@ -1,0 +1,99 @@
+#include "capture/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "capture/sniffer.h"
+#include "net80211/pcap.h"
+#include "sim/ap.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+
+namespace mm::capture {
+namespace {
+
+const net80211::MacAddress kApMac = *net80211::MacAddress::parse("00:1a:2b:00:00:01");
+const net80211::MacAddress kClientMac = *net80211::MacAddress::parse("00:16:6f:00:00:02");
+
+std::filesystem::path record_session() {
+  const auto path = std::filesystem::temp_directory_path() / "mm_replay.pcap";
+  sim::World world({});
+  sim::ApConfig ap;
+  ap.bssid = kApMac;
+  ap.ssid = "ReplayNet";
+  ap.channel = {rf::Band::kBg24GHz, 6};
+  ap.position = {40.0, 0.0};
+  ap.service_radius_m = 100.0;
+  ap.beacons_enabled = true;
+  world.add_access_point(std::make_unique<sim::AccessPoint>(ap));
+
+  sim::MobileConfig mc;
+  mc.mac = kClientMac;
+  mc.profile.probes = false;
+  mc.mobility = std::make_shared<sim::StaticPosition>(geo::Vec2{0.0, 0.0});
+  sim::MobileDevice* mobile = world.add_mobile(std::make_unique<sim::MobileDevice>(mc));
+
+  ObservationStore live;
+  SnifferConfig sc;
+  sc.position = {0.0, 60.0};
+  sc.pcap_path = path;
+  Sniffer sniffer(sc, &live);
+  sniffer.attach(world);
+  mobile->trigger_scan();
+  world.run_until(5.0);
+  return path;
+}
+
+TEST(Replay, RebuildsObservationsFromPcap) {
+  const auto path = record_session();
+  ObservationStore offline;
+  const ReplayStats stats = replay_pcap(path, offline);
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_GT(stats.probe_requests, 0u);
+  EXPECT_EQ(stats.probe_responses, 1u);
+  EXPECT_GT(stats.beacons, 0u);
+
+  // The offline store carries the same Gamma evidence the live store did.
+  EXPECT_EQ(offline.gamma(kClientMac), (std::set<net80211::MacAddress>{kApMac}));
+  const DeviceRecord* rec = offline.device(kClientMac);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->probe_requests, 0u);
+  // Beacon sightings recovered too (channel survey works offline).
+  ASSERT_EQ(offline.ap_sightings().count(kApMac), 1u);
+  EXPECT_EQ(offline.ap_sightings().at(kApMac).ssid, "ReplayNet");
+  EXPECT_EQ(offline.ap_sightings().at(kApMac).channel, 6);
+  std::filesystem::remove(path);
+}
+
+TEST(Replay, RejectsWrongLinktype) {
+  const auto path = std::filesystem::temp_directory_path() / "mm_replay_bad.pcap";
+  { net80211::PcapWriter writer(path, net80211::kLinktype80211); }
+  ObservationStore store;
+  EXPECT_THROW((void)replay_pcap(path, store), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Replay, MissingFileThrows) {
+  ObservationStore store;
+  EXPECT_THROW((void)replay_pcap("/nonexistent.pcap", store), std::runtime_error);
+}
+
+TEST(Replay, CountsMalformedRecords) {
+  const auto path = std::filesystem::temp_directory_path() / "mm_replay_junk.pcap";
+  {
+    net80211::PcapWriter writer(path, net80211::kLinktypeRadiotap);
+    writer.write(0, std::vector<std::uint8_t>{0x01, 0x02, 0x03});  // not radiotap
+  }
+  ObservationStore store;
+  const ReplayStats stats = replay_pcap(path, store);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(store.device_count(), 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace mm::capture

@@ -1,0 +1,147 @@
+#include "geo/circle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mm::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.cross({1.0, 0.0}), -4.0);
+  EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).cross({0.0, 1.0}), 1.0);
+}
+
+TEST(Vec2, NormalizedAndPerp) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 n = a.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+  EXPECT_DOUBLE_EQ(a.perp().dot(a), 0.0);
+}
+
+TEST(Vec2, FromPolarAndAngle) {
+  const Vec2 v = Vec2::from_polar(2.0, kPi / 2.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 2.0, 1e-12);
+  EXPECT_NEAR(v.angle(), kPi / 2.0, 1e-12);
+}
+
+TEST(Circle, ContainsBoundaryAndInterior) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_TRUE(c.contains({2.0, 0.0}));
+  EXPECT_FALSE(c.contains({2.1, 0.0}));
+}
+
+TEST(Circle, AreaAndPointAt) {
+  const Circle c{{1.0, 1.0}, 3.0};
+  EXPECT_NEAR(c.area(), kPi * 9.0, 1e-9);
+  const Vec2 p = c.point_at(0.0);
+  EXPECT_NEAR(p.x, 4.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(Circle, InsideOfAndDisjoint) {
+  const Circle small{{0.0, 0.0}, 1.0};
+  const Circle big{{0.5, 0.0}, 2.0};
+  const Circle far{{10.0, 0.0}, 1.0};
+  EXPECT_TRUE(small.inside_of(big));
+  EXPECT_FALSE(big.inside_of(small));
+  EXPECT_TRUE(small.disjoint_from(far));
+  EXPECT_FALSE(small.disjoint_from(big));
+}
+
+TEST(CircleIntersection, TwoPointCase) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{1.0, 0.0}, 1.0};
+  const auto pts = circle_circle_intersection(a, b);
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_NEAR(pts->first.x, 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(pts->first.y), std::sqrt(3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(pts->second.x, 0.5, 1e-12);
+  EXPECT_NEAR(pts->first.y, -pts->second.y, 1e-12);
+}
+
+TEST(CircleIntersection, PointsLieOnBothCircles) {
+  const Circle a{{2.0, 3.0}, 2.5};
+  const Circle b{{4.0, 1.0}, 1.7};
+  const auto pts = circle_circle_intersection(a, b);
+  ASSERT_TRUE(pts.has_value());
+  for (const Vec2& p : {pts->first, pts->second}) {
+    EXPECT_NEAR(p.distance_to(a.center), a.radius, 1e-9);
+    EXPECT_NEAR(p.distance_to(b.center), b.radius, 1e-9);
+  }
+}
+
+TEST(CircleIntersection, SeparateCirclesNone) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{5.0, 0.0}, 1.0};
+  EXPECT_FALSE(circle_circle_intersection(a, b).has_value());
+}
+
+TEST(CircleIntersection, NestedCirclesNone) {
+  const Circle a{{0.0, 0.0}, 5.0};
+  const Circle b{{0.5, 0.0}, 1.0};
+  EXPECT_FALSE(circle_circle_intersection(a, b).has_value());
+}
+
+TEST(CircleIntersection, ConcentricNone) {
+  const Circle a{{0.0, 0.0}, 2.0};
+  const Circle b{{0.0, 0.0}, 2.0};
+  EXPECT_FALSE(circle_circle_intersection(a, b).has_value());
+}
+
+TEST(CircleIntersection, ExternalTangencyGivesCoincidentPoints) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{2.0, 0.0}, 1.0};
+  const auto pts = circle_circle_intersection(a, b);
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_NEAR(pts->first.distance_to(pts->second), 0.0, 1e-6);
+  EXPECT_NEAR(pts->first.x, 1.0, 1e-9);
+}
+
+TEST(LensArea, DisjointZero) {
+  EXPECT_DOUBLE_EQ(lens_area({{0.0, 0.0}, 1.0}, {{5.0, 0.0}, 1.0}), 0.0);
+}
+
+TEST(LensArea, NestedIsSmallerDiscArea) {
+  const double area = lens_area({{0.0, 0.0}, 3.0}, {{0.5, 0.0}, 1.0});
+  EXPECT_NEAR(area, kPi, 1e-9);
+}
+
+TEST(LensArea, EqualCirclesHalfOffset) {
+  // Known closed form: two unit circles with centers distance 1 apart.
+  const double expected = 2.0 * std::acos(0.5) - 0.5 * std::sqrt(3.0);
+  EXPECT_NEAR(lens_area({{0.0, 0.0}, 1.0}, {{1.0, 0.0}, 1.0}), expected, 1e-9);
+}
+
+TEST(LensArea, SymmetricInArguments) {
+  const Circle a{{0.0, 0.0}, 2.0};
+  const Circle b{{1.5, 0.7}, 1.2};
+  EXPECT_NEAR(lens_area(a, b), lens_area(b, a), 1e-12);
+}
+
+TEST(LensArea, FullOverlapAtZeroDistance) {
+  EXPECT_NEAR(lens_area({{0.0, 0.0}, 2.0}, {{0.0, 0.0}, 2.0}), kPi * 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mm::geo

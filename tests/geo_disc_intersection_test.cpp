@@ -1,0 +1,230 @@
+#include "geo/disc_intersection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mm::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(DiscIntersection, EmptyInputThrows) {
+  std::vector<Circle> none;
+  EXPECT_THROW((void)DiscIntersection::compute(none), std::invalid_argument);
+}
+
+TEST(DiscIntersection, NonPositiveRadiusThrows) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 0.0}};
+  EXPECT_THROW((void)DiscIntersection::compute(discs), std::invalid_argument);
+}
+
+TEST(DiscIntersection, SingleDiscIsFullDisc) {
+  const std::vector<Circle> discs{{{2.0, -1.0}, 3.0}};
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_FALSE(region.empty());
+  EXPECT_NEAR(region.area(), kPi * 9.0, 1e-6);
+  EXPECT_NEAR(region.centroid().x, 2.0, 1e-6);
+  EXPECT_NEAR(region.centroid().y, -1.0, 1e-6);
+}
+
+TEST(DiscIntersection, DisjointPairIsEmpty) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 1.0}, {{10.0, 0.0}, 1.0}};
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_TRUE(region.empty());
+  EXPECT_DOUBLE_EQ(region.area(), 0.0);
+}
+
+TEST(DiscIntersection, TwoCircleLensMatchesClosedForm) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{1.0, 0.0}, 1.0};
+  const std::vector<Circle> discs{a, b};
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_FALSE(region.empty());
+  EXPECT_NEAR(region.area(), lens_area(a, b), 1e-9);
+  // Symmetric lens: centroid at the midpoint.
+  EXPECT_NEAR(region.centroid().x, 0.5, 1e-9);
+  EXPECT_NEAR(region.centroid().y, 0.0, 1e-9);
+}
+
+TEST(DiscIntersection, NestedDiscsReduceToInner) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 5.0}, {{0.3, 0.2}, 1.0}, {{-0.1, 0.0}, 4.0}};
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_FALSE(region.empty());
+  EXPECT_NEAR(region.area(), kPi, 1e-6);
+  EXPECT_NEAR(region.centroid().x, 0.3, 1e-6);
+  EXPECT_NEAR(region.centroid().y, 0.2, 1e-6);
+}
+
+TEST(DiscIntersection, DuplicateDiscsNotDoubleCounted) {
+  const Circle c{{1.0, 1.0}, 2.0};
+  const std::vector<Circle> discs{c, c, c};
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_NEAR(region.area(), c.area(), 1e-6);
+  EXPECT_NEAR(region.centroid().x, 1.0, 1e-6);
+}
+
+TEST(DiscIntersection, PairwiseOverlapButEmptyCommon) {
+  // Three discs arranged so each pair overlaps but no point is in all three.
+  const double r = 1.0;
+  const double d = 1.9;  // pairwise distance < 2r, but > r*sqrt(3)
+  const std::vector<Circle> discs{
+      {{0.0, 0.0}, r},
+      {{d, 0.0}, r},
+      {{d / 2.0, d * std::sqrt(3.0) / 2.0}, r},
+  };
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_TRUE(region.empty());
+}
+
+TEST(DiscIntersection, ThreeSymmetricDiscsCentroidAtCenter) {
+  // Three unit discs centered on an equilateral triangle around the origin.
+  std::vector<Circle> discs;
+  for (int i = 0; i < 3; ++i) {
+    const double theta = 2.0 * kPi * i / 3.0;
+    discs.push_back({Vec2::from_polar(0.5, theta), 1.0});
+  }
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_FALSE(region.empty());
+  EXPECT_NEAR(region.centroid().x, 0.0, 1e-9);
+  EXPECT_NEAR(region.centroid().y, 0.0, 1e-9);
+  EXPECT_GT(region.area(), 0.0);
+  EXPECT_LT(region.area(), kPi);
+}
+
+TEST(DiscIntersection, ContainsAgreesWithDefiningDiscs) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 2.0}, {{1.0, 0.0}, 2.0}};
+  const auto region = DiscIntersection::compute(discs);
+  EXPECT_TRUE(region.contains({0.5, 0.0}));
+  EXPECT_FALSE(region.contains({-1.5, 0.0}));  // in disc 1 only
+  EXPECT_FALSE(region.contains({5.0, 5.0}));
+}
+
+TEST(DiscIntersection, VerticesLieOnTwoCirclesAndInAllDiscs) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 1.5}, {{1.0, 0.3}, 1.2}, {{0.4, -0.8}, 1.4}};
+  const auto region = DiscIntersection::compute(discs);
+  ASSERT_FALSE(region.empty());
+  const auto verts = region.vertices();
+  EXPECT_GE(verts.size(), 3u);
+  for (const Vec2& v : verts) {
+    int on_boundary = 0;
+    for (const Circle& c : discs) {
+      EXPECT_TRUE(c.contains(v, 1e-6));
+      if (std::abs(c.center.distance_to(v) - c.radius) < 1e-6) ++on_boundary;
+    }
+    EXPECT_GE(on_boundary, 2);
+  }
+}
+
+TEST(DiscIntersection, CentroidInsideRegion) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Circle> discs;
+    const int k = static_cast<int>(rng.uniform_int(2, 8));
+    for (int i = 0; i < k; ++i) {
+      // Centers within unit distance of origin, radius 1: origin always inside.
+      discs.push_back({Vec2::from_polar(rng.uniform() * 0.999, rng.angle()), 1.0});
+    }
+    const auto region = DiscIntersection::compute(discs);
+    ASSERT_FALSE(region.empty());
+    EXPECT_TRUE(region.contains(region.centroid(), 1e-6))
+        << "trial " << trial << " centroid escaped the region";
+  }
+}
+
+TEST(DiscIntersection, AreaDecreasesAsDiscsAdded) {
+  util::Rng rng(7);
+  std::vector<Circle> discs{{{0.0, 0.0}, 1.0}};
+  double prev_area = DiscIntersection::compute(discs).area();
+  for (int i = 0; i < 10; ++i) {
+    discs.push_back({Vec2::from_polar(rng.uniform() * 0.9, rng.angle()), 1.0});
+    const double area = DiscIntersection::compute(discs).area();
+    EXPECT_LE(area, prev_area + 1e-9);
+    prev_area = area;
+  }
+}
+
+struct AreaCase {
+  int k;
+  std::uint64_t seed;
+};
+
+class MonteCarloAreaTest : public ::testing::TestWithParam<AreaCase> {};
+
+TEST_P(MonteCarloAreaTest, ClosedFormMatchesMonteCarlo) {
+  const auto [k, seed] = GetParam();
+  util::Rng rng(seed);
+  std::vector<Circle> discs;
+  for (int i = 0; i < k; ++i) {
+    discs.push_back({Vec2::from_polar(rng.uniform() * 0.95, rng.angle()),
+                     rng.uniform(0.8, 1.3)});
+  }
+  const auto region = DiscIntersection::compute(discs);
+  ASSERT_FALSE(region.empty());
+  const double mc = DiscIntersection::monte_carlo_area(discs, 400000, seed ^ 0xabcdef);
+  // Monte-Carlo with 400k samples: ~0.5% relative tolerance plus small absolute slack.
+  EXPECT_NEAR(region.area(), mc, 0.01 * region.area() + 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MonteCarloAreaTest,
+                         ::testing::Values(AreaCase{2, 101}, AreaCase{2, 102},
+                                           AreaCase{3, 201}, AreaCase{3, 202},
+                                           AreaCase{4, 301}, AreaCase{5, 401},
+                                           AreaCase{6, 501}, AreaCase{8, 601},
+                                           AreaCase{10, 701}, AreaCase{12, 801}));
+
+class TrueLocationCoverageTest : public ::testing::TestWithParam<int> {};
+
+// Paper invariant: when AP radii are exact, the intersected area always
+// covers the mobile's real location (Section III-C.1).
+TEST_P(TrueLocationCoverageTest, RegionAlwaysCoversMobile) {
+  const int k = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(k) * 7919);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 mobile{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    std::vector<Circle> discs;
+    for (int i = 0; i < k; ++i) {
+      // APs uniform in the disc of radius r around the mobile (communicable).
+      const double r = 1.0;
+      const Vec2 ap = mobile + Vec2::from_polar(r * std::sqrt(rng.uniform()), rng.angle());
+      discs.push_back({ap, r});
+    }
+    const auto region = DiscIntersection::compute(discs);
+    ASSERT_FALSE(region.empty());
+    EXPECT_TRUE(region.contains(mobile, 1e-7));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, TrueLocationCoverageTest, ::testing::Range(1, 15));
+
+TEST(DiscIntersection, TangentPairHasZeroArea) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 1.0}, {{2.0, 0.0}, 1.0}};
+  const auto region = DiscIntersection::compute(discs);
+  // Tangency: region is a single point; either empty or zero-area is correct.
+  EXPECT_LT(region.area(), 1e-6);
+}
+
+TEST(DiscIntersection, MonteCarloAreaZeroForDisjoint) {
+  const std::vector<Circle> discs{{{0.0, 0.0}, 1.0}, {{10.0, 0.0}, 1.0}};
+  EXPECT_DOUBLE_EQ(DiscIntersection::monte_carlo_area(discs, 10000, 1), 0.0);
+}
+
+TEST(DiscIntersection, LargeKStressStaysConsistent) {
+  util::Rng rng(31337);
+  std::vector<Circle> discs;
+  for (int i = 0; i < 40; ++i) {
+    discs.push_back({Vec2::from_polar(rng.uniform() * 0.9, rng.angle()), 1.0});
+  }
+  const auto region = DiscIntersection::compute(discs);
+  ASSERT_FALSE(region.empty());
+  EXPECT_TRUE(region.contains({0.0, 0.0}, 1e-2) || region.area() > 0.0);
+  const double mc = DiscIntersection::monte_carlo_area(discs, 300000, 5);
+  EXPECT_NEAR(region.area(), mc, 0.02 * region.area() + 5e-3);
+}
+
+}  // namespace
+}  // namespace mm::geo

@@ -1,0 +1,113 @@
+#include "geo/geodetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mm::geo {
+namespace {
+
+// UMass Lowell north campus — the paper's primary deployment site.
+const Geodetic kUml{42.6555, -71.3248, 30.0};
+// George Washington University — the second campus.
+const Geodetic kGwu{38.8997, -77.0486, 20.0};
+
+TEST(Geodetic, EquatorPrimeMeridianEcef) {
+  const Ecef e = to_ecef({0.0, 0.0, 0.0});
+  EXPECT_NEAR(e.x, kWgs84A, 1e-6);
+  EXPECT_NEAR(e.y, 0.0, 1e-6);
+  EXPECT_NEAR(e.z, 0.0, 1e-6);
+}
+
+TEST(Geodetic, NorthPoleEcef) {
+  const Ecef e = to_ecef({90.0, 0.0, 0.0});
+  EXPECT_NEAR(e.x, 0.0, 1e-6);
+  EXPECT_NEAR(e.y, 0.0, 1e-6);
+  EXPECT_NEAR(e.z, kWgs84B, 1e-6);
+}
+
+TEST(Geodetic, EcefRoundtripCampus) {
+  const Geodetic g = to_geodetic(to_ecef(kUml));
+  EXPECT_NEAR(g.lat_deg, kUml.lat_deg, 1e-9);
+  EXPECT_NEAR(g.lon_deg, kUml.lon_deg, 1e-9);
+  EXPECT_NEAR(g.alt_m, kUml.alt_m, 1e-4);
+}
+
+TEST(Geodetic, EcefRoundtripSouthernHemisphere) {
+  const Geodetic sydney{-33.8688, 151.2093, 58.0};
+  const Geodetic g = to_geodetic(to_ecef(sydney));
+  EXPECT_NEAR(g.lat_deg, sydney.lat_deg, 1e-9);
+  EXPECT_NEAR(g.lon_deg, sydney.lon_deg, 1e-9);
+  EXPECT_NEAR(g.alt_m, sydney.alt_m, 1e-4);
+}
+
+TEST(Geodetic, AltitudeMovesRadially) {
+  const Ecef lo = to_ecef({45.0, 45.0, 0.0});
+  const Ecef hi = to_ecef({45.0, 45.0, 100.0});
+  const double d = std::sqrt((hi.x - lo.x) * (hi.x - lo.x) + (hi.y - lo.y) * (hi.y - lo.y) +
+                             (hi.z - lo.z) * (hi.z - lo.z));
+  EXPECT_NEAR(d, 100.0, 1e-6);
+}
+
+TEST(EnuFrame, OriginMapsToZero) {
+  const EnuFrame frame(kUml);
+  const Vec2 v = frame.to_enu(kUml);
+  EXPECT_NEAR(v.x, 0.0, 1e-9);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+}
+
+TEST(EnuFrame, NorthDisplacement) {
+  const EnuFrame frame(kUml);
+  // ~111 m per 0.001 degrees of latitude.
+  const Vec2 v = frame.to_enu({kUml.lat_deg + 0.001, kUml.lon_deg, kUml.alt_m});
+  EXPECT_NEAR(v.x, 0.0, 0.01);
+  EXPECT_NEAR(v.y, 111.0, 0.5);
+}
+
+TEST(EnuFrame, EastDisplacement) {
+  const EnuFrame frame(kUml);
+  // Longitude meters shrink with cos(latitude).
+  const Vec2 v = frame.to_enu({kUml.lat_deg, kUml.lon_deg + 0.001, kUml.alt_m});
+  EXPECT_NEAR(v.y, 0.0, 0.05);
+  EXPECT_NEAR(v.x, 111.32 * std::cos(kUml.lat_deg * std::numbers::pi / 180.0), 0.5);
+}
+
+TEST(EnuFrame, RoundtripWithinCampusScale) {
+  const EnuFrame frame(kUml);
+  for (double east : {-900.0, -250.0, 0.0, 137.5, 800.0}) {
+    for (double north : {-700.0, -10.0, 425.0, 950.0}) {
+      const Geodetic g = frame.to_geodetic({east, north});
+      const Vec2 back = frame.to_enu(g);
+      EXPECT_NEAR(back.x, east, 1e-3);
+      EXPECT_NEAR(back.y, north, 1e-3);
+    }
+  }
+}
+
+TEST(EnuFrame, DistancesMatchEcefChordAtCampusScale) {
+  const EnuFrame frame(kGwu);
+  const Geodetic a = frame.to_geodetic({100.0, 200.0});
+  const Geodetic b = frame.to_geodetic({-300.0, 50.0});
+  const double enu_dist = frame.to_enu(a).distance_to(frame.to_enu(b));
+  const double chord = ecef_distance_m(a, b);
+  EXPECT_NEAR(enu_dist, chord, 0.01);
+}
+
+TEST(EnuFrame, TwoCampusesFarApart) {
+  const EnuFrame frame(kUml);
+  const Vec2 gwu = frame.to_enu(kGwu);
+  // UML to GWU is roughly 600 km; sanity check the projection magnitude.
+  EXPECT_GT(gwu.norm(), 400000.0);
+  EXPECT_LT(gwu.norm(), 800000.0);
+  EXPECT_LT(gwu.y, 0.0);  // GWU is south of Lowell
+}
+
+TEST(EcefDistance, SymmetricAndPositive) {
+  EXPECT_DOUBLE_EQ(ecef_distance_m(kUml, kGwu), ecef_distance_m(kGwu, kUml));
+  EXPECT_GT(ecef_distance_m(kUml, kGwu), 0.0);
+  EXPECT_DOUBLE_EQ(ecef_distance_m(kUml, kUml), 0.0);
+}
+
+}  // namespace
+}  // namespace mm::geo

@@ -1,0 +1,161 @@
+#include "marauder/aprad.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mm::marauder {
+namespace {
+
+net80211::MacAddress mac(int i) {
+  std::array<std::uint8_t, 6> bytes{0x00, 0x1a, 0x2b, 0x00, 0x00,
+                                    static_cast<std::uint8_t>(i)};
+  return net80211::MacAddress(bytes);
+}
+
+ApDatabase line_db(const std::vector<double>& xs) {
+  ApDatabase db;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    db.add({mac(static_cast<int>(i)), "ap", {xs[i], 0.0}, std::nullopt});
+  }
+  return db;
+}
+
+TEST(ApRad, EmptyGammasYieldNoRadii) {
+  const ApDatabase db = line_db({0.0, 100.0});
+  const auto radii = aprad_estimate_radii(db, {}, {});
+  EXPECT_TRUE(radii.empty());
+}
+
+TEST(ApRad, CoObservedPairSatisfiesLowerBound) {
+  const ApDatabase db = line_db({0.0, 100.0});
+  const std::vector<std::set<net80211::MacAddress>> gammas{{mac(0), mac(1)}};
+  ApRadOptions options;
+  options.max_radius_m = 150.0;
+  const auto radii = aprad_estimate_radii(db, gammas, options);
+  ASSERT_EQ(radii.size(), 2u);
+  EXPECT_GE(radii.at(mac(0)) + radii.at(mac(1)), 100.0 - 1e-6);
+  EXPECT_LE(radii.at(mac(0)), 150.0 + 1e-6);
+  EXPECT_LE(radii.at(mac(1)), 150.0 + 1e-6);
+}
+
+TEST(ApRad, NeverCoObservedPairRespectsUpperBound) {
+  // Three APs; 0-1 co-observed, 1-2 and 0-2 never.
+  const ApDatabase db = line_db({0.0, 80.0, 200.0});
+  const std::vector<std::set<net80211::MacAddress>> gammas{{mac(0), mac(1)}};
+  ApRadOptions options;
+  options.max_radius_m = 300.0;
+  const auto radii = aprad_estimate_radii(db, gammas, options);
+  // Only observed APs get radii (AP 2 never appears in any Gamma).
+  ASSERT_EQ(radii.size(), 2u);
+  EXPECT_EQ(radii.count(mac(2)), 0u);
+  EXPECT_GE(radii.at(mac(0)) + radii.at(mac(1)), 80.0 - 1e-6);
+}
+
+TEST(ApRad, LessConstraintLimitsRadiiBetweenObservedAps) {
+  // 0-1 co-observed and 1-2 co-observed, but 0-2 never: r0 + r2 <= 300.
+  const ApDatabase db = line_db({0.0, 150.0, 300.0});
+  const std::vector<std::set<net80211::MacAddress>> gammas{{mac(0), mac(1)},
+                                                           {mac(1), mac(2)}};
+  ApRadOptions options;
+  options.max_radius_m = 400.0;
+  options.epsilon_m = 1.0;
+  options.overestimate_bias_m = 0.0;  // assert the raw LP bounds here
+  const auto radii = aprad_estimate_radii(db, gammas, options);
+  ASSERT_EQ(radii.size(), 3u);
+  EXPECT_GE(radii.at(mac(0)) + radii.at(mac(1)), 150.0 - 1e-6);
+  EXPECT_GE(radii.at(mac(1)) + radii.at(mac(2)), 150.0 - 1e-6);
+  EXPECT_LE(radii.at(mac(0)) + radii.at(mac(2)), 300.0 - 1.0 + 1e-6);
+}
+
+TEST(ApRad, MaximizationPrefersOverestimates) {
+  // Single co-observed pair, no "<" pressure: both radii driven to the cap.
+  const ApDatabase db = line_db({0.0, 50.0});
+  const std::vector<std::set<net80211::MacAddress>> gammas{{mac(0), mac(1)}};
+  ApRadOptions options;
+  options.max_radius_m = 120.0;
+  const auto radii = aprad_estimate_radii(db, gammas, options);
+  EXPECT_NEAR(radii.at(mac(0)), 120.0, 1e-6);
+  EXPECT_NEAR(radii.at(mac(1)), 120.0, 1e-6);
+}
+
+TEST(ApRad, ConflictingEvidenceHandledSoftly) {
+  // Geometrically contradictory observations: 0-2 co-observed (r0+r2 >= 200)
+  // but 0-1 and 1-2 never, with AP 1 in the middle (r0+r1 <= 99, r1+r2 <= 99).
+  // Hard "<" would be infeasible together with the cap ordering; the soft
+  // solver must still return radii honoring the hard >= constraint.
+  const ApDatabase db = line_db({0.0, 100.0, 200.0});
+  const std::vector<std::set<net80211::MacAddress>> gammas{{mac(0), mac(2)}};
+  // Make APs 0,1,2 all observed so the "<" pairs exist.
+  const std::vector<std::set<net80211::MacAddress>> with_one{
+      {mac(0), mac(2)}, {mac(1)}};
+  ApRadOptions options;
+  options.max_radius_m = 250.0;
+  const auto radii = aprad_estimate_radii(db, with_one, options);
+  ASSERT_EQ(radii.size(), 3u);
+  EXPECT_GE(radii.at(mac(0)) + radii.at(mac(2)), 200.0 - 1e-6);
+}
+
+TEST(ApRad, LocateProducesEstimateNearTruth) {
+  // Simulated ground truth: APs with radius 100 at known spots; mobile at
+  // origin sees exactly the APs covering it.
+  util::Rng rng(5);
+  ApDatabase db;
+  std::vector<std::set<net80211::MacAddress>> gammas;
+  const double true_r = 100.0;
+  std::set<net80211::MacAddress> target;
+  std::vector<geo::Vec2> positions;
+  for (int i = 0; i < 8; ++i) {
+    const geo::Vec2 p = geo::Vec2::from_polar(true_r * 0.8 * std::sqrt(rng.uniform()),
+                                              rng.angle());
+    db.add({mac(i), "ap", p, std::nullopt});
+    target.insert(mac(i));
+    positions.push_back(p);
+  }
+  // Several auxiliary mobiles provide co-observation evidence.
+  gammas.push_back(target);
+  ApRadOptions options;
+  options.max_radius_m = 200.0;
+  const LocalizationResult r = aprad_locate(db, gammas, target, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.method, "AP-Rad");
+  EXPECT_LT(r.estimate.norm(), 60.0);  // mobile is at the origin
+}
+
+TEST(ApRad, UnknownBssidsIgnored) {
+  const ApDatabase db = line_db({0.0, 100.0});
+  const auto unknown = mac(99);
+  const std::vector<std::set<net80211::MacAddress>> gammas{{mac(0), mac(1), unknown}};
+  const auto radii = aprad_estimate_radii(db, gammas, {});
+  EXPECT_EQ(radii.count(unknown), 0u);
+  EXPECT_EQ(radii.size(), 2u);
+}
+
+// Theorem-3 sanity at system level: radii from the LP are overestimates
+// often enough that the M-Loc region usually covers the mobile.
+TEST(ApRad, RegionUsuallyCoversTruthAcrossTrials) {
+  util::Rng rng(77);
+  int covered = 0;
+  const int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ApDatabase db;
+    std::set<net80211::MacAddress> target;
+    const geo::Vec2 mobile{rng.uniform(-30.0, 30.0), rng.uniform(-30.0, 30.0)};
+    const double true_r = 100.0;
+    for (int i = 0; i < 6; ++i) {
+      const geo::Vec2 p =
+          mobile + geo::Vec2::from_polar(true_r * std::sqrt(rng.uniform()), rng.angle());
+      db.add({mac(i), "ap", p, std::nullopt});
+      target.insert(mac(i));
+    }
+    ApRadOptions options;
+    options.max_radius_m = 250.0;
+    const LocalizationResult r =
+        aprad_locate(db, {target}, target, options);
+    if (r.ok && region_covers(r, mobile)) ++covered;
+  }
+  EXPECT_GT(covered, kTrials * 3 / 4);
+}
+
+}  // namespace
+}  // namespace mm::marauder

@@ -1,0 +1,123 @@
+#include "marauder/linker.h"
+
+#include <gtest/gtest.h>
+
+namespace mm::marauder {
+namespace {
+
+net80211::MacAddress mac(int i) {
+  std::array<std::uint8_t, 6> bytes{0x02, 0x00, 0x00, 0x00, 0x03,
+                                    static_cast<std::uint8_t>(i)};
+  return net80211::MacAddress(bytes);
+}
+
+void probe(capture::ObservationStore& store, int device, double t,
+           std::initializer_list<const char*> ssids) {
+  store.record_probe_request(mac(device), t, std::nullopt);
+  for (const char* ssid : ssids) {
+    store.record_probe_request(mac(device), t, std::string(ssid));
+  }
+}
+
+TEST(Linker, EmptyStoreNoIdentities) {
+  const capture::ObservationStore store;
+  EXPECT_TRUE(link_identities(store).empty());
+}
+
+TEST(Linker, SingletonWithoutFingerprint) {
+  capture::ObservationStore store;
+  probe(store, 0, 1.0, {});
+  const auto identities = link_identities(store);
+  ASSERT_EQ(identities.size(), 1u);
+  EXPECT_EQ(identities[0].macs.size(), 1u);
+  EXPECT_FALSE(identities[0].pseudonymous());
+  EXPECT_TRUE(identities[0].fingerprint.empty());
+}
+
+TEST(Linker, SharedSsidLinksTwoMacs) {
+  capture::ObservationStore store;
+  probe(store, 0, 1.0, {"home-wifi-2819"});
+  probe(store, 1, 60.0, {"home-wifi-2819"});
+  const auto identities = link_identities(store);
+  ASSERT_EQ(identities.size(), 1u);
+  EXPECT_TRUE(identities[0].pseudonymous());
+  ASSERT_EQ(identities[0].macs.size(), 2u);
+  // First-seen order: mac(0) before mac(1).
+  EXPECT_EQ(identities[0].macs[0], mac(0));
+  EXPECT_EQ(identities[0].macs[1], mac(1));
+  EXPECT_EQ(identities[0].fingerprint.count("home-wifi-2819"), 1u);
+}
+
+TEST(Linker, DistinctFingerprintsStaySeparate) {
+  capture::ObservationStore store;
+  probe(store, 0, 1.0, {"alices-net"});
+  probe(store, 1, 2.0, {"bobs-net"});
+  EXPECT_EQ(link_identities(store).size(), 2u);
+}
+
+TEST(Linker, TransitiveLinking) {
+  capture::ObservationStore store;
+  probe(store, 0, 1.0, {"net-a"});
+  probe(store, 1, 2.0, {"net-a", "net-b"});
+  probe(store, 2, 3.0, {"net-b"});
+  const auto identities = link_identities(store);
+  ASSERT_EQ(identities.size(), 1u);
+  EXPECT_EQ(identities[0].macs.size(), 3u);
+  EXPECT_EQ(identities[0].fingerprint.size(), 2u);
+}
+
+TEST(Linker, PopularSsidDoesNotLink) {
+  capture::ObservationStore store;
+  // Five unrelated devices probing for the same campus network.
+  for (int i = 0; i < 5; ++i) probe(store, i, static_cast<double>(i), {"eduroam"});
+  LinkerOptions options;
+  options.max_ssid_popularity = 3;
+  const auto identities = link_identities(store, options);
+  EXPECT_EQ(identities.size(), 5u);  // nobody merged
+}
+
+TEST(Linker, MinOverlapTwoRequiresTwoSharedSsids) {
+  capture::ObservationStore store;
+  probe(store, 0, 1.0, {"net-a", "net-b"});
+  probe(store, 1, 2.0, {"net-a"});              // only one shared
+  probe(store, 2, 3.0, {"net-a", "net-b"});     // both shared
+  LinkerOptions options;
+  options.min_overlap = 2;
+  const auto identities = link_identities(store, options);
+  EXPECT_EQ(identities.size(), 2u);
+  const auto linked = std::find_if(identities.begin(), identities.end(),
+                                   [](const LinkedIdentity& id) { return id.macs.size() == 2; });
+  ASSERT_NE(linked, identities.end());
+  EXPECT_EQ(linked->macs[0], mac(0));
+  EXPECT_EQ(linked->macs[1], mac(2));
+}
+
+TEST(Linker, DevicesSeenOnlyViaContactsAreSingletons) {
+  capture::ObservationStore store;
+  store.record_contact(mac(10), mac(0), 1.0, -70.0);  // device 0 never probed
+  const auto identities = link_identities(store);
+  ASSERT_EQ(identities.size(), 1u);
+  EXPECT_EQ(identities[0].macs[0], mac(0));
+}
+
+TEST(Linker, EveryMacAppearsExactlyOnce) {
+  capture::ObservationStore store;
+  probe(store, 0, 1.0, {"x"});
+  probe(store, 1, 2.0, {"x"});
+  probe(store, 2, 3.0, {"y"});
+  probe(store, 3, 4.0, {});
+  const auto identities = link_identities(store);
+  std::size_t total = 0;
+  std::set<net80211::MacAddress> seen;
+  for (const auto& identity : identities) {
+    for (const auto& m : identity.macs) {
+      ++total;
+      seen.insert(m);
+    }
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mm::marauder

@@ -1,0 +1,203 @@
+#include "marauder/mloc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "marauder/baselines.h"
+#include "util/rng.h"
+
+namespace mm::marauder {
+namespace {
+
+TEST(MLoc, EmptyGammaFails) {
+  const std::vector<geo::Circle> discs;
+  const LocalizationResult r = mloc_locate(discs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.method, "M-Loc");
+  EXPECT_EQ(r.num_aps, 0u);
+}
+
+TEST(MLoc, SingleApReducesToNearestAp) {
+  const std::vector<geo::Circle> discs{{{30.0, 40.0}, 100.0}};
+  const LocalizationResult r = mloc_locate(discs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.estimate, geo::Vec2(30.0, 40.0));
+  EXPECT_EQ(r.num_aps, 1u);
+}
+
+TEST(MLoc, SymmetricLensEstimatesMidpoint) {
+  const std::vector<geo::Circle> discs{{{0.0, 0.0}, 100.0}, {{100.0, 0.0}, 100.0}};
+  const LocalizationResult r = mloc_locate(discs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.estimate.x, 50.0, 1e-9);
+  EXPECT_NEAR(r.estimate.y, 0.0, 1e-9);
+  EXPECT_FALSE(r.used_fallback);
+}
+
+TEST(MLoc, NestedDiscsUseInnerCenter) {
+  const std::vector<geo::Circle> discs{{{0.0, 0.0}, 200.0}, {{10.0, 5.0}, 50.0}};
+  const LocalizationResult r = mloc_locate(discs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.estimate.x, 10.0, 1e-6);
+  EXPECT_NEAR(r.estimate.y, 5.0, 1e-6);
+}
+
+TEST(MLoc, InconsistentDiscsFallBackToCentroid) {
+  const std::vector<geo::Circle> discs{{{0.0, 0.0}, 10.0}, {{100.0, 0.0}, 10.0}};
+  const LocalizationResult r = mloc_locate(discs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_NEAR(r.estimate.x, 50.0, 1e-9);
+}
+
+TEST(MLoc, EstimateInsideRegionWhenConsistent) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const geo::Vec2 mobile{rng.uniform(-200.0, 200.0), rng.uniform(-200.0, 200.0)};
+    std::vector<geo::Circle> discs;
+    const int k = static_cast<int>(rng.uniform_int(2, 10));
+    for (int i = 0; i < k; ++i) {
+      const double radius = rng.uniform(80.0, 120.0);
+      discs.push_back(
+          {mobile + geo::Vec2::from_polar(radius * std::sqrt(rng.uniform()), rng.angle()),
+           radius});
+    }
+    const LocalizationResult r = mloc_locate(discs);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(region_covers(r, mobile)) << "region must contain the mobile";
+    // Vertex average lies in the (convex) region.
+    EXPECT_TRUE(region_covers(r, r.estimate)) << "estimate escaped the convex region";
+  }
+}
+
+TEST(MLoc, ExactCentroidOptionDiffersFromVertexAverage) {
+  // Asymmetric 3-disc region: vertex average != area centroid in general.
+  const std::vector<geo::Circle> discs{
+      {{0.0, 0.0}, 100.0}, {{90.0, 0.0}, 100.0}, {{40.0, 80.0}, 100.0}};
+  const LocalizationResult vertex = mloc_locate(discs, {.exact_region_centroid = false});
+  const LocalizationResult exact = mloc_locate(discs, {.exact_region_centroid = true});
+  ASSERT_TRUE(vertex.ok);
+  ASSERT_TRUE(exact.ok);
+  EXPECT_GT(vertex.estimate.distance_to(exact.estimate), 1e-6);
+  // Both estimates stay inside the region.
+  EXPECT_TRUE(region_covers(vertex, vertex.estimate));
+  EXPECT_TRUE(region_covers(exact, exact.estimate));
+}
+
+// Paper property: adding APs can only shrink the intersected area, hence
+// (on average) the error.
+TEST(MLoc, ErrorShrinksWithMoreAps) {
+  util::Rng rng(23);
+  const double radius = 100.0;
+  double err_small = 0.0;
+  double err_large = 0.0;
+  const int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const geo::Vec2 mobile{rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)};
+    auto run_k = [&](int k) {
+      std::vector<geo::Circle> discs;
+      for (int i = 0; i < k; ++i) {
+        discs.push_back(
+            {mobile + geo::Vec2::from_polar(radius * std::sqrt(rng.uniform()), rng.angle()),
+             radius});
+      }
+      return mloc_locate(discs).estimate.distance_to(mobile);
+    };
+    err_small += run_k(3);
+    err_large += run_k(12);
+  }
+  EXPECT_LT(err_large / kTrials, err_small / kTrials * 0.8);
+}
+
+// Fig 4: with a biased AP distribution, disc-intersection stays accurate
+// while the centroid baseline is dragged toward the cluster.
+TEST(MLoc, ResilientToBiasedApDistributionUnlikeCentroid) {
+  util::Rng rng(31);
+  const geo::Vec2 mobile{0.0, 0.0};
+  const double radius = 100.0;
+  std::vector<geo::Circle> discs;
+  std::vector<geo::Vec2> positions;
+  // 5 APs spread around the mobile.
+  for (int i = 0; i < 5; ++i) {
+    const geo::Vec2 p =
+        mobile + geo::Vec2::from_polar(radius * 0.9 * std::sqrt(rng.uniform()), rng.angle());
+    discs.push_back({p, radius});
+    positions.push_back(p);
+  }
+  // 10 APs clustered in a small corner area (still covering the mobile).
+  for (int i = 0; i < 10; ++i) {
+    const geo::Vec2 p = geo::Vec2{70.0, 60.0} +
+                        geo::Vec2::from_polar(8.0 * std::sqrt(rng.uniform()), rng.angle());
+    discs.push_back({p, radius});
+    positions.push_back(p);
+  }
+  const double mloc_err = mloc_locate(discs).estimate.distance_to(mobile);
+  const double centroid_err = centroid_locate(positions).estimate.distance_to(mobile);
+  EXPECT_LT(mloc_err, centroid_err * 0.6);
+}
+
+TEST(Baselines, CentroidOfKnownPoints) {
+  const std::vector<geo::Vec2> aps{{0.0, 0.0}, {10.0, 0.0}, {5.0, 9.0}};
+  const LocalizationResult r = centroid_locate(aps);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.estimate.x, 5.0, 1e-12);
+  EXPECT_NEAR(r.estimate.y, 3.0, 1e-12);
+  EXPECT_EQ(r.method, "Centroid");
+}
+
+TEST(Baselines, CentroidEmptyFails) {
+  EXPECT_FALSE(centroid_locate(std::vector<geo::Vec2>{}).ok);
+}
+
+TEST(Baselines, NearestApPicksStrongest) {
+  const std::vector<std::pair<geo::Vec2, double>> aps{
+      {{0.0, 0.0}, -80.0}, {{50.0, 0.0}, -55.0}, {{100.0, 0.0}, -70.0}};
+  const LocalizationResult r = nearest_ap_locate(aps);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.estimate, geo::Vec2(50.0, 0.0));
+  EXPECT_EQ(r.method, "NearestAP");
+}
+
+TEST(Baselines, NearestApEmptyFails) {
+  EXPECT_FALSE(nearest_ap_locate(std::vector<std::pair<geo::Vec2, double>>{}).ok);
+}
+
+TEST(Baselines, WeightedCentroidFavorsStrongerAp) {
+  const std::vector<std::pair<geo::Vec2, double>> aps{
+      {{0.0, 0.0}, -50.0}, {{100.0, 0.0}, -70.0}};
+  const LocalizationResult r = weighted_centroid_locate(aps);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.method, "WeightedCentroid");
+  // -50 dBm carries 100x the linear power of -70 dBm: estimate near x ~ 1.
+  EXPECT_LT(r.estimate.x, 5.0);
+  EXPECT_GT(r.estimate.x, 0.0);
+}
+
+TEST(Baselines, WeightedCentroidEqualPowerIsPlainCentroid) {
+  const std::vector<std::pair<geo::Vec2, double>> aps{
+      {{0.0, 0.0}, -60.0}, {{100.0, 0.0}, -60.0}};
+  const LocalizationResult r = weighted_centroid_locate(aps);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.estimate.x, 50.0, 1e-9);
+}
+
+TEST(Baselines, WeightedCentroidEmptyFails) {
+  EXPECT_FALSE(
+      weighted_centroid_locate(std::vector<std::pair<geo::Vec2, double>>{}).ok);
+}
+
+TEST(RegionHelpers, AreaAndCoverage) {
+  LocalizationResult r;
+  r.discs = {{{0.0, 0.0}, 1.0}, {{1.0, 0.0}, 1.0}};
+  EXPECT_GT(intersected_area(r), 0.0);
+  EXPECT_LT(intersected_area(r), 3.15);
+  EXPECT_TRUE(region_covers(r, {0.5, 0.0}));
+  EXPECT_FALSE(region_covers(r, {-0.9, 0.0}));
+  LocalizationResult none;
+  EXPECT_DOUBLE_EQ(intersected_area(none), 0.0);
+  EXPECT_FALSE(region_covers(none, {0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace mm::marauder

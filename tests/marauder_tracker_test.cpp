@@ -1,0 +1,191 @@
+// End-to-end integration: simulated campus -> probe traffic -> sniffer ->
+// observation store -> tracker, for every localization algorithm. This is
+// the full Fig 1 pipeline the paper's accuracy evaluation (Figs 13-16)
+// exercises.
+#include "marauder/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capture/sniffer.h"
+#include "capture/wardrive.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+
+namespace mm::marauder {
+namespace {
+
+const net80211::MacAddress kVictim = *net80211::MacAddress::parse("00:16:6f:00:00:42");
+
+struct Pipeline {
+  std::unique_ptr<sim::World> world;
+  std::vector<sim::ApTruth> truth;
+  capture::ObservationStore store;
+  std::unique_ptr<capture::Sniffer> sniffer;
+  sim::MobileDevice* victim = nullptr;
+  std::vector<std::pair<double, geo::Vec2>> samples;  // (time, true position)
+};
+
+/// Builds a campus, walks the victim along a route, scanning at waypoints.
+Pipeline run_campus_walk(std::uint64_t seed, std::size_t num_aps = 130) {
+  Pipeline p;
+  sim::CampusConfig campus;
+  campus.seed = seed;
+  campus.num_aps = num_aps;
+  campus.half_extent_m = 350.0;
+  // Uniform placement: these tests pin down pipeline mechanics and loose
+  // accuracy bounds; the clustered-campus shape effects are covered by the
+  // figure benches.
+  campus.building_fraction = 0.0;
+  p.truth = sim::generate_campus_aps(campus);
+
+  p.world = std::make_unique<sim::World>(sim::World::Config{seed ^ 0xbeef, nullptr});
+  sim::populate_world(*p.world, p.truth, /*beacons_enabled=*/false);
+
+  const std::vector<geo::Vec2> route = sim::lawnmower_route(250.0, 3);
+  auto mobility = std::make_shared<sim::RouteWalk>(route, 1.5);
+
+  sim::MobileConfig mc;
+  mc.mac = kVictim;
+  mc.profile.probes = false;  // scans triggered at sample instants
+  mc.mobility = mobility;
+  p.victim = p.world->add_mobile(std::make_unique<sim::MobileDevice>(mc));
+
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 0.0};
+  sc.antenna_height_m = 20.0;
+  p.sniffer = std::make_unique<capture::Sniffer>(sc, &p.store);
+  p.sniffer->attach(*p.world);
+
+  // Sample every 60 s of walking (~90 m apart).
+  const double total = mobility->arrival_time();
+  for (double t = 1.0; t < total; t += 60.0) {
+    p.world->queue().schedule(t, [mobile = p.victim] { mobile->trigger_scan(); });
+    p.samples.emplace_back(t, mobility->position(t));
+  }
+  p.world->run_until(total + 5.0);
+  return p;
+}
+
+double mean_error(const Pipeline& p, Tracker& tracker) {
+  tracker.prepare(p.store);
+  double total = 0.0;
+  int count = 0;
+  for (const auto& [t, true_pos] : p.samples) {
+    const capture::ObservationWindow window{t - 1.0, t + 5.0};
+    const LocalizationResult r = tracker.locate(p.store, kVictim, window);
+    if (!r.ok) continue;
+    total += r.estimate.distance_to(true_pos);
+    ++count;
+  }
+  EXPECT_GT(count, 10) << "too few localizable samples";
+  return total / count;
+}
+
+TEST(TrackerEndToEnd, MLocBeatsCentroidAndIsAccurate) {
+  const Pipeline p = run_campus_walk(101);
+
+  Tracker mloc(ApDatabase::from_truth(p.truth, true), {.algorithm = Algorithm::kMLoc});
+  Tracker centroid(ApDatabase::from_truth(p.truth, true),
+                   {.algorithm = Algorithm::kCentroid});
+
+  const double mloc_err = mean_error(p, mloc);
+  const double centroid_err = mean_error(p, centroid);
+
+  // Fig 13 shape: M-Loc ~9.4 m vs Centroid ~17.3 m on the paper's testbed.
+  EXPECT_LT(mloc_err, 25.0);
+  EXPECT_LT(mloc_err, centroid_err);
+}
+
+TEST(TrackerEndToEnd, ApRadWorksWithoutRadiusKnowledge) {
+  const Pipeline p = run_campus_walk(202);
+
+  Tracker aprad(ApDatabase::from_truth(p.truth, false), {.algorithm = Algorithm::kApRad});
+  Tracker mloc(ApDatabase::from_truth(p.truth, true), {.algorithm = Algorithm::kMLoc});
+
+  const double aprad_err = mean_error(p, aprad);
+  const double mloc_err = mean_error(p, mloc);
+
+  EXPECT_LT(aprad_err, 60.0);
+  // Fig 13: M-Loc (with radius knowledge) beats AP-Rad.
+  EXPECT_LT(mloc_err, aprad_err);
+}
+
+TEST(TrackerEndToEnd, NearestApCoarserThanMLoc) {
+  const Pipeline p = run_campus_walk(303);
+  Tracker nearest(ApDatabase::from_truth(p.truth, true),
+                  {.algorithm = Algorithm::kNearestAp});
+  Tracker mloc(ApDatabase::from_truth(p.truth, true), {.algorithm = Algorithm::kMLoc});
+  EXPECT_LT(mean_error(p, mloc), mean_error(p, nearest));
+}
+
+TEST(TrackerEndToEnd, ApLocFromWardrivingTraining) {
+  Pipeline p = run_campus_walk(404);
+
+  // Training phase: wardrive the campus collecting tuples.
+  capture::Wardriver driver;
+  driver.attach(*p.world);
+  const auto finish =
+      driver.drive_route(sim::lawnmower_route(300.0, 4), 8.0, 60.0);
+  p.world->run_until(finish + 2.0);
+  ASSERT_GT(driver.tuples().size(), 20u);
+
+  TrackerOptions options;
+  options.algorithm = Algorithm::kApLoc;
+  options.aploc.training_disc_radius_m = 160.0;
+  options.aploc.aprad.max_radius_m = 200.0;
+  Tracker aploc = Tracker::from_training(driver.tuples(), options);
+  const double err = mean_error(p, aploc);
+  // Fig 17: AP-Loc lands near 12 m with enough tuples; allow generous slack
+  // for the simulated substrate.
+  EXPECT_LT(err, 80.0);
+}
+
+TEST(TrackerEndToEnd, LocateAllCoversVictim) {
+  const Pipeline p = run_campus_walk(505);
+  Tracker tracker(ApDatabase::from_truth(p.truth, true), {.algorithm = Algorithm::kMLoc});
+  const auto all = tracker.locate_all(p.store);
+  EXPECT_EQ(all.count(kVictim), 1u);
+}
+
+TEST(Tracker, ApRadRequiresPrepare) {
+  Tracker tracker(ApDatabase{}, {.algorithm = Algorithm::kApRad});
+  const capture::ObservationStore store;
+  EXPECT_THROW((void)tracker.locate(store, kVictim), std::logic_error);
+}
+
+TEST(Tracker, ApLocConstructorRejected) {
+  EXPECT_THROW(Tracker(ApDatabase{}, {.algorithm = Algorithm::kApLoc}),
+               std::invalid_argument);
+}
+
+TEST(Tracker, AlgorithmNames) {
+  EXPECT_STREQ(to_string(Algorithm::kMLoc), "M-Loc");
+  EXPECT_STREQ(to_string(Algorithm::kApRad), "AP-Rad");
+  EXPECT_STREQ(to_string(Algorithm::kApLoc), "AP-Loc");
+  EXPECT_STREQ(to_string(Algorithm::kCentroid), "Centroid");
+  EXPECT_STREQ(to_string(Algorithm::kNearestAp), "NearestAP");
+  EXPECT_STREQ(to_string(Algorithm::kWeightedCentroid), "WeightedCentroid");
+}
+
+TEST(TrackerEndToEnd, WeightedCentroidWorksAndMLocBeatsIt) {
+  const Pipeline p = run_campus_walk(707, 120);
+  Tracker weighted(ApDatabase::from_truth(p.truth, true),
+                   {.algorithm = Algorithm::kWeightedCentroid});
+  Tracker mloc(ApDatabase::from_truth(p.truth, true), {.algorithm = Algorithm::kMLoc});
+  const double weighted_err = mean_error(p, weighted);
+  EXPECT_LT(weighted_err, 120.0);
+  EXPECT_LT(mean_error(p, mloc), weighted_err);
+}
+
+TEST(Tracker, UnknownDeviceNotLocated) {
+  const Pipeline p = run_campus_walk(606, 40);
+  Tracker tracker(ApDatabase::from_truth(p.truth, true), {.algorithm = Algorithm::kMLoc});
+  const auto ghost = *net80211::MacAddress::parse("00:00:00:00:99:99");
+  EXPECT_FALSE(tracker.locate(p.store, ghost).ok);
+}
+
+}  // namespace
+}  // namespace mm::marauder

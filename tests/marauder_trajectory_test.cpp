@@ -1,0 +1,160 @@
+#include "marauder/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capture/sniffer.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+
+namespace mm::marauder {
+namespace {
+
+const net80211::MacAddress kVictim = *net80211::MacAddress::parse("00:16:6f:00:77:01");
+const net80211::MacAddress kAlias = *net80211::MacAddress::parse("02:aa:00:00:77:02");
+
+struct Scene {
+  std::unique_ptr<sim::World> world;
+  std::vector<sim::ApTruth> truth;
+  capture::ObservationStore store;
+  std::unique_ptr<capture::Sniffer> sniffer;
+  std::shared_ptr<sim::RouteWalk> walk;
+  sim::MobileDevice* victim = nullptr;
+};
+
+Scene make_scene(std::uint64_t seed) {
+  Scene s;
+  sim::CampusConfig campus;
+  campus.seed = seed;
+  campus.num_aps = 140;
+  campus.half_extent_m = 300.0;
+  s.truth = sim::generate_campus_aps(campus);
+  s.world = std::make_unique<sim::World>(sim::World::Config{seed ^ 0x7, nullptr});
+  sim::populate_world(*s.world, s.truth, false);
+
+  s.walk = std::make_shared<sim::RouteWalk>(
+      std::vector<geo::Vec2>{{-200.0, 0.0}, {200.0, 0.0}}, 2.0);
+  sim::MobileConfig mc;
+  mc.mac = kVictim;
+  mc.profile.probes = false;
+  mc.mobility = s.walk;
+  s.victim = s.world->add_mobile(std::make_unique<sim::MobileDevice>(mc));
+
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 100.0};
+  sc.antenna_height_m = 20.0;
+  s.sniffer = std::make_unique<capture::Sniffer>(sc, &s.store);
+  s.sniffer->attach(*s.world);
+  return s;
+}
+
+TEST(Trajectory, FollowsWalkingVictim) {
+  Scene s = make_scene(71);
+  for (double t = 1.0; t < s.walk->arrival_time(); t += 30.0) {
+    s.world->queue().schedule(t, [v = s.victim] { v->trigger_scan(); });
+  }
+  s.world->run_until(s.walk->arrival_time() + 5.0);
+
+  Tracker tracker(ApDatabase::from_truth(s.truth, true), {.algorithm = Algorithm::kMLoc});
+  const net80211::MacAddress identity[] = {kVictim};
+  const auto track = build_trajectory(tracker, s.store, identity);
+  ASSERT_GE(track.size(), 5u);
+
+  // Time-ordered, west-to-east movement, near the y=0 line.
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    EXPECT_GT(track[i].time, track[i - 1].time);
+  }
+  EXPECT_LT(track.front().position.x, track.back().position.x - 100.0);
+  for (const TrackPoint& p : track) {
+    const geo::Vec2 true_pos = s.walk->position(p.time);
+    EXPECT_LT(p.position.distance_to(true_pos), 60.0);
+  }
+  // Track length comparable to the 400 m walk (within loose factor).
+  const double length = track_length_m(track);
+  EXPECT_GT(length, 150.0);
+  EXPECT_LT(length, 900.0);
+}
+
+TEST(Trajectory, SpansMacRotation) {
+  Scene s = make_scene(72);
+  // Victim scans twice, rotating its MAC in between.
+  s.world->queue().schedule(1.0, [v = s.victim] { v->trigger_scan(); });
+  s.world->queue().schedule(50.0, [v = s.victim] { v->rotate_mac(kAlias); });
+  s.world->queue().schedule(60.0, [v = s.victim] { v->trigger_scan(); });
+  s.world->run_until(70.0);
+
+  Tracker tracker(ApDatabase::from_truth(s.truth, true), {.algorithm = Algorithm::kMLoc});
+  // Without the alias: only the first burst.
+  const net80211::MacAddress only_first[] = {kVictim};
+  EXPECT_EQ(build_trajectory(tracker, s.store, only_first).size(), 1u);
+  // With the linked identity: both bursts, one coherent track.
+  const net80211::MacAddress linked[] = {kVictim, kAlias};
+  const auto track = build_trajectory(tracker, s.store, linked);
+  ASSERT_EQ(track.size(), 2u);
+  EXPECT_EQ(track[0].mac, kVictim);
+  EXPECT_EQ(track[1].mac, kAlias);
+}
+
+TEST(Trajectory, SpeedGateDropsImpossibleJump) {
+  // Hand-craft a store with two bursts whose M-Loc estimates are far apart
+  // in a very short time.
+  capture::ObservationStore store;
+  ApDatabase db;
+  const auto ap_a = *net80211::MacAddress::parse("00:1a:2b:00:00:0a");
+  const auto ap_b = *net80211::MacAddress::parse("00:1a:2b:00:00:0b");
+  db.add({ap_a, "a", {0.0, 0.0}, 50.0});
+  db.add({ap_b, "b", {1000.0, 0.0}, 50.0});
+  store.record_contact(ap_a, kVictim, 1.0, -60.0);
+  store.record_contact(ap_b, kVictim, 10.0, -60.0);  // 1000 m in 9 s
+
+  Tracker tracker(std::move(db), {.algorithm = Algorithm::kMLoc});
+  const net80211::MacAddress identity[] = {kVictim};
+  TrajectoryOptions options;
+  options.max_speed_mps = 12.0;
+  EXPECT_EQ(build_trajectory(tracker, store, identity, options).size(), 1u);
+  options.max_speed_mps = 0.0;  // gating disabled
+  EXPECT_EQ(build_trajectory(tracker, store, identity, options).size(), 2u);
+}
+
+TEST(Trajectory, SmoothingReducesJitterButKeepsEndpoints) {
+  capture::ObservationStore store;
+  ApDatabase db;
+  // One AP per burst so each estimate is that AP's position (nearest-AP
+  // reduction) — gives a controllable zig-zag.
+  std::vector<net80211::MacAddress> aps;
+  const double xs[] = {0.0, 30.0, 10.0, 40.0, 20.0, 50.0};
+  for (int i = 0; i < 6; ++i) {
+    std::array<std::uint8_t, 6> bytes{0x00, 0x1a, 0x2b, 0x01, 0x00,
+                                      static_cast<std::uint8_t>(i)};
+    aps.emplace_back(bytes);
+    db.add({aps.back(), "ap", {xs[i], 0.0}, 60.0});
+    store.record_contact(aps.back(), kVictim, 10.0 * (i + 1), -60.0);
+  }
+  Tracker tracker(std::move(db), {.algorithm = Algorithm::kMLoc});
+  const net80211::MacAddress identity[] = {kVictim};
+  TrajectoryOptions raw_options;
+  raw_options.max_speed_mps = 0.0;
+  TrajectoryOptions smooth_options = raw_options;
+  smooth_options.smoothing_span = 3;
+  const auto raw = build_trajectory(tracker, store, identity, raw_options);
+  const auto smooth = build_trajectory(tracker, store, identity, smooth_options);
+  ASSERT_EQ(raw.size(), 6u);
+  ASSERT_EQ(smooth.size(), 6u);
+  EXPECT_LT(track_length_m(smooth), track_length_m(raw));
+  // Raw positions preserved alongside the smoothed ones.
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(smooth[i].raw_position, raw[i].raw_position);
+  }
+}
+
+TEST(Trajectory, EmptyIdentityYieldsEmptyTrack) {
+  capture::ObservationStore store;
+  Tracker tracker(ApDatabase{}, {.algorithm = Algorithm::kMLoc});
+  EXPECT_TRUE(build_trajectory(tracker, store, {}).empty());
+  EXPECT_DOUBLE_EQ(track_length_m({}), 0.0);
+}
+
+}  // namespace
+}  // namespace mm::marauder

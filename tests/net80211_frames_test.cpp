@@ -1,0 +1,147 @@
+#include "net80211/frames.h"
+
+#include <gtest/gtest.h>
+
+#include "net80211/crc32.h"
+
+namespace mm::net80211 {
+namespace {
+
+const MacAddress kAp = *MacAddress::parse("00:1a:2b:00:00:01");
+const MacAddress kClient = *MacAddress::parse("00:16:6f:00:00:02");
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0x00000000u);
+}
+
+TEST(Frames, BeaconRoundtrip) {
+  const ManagementFrame beacon = make_beacon(kAp, "CampusNet", 6, 123456789, 42);
+  const auto bytes = beacon.serialize();
+  const auto parsed = ManagementFrame::parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const ManagementFrame& f = parsed.value();
+  EXPECT_EQ(f.subtype, ManagementSubtype::kBeacon);
+  EXPECT_EQ(f.addr1, MacAddress::broadcast());
+  EXPECT_EQ(f.addr2, kAp);
+  EXPECT_EQ(f.addr3, kAp);
+  EXPECT_EQ(f.sequence, 42);
+  EXPECT_EQ(f.timestamp_us, 123456789u);
+  EXPECT_EQ(f.ssid().value_or(""), "CampusNet");
+  EXPECT_EQ(f.ds_channel().value_or(0), 6);
+}
+
+TEST(Frames, ProbeRequestWildcard) {
+  const ManagementFrame probe = make_probe_request(kClient, std::nullopt, 7);
+  const auto parsed = ManagementFrame::parse(probe.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().subtype, ManagementSubtype::kProbeRequest);
+  EXPECT_EQ(parsed.value().addr2, kClient);
+  ASSERT_TRUE(parsed.value().ssid().has_value());
+  EXPECT_TRUE(parsed.value().ssid()->empty());  // wildcard SSID
+}
+
+TEST(Frames, ProbeRequestDirected) {
+  const ManagementFrame probe = make_probe_request(kClient, "HomeNet", 8);
+  const auto parsed = ManagementFrame::parse(probe.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ssid().value_or(""), "HomeNet");
+}
+
+TEST(Frames, ProbeResponseAddressing) {
+  const ManagementFrame resp = make_probe_response(kAp, kClient, "CampusNet", 11, 99, 3);
+  const auto parsed = ManagementFrame::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  // The response is unicast to the client with the AP as source/BSSID: this
+  // is the (client, AP) communicability evidence the attack consumes.
+  EXPECT_EQ(parsed.value().addr1, kClient);
+  EXPECT_EQ(parsed.value().addr2, kAp);
+  EXPECT_EQ(parsed.value().addr3, kAp);
+  EXPECT_EQ(parsed.value().ds_channel().value_or(0), 11);
+}
+
+TEST(Frames, DeauthRoundtrip) {
+  const ManagementFrame deauth = make_deauth(kClient, kAp, 7, 12);
+  const auto parsed = ManagementFrame::parse(deauth.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().subtype, ManagementSubtype::kDeauthentication);
+  EXPECT_EQ(parsed.value().reason_code, 7);
+  EXPECT_TRUE(parsed.value().ies.empty());
+}
+
+TEST(Frames, FcsCorruptionRejected) {
+  auto bytes = make_beacon(kAp, "X", 1, 0, 0).serialize();
+  bytes[10] ^= 0x01;  // flip a bit in an address
+  const auto parsed = ManagementFrame::parse(bytes);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("FCS"), std::string::npos);
+}
+
+TEST(Frames, FcsCheckCanBeSkipped) {
+  auto bytes = make_beacon(kAp, "X", 1, 0, 0).serialize();
+  bytes[10] ^= 0x01;
+  EXPECT_TRUE(ManagementFrame::parse(bytes, /*verify_fcs=*/false).ok());
+}
+
+TEST(Frames, TooShortRejected) {
+  const std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(ManagementFrame::parse(tiny).ok());
+}
+
+TEST(Frames, TruncatedIeRejected) {
+  auto bytes = make_beacon(kAp, "LongSSIDName", 6, 0, 0).serialize();
+  // Chop the frame inside the SSID IE and recompute a valid FCS so the IE
+  // parser (not the FCS check) sees the truncation.
+  bytes.resize(40);
+  const std::uint32_t fcs = crc32(bytes);
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(fcs >> (8 * i)));
+  EXPECT_FALSE(ManagementFrame::parse(bytes).ok());
+}
+
+TEST(Frames, NonManagementTypeRejected) {
+  auto bytes = make_beacon(kAp, "X", 1, 0, 0).serialize();
+  bytes[0] = 0x08;  // type = data
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t fcs = crc32(bytes);
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(fcs >> (8 * i)));
+  const auto parsed = ManagementFrame::parse(bytes);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(Frames, SequenceNumberSurvives) {
+  for (std::uint16_t seq : {0, 1, 255, 4095}) {
+    const auto parsed = ManagementFrame::parse(make_probe_request(kClient, "s", seq).serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().sequence, seq);
+  }
+}
+
+TEST(Frames, FindIeReturnsNullWhenAbsent) {
+  const ManagementFrame deauth = make_deauth(kClient, kAp, 1, 0);
+  EXPECT_EQ(deauth.find_ie(ie::kSsid), nullptr);
+  EXPECT_FALSE(deauth.ssid().has_value());
+  EXPECT_FALSE(deauth.ds_channel().has_value());
+}
+
+TEST(Frames, SubtypeNames) {
+  EXPECT_STREQ(subtype_name(ManagementSubtype::kBeacon), "beacon");
+  EXPECT_STREQ(subtype_name(ManagementSubtype::kProbeRequest), "probe-request");
+  EXPECT_STREQ(subtype_name(ManagementSubtype::kProbeResponse), "probe-response");
+  EXPECT_STREQ(subtype_name(ManagementSubtype::kDeauthentication), "deauthentication");
+}
+
+TEST(Frames, SupportedRatesIncludeBasicDsssSet) {
+  const auto rates = ie::supported_rates_bg();
+  EXPECT_EQ(rates.id, ie::kSupportedRates);
+  // 0x82 = 1 Mbps basic, 0x96 = 11 Mbps basic.
+  EXPECT_NE(std::find(rates.payload.begin(), rates.payload.end(), 0x82), rates.payload.end());
+  EXPECT_NE(std::find(rates.payload.begin(), rates.payload.end(), 0x96), rates.payload.end());
+}
+
+}  // namespace
+}  // namespace mm::net80211

@@ -1,0 +1,97 @@
+#include "net80211/mac_address.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace mm::net80211 {
+namespace {
+
+TEST(MacAddress, ParseAndFormatRoundtrip) {
+  const auto mac = MacAddress::parse("00:1a:2b:3c:4d:5e");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "00:1a:2b:3c:4d:5e");
+}
+
+TEST(MacAddress, ParseUppercaseAndDashes) {
+  const auto mac = MacAddress::parse("AA-BB-CC-DD-EE-FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44:55:66").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:11:22:33:44:55").has_value());
+  EXPECT_FALSE(MacAddress::parse("001122334455").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44:5").has_value());
+}
+
+TEST(MacAddress, BroadcastProperties) {
+  const MacAddress b = MacAddress::broadcast();
+  EXPECT_TRUE(b.is_broadcast());
+  EXPECT_TRUE(b.is_multicast());
+  EXPECT_EQ(b.to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddress, DefaultIsZero) {
+  const MacAddress z;
+  EXPECT_EQ(z.to_string(), "00:00:00:00:00:00");
+  EXPECT_FALSE(z.is_broadcast());
+  EXPECT_FALSE(z.is_multicast());
+  EXPECT_EQ(z.to_u64(), 0u);
+}
+
+TEST(MacAddress, RandomKeepsOui) {
+  util::Rng rng(1);
+  const MacAddress mac = MacAddress::random(rng, {0x00, 0x1a, 0x2b});
+  EXPECT_EQ(mac.bytes()[0], 0x00);
+  EXPECT_EQ(mac.bytes()[1], 0x1a);
+  EXPECT_EQ(mac.bytes()[2], 0x2b);
+  EXPECT_FALSE(mac.is_locally_administered());
+}
+
+TEST(MacAddress, RandomLocalSetsPrivacyBits) {
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const MacAddress mac = MacAddress::random_local(rng);
+    EXPECT_TRUE(mac.is_locally_administered());
+    EXPECT_FALSE(mac.is_multicast());
+  }
+}
+
+TEST(MacAddress, RandomAddressesDistinct) {
+  util::Rng rng(3);
+  std::set<MacAddress> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(MacAddress::random_local(rng));
+  EXPECT_GT(seen.size(), 995u);
+}
+
+TEST(MacAddress, OrderingAndEquality) {
+  const auto a = *MacAddress::parse("00:00:00:00:00:01");
+  const auto b = *MacAddress::parse("00:00:00:00:00:02");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(MacAddress, U64PackingPreservesOrder) {
+  const auto a = *MacAddress::parse("00:00:00:00:01:00");
+  const auto b = *MacAddress::parse("00:00:00:00:00:ff");
+  EXPECT_GT(a.to_u64(), b.to_u64());
+  EXPECT_EQ(a.to_u64(), 0x100u);
+}
+
+TEST(MacAddress, HashUsableInUnorderedSet) {
+  util::Rng rng(4);
+  std::unordered_set<MacAddress> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(MacAddress::random_local(rng));
+  EXPECT_GT(seen.size(), 98u);
+}
+
+}  // namespace
+}  // namespace mm::net80211

@@ -1,0 +1,110 @@
+#include "rf/buildings.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/scenario.h"
+
+namespace mm::rf {
+namespace {
+
+Building box(double x0, double y0, double x1, double y1, double loss = 6.0) {
+  return {{x0, y0}, {x1, y1}, loss};
+}
+
+TEST(Buildings, InvalidCornersThrow) {
+  BuildingMap map;
+  EXPECT_THROW(map.add(box(10.0, 0.0, 0.0, 10.0)), std::invalid_argument);
+}
+
+TEST(Buildings, ContainsChecksBounds) {
+  const Building b = box(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(b.contains({5.0, 5.0}));
+  EXPECT_TRUE(b.contains({0.0, 0.0}));  // boundary counts as inside
+  EXPECT_FALSE(b.contains({-0.1, 5.0}));
+  EXPECT_FALSE(b.contains({5.0, 10.1}));
+}
+
+TEST(Buildings, PassThroughCrossesTwoWalls) {
+  const Building b = box(10.0, -5.0, 20.0, 5.0);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {0.0, 0.0}, {30.0, 0.0}), 2);
+}
+
+TEST(Buildings, MissCrossesZeroWalls) {
+  const Building b = box(10.0, -5.0, 20.0, 5.0);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {0.0, 10.0}, {30.0, 10.0}), 0);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {0.0, 0.0}, {5.0, 0.0}), 0);  // stops short
+}
+
+TEST(Buildings, EndpointInsideCrossesOneWall) {
+  const Building b = box(10.0, -5.0, 20.0, 5.0);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {15.0, 0.0}, {30.0, 0.0}), 1);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {0.0, 0.0}, {15.0, 0.0}), 1);
+}
+
+TEST(Buildings, BothInsideCrossesNoWalls) {
+  const Building b = box(0.0, 0.0, 20.0, 20.0);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {2.0, 2.0}, {18.0, 18.0}), 0);
+}
+
+TEST(Buildings, DiagonalPassThrough) {
+  const Building b = box(-5.0, -5.0, 5.0, 5.0);
+  EXPECT_EQ(BuildingMap::walls_crossed(b, {-10.0, -10.0}, {10.0, 10.0}), 2);
+}
+
+TEST(Buildings, PenetrationLossSumsAcrossBuildings) {
+  BuildingMap map;
+  map.add(box(10.0, -5.0, 20.0, 5.0, 6.0));
+  map.add(box(30.0, -5.0, 40.0, 5.0, 4.0));
+  // Path crosses both buildings: 2*6 + 2*4 = 20 dB.
+  EXPECT_DOUBLE_EQ(map.penetration_loss_db({0.0, 0.0}, {50.0, 0.0}), 20.0);
+  // Path over the top of both: 0 dB.
+  EXPECT_DOUBLE_EQ(map.penetration_loss_db({0.0, 20.0}, {50.0, 20.0}), 0.0);
+}
+
+TEST(Buildings, UrbanModelAddsLossOnlyThroughWalls) {
+  auto base = std::make_shared<FreeSpaceModel>();
+  auto buildings = std::make_shared<BuildingMap>();
+  buildings->add(box(40.0, -10.0, 60.0, 10.0, 8.0));
+  const UrbanModel urban(base, buildings);
+  const double blocked = urban.path_loss_db({0.0, 0.0}, 2.0, {100.0, 0.0}, 2.0, 2437.0);
+  const double clear = urban.path_loss_db({0.0, 50.0}, 2.0, {100.0, 50.0}, 2.0, 2437.0);
+  EXPECT_NEAR(blocked - clear, 16.0, 1e-9);  // two 8 dB walls
+}
+
+TEST(Buildings, UrbanModelNullArgsThrow) {
+  auto base = std::make_shared<FreeSpaceModel>();
+  auto buildings = std::make_shared<BuildingMap>();
+  EXPECT_THROW(UrbanModel(nullptr, buildings), std::invalid_argument);
+  EXPECT_THROW(UrbanModel(base, nullptr), std::invalid_argument);
+}
+
+TEST(Buildings, CampusLayoutProvidesBuildings) {
+  sim::CampusConfig cfg;
+  cfg.num_buildings = 9;
+  const sim::CampusLayout layout = sim::generate_campus(cfg);
+  EXPECT_EQ(layout.buildings.size(), 9u);
+  EXPECT_EQ(layout.aps.size(), cfg.num_aps);
+  // Same seed, same APs as the APs-only generator.
+  const auto aps_only = sim::generate_campus_aps(cfg);
+  ASSERT_EQ(layout.aps.size(), aps_only.size());
+  for (std::size_t i = 0; i < aps_only.size(); ++i) {
+    EXPECT_EQ(layout.aps[i].bssid, aps_only[i].bssid);
+    EXPECT_EQ(layout.aps[i].position, aps_only[i].position);
+  }
+  // Clustered APs mostly sit inside (or near) some building footprint.
+  std::size_t inside = 0;
+  for (const auto& ap : layout.aps) {
+    for (const auto& b : layout.buildings) {
+      if (b.contains(ap.position)) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(inside, layout.aps.size() / 3);
+}
+
+}  // namespace
+}  // namespace mm::rf

@@ -1,0 +1,131 @@
+#include "rf/channels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mm::rf {
+namespace {
+
+TEST(Channels, BgCenterFrequencies) {
+  EXPECT_DOUBLE_EQ(channel_center_mhz({Band::kBg24GHz, 1}), 2412.0);
+  EXPECT_DOUBLE_EQ(channel_center_mhz({Band::kBg24GHz, 6}), 2437.0);
+  EXPECT_DOUBLE_EQ(channel_center_mhz({Band::kBg24GHz, 11}), 2462.0);
+}
+
+TEST(Channels, ACenterFrequencies) {
+  EXPECT_DOUBLE_EQ(channel_center_mhz({Band::kA5GHz, 36}), 5180.0);
+  EXPECT_DOUBLE_EQ(channel_center_mhz({Band::kA5GHz, 161}), 5805.0);
+}
+
+TEST(Channels, InvalidChannelsThrow) {
+  EXPECT_THROW((void)channel_center_mhz({Band::kBg24GHz, 0}), std::invalid_argument);
+  EXPECT_THROW((void)channel_center_mhz({Band::kBg24GHz, 12}), std::invalid_argument);
+  EXPECT_THROW((void)channel_center_mhz({Band::kA5GHz, 37}), std::invalid_argument);
+}
+
+TEST(Channels, Widths) {
+  EXPECT_DOUBLE_EQ(channel_width_mhz({Band::kBg24GHz, 3}), 22.0);
+  EXPECT_DOUBLE_EQ(channel_width_mhz({Band::kA5GHz, 36}), 20.0);
+}
+
+TEST(Channels, AllChannelsCounts) {
+  EXPECT_EQ(all_channels(Band::kBg24GHz).size(), 11u);   // 11 b/g channels
+  EXPECT_EQ(all_channels(Band::kA5GHz).size(), 12u);     // 12 802.11a channels
+}
+
+TEST(Channels, NonoverlappingSetIs1_6_11) {
+  const auto chans = nonoverlapping_bg_channels();
+  ASSERT_EQ(chans.size(), 3u);
+  EXPECT_EQ(chans[0].number, 1);
+  EXPECT_EQ(chans[1].number, 6);
+  EXPECT_EQ(chans[2].number, 11);
+  // Verify they are truly non-overlapping.
+  EXPECT_DOUBLE_EQ(spectral_overlap(chans[0], chans[1]), 0.0);
+  EXPECT_DOUBLE_EQ(spectral_overlap(chans[1], chans[2]), 0.0);
+}
+
+TEST(Channels, OverlapCoChannelIsOne) {
+  EXPECT_DOUBLE_EQ(spectral_overlap({Band::kBg24GHz, 6}, {Band::kBg24GHz, 6}), 1.0);
+}
+
+TEST(Channels, OverlapDecreasesWithSeparation) {
+  const Channel tx{Band::kBg24GHz, 6};
+  double prev = 1.0;
+  for (int n = 7; n <= 11; ++n) {
+    const double o = spectral_overlap(tx, {Band::kBg24GHz, n});
+    EXPECT_LT(o, prev);
+    prev = o;
+  }
+  // Channels 5 apart (25 MHz offset > 22 MHz width): no overlap.
+  EXPECT_DOUBLE_EQ(spectral_overlap(tx, {Band::kBg24GHz, 11}), 0.0);
+}
+
+TEST(Channels, OverlapAdjacentChannelValue) {
+  // 5 MHz offset of a 22 MHz signal: 17/22 of the spectrum captured.
+  EXPECT_NEAR(spectral_overlap({Band::kBg24GHz, 6}, {Band::kBg24GHz, 7}), 17.0 / 22.0,
+              1e-12);
+}
+
+TEST(Channels, OverlapSymmetricForEqualWidths) {
+  const Channel a{Band::kBg24GHz, 3};
+  const Channel b{Band::kBg24GHz, 5};
+  EXPECT_DOUBLE_EQ(spectral_overlap(a, b), spectral_overlap(b, a));
+}
+
+TEST(Channels, CrossBandNoOverlap) {
+  EXPECT_DOUBLE_EQ(spectral_overlap({Band::kBg24GHz, 6}, {Band::kA5GHz, 36}), 0.0);
+}
+
+TEST(Channels, PenaltyCoChannelZero) {
+  EXPECT_DOUBLE_EQ(cross_channel_penalty_db({Band::kBg24GHz, 1}, {Band::kBg24GHz, 1}), 0.0);
+}
+
+TEST(Channels, PenaltyGrowsWithOffset) {
+  const Channel tx{Band::kBg24GHz, 11};
+  const double p1 = cross_channel_penalty_db(tx, {Band::kBg24GHz, 10});
+  const double p2 = cross_channel_penalty_db(tx, {Band::kBg24GHz, 9});
+  EXPECT_GT(p1, 10.0);  // even one channel off is a heavy penalty
+  EXPECT_GT(p2, p1 + 5.0);
+}
+
+TEST(Channels, LockCeilingCoChannelIsOne) {
+  EXPECT_DOUBLE_EQ(cross_channel_lock_ceiling({Band::kBg24GHz, 6}, {Band::kBg24GHz, 6}),
+                   1.0);
+}
+
+TEST(Channels, LockCeilingFewForAdjacentNoneBeyond) {
+  const Channel tx{Band::kBg24GHz, 11};
+  const double adjacent = cross_channel_lock_ceiling(tx, {Band::kBg24GHz, 10});
+  const double two_off = cross_channel_lock_ceiling(tx, {Band::kBg24GHz, 9});
+  EXPECT_GT(adjacent, 0.0);
+  EXPECT_LT(adjacent, 0.15);  // "few" packets regardless of signal strength
+  EXPECT_GT(two_off, 0.0);
+  EXPECT_LT(two_off, 0.01);
+  EXPECT_DOUBLE_EQ(cross_channel_lock_ceiling(tx, {Band::kBg24GHz, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(cross_channel_lock_ceiling(tx, {Band::kA5GHz, 36}), 0.0);
+}
+
+TEST(Channels, PenaltyInfiniteWhenDisjoint) {
+  EXPECT_TRUE(std::isinf(cross_channel_penalty_db({Band::kBg24GHz, 11}, {Band::kBg24GHz, 6})));
+  EXPECT_TRUE(std::isinf(cross_channel_penalty_db({Band::kBg24GHz, 1}, {Band::kA5GHz, 36})));
+}
+
+// Fig 9's message: a card on a neighbouring channel decodes few or none of
+// the packets — the adjacent channel is marginal even at a healthy 30 dB
+// SNR ("few"), and two channels away fails at any level ("none").
+TEST(Channels, Fig9NeighbouringChannelsUndecodableAtTypicalSnr) {
+  const Channel tx{Band::kBg24GHz, 11};
+  const double typical_snr_db = 30.0;
+  const double snr_min = 5.0;
+  const double one_off = typical_snr_db - cross_channel_penalty_db(tx, {Band::kBg24GHz, 10});
+  const double two_off = typical_snr_db - cross_channel_penalty_db(tx, {Band::kBg24GHz, 9});
+  EXPECT_LT(one_off, snr_min + 5.0);   // marginal at best: "few" packets
+  EXPECT_GT(one_off, snr_min - 15.0);  // not a brick wall yet
+  EXPECT_LT(two_off, snr_min - 20.0);  // "none", with margin to spare
+}
+
+}  // namespace
+}  // namespace mm::rf

@@ -1,0 +1,153 @@
+#include "rf/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rf/units.h"
+
+namespace mm::rf {
+namespace {
+
+TEST(Terrain, FlatByDefault) {
+  const Terrain t;
+  EXPECT_TRUE(t.flat());
+  EXPECT_DOUBLE_EQ(t.ground_height_m({100.0, -50.0}), 0.0);
+  EXPECT_DOUBLE_EQ(t.obstruction_depth_m({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0), 0.0);
+}
+
+TEST(Terrain, HillPeakHeight) {
+  Terrain t;
+  t.add_hill({{100.0, 0.0}, 12.0, 40.0});
+  EXPECT_NEAR(t.ground_height_m({100.0, 0.0}), 12.0, 1e-9);
+  EXPECT_LT(t.ground_height_m({140.0, 0.0}), 12.0);
+  EXPECT_NEAR(t.ground_height_m({1000.0, 0.0}), 0.0, 1e-6);
+}
+
+TEST(Terrain, HillsSuperpose) {
+  Terrain t;
+  t.add_hill({{0.0, 0.0}, 5.0, 30.0});
+  t.add_hill({{0.0, 0.0}, 3.0, 30.0});
+  EXPECT_NEAR(t.ground_height_m({0.0, 0.0}), 8.0, 1e-9);
+}
+
+TEST(Terrain, ObstructionWhenHillBetween) {
+  Terrain t;
+  t.add_hill({{250.0, 0.0}, 20.0, 50.0});
+  const double depth = t.obstruction_depth_m({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0);
+  EXPECT_GT(depth, 10.0);
+  EXPECT_LE(depth, 20.0);
+}
+
+TEST(Terrain, NoObstructionWhenPathClearsHill) {
+  Terrain t;
+  t.add_hill({{250.0, 0.0}, 20.0, 50.0});
+  // Endpoints raised well above the hill.
+  EXPECT_DOUBLE_EQ(t.obstruction_depth_m({0.0, 0.0}, 40.0, {500.0, 0.0}, 40.0), 0.0);
+}
+
+TEST(Terrain, NoObstructionWhenHillOffPath) {
+  Terrain t;
+  t.add_hill({{250.0, 400.0}, 20.0, 50.0});
+  EXPECT_NEAR(t.obstruction_depth_m({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0), 0.0, 1e-6);
+}
+
+TEST(Terrain, ElevatedReceiverSeesOverHill) {
+  Terrain t;
+  t.add_hill({{100.0, 0.0}, 10.0, 40.0});
+  // Sniffer on a rooftop (20 m) looking at a mobile at 2 m, 400 m away:
+  // the LOS at the hill (x=100, t=0.25) is ~15.5 m — above the 10 m hill.
+  EXPECT_DOUBLE_EQ(t.obstruction_depth_m({0.0, 0.0}, 20.0, {400.0, 0.0}, 2.0), 0.0);
+}
+
+TEST(FreeSpaceModel, MatchesFsplHelper) {
+  const FreeSpaceModel m;
+  const double loss = m.path_loss_db({0.0, 0.0}, 2.0, {300.0, 400.0}, 2.0, 2437.0);
+  EXPECT_NEAR(loss, free_space_path_loss_db(500.0, 2437.0), 1e-9);
+}
+
+TEST(FreeSpaceModel, ClampsNearField) {
+  const FreeSpaceModel m;
+  const double at_zero = m.path_loss_db({0.0, 0.0}, 2.0, {0.0, 0.0}, 2.0, 2437.0);
+  EXPECT_NEAR(at_zero, free_space_path_loss_db(1.0, 2437.0), 1e-9);
+}
+
+TEST(LogDistanceModel, ReducesToFsplAtExponent2) {
+  const LogDistanceModel m(2.0);
+  const double d = 250.0;
+  EXPECT_NEAR(m.path_loss_db({0.0, 0.0}, 2.0, {d, 0.0}, 2.0, 2412.0),
+              free_space_path_loss_db(d, 2412.0), 1e-9);
+}
+
+TEST(LogDistanceModel, HigherExponentMoreLoss) {
+  const LogDistanceModel fs(2.0);
+  const LogDistanceModel urban(3.2);
+  const double l2 = fs.path_loss_db({0.0, 0.0}, 2.0, {100.0, 0.0}, 2.0, 2437.0);
+  const double l3 = urban.path_loss_db({0.0, 0.0}, 2.0, {100.0, 0.0}, 2.0, 2437.0);
+  EXPECT_NEAR(l3 - l2, 10.0 * 1.2 * 2.0, 1e-9);  // 10*(3.2-2.0)*log10(100)
+}
+
+TEST(LogDistanceModel, InvalidExponentThrows) {
+  EXPECT_THROW(LogDistanceModel(0.5), std::invalid_argument);
+  EXPECT_THROW(LogDistanceModel(7.0), std::invalid_argument);
+}
+
+TEST(LogDistanceModel, ShadowingIsDeterministicPerLink) {
+  const LogDistanceModel m(2.9, 6.0, 42);
+  const double a = m.path_loss_db({10.0, 20.0}, 2.0, {300.0, -100.0}, 2.0, 2437.0);
+  const double b = m.path_loss_db({10.0, 20.0}, 2.0, {300.0, -100.0}, 2.0, 2437.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(LogDistanceModel, ShadowingSymmetricInEndpoints) {
+  const LogDistanceModel m(2.9, 6.0, 42);
+  const double ab = m.path_loss_db({10.0, 20.0}, 2.0, {300.0, -100.0}, 2.0, 2437.0);
+  const double ba = m.path_loss_db({300.0, -100.0}, 2.0, {10.0, 20.0}, 2.0, 2437.0);
+  EXPECT_DOUBLE_EQ(ab, ba);
+}
+
+TEST(LogDistanceModel, ShadowingVariesAcrossLinks) {
+  const LogDistanceModel m(2.9, 6.0, 42);
+  const LogDistanceModel no_shadow(2.9, 0.0, 42);
+  int distinct = 0;
+  for (int i = 0; i < 20; ++i) {
+    const geo::Vec2 rx{200.0 + 10.0 * i, 35.0};
+    const double with_s = m.path_loss_db({0.0, 0.0}, 2.0, rx, 2.0, 2437.0);
+    const double without = no_shadow.path_loss_db({0.0, 0.0}, 2.0, rx, 2.0, 2437.0);
+    if (std::abs(with_s - without) > 0.5) ++distinct;
+  }
+  EXPECT_GT(distinct, 10);
+}
+
+TEST(TerrainAwareModel, AddsLossOnlyWhenObstructed) {
+  auto base = std::make_shared<FreeSpaceModel>();
+  auto terrain = std::make_shared<Terrain>();
+  terrain->add_hill({{250.0, 0.0}, 25.0, 40.0});
+  const TerrainAwareModel m(base, terrain);
+
+  const double blocked = m.path_loss_db({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0, 2437.0);
+  const double clear = m.path_loss_db({0.0, 300.0}, 2.0, {500.0, 300.0}, 2.0, 2437.0);
+  const double fs = base->path_loss_db({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0, 2437.0);
+  EXPECT_GT(blocked, fs + 6.0);
+  EXPECT_NEAR(clear, fs, 1e-9);
+}
+
+TEST(TerrainAwareModel, LossIsCapped) {
+  auto base = std::make_shared<FreeSpaceModel>();
+  auto terrain = std::make_shared<Terrain>();
+  terrain->add_hill({{250.0, 0.0}, 500.0, 60.0});
+  const TerrainAwareModel m(base, terrain, 6.0, 1.5, 35.0);
+  const double blocked = m.path_loss_db({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0, 2437.0);
+  const double fs = base->path_loss_db({0.0, 0.0}, 2.0, {500.0, 0.0}, 2.0, 2437.0);
+  EXPECT_NEAR(blocked - fs, 35.0, 1e-9);
+}
+
+TEST(TerrainAwareModel, NullArgumentsThrow) {
+  auto base = std::make_shared<FreeSpaceModel>();
+  auto terrain = std::make_shared<Terrain>();
+  EXPECT_THROW(TerrainAwareModel(nullptr, terrain), std::invalid_argument);
+  EXPECT_THROW(TerrainAwareModel(base, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::rf

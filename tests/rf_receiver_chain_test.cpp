@@ -1,0 +1,138 @@
+#include "rf/receiver_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/units.h"
+
+namespace mm::rf {
+namespace {
+
+TEST(Units, DbConversionsRoundtrip) {
+  EXPECT_NEAR(db_to_linear(linear_to_db(7.5)), 7.5, 1e-12);
+  EXPECT_DOUBLE_EQ(db_to_linear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(30.0), 1000.0);
+}
+
+TEST(Units, FreeSpacePathLossKnownValue) {
+  // FSPL at 1 km, 2.437 GHz ~= 100.2 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1000.0, 2437.0), 100.2, 0.2);
+}
+
+TEST(Units, FsplPlus6dBPerDoubling) {
+  const double d1 = free_space_path_loss_db(100.0, 2412.0);
+  const double d2 = free_space_path_loss_db(200.0, 2412.0);
+  EXPECT_NEAR(d2 - d1, 6.0206, 1e-3);
+}
+
+TEST(Units, NoiseFloor22MHz) {
+  // -174 + 10log10(22e6) ~= -100.6 dBm.
+  EXPECT_NEAR(noise_floor_dbm(22e6), -100.6, 0.1);
+}
+
+TEST(Components, SplitterInsertionLoss) {
+  const Splitter s{"4-way", 4, 0.5};
+  EXPECT_NEAR(s.insertion_loss_db(), 10.0 * std::log10(4.0) + 0.5, 1e-12);
+}
+
+TEST(Components, NicSensitivityFormula) {
+  const Nic nic{"test", 4.0, 5.0, 22e6, 20.0};
+  EXPECT_NEAR(nic.sensitivity_dbm(), -174.0 + 4.0 + 5.0 + 10.0 * std::log10(22e6), 1e-9);
+}
+
+TEST(ReceiverChain, BareCardNoiseFigureIsNicNf) {
+  const ReceiverChain chain = presets::chain_src();
+  EXPECT_NEAR(chain.cascade_noise_figure_db(), chain.nic().noise_figure_db, 1e-9);
+}
+
+// Paper Section III-A: with a high-gain LNA in front, the chain noise figure
+// collapses to (approximately) the LNA's own 1.5 dB.
+TEST(ReceiverChain, LnaDominatesCascadeNoiseFigure) {
+  const ReceiverChain chain = presets::chain_lna();
+  EXPECT_NEAR(chain.cascade_noise_figure_db(), 1.5, 0.1);
+}
+
+// The paper quotes a noise-figure improvement of 2.5-4.5 dB when the LNA is
+// added in front of a 4.0-6.0 dB NIC.
+TEST(ReceiverChain, NoiseFigureImprovementMatchesPaperRange) {
+  const double improvement = presets::chain_hg2415u().cascade_noise_figure_db() -
+                             presets::chain_lna().cascade_noise_figure_db();
+  EXPECT_GE(improvement, 2.0);
+  EXPECT_LE(improvement, 4.6);
+}
+
+// Paper: 45 dB LNA followed by a 4-way splitter still leaves ~39 dB of
+// amplification at every card input.
+TEST(ReceiverChain, SplitterStillLeaves39dBAmplification) {
+  const ReceiverChain chain = presets::chain_lna();
+  const double amplification = chain.nic_input_dbm(-60.0) - (-60.0);
+  EXPECT_NEAR(amplification, 45.0 - 10.0 * std::log10(4.0) - 0.5, 1e-9);
+  EXPECT_GT(amplification, 38.0);
+}
+
+TEST(ReceiverChain, SensitivityImprovesWithLna) {
+  EXPECT_LT(presets::chain_lna().sensitivity_dbm(),
+            presets::chain_hg2415u().sensitivity_dbm());
+}
+
+TEST(ReceiverChain, EffectiveSnrAddsAntennaGain) {
+  const ReceiverChain bare = presets::chain_src();
+  const ReceiverChain high = presets::chain_hg2415u();
+  const double snr_bare = bare.effective_snr_db(-80.0);
+  const double snr_high = high.effective_snr_db(-80.0);
+  EXPECT_NEAR(snr_high - snr_bare, (15.0 - 4.0) - (4.0 - 4.0), 1e-9);
+}
+
+TEST(ReceiverChain, Theorem1RadiusOrderingMatchesFig12) {
+  const Transmitter mobile = presets::laptop_client();
+  const double freq = 2437.0;
+  const double d_dlink = presets::chain_dlink().theorem1_coverage_radius_m(mobile, freq);
+  const double d_src = presets::chain_src().theorem1_coverage_radius_m(mobile, freq);
+  const double d_hg = presets::chain_hg2415u().theorem1_coverage_radius_m(mobile, freq);
+  const double d_lna = presets::chain_lna().theorem1_coverage_radius_m(mobile, freq);
+  EXPECT_LT(d_dlink, d_src);
+  EXPECT_LT(d_src, d_hg);
+  EXPECT_LT(d_hg, d_lna);
+}
+
+TEST(ReceiverChain, Theorem1MarginConsistentWithRadius) {
+  const Transmitter mobile = presets::laptop_client();
+  const ReceiverChain chain = presets::chain_lna();
+  const double radius = chain.theorem1_coverage_radius_m(mobile, 2437.0);
+  // Just inside the radius: positive margin; just outside: negative.
+  EXPECT_GT(chain.free_space_margin_db(mobile, 2437.0, radius * 0.99), 0.0);
+  EXPECT_LT(chain.free_space_margin_db(mobile, 2437.0, radius * 1.01), 0.0);
+}
+
+TEST(ReceiverChain, Theorem1RadiusScalesWithTxPower) {
+  const ReceiverChain chain = presets::chain_src();
+  const double d_15 = chain.theorem1_coverage_radius_m({15.0, 0.0}, 2437.0);
+  const double d_21 = chain.theorem1_coverage_radius_m({21.0, 0.0}, 2437.0);
+  // +6 dB tx power doubles the free-space radius.
+  EXPECT_NEAR(d_21 / d_15, 2.0, 0.01);
+}
+
+TEST(ReceiverChain, HigherGainAntennaExtendsRadius) {
+  const Transmitter ap = presets::consumer_ap();
+  const ReceiverChain low("low", Antenna{"2dBi", 2.0}, presets::ubiquiti_src());
+  const ReceiverChain high("high", Antenna{"15dBi", 15.0}, presets::ubiquiti_src());
+  const double ratio = high.theorem1_coverage_radius_m(ap, 2437.0) /
+                       low.theorem1_coverage_radius_m(ap, 2437.0);
+  EXPECT_NEAR(ratio, std::pow(10.0, 13.0 / 20.0), 0.01);
+}
+
+TEST(ReceiverChain, PresetNames) {
+  EXPECT_EQ(presets::chain_dlink().name(), "DLink");
+  EXPECT_EQ(presets::chain_src().name(), "SRC");
+  EXPECT_EQ(presets::chain_hg2415u().name(), "HG2415U");
+  EXPECT_EQ(presets::chain_lna().name(), "LNA");
+  EXPECT_TRUE(presets::chain_lna().has_lna());
+  EXPECT_FALSE(presets::chain_hg2415u().has_lna());
+  EXPECT_EQ(presets::chain_lna().splitter_ways(), 4);
+}
+
+}  // namespace
+}  // namespace mm::rf

@@ -1,0 +1,119 @@
+// Location-privacy defenses (Section V): random silent periods with
+// pseudonym rotation (Hu & Wang) and mix zones. These tests pin down the
+// radio-silencing semantics; the attacker-vs-defense outcome is measured in
+// bench_defenses.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "capture/sniffer.h"
+#include "sim/ap.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+
+namespace mm::sim {
+namespace {
+
+const net80211::MacAddress kApMac = *net80211::MacAddress::parse("00:1a:2b:00:0d:01");
+const net80211::MacAddress kClientMac = *net80211::MacAddress::parse("00:16:6f:00:0d:02");
+
+ApConfig base_ap() {
+  ApConfig cfg;
+  cfg.bssid = kApMac;
+  cfg.ssid = "Net";
+  cfg.channel = {rf::Band::kBg24GHz, 6};
+  cfg.position = {30.0, 0.0};
+  cfg.service_radius_m = 120.0;
+  return cfg;
+}
+
+TEST(Defense, SilentPeriodSuppressesFollowingScans) {
+  World world({.seed = 9, .propagation = nullptr});
+  world.add_access_point(std::make_unique<AccessPoint>(base_ap()));
+  MobileConfig mc;
+  mc.mac = kClientMac;
+  mc.profile.probes = true;
+  mc.profile.scan_interval_s = 5.0;
+  mc.profile.silent_period_mean_s = 1e6;  // effectively permanent silence
+  mc.mobility = std::make_shared<StaticPosition>(geo::Vec2{0.0, 0.0});
+  MobileDevice* mobile = world.add_mobile(std::make_unique<MobileDevice>(mc));
+  world.run_until(120.0);
+  // The first sweep transmits; everything after it is suppressed.
+  EXPECT_EQ(mobile->probes_sent(), 11u);
+  EXPECT_GT(mobile->suppressed_transmissions(), 10u);
+  EXPECT_TRUE(mobile->radio_silenced());
+}
+
+TEST(Defense, SilentPeriodRotatesMac) {
+  World world({.seed = 10, .propagation = nullptr});
+  MobileConfig mc;
+  mc.mac = kClientMac;
+  mc.profile.probes = true;
+  mc.profile.scan_interval_s = 5.0;
+  mc.profile.silent_period_mean_s = 1.0;
+  mc.mobility = std::make_shared<StaticPosition>(geo::Vec2{0.0, 0.0});
+  MobileDevice* mobile = world.add_mobile(std::make_unique<MobileDevice>(mc));
+  world.run_until(60.0);
+  EXPECT_NE(mobile->mac(), kClientMac);
+  EXPECT_TRUE(mobile->mac().is_locally_administered());
+}
+
+TEST(Defense, ShortSilenceRecovers) {
+  World world({.seed = 11, .propagation = nullptr});
+  world.add_access_point(std::make_unique<AccessPoint>(base_ap()));
+  MobileConfig mc;
+  mc.mac = kClientMac;
+  mc.profile.probes = true;
+  mc.profile.scan_interval_s = 10.0;
+  mc.profile.silent_period_mean_s = 0.5;  // silence usually over before next scan
+  mc.mobility = std::make_shared<StaticPosition>(geo::Vec2{0.0, 0.0});
+  MobileDevice* mobile = world.add_mobile(std::make_unique<MobileDevice>(mc));
+  world.run_until(300.0);
+  // Many sweeps still transmit (silence expires between scans).
+  EXPECT_GT(mobile->probes_sent(), 50u);
+}
+
+TEST(Defense, MixZoneSilencesInsideOnly) {
+  World world({.seed = 12, .propagation = nullptr});
+  world.add_access_point(std::make_unique<AccessPoint>(base_ap()));
+  // Walk through a mix zone centered at x=100.
+  MobileConfig mc;
+  mc.mac = kClientMac;
+  mc.profile.probes = false;
+  mc.profile.mix_zones = {{{100.0, 0.0}, 30.0}};
+  mc.mobility = std::make_shared<RouteWalk>(
+      std::vector<geo::Vec2>{{0.0, 0.0}, {200.0, 0.0}}, 10.0);
+  MobileDevice* mobile = world.add_mobile(std::make_unique<MobileDevice>(mc));
+
+  // Scans at x=0 (outside), x=100 (inside), x=200 (outside).
+  world.queue().schedule(0.1, [mobile] { mobile->trigger_scan(); });
+  world.queue().schedule(10.0, [mobile] { mobile->trigger_scan(); });
+  world.queue().schedule(20.0, [mobile] { mobile->trigger_scan(); });
+  world.run_until(25.0);
+  EXPECT_EQ(mobile->probes_sent(), 22u);          // two audible sweeps
+  EXPECT_GE(mobile->suppressed_transmissions(), 11u);  // the in-zone sweep
+}
+
+TEST(Defense, MixZoneHidesDeviceFromSniffer) {
+  World world({.seed = 13, .propagation = nullptr});
+  world.add_access_point(std::make_unique<AccessPoint>(base_ap()));
+  capture::ObservationStore store;
+  capture::SnifferConfig sc;
+  sc.position = {0.0, 100.0};
+  capture::Sniffer sniffer(sc, &store);
+  sniffer.attach(world);
+
+  MobileConfig mc;
+  mc.mac = kClientMac;
+  mc.profile.probes = false;
+  mc.profile.mix_zones = {{{0.0, 0.0}, 50.0}};  // device sits inside the zone
+  mc.mobility = std::make_shared<StaticPosition>(geo::Vec2{0.0, 0.0});
+  MobileDevice* mobile = world.add_mobile(std::make_unique<MobileDevice>(mc));
+  mobile->trigger_scan();
+  world.run_until(5.0);
+  EXPECT_EQ(store.device_count(), 0u);  // nothing ever hit the air
+}
+
+}  // namespace
+}  // namespace mm::sim

@@ -1,0 +1,120 @@
+// Dual-band (802.11a) behaviour: the paper notes that covering 802.11a
+// takes 12 more channels/cards. These tests pin down band isolation —
+// b/g-only scans miss 5 GHz APs; dual-band scans find them; the sniffer
+// needs A-band cards to capture the 5 GHz side.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capture/sniffer.h"
+#include "sim/ap.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+
+namespace mm::sim {
+namespace {
+
+const net80211::MacAddress kFiveGhzAp = *net80211::MacAddress::parse("00:1a:2b:00:0a:01");
+const net80211::MacAddress kBgAp = *net80211::MacAddress::parse("00:1a:2b:00:0a:02");
+const net80211::MacAddress kClient = *net80211::MacAddress::parse("00:16:6f:00:0a:03");
+
+struct DualScene {
+  World world{{}};
+  AccessPoint* five_ghz = nullptr;
+  AccessPoint* bg = nullptr;
+  MobileDevice* mobile = nullptr;
+};
+
+std::unique_ptr<DualScene> make_scene(bool dual_band_client) {
+  auto scene = std::make_unique<DualScene>();
+  ApConfig a_cfg;
+  a_cfg.bssid = kFiveGhzAp;
+  a_cfg.ssid = "FiveG";
+  a_cfg.channel = {rf::Band::kA5GHz, 36};
+  a_cfg.position = {30.0, 0.0};
+  a_cfg.service_radius_m = 100.0;
+  scene->five_ghz = scene->world.add_access_point(std::make_unique<AccessPoint>(a_cfg));
+
+  ApConfig bg_cfg = a_cfg;
+  bg_cfg.bssid = kBgAp;
+  bg_cfg.ssid = "TwoFourG";
+  bg_cfg.channel = {rf::Band::kBg24GHz, 6};
+  bg_cfg.position = {-30.0, 0.0};
+  scene->bg = scene->world.add_access_point(std::make_unique<AccessPoint>(bg_cfg));
+
+  MobileConfig mc;
+  mc.mac = kClient;
+  mc.profile.probes = false;
+  if (dual_band_client) {
+    mc.profile.scan_bands = {rf::Band::kBg24GHz, rf::Band::kA5GHz};
+  }
+  mc.mobility = std::make_shared<StaticPosition>(geo::Vec2{0.0, 0.0});
+  scene->mobile = scene->world.add_mobile(std::make_unique<MobileDevice>(mc));
+  return scene;
+}
+
+TEST(DualBand, BgOnlyClientMissesFiveGhzAp) {
+  auto scene = make_scene(/*dual_band_client=*/false);
+  scene->mobile->trigger_scan();
+  scene->world.run_until(2.0);
+  EXPECT_EQ(scene->five_ghz->probes_answered(), 0u);
+  EXPECT_EQ(scene->bg->probes_answered(), 1u);
+  EXPECT_EQ(scene->mobile->heard_aps().count(kFiveGhzAp), 0u);
+}
+
+TEST(DualBand, DualBandClientFindsBoth) {
+  auto scene = make_scene(/*dual_band_client=*/true);
+  scene->mobile->trigger_scan();
+  scene->world.run_until(2.0);
+  EXPECT_EQ(scene->five_ghz->probes_answered(), 1u);
+  EXPECT_EQ(scene->bg->probes_answered(), 1u);
+  EXPECT_EQ(scene->mobile->heard_aps().size(), 2u);
+  // 11 b/g + 12 a channels swept.
+  EXPECT_EQ(scene->mobile->probes_sent(), 23u);
+}
+
+TEST(DualBand, SnifferNeedsABandCardForFiveGhzGamma) {
+  for (const bool with_a_card : {false, true}) {
+    auto scene = make_scene(true);
+    capture::ObservationStore store;
+    capture::SnifferConfig sc;
+    sc.position = {0.0, 50.0};
+    if (with_a_card) sc.card_channels.push_back({rf::Band::kA5GHz, 36});
+    capture::Sniffer sniffer(sc, &store);
+    sniffer.attach(scene->world);
+    scene->mobile->trigger_scan();
+    scene->world.run_until(2.0);
+
+    const auto gamma = store.gamma(kClient);
+    EXPECT_EQ(gamma.count(kBgAp), 1u);
+    EXPECT_EQ(gamma.count(kFiveGhzAp), with_a_card ? 1u : 0u)
+        << "a-band card present: " << with_a_card;
+  }
+}
+
+TEST(DualBand, ScenarioFiveGhzFraction) {
+  CampusConfig cfg;
+  cfg.num_aps = 2000;
+  cfg.five_ghz_fraction = 0.25;
+  std::size_t five = 0;
+  for (const ApTruth& ap : generate_campus_aps(cfg)) {
+    if (ap.band == rf::Band::kA5GHz) {
+      ++five;
+      // Valid US 802.11a channel numbers only.
+      EXPECT_NO_THROW((void)rf::channel_center_mhz({rf::Band::kA5GHz, ap.channel}));
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(five) / 2000.0, 0.25, 0.03);
+}
+
+TEST(DualBand, ScenarioDefaultIsAllBg) {
+  CampusConfig cfg;
+  cfg.num_aps = 100;
+  for (const ApTruth& ap : generate_campus_aps(cfg)) {
+    EXPECT_EQ(ap.band, rf::Band::kBg24GHz);
+  }
+}
+
+}  // namespace
+}  // namespace mm::sim

@@ -1,0 +1,96 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mm::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZeroAndEmpty) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_until(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&] { ++ran; });
+  q.schedule(2.0, [&] { ++ran; });
+  q.schedule(3.0, [&] { ++ran; });
+  EXPECT_EQ(q.run_until(2.0), 2u);  // events at t <= 2 inclusive
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) q.schedule_in(1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution) {
+  EventQueue q;
+  SimTime seen = -1.0;
+  q.schedule(4.5, [&] { seen = q.now(); });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime seen = -1.0;
+  q.schedule(2.0, [&] { q.schedule_in(3.0, [&] { seen = q.now(); }); });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueue, RunAllDrains) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&] { ++ran; });
+  q.schedule(100.0, [&] { ++ran; });
+  EXPECT_EQ(q.run_all(), 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(ran, 2);
+}
+
+}  // namespace
+}  // namespace mm::sim

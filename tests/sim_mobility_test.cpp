@@ -1,0 +1,109 @@
+#include "sim/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mm::sim {
+namespace {
+
+TEST(StaticPosition, NeverMoves) {
+  const StaticPosition m({3.0, 4.0});
+  EXPECT_EQ(m.position(0.0), geo::Vec2(3.0, 4.0));
+  EXPECT_EQ(m.position(1e6), geo::Vec2(3.0, 4.0));
+}
+
+TEST(RouteWalk, RequiresWaypointsAndPositiveSpeed) {
+  EXPECT_THROW(RouteWalk({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(RouteWalk({{0.0, 0.0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(RouteWalk({{0.0, 0.0}}, -1.0), std::invalid_argument);
+}
+
+TEST(RouteWalk, SingleWaypointIsStatic) {
+  const RouteWalk walk({{5.0, 5.0}}, 1.0);
+  EXPECT_EQ(walk.position(100.0), geo::Vec2(5.0, 5.0));
+  EXPECT_DOUBLE_EQ(walk.route_length_m(), 0.0);
+}
+
+TEST(RouteWalk, ConstantSpeedAlongSegment) {
+  const RouteWalk walk({{0.0, 0.0}, {100.0, 0.0}}, 2.0);
+  EXPECT_EQ(walk.position(0.0), geo::Vec2(0.0, 0.0));
+  EXPECT_NEAR(walk.position(10.0).x, 20.0, 1e-12);
+  EXPECT_NEAR(walk.position(25.0).x, 50.0, 1e-12);
+  EXPECT_DOUBLE_EQ(walk.arrival_time(), 50.0);
+}
+
+TEST(RouteWalk, HoldsFinalWaypoint) {
+  const RouteWalk walk({{0.0, 0.0}, {10.0, 0.0}}, 1.0);
+  EXPECT_EQ(walk.position(1000.0), geo::Vec2(10.0, 0.0));
+}
+
+TEST(RouteWalk, MultiSegmentCorners) {
+  const RouteWalk walk({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}}, 1.0);
+  EXPECT_NEAR(walk.position(10.0).x, 10.0, 1e-12);
+  EXPECT_NEAR(walk.position(10.0).y, 0.0, 1e-12);
+  EXPECT_NEAR(walk.position(15.0).y, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(walk.route_length_m(), 20.0);
+}
+
+TEST(RouteWalk, StartTimeOffset) {
+  const RouteWalk walk({{0.0, 0.0}, {10.0, 0.0}}, 1.0, /*start_time=*/100.0);
+  EXPECT_EQ(walk.position(50.0), geo::Vec2(0.0, 0.0));
+  EXPECT_NEAR(walk.position(105.0).x, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(walk.arrival_time(), 110.0);
+}
+
+TEST(RouteWalk, PositionIsContinuous) {
+  const RouteWalk walk({{0.0, 0.0}, {37.0, 12.0}, {-5.0, 40.0}, {8.0, 8.0}}, 1.7);
+  for (double t = 0.0; t < walk.arrival_time(); t += 0.25) {
+    const double jump = walk.position(t).distance_to(walk.position(t + 0.25));
+    EXPECT_LE(jump, 1.7 * 0.25 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, StaysInsideBox) {
+  const RandomWaypoint m({-50.0, -20.0}, {50.0, 20.0}, 0.5, 2.0, 600.0, 7);
+  for (double t = 0.0; t <= 600.0; t += 1.0) {
+    const geo::Vec2 p = m.position(t);
+    EXPECT_GE(p.x, -50.0 - 1e-9);
+    EXPECT_LE(p.x, 50.0 + 1e-9);
+    EXPECT_GE(p.y, -20.0 - 1e-9);
+    EXPECT_LE(p.y, 20.0 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, DeterministicInSeed) {
+  const RandomWaypoint a({-10.0, -10.0}, {10.0, 10.0}, 1.0, 2.0, 100.0, 42);
+  const RandomWaypoint b({-10.0, -10.0}, {10.0, 10.0}, 1.0, 2.0, 100.0, 42);
+  for (double t = 0.0; t < 100.0; t += 5.0) {
+    EXPECT_EQ(a.position(t), b.position(t));
+  }
+}
+
+TEST(RandomWaypoint, DifferentSeedsDiffer) {
+  const RandomWaypoint a({-10.0, -10.0}, {10.0, 10.0}, 1.0, 2.0, 100.0, 1);
+  const RandomWaypoint b({-10.0, -10.0}, {10.0, 10.0}, 1.0, 2.0, 100.0, 2);
+  int same = 0;
+  for (double t = 0.0; t < 100.0; t += 5.0) {
+    if (a.position(t).distance_to(b.position(t)) < 1e-9) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomWaypoint, SpeedBounded) {
+  const RandomWaypoint m({-100.0, -100.0}, {100.0, 100.0}, 1.0, 3.0, 200.0, 9);
+  for (double t = 0.0; t < 200.0; t += 0.5) {
+    const double moved = m.position(t).distance_to(m.position(t + 0.5));
+    EXPECT_LE(moved, 3.0 * 0.5 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, BadSpeedRangeThrows) {
+  EXPECT_THROW(RandomWaypoint({0.0, 0.0}, {1.0, 1.0}, 0.0, 1.0, 10.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint({0.0, 0.0}, {1.0, 1.0}, 2.0, 1.0, 10.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::sim

@@ -1,0 +1,193 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/population.h"
+
+namespace mm::sim {
+namespace {
+
+TEST(Scenario, GeneratesRequestedApCount) {
+  CampusConfig cfg;
+  cfg.num_aps = 75;
+  const auto aps = generate_campus_aps(cfg);
+  EXPECT_EQ(aps.size(), 75u);
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  CampusConfig cfg;
+  cfg.seed = 99;
+  const auto a = generate_campus_aps(cfg);
+  const auto b = generate_campus_aps(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bssid, b[i].bssid);
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_DOUBLE_EQ(a[i].radius_m, b[i].radius_m);
+  }
+}
+
+TEST(Scenario, ApsInsideExtentAndRadiusInRange) {
+  CampusConfig cfg;
+  cfg.half_extent_m = 300.0;
+  cfg.radius_min_m = 60.0;
+  cfg.radius_max_m = 90.0;
+  for (const ApTruth& ap : generate_campus_aps(cfg)) {
+    EXPECT_LE(std::abs(ap.position.x), 300.0);
+    EXPECT_LE(std::abs(ap.position.y), 300.0);
+    EXPECT_GE(ap.radius_m, 60.0);
+    EXPECT_LE(ap.radius_m, 90.0);
+  }
+}
+
+TEST(Scenario, BssidsUnique) {
+  CampusConfig cfg;
+  cfg.num_aps = 200;
+  std::set<net80211::MacAddress> macs;
+  for (const ApTruth& ap : generate_campus_aps(cfg)) macs.insert(ap.bssid);
+  EXPECT_EQ(macs.size(), 200u);
+}
+
+// Fig 8: channels 1/6/11 should carry ~93.7% of APs, channel 6 the most.
+TEST(Scenario, ChannelDistributionMatchesFig8) {
+  CampusConfig cfg;
+  cfg.num_aps = 5000;
+  std::map<int, int> histogram;
+  for (const ApTruth& ap : generate_campus_aps(cfg)) histogram[ap.channel]++;
+  const double total = 5000.0;
+  const double main_three = (histogram[1] + histogram[6] + histogram[11]) / total;
+  EXPECT_NEAR(main_three, 0.937, 0.02);
+  EXPECT_GT(histogram[6], histogram[1]);
+  EXPECT_GT(histogram[1], histogram[11]);
+  for (int ch = 1; ch <= 11; ++ch) {
+    EXPECT_GE(histogram[ch], 1) << "channel " << ch << " never used";
+  }
+}
+
+TEST(Scenario, WeightsCoverElevenChannels) {
+  EXPECT_EQ(default_channel_weights().size(), 11u);
+  double sum = 0.0;
+  for (double w : default_channel_weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Scenario, PopulateWorldAddsAps) {
+  CampusConfig cfg;
+  cfg.num_aps = 10;
+  const auto aps = generate_campus_aps(cfg);
+  World world({});
+  populate_world(world, aps, /*beacons_enabled=*/false);
+  EXPECT_EQ(world.access_points().size(), 10u);
+  EXPECT_EQ(world.access_points()[0]->config().bssid, aps[0].bssid);
+}
+
+TEST(Scenario, UmlAnchorIsInLowell) {
+  const geo::Geodetic uml = uml_north_campus();
+  EXPECT_NEAR(uml.lat_deg, 42.65, 0.05);
+  EXPECT_NEAR(uml.lon_deg, -71.32, 0.05);
+}
+
+TEST(Scenario, HillsExist) {
+  const auto terrain = uml_hills();
+  ASSERT_NE(terrain, nullptr);
+  EXPECT_FALSE(terrain->flat());
+}
+
+TEST(Scenario, LawnmowerRouteCoversArea) {
+  const auto route = lawnmower_route(100.0, 4);
+  ASSERT_GE(route.size(), 8u);
+  double min_y = 1e9;
+  double max_y = -1e9;
+  for (const auto& p : route) {
+    EXPECT_LE(std::abs(p.x), 100.0 + 1e-9);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  EXPECT_DOUBLE_EQ(min_y, -100.0);
+  EXPECT_DOUBLE_EQ(max_y, 100.0);
+}
+
+TEST(Population, SevenDaysWithWeekend) {
+  util::Rng rng(1);
+  const auto days = simulate_population({}, rng);
+  ASSERT_EQ(days.size(), 7u);
+  // Starting Friday Oct 24: Sat/Sun are indices 1 and 2.
+  EXPECT_FALSE(days[0].weekend);
+  EXPECT_TRUE(days[1].weekend);
+  EXPECT_TRUE(days[2].weekend);
+  for (std::size_t i = 3; i < 7; ++i) EXPECT_FALSE(days[i].weekend);
+  EXPECT_EQ(days[0].label, "Oct 24");
+  EXPECT_EQ(days[6].label, "Oct 30");
+}
+
+// Fig 10: more mobiles on weekdays; Fig 11: probing fraction > 50% every day
+// and higher on weekends.
+TEST(Population, MatchesPaperShape) {
+  util::Rng rng(2009);
+  const auto days = simulate_population({}, rng);
+  double weekday_found = 0.0;
+  double weekend_found = 0.0;
+  double weekday_frac = 0.0;
+  double weekend_frac = 0.0;
+  int weekdays = 0;
+  int weekends = 0;
+  for (const auto& day : days) {
+    EXPECT_GT(day.probing_fraction(), 0.5) << day.label;
+    if (day.weekend) {
+      weekend_found += static_cast<double>(day.mobiles_found);
+      weekend_frac += day.probing_fraction();
+      ++weekends;
+    } else {
+      weekday_found += static_cast<double>(day.mobiles_found);
+      weekday_frac += day.probing_fraction();
+      ++weekdays;
+    }
+  }
+  EXPECT_GT(weekday_found / weekdays, weekend_found / weekends);
+  EXPECT_GT(weekend_frac / weekends, weekday_frac / weekdays);
+}
+
+TEST(Population, ActiveAttackRaisesProbingFraction) {
+  PopulationConfig passive;
+  PopulationConfig active;
+  active.active_attack = true;
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const auto passive_days = simulate_population(passive, rng_a);
+  const auto active_days = simulate_population(active, rng_b);
+  double passive_avg = 0.0;
+  double active_avg = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    passive_avg += passive_days[i].probing_fraction();
+    active_avg += active_days[i].probing_fraction();
+  }
+  EXPECT_GT(active_avg / 7.0, passive_avg / 7.0 + 0.1);
+  for (const auto& day : active_days) EXPECT_GT(day.probing_fraction(), 0.9);
+}
+
+TEST(Population, DeterministicInRngSeed) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const auto days_a = simulate_population({}, a);
+  const auto days_b = simulate_population({}, b);
+  for (std::size_t i = 0; i < days_a.size(); ++i) {
+    EXPECT_EQ(days_a[i].mobiles_found, days_b[i].mobiles_found);
+    EXPECT_EQ(days_a[i].probing_mobiles, days_b[i].probing_mobiles);
+  }
+}
+
+TEST(Population, ProbingNeverExceedsFound) {
+  util::Rng rng(11);
+  PopulationConfig cfg;
+  cfg.days = 30;
+  for (const auto& day : simulate_population(cfg, rng)) {
+    EXPECT_LE(day.probing_mobiles, day.mobiles_found);
+    EXPECT_GE(day.mobiles_found, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mm::sim

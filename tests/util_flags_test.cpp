@@ -1,0 +1,82 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mm::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make({"--seed=99"});
+  EXPECT_TRUE(f.has("seed"));
+  EXPECT_EQ(f.get_int("seed", 0), 99);
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make({"--out", "result.csv"});
+  EXPECT_EQ(f.get("out", ""), "result.csv");
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_EQ(f.get("verbose", ""), "true");
+}
+
+TEST(Flags, BareFlagFollowedByFlag) {
+  const Flags f = make({"--quiet", "--seed=3"});
+  EXPECT_TRUE(f.has("quiet"));
+  EXPECT_EQ(f.get_int("seed", 0), 3);
+}
+
+TEST(Flags, Positional) {
+  const Flags f = make({"input.pcap", "--seed=1", "other"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.pcap");
+  EXPECT_EQ(f.positional()[1], "other");
+}
+
+TEST(Flags, FallbackWhenMissing) {
+  const Flags f = make({});
+  EXPECT_FALSE(f.has("seed"));
+  EXPECT_EQ(f.get_int("seed", 1234), 1234);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 2.5), 2.5);
+  EXPECT_EQ(f.get("name", "dflt"), "dflt");
+}
+
+TEST(Flags, GetDouble) {
+  const Flags f = make({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.25);
+}
+
+TEST(Flags, BadIntegerThrows) {
+  const Flags f = make({"--seed=abc"});
+  EXPECT_THROW((void)f.get_int("seed", 0), std::invalid_argument);
+}
+
+TEST(Flags, BadDoubleThrows) {
+  const Flags f = make({"--rate=xyz"});
+  EXPECT_THROW((void)f.get_double("rate", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, GetSeedHelper) {
+  const Flags f = make({"--seed=77"});
+  EXPECT_EQ(f.get_seed(1), 77u);
+  const Flags none = make({});
+  EXPECT_EQ(none.get_seed(5), 5u);
+}
+
+TEST(Flags, ProgramName) {
+  const Flags f = make({});
+  EXPECT_EQ(f.program(), "prog");
+}
+
+}  // namespace
+}  // namespace mm::util

@@ -1,0 +1,211 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace mm::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-5.0, 11.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 11.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double total = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -2);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -2);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(10);
+  double total = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    total += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(total / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(total / kN, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.exponential(0.5);
+  EXPECT_NEAR(total / kN, 2.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(13);
+  double total = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) total += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(total / kN, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeLambdaUsesNormalApprox) {
+  Rng rng(14);
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += static_cast<double>(rng.poisson(120.0));
+  EXPECT_NEAR(total / kN, 120.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(16);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, WeightedIndexZeroWeightNeverPicked) {
+  Rng rng(17);
+  const std::vector<double> weights{0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = rng.weighted_index(weights);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(18);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), weights.size());
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(19);
+  const std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ones += rng.weighted_index(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.75, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(20);
+  Rng child = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+TEST(Rng, AngleInRange) {
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.angle();
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 2.0 * 3.14159265358979323846);
+  }
+}
+
+}  // namespace
+}  // namespace mm::util

@@ -1,0 +1,100 @@
+#include <iostream>
+
+#include "capture/persistence.h"
+#include "capture/replay.h"
+#include "commands.h"
+#include "maps/html_map.h"
+#include "marauder/linker.h"
+#include "marauder/tracker.h"
+#include "marauder/trajectory.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+namespace mm::tools {
+
+int cmd_locate(const util::Flags& flags) {
+  const std::string apdb_path = flags.get("apdb", "");
+  const std::string obs_path = flags.get("observations", "");
+  const std::string pcap_path = flags.get("pcap", "");
+  const std::string algorithm_name = flags.get("algorithm", "mloc");
+  const std::string map_path = flags.get("map", "");
+  if (apdb_path.empty() || (obs_path.empty() && pcap_path.empty())) {
+    std::cerr << "mmctl locate: --apdb and one of --observations/--pcap are required\n";
+    return 2;
+  }
+
+  marauder::Algorithm algorithm;
+  if (algorithm_name == "mloc") {
+    algorithm = marauder::Algorithm::kMLoc;
+  } else if (algorithm_name == "aprad") {
+    algorithm = marauder::Algorithm::kApRad;
+  } else if (algorithm_name == "centroid") {
+    algorithm = marauder::Algorithm::kCentroid;
+  } else if (algorithm_name == "nearest") {
+    algorithm = marauder::Algorithm::kNearestAp;
+  } else {
+    std::cerr << "mmctl locate: unknown --algorithm '" << algorithm_name
+              << "' (mloc|aprad|centroid|nearest)\n";
+    return 2;
+  }
+
+  const geo::EnuFrame frame(sim::uml_north_campus());
+  marauder::ApDatabase db = marauder::ApDatabase::from_csv(apdb_path, frame);
+
+  capture::ObservationStore store;
+  if (!obs_path.empty()) {
+    store = capture::load_observations(obs_path);
+  } else {
+    const capture::ReplayStats stats = capture::replay_pcap(pcap_path, store);
+    std::cerr << "replayed " << stats.records << " records (" << stats.malformed
+              << " malformed)\n";
+  }
+
+  marauder::TrackerOptions options;
+  options.algorithm = algorithm;
+  marauder::Tracker tracker(std::move(db), options);
+  tracker.prepare(store);
+
+  const auto identities = marauder::link_identities(store);
+  util::Table table({"identity (first MAC)", "aliases", "track pts", "last x (m)",
+                     "last y (m)", "lat", "lon", "|Gamma|"});
+  maps::MarauderMap map("mmctl locate — " + algorithm_name, frame);
+  for (const auto& [mac, ap] : tracker.database().records()) {
+    map.add_ap(ap.position, ap.ssid, ap.radius_m);
+  }
+
+  std::size_t located = 0;
+  for (const auto& identity : identities) {
+    // Assemble the identity's full movement track (per scan burst, across
+    // MAC rotations); report the latest position — what the Marauder's Map
+    // display shows for a moving tag.
+    const auto track = marauder::build_trajectory(tracker, store, identity.macs);
+    if (track.empty()) continue;
+    ++located;
+    const marauder::TrackPoint& last = track.back();
+    const geo::Geodetic g = frame.to_geodetic(last.position);
+    table.add_row({identity.macs.front().to_string(),
+                   std::to_string(identity.macs.size()), std::to_string(track.size()),
+                   util::Table::fmt(last.position.x, 1),
+                   util::Table::fmt(last.position.y, 1), util::Table::fmt(g.lat_deg, 6),
+                   util::Table::fmt(g.lon_deg, 6), std::to_string(last.num_aps)});
+    map.add_estimate(last.position, identity.macs.front().to_string());
+    if (track.size() > 1) {
+      std::vector<geo::Vec2> path;
+      path.reserve(track.size());
+      for (const auto& point : track) path.push_back(point.position);
+      map.add_path(path, identity.macs.front().to_string() + " track");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nlocated " << located << "/" << identities.size()
+            << " identities (" << store.device_count() << " MACs observed)\n";
+
+  if (!map_path.empty()) {
+    map.write_html(map_path);
+    std::cout << "wrote " << map_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace mm::tools

@@ -1,0 +1,28 @@
+#include <iostream>
+
+#include "commands.h"
+#include "marauder/ap_database.h"
+#include "sim/scenario.h"
+
+namespace mm::tools {
+
+int cmd_wigle(const util::Flags& flags) {
+  const std::string in_path = flags.get("in", "");
+  const std::string out_path = flags.get("out", "apdb.csv");
+  if (in_path.empty()) {
+    std::cerr << "mmctl wigle: --in <wigle_export.csv> is required\n";
+    return 2;
+  }
+  const geo::EnuFrame frame(sim::uml_north_campus());
+  const marauder::ApDatabase db = marauder::ApDatabase::from_wigle_csv(in_path, frame);
+  if (db.empty()) {
+    std::cerr << "mmctl wigle: no WIFI rows parsed from " << in_path << "\n";
+    return 1;
+  }
+  db.to_csv(out_path, frame);
+  std::cout << "imported " << db.size() << " APs from " << in_path << " -> " << out_path
+            << " (locations only; run the attack with --algorithm aprad)\n";
+  return 0;
+}
+
+}  // namespace mm::tools

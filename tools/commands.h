@@ -1,0 +1,31 @@
+// mmctl subcommands. Each takes parsed flags and returns a process exit
+// code; all I/O goes through stdout/stderr so the tool scripts cleanly.
+#pragma once
+
+#include "util/flags.h"
+
+namespace mm::tools {
+
+/// `mmctl simulate --config scenario.ini --out prefix`
+/// Runs a scenario described by an INI file and writes:
+///   <prefix>.pcap              the sniffer's monitor-mode capture
+///   <prefix>_apdb.csv          ground-truth AP database (with radii)
+///   <prefix>_observations.csv  the live observation store
+int cmd_simulate(const util::Flags& flags);
+
+/// `mmctl locate --apdb apdb.csv (--observations obs.csv | --pcap cap.pcap)
+///        [--algorithm mloc|aprad|centroid|nearest] [--map out.html]`
+/// Localizes every observed device and prints a table; optionally renders
+/// the Marauder's map.
+int cmd_locate(const util::Flags& flags);
+
+/// `mmctl wigle --in wigle_export.csv --out apdb.csv`
+/// Converts a WiGLE app export into the tool's AP-database CSV.
+int cmd_wigle(const util::Flags& flags);
+
+/// `mmctl info --pcap capture.pcap`
+/// Prints capture statistics: record/subtype counts, devices seen, APs
+/// sighted, channel distribution.
+int cmd_info(const util::Flags& flags);
+
+}  // namespace mm::tools

@@ -1,0 +1,59 @@
+// mmctl — the digital Marauder's map command-line tool.
+//
+//   mmctl simulate --config scenario.ini --out prefix
+//   mmctl locate   --apdb apdb.csv --observations obs.csv [--algorithm mloc]
+//   mmctl locate   --apdb apdb.csv --pcap capture.pcap --map map.html
+//   mmctl wigle    --in wigle_export.csv --out apdb.csv
+//   mmctl info     --pcap capture.pcap
+#include <cstring>
+#include <iostream>
+
+#include "commands.h"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      R"(mmctl — the digital Marauder's map toolkit
+
+usage: mmctl <command> [flags]
+
+commands:
+  simulate   run an INI-described scenario; writes pcap + AP db + observations
+             --config <scenario.ini>   (required)
+             --out <prefix>            (default: mm_sim)
+  locate     localize every observed device
+             --apdb <apdb.csv>         (required)
+             --observations <obs.csv>  or  --pcap <capture.pcap>
+             --algorithm mloc|aprad|centroid|nearest   (default: mloc)
+             --map <out.html>          optional map render
+  wigle      convert a WiGLE app export into an AP database CSV
+             --in <wigle.csv> --out <apdb.csv>
+  info       capture statistics from a pcap
+             --pcap <capture.pcap>
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    print_usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  const mm::util::Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "simulate") return mm::tools::cmd_simulate(flags);
+    if (command == "locate") return mm::tools::cmd_locate(flags);
+    if (command == "wigle") return mm::tools::cmd_wigle(flags);
+    if (command == "info") return mm::tools::cmd_info(flags);
+  } catch (const std::exception& error) {
+    std::cerr << "mmctl " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "mmctl: unknown command '" << command << "'\n\n";
+  print_usage();
+  return 2;
+}
