@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_area_vs_k.cpp" "bench/CMakeFiles/bench_fig02_area_vs_k.dir/bench_fig02_area_vs_k.cpp.o" "gcc" "bench/CMakeFiles/bench_fig02_area_vs_k.dir/bench_fig02_area_vs_k.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/marauder/CMakeFiles/mm_marauder.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/mm_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/mm_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mm_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net80211/CMakeFiles/mm_net80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mm_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/mm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

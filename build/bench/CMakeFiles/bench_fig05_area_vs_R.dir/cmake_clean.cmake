@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_area_vs_R.dir/bench_fig05_area_vs_R.cpp.o"
+  "CMakeFiles/bench_fig05_area_vs_R.dir/bench_fig05_area_vs_R.cpp.o.d"
+  "bench_fig05_area_vs_R"
+  "bench_fig05_area_vs_R.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_area_vs_R.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

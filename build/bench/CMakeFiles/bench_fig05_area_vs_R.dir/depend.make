@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_area_vs_R.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_probing_percentage.dir/bench_fig11_probing_percentage.cpp.o"
+  "CMakeFiles/bench_fig11_probing_percentage.dir/bench_fig11_probing_percentage.cpp.o.d"
+  "bench_fig11_probing_percentage"
+  "bench_fig11_probing_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_probing_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_coverage_radius.dir/bench_fig12_coverage_radius.cpp.o"
+  "CMakeFiles/bench_fig12_coverage_radius.dir/bench_fig12_coverage_radius.cpp.o.d"
+  "bench_fig12_coverage_radius"
+  "bench_fig12_coverage_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_coverage_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_aploc_training.dir/bench_fig17_aploc_training.cpp.o"
+  "CMakeFiles/bench_fig17_aploc_training.dir/bench_fig17_aploc_training.cpp.o.d"
+  "bench_fig17_aploc_training"
+  "bench_fig17_aploc_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_aploc_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_attack.dir/active_attack.cpp.o"
+  "CMakeFiles/active_attack.dir/active_attack.cpp.o.d"
+  "active_attack"
+  "active_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_tracking.dir/campus_tracking.cpp.o"
+  "CMakeFiles/campus_tracking.dir/campus_tracking.cpp.o.d"
+  "campus_tracking"
+  "campus_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

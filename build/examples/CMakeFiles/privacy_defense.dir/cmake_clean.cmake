@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_defense.dir/privacy_defense.cpp.o"
+  "CMakeFiles/privacy_defense.dir/privacy_defense.cpp.o.d"
+  "privacy_defense"
+  "privacy_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

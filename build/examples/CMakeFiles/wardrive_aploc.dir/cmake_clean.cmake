@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wardrive_aploc.dir/wardrive_aploc.cpp.o"
+  "CMakeFiles/wardrive_aploc.dir/wardrive_aploc.cpp.o.d"
+  "wardrive_aploc"
+  "wardrive_aploc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wardrive_aploc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

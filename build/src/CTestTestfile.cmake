@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("rf")
+subdirs("net80211")
+subdirs("lp")
+subdirs("sim")
+subdirs("capture")
+subdirs("marauder")
+subdirs("analysis")
+subdirs("maps")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/integrate.cpp" "src/analysis/CMakeFiles/mm_analysis.dir/integrate.cpp.o" "gcc" "src/analysis/CMakeFiles/mm_analysis.dir/integrate.cpp.o.d"
+  "/root/repo/src/analysis/theorems.cpp" "src/analysis/CMakeFiles/mm_analysis.dir/theorems.cpp.o" "gcc" "src/analysis/CMakeFiles/mm_analysis.dir/theorems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/mm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

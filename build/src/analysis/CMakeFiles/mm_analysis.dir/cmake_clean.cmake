@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_analysis.dir/integrate.cpp.o"
+  "CMakeFiles/mm_analysis.dir/integrate.cpp.o.d"
+  "CMakeFiles/mm_analysis.dir/theorems.cpp.o"
+  "CMakeFiles/mm_analysis.dir/theorems.cpp.o.d"
+  "libmm_analysis.a"
+  "libmm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/observation_store.cpp" "src/capture/CMakeFiles/mm_capture.dir/observation_store.cpp.o" "gcc" "src/capture/CMakeFiles/mm_capture.dir/observation_store.cpp.o.d"
+  "/root/repo/src/capture/persistence.cpp" "src/capture/CMakeFiles/mm_capture.dir/persistence.cpp.o" "gcc" "src/capture/CMakeFiles/mm_capture.dir/persistence.cpp.o.d"
+  "/root/repo/src/capture/replay.cpp" "src/capture/CMakeFiles/mm_capture.dir/replay.cpp.o" "gcc" "src/capture/CMakeFiles/mm_capture.dir/replay.cpp.o.d"
+  "/root/repo/src/capture/sniffer.cpp" "src/capture/CMakeFiles/mm_capture.dir/sniffer.cpp.o" "gcc" "src/capture/CMakeFiles/mm_capture.dir/sniffer.cpp.o.d"
+  "/root/repo/src/capture/wardrive.cpp" "src/capture/CMakeFiles/mm_capture.dir/wardrive.cpp.o" "gcc" "src/capture/CMakeFiles/mm_capture.dir/wardrive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mm_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net80211/CMakeFiles/mm_net80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/mm_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

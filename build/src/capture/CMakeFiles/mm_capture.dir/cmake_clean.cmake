@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_capture.dir/observation_store.cpp.o"
+  "CMakeFiles/mm_capture.dir/observation_store.cpp.o.d"
+  "CMakeFiles/mm_capture.dir/persistence.cpp.o"
+  "CMakeFiles/mm_capture.dir/persistence.cpp.o.d"
+  "CMakeFiles/mm_capture.dir/replay.cpp.o"
+  "CMakeFiles/mm_capture.dir/replay.cpp.o.d"
+  "CMakeFiles/mm_capture.dir/sniffer.cpp.o"
+  "CMakeFiles/mm_capture.dir/sniffer.cpp.o.d"
+  "CMakeFiles/mm_capture.dir/wardrive.cpp.o"
+  "CMakeFiles/mm_capture.dir/wardrive.cpp.o.d"
+  "libmm_capture.a"
+  "libmm_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/circle.cpp" "src/geo/CMakeFiles/mm_geo.dir/circle.cpp.o" "gcc" "src/geo/CMakeFiles/mm_geo.dir/circle.cpp.o.d"
+  "/root/repo/src/geo/disc_intersection.cpp" "src/geo/CMakeFiles/mm_geo.dir/disc_intersection.cpp.o" "gcc" "src/geo/CMakeFiles/mm_geo.dir/disc_intersection.cpp.o.d"
+  "/root/repo/src/geo/enclosing_circle.cpp" "src/geo/CMakeFiles/mm_geo.dir/enclosing_circle.cpp.o" "gcc" "src/geo/CMakeFiles/mm_geo.dir/enclosing_circle.cpp.o.d"
+  "/root/repo/src/geo/geodetic.cpp" "src/geo/CMakeFiles/mm_geo.dir/geodetic.cpp.o" "gcc" "src/geo/CMakeFiles/mm_geo.dir/geodetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_geo.dir/circle.cpp.o"
+  "CMakeFiles/mm_geo.dir/circle.cpp.o.d"
+  "CMakeFiles/mm_geo.dir/disc_intersection.cpp.o"
+  "CMakeFiles/mm_geo.dir/disc_intersection.cpp.o.d"
+  "CMakeFiles/mm_geo.dir/enclosing_circle.cpp.o"
+  "CMakeFiles/mm_geo.dir/enclosing_circle.cpp.o.d"
+  "CMakeFiles/mm_geo.dir/geodetic.cpp.o"
+  "CMakeFiles/mm_geo.dir/geodetic.cpp.o.d"
+  "libmm_geo.a"
+  "libmm_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mm_lp.dir/simplex.cpp.o.d"
+  "libmm_lp.a"
+  "libmm_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_maps.dir/html_map.cpp.o"
+  "CMakeFiles/mm_maps.dir/html_map.cpp.o.d"
+  "libmm_maps.a"
+  "libmm_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

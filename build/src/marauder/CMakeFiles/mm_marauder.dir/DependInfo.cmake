@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marauder/ap_database.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/ap_database.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/ap_database.cpp.o.d"
+  "/root/repo/src/marauder/aploc.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/aploc.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/aploc.cpp.o.d"
+  "/root/repo/src/marauder/aprad.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/aprad.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/aprad.cpp.o.d"
+  "/root/repo/src/marauder/baselines.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/baselines.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/baselines.cpp.o.d"
+  "/root/repo/src/marauder/linker.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/linker.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/linker.cpp.o.d"
+  "/root/repo/src/marauder/mloc.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/mloc.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/mloc.cpp.o.d"
+  "/root/repo/src/marauder/tracker.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/tracker.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/tracker.cpp.o.d"
+  "/root/repo/src/marauder/trajectory.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/trajectory.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/trajectory.cpp.o.d"
+  "/root/repo/src/marauder/trilateration.cpp" "src/marauder/CMakeFiles/mm_marauder.dir/trilateration.cpp.o" "gcc" "src/marauder/CMakeFiles/mm_marauder.dir/trilateration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/mm_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mm_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/mm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net80211/CMakeFiles/mm_net80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mm_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_marauder.dir/ap_database.cpp.o"
+  "CMakeFiles/mm_marauder.dir/ap_database.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/aploc.cpp.o"
+  "CMakeFiles/mm_marauder.dir/aploc.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/aprad.cpp.o"
+  "CMakeFiles/mm_marauder.dir/aprad.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/baselines.cpp.o"
+  "CMakeFiles/mm_marauder.dir/baselines.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/linker.cpp.o"
+  "CMakeFiles/mm_marauder.dir/linker.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/mloc.cpp.o"
+  "CMakeFiles/mm_marauder.dir/mloc.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/tracker.cpp.o"
+  "CMakeFiles/mm_marauder.dir/tracker.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/trajectory.cpp.o"
+  "CMakeFiles/mm_marauder.dir/trajectory.cpp.o.d"
+  "CMakeFiles/mm_marauder.dir/trilateration.cpp.o"
+  "CMakeFiles/mm_marauder.dir/trilateration.cpp.o.d"
+  "libmm_marauder.a"
+  "libmm_marauder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_marauder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net80211/crc32.cpp" "src/net80211/CMakeFiles/mm_net80211.dir/crc32.cpp.o" "gcc" "src/net80211/CMakeFiles/mm_net80211.dir/crc32.cpp.o.d"
+  "/root/repo/src/net80211/frames.cpp" "src/net80211/CMakeFiles/mm_net80211.dir/frames.cpp.o" "gcc" "src/net80211/CMakeFiles/mm_net80211.dir/frames.cpp.o.d"
+  "/root/repo/src/net80211/mac_address.cpp" "src/net80211/CMakeFiles/mm_net80211.dir/mac_address.cpp.o" "gcc" "src/net80211/CMakeFiles/mm_net80211.dir/mac_address.cpp.o.d"
+  "/root/repo/src/net80211/pcap.cpp" "src/net80211/CMakeFiles/mm_net80211.dir/pcap.cpp.o" "gcc" "src/net80211/CMakeFiles/mm_net80211.dir/pcap.cpp.o.d"
+  "/root/repo/src/net80211/radiotap.cpp" "src/net80211/CMakeFiles/mm_net80211.dir/radiotap.cpp.o" "gcc" "src/net80211/CMakeFiles/mm_net80211.dir/radiotap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

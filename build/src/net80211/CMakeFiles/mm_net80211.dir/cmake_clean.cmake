@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_net80211.dir/crc32.cpp.o"
+  "CMakeFiles/mm_net80211.dir/crc32.cpp.o.d"
+  "CMakeFiles/mm_net80211.dir/frames.cpp.o"
+  "CMakeFiles/mm_net80211.dir/frames.cpp.o.d"
+  "CMakeFiles/mm_net80211.dir/mac_address.cpp.o"
+  "CMakeFiles/mm_net80211.dir/mac_address.cpp.o.d"
+  "CMakeFiles/mm_net80211.dir/pcap.cpp.o"
+  "CMakeFiles/mm_net80211.dir/pcap.cpp.o.d"
+  "CMakeFiles/mm_net80211.dir/radiotap.cpp.o"
+  "CMakeFiles/mm_net80211.dir/radiotap.cpp.o.d"
+  "libmm_net80211.a"
+  "libmm_net80211.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_net80211.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmm_net80211.a"
+)

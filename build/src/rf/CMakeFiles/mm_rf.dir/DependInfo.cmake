@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/buildings.cpp" "src/rf/CMakeFiles/mm_rf.dir/buildings.cpp.o" "gcc" "src/rf/CMakeFiles/mm_rf.dir/buildings.cpp.o.d"
+  "/root/repo/src/rf/channels.cpp" "src/rf/CMakeFiles/mm_rf.dir/channels.cpp.o" "gcc" "src/rf/CMakeFiles/mm_rf.dir/channels.cpp.o.d"
+  "/root/repo/src/rf/components.cpp" "src/rf/CMakeFiles/mm_rf.dir/components.cpp.o" "gcc" "src/rf/CMakeFiles/mm_rf.dir/components.cpp.o.d"
+  "/root/repo/src/rf/propagation.cpp" "src/rf/CMakeFiles/mm_rf.dir/propagation.cpp.o" "gcc" "src/rf/CMakeFiles/mm_rf.dir/propagation.cpp.o.d"
+  "/root/repo/src/rf/receiver_chain.cpp" "src/rf/CMakeFiles/mm_rf.dir/receiver_chain.cpp.o" "gcc" "src/rf/CMakeFiles/mm_rf.dir/receiver_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/mm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_rf.dir/buildings.cpp.o"
+  "CMakeFiles/mm_rf.dir/buildings.cpp.o.d"
+  "CMakeFiles/mm_rf.dir/channels.cpp.o"
+  "CMakeFiles/mm_rf.dir/channels.cpp.o.d"
+  "CMakeFiles/mm_rf.dir/components.cpp.o"
+  "CMakeFiles/mm_rf.dir/components.cpp.o.d"
+  "CMakeFiles/mm_rf.dir/propagation.cpp.o"
+  "CMakeFiles/mm_rf.dir/propagation.cpp.o.d"
+  "CMakeFiles/mm_rf.dir/receiver_chain.cpp.o"
+  "CMakeFiles/mm_rf.dir/receiver_chain.cpp.o.d"
+  "libmm_rf.a"
+  "libmm_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ap.cpp" "src/sim/CMakeFiles/mm_sim.dir/ap.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/ap.cpp.o.d"
+  "/root/repo/src/sim/attacker.cpp" "src/sim/CMakeFiles/mm_sim.dir/attacker.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/attacker.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/mm_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/mobile.cpp" "src/sim/CMakeFiles/mm_sim.dir/mobile.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/mobile.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/mm_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/population.cpp" "src/sim/CMakeFiles/mm_sim.dir/population.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/population.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/mm_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/mm_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/mm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mm_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net80211/CMakeFiles/mm_net80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_sim.dir/ap.cpp.o"
+  "CMakeFiles/mm_sim.dir/ap.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/attacker.cpp.o"
+  "CMakeFiles/mm_sim.dir/attacker.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/mobile.cpp.o"
+  "CMakeFiles/mm_sim.dir/mobile.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/mobility.cpp.o"
+  "CMakeFiles/mm_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/population.cpp.o"
+  "CMakeFiles/mm_sim.dir/population.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mm_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mm_sim.dir/world.cpp.o"
+  "CMakeFiles/mm_sim.dir/world.cpp.o.d"
+  "libmm_sim.a"
+  "libmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

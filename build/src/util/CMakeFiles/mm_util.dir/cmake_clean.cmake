@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_util.dir/csv.cpp.o"
+  "CMakeFiles/mm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mm_util.dir/flags.cpp.o"
+  "CMakeFiles/mm_util.dir/flags.cpp.o.d"
+  "CMakeFiles/mm_util.dir/ini.cpp.o"
+  "CMakeFiles/mm_util.dir/ini.cpp.o.d"
+  "CMakeFiles/mm_util.dir/logging.cpp.o"
+  "CMakeFiles/mm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mm_util.dir/stats.cpp.o"
+  "CMakeFiles/mm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mm_util.dir/table.cpp.o"
+  "CMakeFiles/mm_util.dir/table.cpp.o.d"
+  "libmm_util.a"
+  "libmm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

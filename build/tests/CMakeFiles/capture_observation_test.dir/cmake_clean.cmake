@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_observation_test.dir/capture_observation_test.cpp.o"
+  "CMakeFiles/capture_observation_test.dir/capture_observation_test.cpp.o.d"
+  "capture_observation_test"
+  "capture_observation_test.pdb"
+  "capture_observation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_observation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_replay_test.dir/capture_replay_test.cpp.o"
+  "CMakeFiles/capture_replay_test.dir/capture_replay_test.cpp.o.d"
+  "capture_replay_test"
+  "capture_replay_test.pdb"
+  "capture_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

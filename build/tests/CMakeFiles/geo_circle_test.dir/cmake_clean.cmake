@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_circle_test.dir/geo_circle_test.cpp.o"
+  "CMakeFiles/geo_circle_test.dir/geo_circle_test.cpp.o.d"
+  "geo_circle_test"
+  "geo_circle_test.pdb"
+  "geo_circle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_circle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_disc_intersection_test.dir/geo_disc_intersection_test.cpp.o"
+  "CMakeFiles/geo_disc_intersection_test.dir/geo_disc_intersection_test.cpp.o.d"
+  "geo_disc_intersection_test"
+  "geo_disc_intersection_test.pdb"
+  "geo_disc_intersection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_disc_intersection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_geodetic_test.dir/geo_geodetic_test.cpp.o"
+  "CMakeFiles/geo_geodetic_test.dir/geo_geodetic_test.cpp.o.d"
+  "geo_geodetic_test"
+  "geo_geodetic_test.pdb"
+  "geo_geodetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_geodetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

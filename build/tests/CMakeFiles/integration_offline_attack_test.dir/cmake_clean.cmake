@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_offline_attack_test.dir/integration_offline_attack_test.cpp.o"
+  "CMakeFiles/integration_offline_attack_test.dir/integration_offline_attack_test.cpp.o.d"
+  "integration_offline_attack_test"
+  "integration_offline_attack_test.pdb"
+  "integration_offline_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_offline_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_aploc_test.dir/marauder_aploc_test.cpp.o"
+  "CMakeFiles/marauder_aploc_test.dir/marauder_aploc_test.cpp.o.d"
+  "marauder_aploc_test"
+  "marauder_aploc_test.pdb"
+  "marauder_aploc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_aploc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

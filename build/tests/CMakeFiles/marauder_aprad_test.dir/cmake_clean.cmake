@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_aprad_test.dir/marauder_aprad_test.cpp.o"
+  "CMakeFiles/marauder_aprad_test.dir/marauder_aprad_test.cpp.o.d"
+  "marauder_aprad_test"
+  "marauder_aprad_test.pdb"
+  "marauder_aprad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_aprad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

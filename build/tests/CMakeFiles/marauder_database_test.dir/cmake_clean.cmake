@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_database_test.dir/marauder_database_test.cpp.o"
+  "CMakeFiles/marauder_database_test.dir/marauder_database_test.cpp.o.d"
+  "marauder_database_test"
+  "marauder_database_test.pdb"
+  "marauder_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

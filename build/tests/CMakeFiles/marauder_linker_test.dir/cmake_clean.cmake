@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_linker_test.dir/marauder_linker_test.cpp.o"
+  "CMakeFiles/marauder_linker_test.dir/marauder_linker_test.cpp.o.d"
+  "marauder_linker_test"
+  "marauder_linker_test.pdb"
+  "marauder_linker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_linker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

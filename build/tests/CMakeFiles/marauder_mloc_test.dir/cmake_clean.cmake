@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_mloc_test.dir/marauder_mloc_test.cpp.o"
+  "CMakeFiles/marauder_mloc_test.dir/marauder_mloc_test.cpp.o.d"
+  "marauder_mloc_test"
+  "marauder_mloc_test.pdb"
+  "marauder_mloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_mloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_tracker_test.dir/marauder_tracker_test.cpp.o"
+  "CMakeFiles/marauder_tracker_test.dir/marauder_tracker_test.cpp.o.d"
+  "marauder_tracker_test"
+  "marauder_tracker_test.pdb"
+  "marauder_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_trajectory_test.dir/marauder_trajectory_test.cpp.o"
+  "CMakeFiles/marauder_trajectory_test.dir/marauder_trajectory_test.cpp.o.d"
+  "marauder_trajectory_test"
+  "marauder_trajectory_test.pdb"
+  "marauder_trajectory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

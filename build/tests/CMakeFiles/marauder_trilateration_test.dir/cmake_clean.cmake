@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marauder_trilateration_test.dir/marauder_trilateration_test.cpp.o"
+  "CMakeFiles/marauder_trilateration_test.dir/marauder_trilateration_test.cpp.o.d"
+  "marauder_trilateration_test"
+  "marauder_trilateration_test.pdb"
+  "marauder_trilateration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marauder_trilateration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net80211_pcap_test.dir/net80211_pcap_test.cpp.o"
+  "CMakeFiles/net80211_pcap_test.dir/net80211_pcap_test.cpp.o.d"
+  "net80211_pcap_test"
+  "net80211_pcap_test.pdb"
+  "net80211_pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net80211_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_buildings_test.dir/rf_buildings_test.cpp.o"
+  "CMakeFiles/rf_buildings_test.dir/rf_buildings_test.cpp.o.d"
+  "rf_buildings_test"
+  "rf_buildings_test.pdb"
+  "rf_buildings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_buildings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_channels_test.dir/rf_channels_test.cpp.o"
+  "CMakeFiles/rf_channels_test.dir/rf_channels_test.cpp.o.d"
+  "rf_channels_test"
+  "rf_channels_test.pdb"
+  "rf_channels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

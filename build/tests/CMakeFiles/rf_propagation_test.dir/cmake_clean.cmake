@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_propagation_test.dir/rf_propagation_test.cpp.o"
+  "CMakeFiles/rf_propagation_test.dir/rf_propagation_test.cpp.o.d"
+  "rf_propagation_test"
+  "rf_propagation_test.pdb"
+  "rf_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_receiver_chain_test.dir/rf_receiver_chain_test.cpp.o"
+  "CMakeFiles/rf_receiver_chain_test.dir/rf_receiver_chain_test.cpp.o.d"
+  "rf_receiver_chain_test"
+  "rf_receiver_chain_test.pdb"
+  "rf_receiver_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_receiver_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_defense_test.dir/sim_defense_test.cpp.o"
+  "CMakeFiles/sim_defense_test.dir/sim_defense_test.cpp.o.d"
+  "sim_defense_test"
+  "sim_defense_test.pdb"
+  "sim_defense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_defense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

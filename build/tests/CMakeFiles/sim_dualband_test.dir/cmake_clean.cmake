@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dualband_test.dir/sim_dualband_test.cpp.o"
+  "CMakeFiles/sim_dualband_test.dir/sim_dualband_test.cpp.o.d"
+  "sim_dualband_test"
+  "sim_dualband_test.pdb"
+  "sim_dualband_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dualband_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mobility_test.dir/sim_mobility_test.cpp.o"
+  "CMakeFiles/sim_mobility_test.dir/sim_mobility_test.cpp.o.d"
+  "sim_mobility_test"
+  "sim_mobility_test.pdb"
+  "sim_mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

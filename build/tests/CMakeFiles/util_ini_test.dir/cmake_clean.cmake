@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_ini_test.dir/util_ini_test.cpp.o"
+  "CMakeFiles/util_ini_test.dir/util_ini_test.cpp.o.d"
+  "util_ini_test"
+  "util_ini_test.pdb"
+  "util_ini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_ini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

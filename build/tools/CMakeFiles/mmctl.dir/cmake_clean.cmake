@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmctl.dir/cmd_info.cpp.o"
+  "CMakeFiles/mmctl.dir/cmd_info.cpp.o.d"
+  "CMakeFiles/mmctl.dir/cmd_locate.cpp.o"
+  "CMakeFiles/mmctl.dir/cmd_locate.cpp.o.d"
+  "CMakeFiles/mmctl.dir/cmd_simulate.cpp.o"
+  "CMakeFiles/mmctl.dir/cmd_simulate.cpp.o.d"
+  "CMakeFiles/mmctl.dir/cmd_wigle.cpp.o"
+  "CMakeFiles/mmctl.dir/cmd_wigle.cpp.o.d"
+  "CMakeFiles/mmctl.dir/mmctl.cpp.o"
+  "CMakeFiles/mmctl.dir/mmctl.cpp.o.d"
+  "mmctl"
+  "mmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mmctl_help "/root/repo/build/tools/mmctl" "help")
+set_tests_properties(mmctl_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mmctl_unknown_command "/root/repo/build/tools/mmctl" "frobnicate")
+set_tests_properties(mmctl_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mmctl_simulate "/root/repo/build/tools/mmctl" "simulate" "--config" "/root/repo/tools/sample_scenario.ini" "--out" "/root/repo/build/tools/smoke")
+set_tests_properties(mmctl_simulate PROPERTIES  FIXTURES_SETUP "mmctl_artifacts" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mmctl_info "/root/repo/build/tools/mmctl" "info" "--pcap" "/root/repo/build/tools/smoke.pcap")
+set_tests_properties(mmctl_info PROPERTIES  FIXTURES_REQUIRED "mmctl_artifacts" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mmctl_locate_mloc "/root/repo/build/tools/mmctl" "locate" "--apdb" "/root/repo/build/tools/smoke_apdb.csv" "--observations" "/root/repo/build/tools/smoke_observations.csv" "--algorithm" "mloc" "--map" "/root/repo/build/tools/smoke_map.html")
+set_tests_properties(mmctl_locate_mloc PROPERTIES  FIXTURES_REQUIRED "mmctl_artifacts" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mmctl_locate_aprad_from_pcap "/root/repo/build/tools/mmctl" "locate" "--apdb" "/root/repo/build/tools/smoke_apdb.csv" "--pcap" "/root/repo/build/tools/smoke.pcap" "--algorithm" "aprad")
+set_tests_properties(mmctl_locate_aprad_from_pcap PROPERTIES  FIXTURES_REQUIRED "mmctl_artifacts" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
