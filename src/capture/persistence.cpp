@@ -1,8 +1,15 @@
 #include "capture/persistence.h"
 
-#include <sstream>
-#include <stdexcept>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "fault/fault_injector.h"
 #include "util/csv.h"
 
 namespace mm::capture {
@@ -38,17 +45,7 @@ std::vector<std::string> split(const std::string& text, char sep) {
   return out;
 }
 
-net80211::MacAddress parse_mac(const std::string& text, std::size_t row) {
-  const auto mac = net80211::MacAddress::parse(text);
-  if (!mac) {
-    throw std::runtime_error("observations: bad MAC in row " + std::to_string(row));
-  }
-  return *mac;
-}
-
-}  // namespace
-
-void save_observations(const ObservationStore& store, const std::filesystem::path& path) {
+std::vector<util::CsvRow> serialize_store(const ObservationStore& store) {
   std::vector<util::CsvRow> rows;
   for (const auto& mac : store.devices()) {
     const DeviceRecord* rec = store.device(mac);
@@ -68,63 +65,244 @@ void save_observations(const ObservationStore& store, const std::filesystem::pat
                     std::to_string(sighting.channel), std::to_string(sighting.beacons),
                     fmt(sighting.last_rssi_dbm)});
   }
-  util::csv_write_file(path, rows);
+  return rows;
 }
 
-ObservationStore load_observations(const std::filesystem::path& path) {
-  ObservationStore store;
-  const auto rows = util::csv_read_file(path);
+/// Writes rows to `tmp` and fsyncs; returns an error message or "".
+std::string write_and_sync(const std::filesystem::path& tmp,
+                           const std::vector<util::CsvRow>& rows, bool do_fsync) {
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return "cannot create " + tmp.string();
+    for (const util::CsvRow& row : rows) out << util::csv_join(row) << '\n';
+    out.flush();
+    if (!out) return "write failed on " + tmp.string();
+  }
+  if (do_fsync) {
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0) return "cannot reopen " + tmp.string() + " for fsync";
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return "fsync failed on " + tmp.string();
+  }
+  return "";
+}
+
+bool parse_double_field(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_u64_field(const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_int_field(const std::string& text, int& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoi(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void quarantine(LoadStats& stats, std::size_t row, const std::string& reason) {
+  ++stats.quarantined;
+  if (stats.sample_errors.size() < 8) {
+    stats.sample_errors.push_back("row " + std::to_string(row) + ": " + reason);
+  }
+}
+
+}  // namespace
+
+util::Result<SaveStats> save_observations(const ObservationStore& store,
+                                          const std::filesystem::path& path,
+                                          const SaveOptions& options) {
+  using R = util::Result<SaveStats>;
+  const std::vector<util::CsvRow> rows = serialize_store(store);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+
+  std::string last_error;
+  const int attempts = std::max(1, options.max_attempts);
+  double backoff = options.backoff_s;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last_error = write_and_sync(tmp, rows, options.fsync);
+    if (last_error.empty() && options.injector != nullptr &&
+        options.injector->should_tear_write()) {
+      // Simulated crash: the temp file is chopped mid-byte and the process
+      // "dies" before rename — the previous snapshot at `path` survives.
+      options.injector->tear_file(tmp);
+      return R::failure("save_observations: torn write (crash before rename) on " +
+                        tmp.string());
+    }
+    if (last_error.empty()) {
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      if (!ec) return SaveStats{rows.size(), attempt};
+      last_error = "rename to " + path.string() + " failed: " + ec.message();
+    }
+    if (attempt < attempts) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+  }
+  return R::failure("save_observations: " + last_error + " after " +
+                    std::to_string(attempts) + " attempts");
+}
+
+util::Result<LoadResult> load_observations(const std::filesystem::path& path) {
+  using R = util::Result<LoadResult>;
+  std::ifstream in(path);
+  if (!in) return R::failure("load_observations: cannot open " + path.string());
+
+  // Parse line-by-line (rather than whole-file) so one damaged line — e.g.
+  // the torn tail of an interrupted write — quarantines that line only.
+  std::vector<util::CsvRow> rows;
+  std::string line;
+  LoadResult result;
+  LoadStats& stats = result.stats;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    try {
+      rows.push_back(util::csv_parse_line(line));
+    } catch (const std::exception& e) {
+      rows.push_back({});  // placeholder keeps row numbering stable
+      quarantine(stats, rows.size() - 1, e.what());
+    }
+  }
+  stats.rows_total = rows.size();
+
   // Two passes: devices first so contacts can attach to them.
   std::map<net80211::MacAddress, DeviceRecord> devices;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
-    if (row.empty()) continue;
-    if (row[0] == "device") {
-      if (row.size() < 6) throw std::runtime_error("observations: short device row");
-      DeviceRecord rec;
-      rec.mac = parse_mac(row[1], i);
-      rec.first_seen = std::stod(row[2]);
-      rec.last_seen = std::stod(row[3]);
-      rec.probe_requests = std::stoull(row[4]);
-      rec.directed_ssids = split(row[5], '|');
-      devices[rec.mac] = std::move(rec);
+    if (row.empty() || row[0] != "device") continue;
+    if (row.size() < 6) {
+      quarantine(stats, i, "short device row");
+      continue;
     }
+    const auto mac = net80211::MacAddress::parse(row[1]);
+    DeviceRecord rec;
+    if (!mac || !parse_double_field(row[2], rec.first_seen) ||
+        !parse_double_field(row[3], rec.last_seen) ||
+        !parse_u64_field(row[4], rec.probe_requests)) {
+      quarantine(stats, i, "malformed device row");
+      continue;
+    }
+    rec.mac = *mac;
+    rec.directed_ssids = split(row[5], '|');
+    devices[rec.mac] = std::move(rec);
+    ++stats.rows_loaded;
   }
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
     if (row.empty()) continue;
+    if (row[0] == "device") continue;
     if (row[0] == "contact") {
-      if (row.size() < 8) throw std::runtime_error("observations: short contact row");
-      const auto device = parse_mac(row[1], i);
-      const auto it = devices.find(device);
+      if (row.size() < 8) {
+        quarantine(stats, i, "short contact row");
+        continue;
+      }
+      const auto device = net80211::MacAddress::parse(row[1]);
+      const auto ap = net80211::MacAddress::parse(row[2]);
+      if (!device || !ap) {
+        quarantine(stats, i, "bad MAC in contact row");
+        continue;
+      }
+      const auto it = devices.find(*device);
       if (it == devices.end()) {
-        throw std::runtime_error("observations: contact before device in row " +
-                                 std::to_string(i));
+        // The device row was itself lost/damaged: the contact has nothing
+        // to attach to. Quarantine it rather than fail the whole load.
+        quarantine(stats, i, "contact for unknown device " + device->to_string());
+        continue;
       }
       ApContact contact;
-      contact.first_seen = std::stod(row[3]);
-      contact.last_seen = std::stod(row[4]);
-      contact.count = std::stoull(row[5]);
-      contact.last_rssi_dbm = std::stod(row[6]);
-      for (const std::string& t : split(row[7], ';')) {
-        contact.times.push_back(std::stod(t));
+      if (!parse_double_field(row[3], contact.first_seen) ||
+          !parse_double_field(row[4], contact.last_seen) ||
+          !parse_u64_field(row[5], contact.count) ||
+          !parse_double_field(row[6], contact.last_rssi_dbm)) {
+        quarantine(stats, i, "malformed contact row");
+        continue;
       }
-      it->second.contacts[parse_mac(row[2], i)] = std::move(contact);
+      bool times_ok = true;
+      for (const std::string& t : split(row[7], ';')) {
+        double value = 0.0;
+        if (!parse_double_field(t, value)) {
+          times_ok = false;
+          break;
+        }
+        contact.times.push_back(value);
+      }
+      if (!times_ok) {
+        quarantine(stats, i, "malformed contact timeline");
+        continue;
+      }
+      it->second.contacts[*ap] = std::move(contact);
+      ++stats.rows_loaded;
     } else if (row[0] == "sighting") {
-      if (row.size() < 6) throw std::runtime_error("observations: short sighting row");
+      if (row.size() < 6) {
+        quarantine(stats, i, "short sighting row");
+        continue;
+      }
+      const auto bssid = net80211::MacAddress::parse(row[1]);
       ApSighting sighting;
-      sighting.bssid = parse_mac(row[1], i);
+      if (!bssid || !parse_int_field(row[3], sighting.channel) ||
+          !parse_u64_field(row[4], sighting.beacons) ||
+          !parse_double_field(row[5], sighting.last_rssi_dbm)) {
+        quarantine(stats, i, "malformed sighting row");
+        continue;
+      }
+      sighting.bssid = *bssid;
       sighting.ssid = row[2];
-      sighting.channel = std::stoi(row[3]);
-      sighting.beacons = std::stoull(row[4]);
-      sighting.last_rssi_dbm = std::stod(row[5]);
-      store.restore_sighting(std::move(sighting));
-    } else if (row[0] != "device") {
-      throw std::runtime_error("observations: unknown row tag '" + row[0] + "'");
+      result.store.restore_sighting(std::move(sighting));
+      ++stats.rows_loaded;
+    } else {
+      quarantine(stats, i, "unknown row tag '" + row[0] + "'");
     }
   }
-  for (auto& [mac, rec] : devices) store.restore_device(std::move(rec));
-  return store;
+  for (auto& [mac, rec] : devices) result.store.restore_device(std::move(rec));
+  return result;
+}
+
+ObservationCheckpointer::ObservationCheckpointer(const ObservationStore* store,
+                                                 std::filesystem::path path,
+                                                 double interval_s, SaveOptions options)
+    : store_(store), path_(std::move(path)), interval_s_(interval_s),
+      options_(options) {}
+
+bool ObservationCheckpointer::maybe_checkpoint(double now) {
+  if (!anchored_) {
+    anchored_ = true;
+    last_ = now;
+    return false;
+  }
+  if (now - last_ < interval_s_) return false;
+  last_ = now;  // advance even on failure so a broken disk isn't hammered
+  const auto result = checkpoint_now();
+  return result.ok();
+}
+
+util::Result<SaveStats> ObservationCheckpointer::checkpoint_now() {
+  auto result = save_observations(*store_, path_, options_);
+  if (result.ok()) {
+    ++written_;
+  } else {
+    ++failures_;
+  }
+  return result;
 }
 
 }  // namespace mm::capture

@@ -1,25 +1,107 @@
 // Observation-store persistence: save the attack's accumulated evidence to
-// a CSV file and restore it exactly. Lets the capture rig run unattended
-// and the analysis happen elsewhere/later (complementing replay_pcap, which
+// a CSV file and restore it. Lets the capture rig run unattended and the
+// analysis happen elsewhere/later (complementing replay_pcap, which
 // rebuilds evidence from raw frames instead).
 //
 // Format: one row per record, tagged in column 0:
 //   device,<mac>,<first>,<last>,<probe_requests>,<ssid|ssid|...>
 //   contact,<device>,<ap>,<first>,<last>,<count>,<last_rssi>,<t;t;...>
 //   sighting,<bssid>,<ssid>,<channel>,<beacons>,<last_rssi>
+//
+// Robustness contract: saves are atomic (temp file + fsync + rename, with
+// bounded retry on transient I/O failure), so a crash mid-save leaves the
+// previous snapshot intact; loads quarantine malformed rows (skip + count)
+// instead of losing a 7-day run to one damaged line. Both report status as
+// util::Result rather than throwing.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "capture/observation_store.h"
+#include "util/result.h"
+
+namespace mm::fault {
+class FaultInjector;
+}  // namespace mm::fault
 
 namespace mm::capture {
 
-/// Writes the store's full state. Throws std::runtime_error on I/O failure.
-void save_observations(const ObservationStore& store, const std::filesystem::path& path);
+struct SaveOptions {
+  /// Total tries for the write-temp-and-rename sequence.
+  int max_attempts = 3;
+  /// Sleep between attempts, doubled each retry.
+  double backoff_s = 0.01;
+  /// fsync the temp file before rename (cross the kernel-cache gap a power
+  /// loss would otherwise fall into). Off only in latency-bound tests.
+  bool fsync = true;
+  /// When set, the save asks the injector whether this write is torn: the
+  /// temp file is chopped and the save reports failure without renaming —
+  /// exactly what a crash mid-write does (tests/fault_soak_test).
+  fault::FaultInjector* injector = nullptr;
+};
 
-/// Restores a store saved by save_observations (exact round-trip). Throws
-/// std::runtime_error on malformed rows.
-[[nodiscard]] ObservationStore load_observations(const std::filesystem::path& path);
+struct SaveStats {
+  std::size_t rows = 0;  ///< records written
+  int attempts = 1;      ///< 1 = first try succeeded
+};
+
+struct LoadStats {
+  std::size_t rows_total = 0;   ///< rows present in the file
+  std::size_t rows_loaded = 0;  ///< rows restored into the store
+  std::size_t quarantined = 0;  ///< malformed rows skipped (and counted)
+  /// First few quarantine reasons, for operator diagnostics.
+  std::vector<std::string> sample_errors;
+};
+
+struct LoadResult {
+  ObservationStore store;
+  LoadStats stats;
+};
+
+/// Writes the store's full state atomically (see SaveOptions). Fails only
+/// when every attempt failed; the destination is never left half-written.
+util::Result<SaveStats> save_observations(const ObservationStore& store,
+                                          const std::filesystem::path& path,
+                                          const SaveOptions& options = {});
+
+/// Restores a store saved by save_observations. Malformed rows (bad MACs,
+/// unparsable numbers, short rows, unknown tags, contacts whose device row
+/// was lost) are quarantined, not fatal; only an unreadable file fails.
+[[nodiscard]] util::Result<LoadResult> load_observations(const std::filesystem::path& path);
+
+/// Periodic checkpointing for a long-running capture: call maybe_checkpoint
+/// from the capture loop and a killed rig loses at most one interval of
+/// evidence. Each checkpoint is a full atomic save_observations.
+class ObservationCheckpointer {
+ public:
+  /// The store must outlive the checkpointer.
+  ObservationCheckpointer(const ObservationStore* store, std::filesystem::path path,
+                          double interval_s, SaveOptions options = {});
+
+  /// Saves when at least interval_s of sim-time has passed since the last
+  /// checkpoint (the first call only anchors the clock). Returns true when
+  /// a checkpoint was written.
+  bool maybe_checkpoint(double now);
+
+  /// Unconditional checkpoint (e.g. at shutdown).
+  util::Result<SaveStats> checkpoint_now();
+
+  [[nodiscard]] std::size_t checkpoints_written() const noexcept { return written_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  const ObservationStore* store_;
+  std::filesystem::path path_;
+  double interval_s_;
+  SaveOptions options_;
+  bool anchored_ = false;
+  double last_ = 0.0;
+  std::size_t written_ = 0;
+  std::uint64_t failures_ = 0;
+};
 
 }  // namespace mm::capture

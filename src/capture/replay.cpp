@@ -1,72 +1,105 @@
 #include "capture/replay.h"
 
-#include <stdexcept>
-
 #include "net80211/frames.h"
 #include "net80211/pcap.h"
 #include "net80211/radiotap.h"
 
 namespace mm::capture {
 
-ReplayStats replay_pcap(const std::filesystem::path& path, ObservationStore& store) {
-  net80211::PcapReader reader(path);
-  if (reader.linktype() != net80211::kLinktypeRadiotap) {
-    throw std::runtime_error("replay_pcap: expected radiotap linktype 127, got " +
-                             std::to_string(reader.linktype()));
+namespace {
+
+/// Parses one record and, when intact, feeds it to the store.
+void ingest_record(const net80211::PcapRecord& record, ObservationStore& store,
+                   ReplayStats& stats) {
+  const auto rt = net80211::Radiotap::parse(record.data);
+  if (!rt.ok()) {
+    ++stats.malformed;
+    return;
   }
+  // Radiotap::parse guarantees header_length <= data.size(), so the body
+  // span below never reads out of bounds even on hostile length fields.
+  const std::span<const std::uint8_t> body{
+      record.data.data() + rt.value().header_length,
+      record.data.size() - rt.value().header_length};
+  const auto parsed = net80211::ManagementFrame::parse(body);
+  if (!parsed.ok()) {
+    ++stats.malformed;
+    return;
+  }
+  const net80211::ManagementFrame& frame = parsed.value();
+  const double time_s = static_cast<double>(record.timestamp_us) * 1e-6;
+  const double rssi = rt.value().header.antenna_signal_dbm;
+  switch (frame.subtype) {
+    case net80211::ManagementSubtype::kProbeRequest:
+      ++stats.probe_requests;
+      store.record_probe_request(frame.addr2, time_s, frame.ssid());
+      break;
+    case net80211::ManagementSubtype::kProbeResponse:
+      ++stats.probe_responses;
+      store.record_contact(frame.addr2, frame.addr1, time_s, rssi);
+      break;
+    case net80211::ManagementSubtype::kBeacon:
+      ++stats.beacons;
+      store.record_beacon(frame.addr2, frame.ssid().value_or(""),
+                          frame.ds_channel().value_or(0), time_s, rssi);
+      break;
+    case net80211::ManagementSubtype::kAssociationRequest:
+      ++stats.other;
+      store.record_presence(frame.addr2, time_s);
+      break;
+    case net80211::ManagementSubtype::kAssociationResponse:
+      ++stats.other;
+      if (frame.status_code == 0) {
+        store.record_contact(frame.addr2, frame.addr1, time_s, rssi);
+      }
+      break;
+    case net80211::ManagementSubtype::kDataNull:
+      ++stats.other;
+      store.record_contact(frame.addr3, frame.addr2, time_s, rssi);
+      break;
+    default:
+      ++stats.other;
+      break;
+  }
+}
+
+}  // namespace
+
+util::Result<ReplayStats> replay_pcap(const std::filesystem::path& path,
+                                      ObservationStore& store,
+                                      const ReplayOptions& options) {
+  using R = util::Result<ReplayStats>;
+  net80211::PcapReader reader(path);
+  if (!reader.ok()) return R::failure("replay_pcap: " + reader.error());
+  if (reader.linktype() != net80211::kLinktypeRadiotap) {
+    return R::failure("replay_pcap: expected radiotap linktype 127, got " +
+                      std::to_string(reader.linktype()));
+  }
+
+  fault::FaultInjector injector(options.fault_plan);
+  const bool inject = options.fault_plan.active();
 
   ReplayStats stats;
   while (auto record = reader.next()) {
     ++stats.records;
-    const auto rt = net80211::Radiotap::parse(record->data);
-    if (!rt.ok()) {
-      ++stats.malformed;
-      continue;
+    int deliveries = 1;
+    if (inject) {
+      switch (injector.apply_frame(record->data)) {
+        case fault::FaultInjector::FrameAction::kDrop:
+          deliveries = 0;
+          break;
+        case fault::FaultInjector::FrameAction::kDuplicate:
+          deliveries = 2;
+          break;
+        case fault::FaultInjector::FrameAction::kPass:
+          break;
+      }
     }
-    const std::span<const std::uint8_t> body{
-        record->data.data() + rt.value().header_length,
-        record->data.size() - rt.value().header_length};
-    const auto parsed = net80211::ManagementFrame::parse(body);
-    if (!parsed.ok()) {
-      ++stats.malformed;
-      continue;
-    }
-    const net80211::ManagementFrame& frame = parsed.value();
-    const double time_s = static_cast<double>(record->timestamp_us) * 1e-6;
-    const double rssi = rt.value().header.antenna_signal_dbm;
-    switch (frame.subtype) {
-      case net80211::ManagementSubtype::kProbeRequest:
-        ++stats.probe_requests;
-        store.record_probe_request(frame.addr2, time_s, frame.ssid());
-        break;
-      case net80211::ManagementSubtype::kProbeResponse:
-        ++stats.probe_responses;
-        store.record_contact(frame.addr2, frame.addr1, time_s, rssi);
-        break;
-      case net80211::ManagementSubtype::kBeacon:
-        ++stats.beacons;
-        store.record_beacon(frame.addr2, frame.ssid().value_or(""),
-                            frame.ds_channel().value_or(0), time_s, rssi);
-        break;
-      case net80211::ManagementSubtype::kAssociationRequest:
-        ++stats.other;
-        store.record_presence(frame.addr2, time_s);
-        break;
-      case net80211::ManagementSubtype::kAssociationResponse:
-        ++stats.other;
-        if (frame.status_code == 0) {
-          store.record_contact(frame.addr2, frame.addr1, time_s, rssi);
-        }
-        break;
-      case net80211::ManagementSubtype::kDataNull:
-        ++stats.other;
-        store.record_contact(frame.addr3, frame.addr2, time_s, rssi);
-        break;
-      default:
-        ++stats.other;
-        break;
-    }
+    for (int i = 0; i < deliveries; ++i) ingest_record(*record, store, stats);
   }
+  stats.framing_quarantined = reader.quarantined();
+  stats.truncated_tail = reader.truncated();
+  stats.faults = injector.stats();
   return stats;
 }
 

@@ -2,28 +2,50 @@
 // pcap (radiotap linktype). This is the workflow an attacker uses when the
 // capture rig and the analysis machine are separate — and it doubles as a
 // consumer for real-world captures, since the reader speaks the standard
-// pcap + radiotap + 802.11 management-frame formats.
+// pcap + radiotap + 802.11 management-frame formats. Damaged records are
+// quarantined (skipped and counted), never fatal; a replay can also run
+// under a FaultPlan to soak the pipeline against transport damage.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 
 #include "capture/observation_store.h"
+#include "fault/fault_injector.h"
+#include "util/result.h"
 
 namespace mm::capture {
 
+struct ReplayOptions {
+  /// Faults injected into each record's bytes before parsing (drop,
+  /// duplication, bit corruption, truncation). Inactive by default.
+  fault::FaultPlan fault_plan{};
+};
+
 struct ReplayStats {
   std::uint64_t records = 0;        ///< pcap records read
-  std::uint64_t malformed = 0;      ///< radiotap/frame parse failures
+  std::uint64_t malformed = 0;      ///< radiotap/frame parse failures (quarantined)
+  std::uint64_t framing_quarantined = 0;  ///< records with corrupt pcap framing
+  bool truncated_tail = false;      ///< the file ended mid-record
   std::uint64_t probe_requests = 0;
   std::uint64_t probe_responses = 0;
   std::uint64_t beacons = 0;
   std::uint64_t other = 0;          ///< valid frames with nothing to learn
+  fault::FaultStats faults;         ///< damage injected by the fault plan
+
+  /// Everything skipped instead of ingested — the monotone counter the
+  /// soak harness watches.
+  [[nodiscard]] std::uint64_t quarantined() const noexcept {
+    return malformed + framing_quarantined;
+  }
 };
 
-/// Replays every record of the capture into the store. Throws
-/// std::runtime_error if the file cannot be opened, is not a pcap, or does
-/// not carry radiotap frames; malformed records are counted, not fatal.
-ReplayStats replay_pcap(const std::filesystem::path& path, ObservationStore& store);
+/// Replays every intact record of the capture into the store. Fails (as a
+/// Result, not an exception) only if the file cannot be opened, is not a
+/// pcap, or does not carry radiotap frames; malformed records and a
+/// truncated tail are counted, not fatal.
+util::Result<ReplayStats> replay_pcap(const std::filesystem::path& path,
+                                      ObservationStore& store,
+                                      const ReplayOptions& options = {});
 
 }  // namespace mm::capture

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net80211/radiotap.h"
+#include "util/logging.h"
 
 namespace mm::capture {
 
@@ -14,10 +15,18 @@ namespace {
 double logistic_decode(double margin_db) {
   return 1.0 / (1.0 + std::exp(-margin_db / 1.5));
 }
+
+bool has_frame_faults(const fault::FaultPlan& plan) {
+  return plan.corrupt_rate > 0.0 || plan.truncate_rate > 0.0 || plan.drop_rate > 0.0 ||
+         plan.duplicate_rate > 0.0;
+}
 }  // namespace
 
 Sniffer::Sniffer(SnifferConfig config, ObservationStore* store)
-    : config_(std::move(config)), store_(store), rng_(config_.seed) {
+    : config_(std::move(config)),
+      store_(store),
+      rng_(config_.seed),
+      injector_(config_.fault_plan) {
   if (store_ == nullptr) throw std::invalid_argument("Sniffer: observation store required");
   if (!config_.hopping && config_.card_channels.empty()) {
     throw std::invalid_argument("Sniffer: need at least one card channel");
@@ -25,6 +34,17 @@ Sniffer::Sniffer(SnifferConfig config, ObservationStore* store)
   if (config_.pcap_path) {
     pcap_ = std::make_unique<net80211::PcapWriter>(*config_.pcap_path,
                                                    net80211::kLinktypeRadiotap);
+    if (!pcap_->ok()) {
+      // Degraded operation: keep capturing into the store; the writer
+      // counts the failed appends.
+      util::log_warn() << "sniffer: pcap disabled, " << pcap_->error();
+    }
+  }
+  if (config_.checkpoint_path) {
+    SaveOptions save;
+    save.injector = config_.fault_plan.torn_write_rate > 0.0 ? &injector_ : nullptr;
+    checkpointer_ = std::make_unique<ObservationCheckpointer>(
+        store_, *config_.checkpoint_path, config_.checkpoint_interval_s, save);
   }
 }
 
@@ -59,55 +79,96 @@ double Sniffer::decode_probability(double rssi_dbm, rf::Channel tx, rf::Channel 
 
 void Sniffer::on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) {
   ++stats_.frames_on_air;
-  bool decoded = false;
-  for (std::size_t card = 0; card < card_count() && !decoded; ++card) {
+  if (checkpointer_) checkpointer_->maybe_checkpoint(rx.time);
+
+  constexpr std::size_t kNoCard = static_cast<std::size_t>(-1);
+  std::size_t decoded_by = kNoCard;
+  const bool dropouts = config_.fault_plan.nic_dropout_rate > 0.0;
+  for (std::size_t card = 0; card < card_count() && decoded_by == kNoCard; ++card) {
+    if (dropouts && injector_.card_down(card, rx.time)) {
+      ++stats_.card_down_skips;
+      continue;
+    }
     const rf::Channel listening = card_channel(card, rx.time);
     const double p = decode_probability(rx.rssi_dbm, rx.channel, listening);
-    if (p > 0.0 && rng_.bernoulli(p)) decoded = true;
+    if (p > 0.0 && rng_.bernoulli(p)) decoded_by = card;
   }
-  if (!decoded) return;
+  if (decoded_by == kNoCard) return;
   ++stats_.frames_decoded;
-  record(frame, rx);
+  // The record carries the decoding card's own (skewed, drifting) clock —
+  // exactly what a multi-laptop rig with unsynchronized cards produces.
+  const sim::SimTime card_time = injector_.card_time(decoded_by, rx.time);
+
+  if (!has_frame_faults(config_.fault_plan)) {
+    record(frame, rx, card_time, {});
+    return;
+  }
+
+  // Byte-level fault path: damage the wire image and re-parse it, so the
+  // decoder (not the simulator) decides what survives.
+  std::vector<std::uint8_t> wire = frame.serialize();
+  int deliveries = 1;
+  switch (injector_.apply_frame(wire)) {
+    case fault::FaultInjector::FrameAction::kDrop:
+      ++stats_.frames_fault_dropped;
+      return;
+    case fault::FaultInjector::FrameAction::kDuplicate:
+      ++stats_.frames_fault_duplicated;
+      deliveries = 2;
+      break;
+    case fault::FaultInjector::FrameAction::kPass:
+      break;
+  }
+  const auto reparsed = net80211::ManagementFrame::parse(wire);
+  if (!reparsed.ok()) {
+    // Damaged beyond decoding: quarantine for the store, but the capture
+    // file faithfully keeps what was on the wire.
+    ++stats_.frames_quarantined;
+    for (int i = 0; i < deliveries; ++i) write_pcap(rx, card_time, wire);
+    return;
+  }
+  for (int i = 0; i < deliveries; ++i) record(reparsed.value(), rx, card_time, wire);
 }
 
-void Sniffer::record(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) {
+void Sniffer::record(const net80211::ManagementFrame& frame, const sim::RxInfo& rx,
+                     sim::SimTime card_time, std::span<const std::uint8_t> wire_bytes) {
   switch (frame.subtype) {
     case net80211::ManagementSubtype::kProbeRequest: {
       ++stats_.probe_requests;
-      store_->record_probe_request(frame.addr2, rx.time, frame.ssid());
+      store_->record_probe_request(frame.addr2, card_time, frame.ssid());
       break;
     }
     case net80211::ManagementSubtype::kProbeResponse: {
       ++stats_.probe_responses;
       // addr2 = AP, addr1 = client: evidence the client communicates with
       // the AP (the Gamma-set building block of Section II-A).
-      store_->record_contact(frame.addr2, frame.addr1, rx.time, rx.rssi_dbm);
+      store_->record_contact(frame.addr2, frame.addr1, card_time, rx.rssi_dbm);
       break;
     }
     case net80211::ManagementSubtype::kBeacon: {
       ++stats_.beacons;
       store_->record_beacon(frame.addr2, frame.ssid().value_or(""),
-                            frame.ds_channel().value_or(0), rx.time, rx.rssi_dbm);
+                            frame.ds_channel().value_or(0), card_time, rx.rssi_dbm);
       break;
     }
     case net80211::ManagementSubtype::kAssociationRequest: {
       ++stats_.associations;
       // The device exists ("found") even though it never probed.
-      store_->record_presence(frame.addr2, rx.time);
+      store_->record_presence(frame.addr2, card_time);
       break;
     }
     case net80211::ManagementSubtype::kAssociationResponse: {
       ++stats_.associations;
       if (frame.status_code == 0) {
         // A successful association is two-way proof of communicability.
-        store_->record_contact(frame.addr2, frame.addr1, rx.time, rx.rssi_dbm);
+        store_->record_contact(frame.addr2, frame.addr1, card_time, rx.rssi_dbm);
       }
       break;
     }
     case net80211::ManagementSubtype::kDataNull: {
       ++stats_.data_frames;
       // Ongoing data exchange: the client (addr2) talks to its AP (addr3).
-      store_->record_contact(frame.addr3, frame.addr2, rx.time, rx.rssi_dbm);
+      store_->record_contact(frame.addr3, frame.addr2, card_time, rx.rssi_dbm);
       break;
     }
     case net80211::ManagementSubtype::kDeauthentication:
@@ -115,17 +176,26 @@ void Sniffer::record(const net80211::ManagementFrame& frame, const sim::RxInfo& 
   }
 
   if (pcap_) {
-    net80211::Radiotap rt;
-    rt.channel_freq_mhz =
-        static_cast<std::uint16_t>(rf::channel_center_mhz(rx.channel));
-    rt.antenna_signal_dbm = static_cast<std::int8_t>(
-        std::clamp(rx.rssi_dbm + config_.chain.antenna().gain_dbi, -127.0, 0.0));
-    rt.antenna_noise_dbm = -100;
-    std::vector<std::uint8_t> packet = rt.serialize();
-    const auto body = frame.serialize();
-    packet.insert(packet.end(), body.begin(), body.end());
-    pcap_->write(static_cast<std::uint64_t>(rx.time * 1e6), packet);
+    if (wire_bytes.empty()) {
+      const auto body = frame.serialize();
+      write_pcap(rx, card_time, body);
+    } else {
+      write_pcap(rx, card_time, wire_bytes);
+    }
   }
+}
+
+void Sniffer::write_pcap(const sim::RxInfo& rx, sim::SimTime card_time,
+                         std::span<const std::uint8_t> body) {
+  if (!pcap_) return;
+  net80211::Radiotap rt;
+  rt.channel_freq_mhz = static_cast<std::uint16_t>(rf::channel_center_mhz(rx.channel));
+  rt.antenna_signal_dbm = static_cast<std::int8_t>(
+      std::clamp(rx.rssi_dbm + config_.chain.antenna().gain_dbi, -127.0, 0.0));
+  rt.antenna_noise_dbm = -100;
+  std::vector<std::uint8_t> packet = rt.serialize();
+  packet.insert(packet.end(), body.begin(), body.end());
+  pcap_->write(static_cast<std::uint64_t>(std::max(0.0, card_time) * 1e6), packet);
 }
 
 }  // namespace mm::capture

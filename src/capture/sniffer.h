@@ -7,6 +7,13 @@
 // penalty, passed through a logistic decode curve around the NIC's minimum
 // SNR. Captured frames update the ObservationStore and (optionally) stream
 // to a radiotap pcap file.
+//
+// The station is built to run unattended: a FaultPlan can damage frames at
+// the byte level (corrupt/truncate/drop/duplicate), take cards down for
+// dropout windows, and skew/drift each card's clock; damaged frames that no
+// longer parse are quarantined (counted, still written to the pcap) instead
+// of aborting the run, and an optional checkpointer snapshots the store so
+// a killed capture loses at most one interval.
 #pragma once
 
 #include <filesystem>
@@ -15,6 +22,8 @@
 #include <vector>
 
 #include "capture/observation_store.h"
+#include "capture/persistence.h"
+#include "fault/fault_injector.h"
 #include "net80211/pcap.h"
 #include "rf/channels.h"
 #include "rf/receiver_chain.h"
@@ -35,6 +44,12 @@ struct SnifferConfig {
   std::uint64_t seed = 0x5eed;
   /// When set, every decoded frame is appended as a radiotap pcap record.
   std::optional<std::filesystem::path> pcap_path;
+  /// Faults injected into the capture path. Inactive by default.
+  fault::FaultPlan fault_plan{};
+  /// When set, the store is checkpointed here every checkpoint_interval_s
+  /// of sim-time (atomic temp+rename snapshots; see ObservationCheckpointer).
+  std::optional<std::filesystem::path> checkpoint_path;
+  double checkpoint_interval_s = 60.0;
 };
 
 struct SnifferStats {
@@ -45,6 +60,11 @@ struct SnifferStats {
   std::uint64_t beacons = 0;
   std::uint64_t associations = 0;    ///< association requests + responses
   std::uint64_t data_frames = 0;     ///< keep-alives from associated devices
+  // --- degraded-operation counters (all monotone) ---
+  std::uint64_t frames_quarantined = 0;   ///< damaged beyond parsing; counted, not stored
+  std::uint64_t frames_fault_dropped = 0; ///< decoded but lost to injected drops
+  std::uint64_t frames_fault_duplicated = 0;
+  std::uint64_t card_down_skips = 0;      ///< decode attempts skipped (card in dropout)
 };
 
 class Sniffer final : public sim::FrameReceiver {
@@ -64,6 +84,22 @@ class Sniffer final : public sim::FrameReceiver {
   [[nodiscard]] geo::Vec2 position() const override { return config_.position; }
   [[nodiscard]] double antenna_height_m() const override { return config_.antenna_height_m; }
 
+  /// Damage injected so far (ground truth for the quarantine counters).
+  [[nodiscard]] const fault::FaultStats& fault_stats() const noexcept {
+    return injector_.stats();
+  }
+  /// The sniffer's injector; lets callers share its deterministic fault
+  /// stream with downstream stages (e.g. torn writes in save_observations).
+  [[nodiscard]] fault::FaultInjector* injector() noexcept { return &injector_; }
+  /// Null unless checkpoint_path was configured.
+  [[nodiscard]] const ObservationCheckpointer* checkpointer() const noexcept {
+    return checkpointer_.get();
+  }
+  /// Null unless pcap_path was configured (exposes write-failure counts).
+  [[nodiscard]] const net80211::PcapWriter* pcap_writer() const noexcept {
+    return pcap_.get();
+  }
+
   /// Channel a given card listens on at time t.
   [[nodiscard]] rf::Channel card_channel(std::size_t card, sim::SimTime t) const;
   [[nodiscard]] std::size_t card_count() const noexcept;
@@ -76,14 +112,19 @@ class Sniffer final : public sim::FrameReceiver {
   void on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) override;
 
  private:
-  void record(const net80211::ManagementFrame& frame, const sim::RxInfo& rx);
+  void record(const net80211::ManagementFrame& frame, const sim::RxInfo& rx,
+              sim::SimTime card_time, std::span<const std::uint8_t> wire_bytes);
+  void write_pcap(const sim::RxInfo& rx, sim::SimTime card_time,
+                  std::span<const std::uint8_t> body);
 
   SnifferConfig config_;
   ObservationStore* store_;
   sim::World* world_ = nullptr;
   util::Rng rng_;
+  fault::FaultInjector injector_;
   SnifferStats stats_;
   std::unique_ptr<net80211::PcapWriter> pcap_;
+  std::unique_ptr<ObservationCheckpointer> checkpointer_;
 };
 
 }  // namespace mm::capture

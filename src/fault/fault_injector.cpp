@@ -1,0 +1,98 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <system_error>
+
+namespace mm::fault {
+
+namespace {
+constexpr std::uint64_t kDropoutSalt = 0xd20b0u;
+constexpr std::uint64_t kSkewSalt = 0x5c3e0u;
+constexpr std::uint64_t kDriftSalt = 0xd21f7u;
+}  // namespace
+
+double FaultInjector::card_hash_uniform(std::uint64_t salt, std::uint64_t a,
+                                        std::uint64_t b) const {
+  const std::uint64_t h = util::hash_combine(plan_.seed ^ salt, util::hash_combine(a, b));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::FrameAction FaultInjector::apply_frame(std::vector<std::uint8_t>& frame) {
+  ++stats_.frames_seen;
+  // One bernoulli per channel, every frame, so the stream position (and
+  // therefore which later frames get damaged) is independent of outcomes.
+  const bool drop = rng_.bernoulli(plan_.drop_rate);
+  const bool corrupt = rng_.bernoulli(plan_.corrupt_rate);
+  const bool truncate = rng_.bernoulli(plan_.truncate_rate);
+  const bool duplicate = rng_.bernoulli(plan_.duplicate_rate);
+  if (drop) {
+    ++stats_.frames_dropped;
+    return FrameAction::kDrop;
+  }
+  if (corrupt && !frame.empty()) {
+    ++stats_.frames_corrupted;
+    const auto flips = rng_.uniform_int(1, plan_.corrupt_bits_max);
+    for (std::int64_t i = 0; i < flips; ++i) {
+      const auto bit = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(frame.size()) * 8 - 1));
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  if (truncate && !frame.empty()) {
+    ++stats_.frames_truncated;
+    frame.resize(static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1)));
+  }
+  if (duplicate) {
+    ++stats_.frames_duplicated;
+    return FrameAction::kDuplicate;
+  }
+  return FrameAction::kPass;
+}
+
+bool FaultInjector::card_down(std::size_t card, double t) const {
+  const double rate = plan_.nic_dropout_rate;
+  if (rate <= 0.0 || t < 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Tile time with period P = mean/rate; each tile holds one outage of
+  // length `mean` at a hashed offset, giving a long-run down fraction of
+  // exactly `rate` per card.
+  const double outage = plan_.nic_dropout_mean_s;
+  const double period = outage / rate;
+  const auto tile = static_cast<std::uint64_t>(t / period);
+  const double offset =
+      card_hash_uniform(kDropoutSalt, card, tile) * (period - outage);
+  const double in_tile = t - static_cast<double>(tile) * period;
+  return in_tile >= offset && in_tile < offset + outage;
+}
+
+double FaultInjector::card_time(std::size_t card, double t) const {
+  double reported = t;
+  if (plan_.clock_skew_max_s > 0.0) {
+    reported +=
+        (2.0 * card_hash_uniform(kSkewSalt, card, 0) - 1.0) * plan_.clock_skew_max_s;
+  }
+  if (plan_.clock_drift_max_ppm > 0.0) {
+    const double ppm =
+        (2.0 * card_hash_uniform(kDriftSalt, card, 0) - 1.0) * plan_.clock_drift_max_ppm;
+    reported += t * ppm * 1e-6;
+  }
+  return reported;
+}
+
+bool FaultInjector::should_tear_write() { return rng_.bernoulli(plan_.torn_write_rate); }
+
+bool FaultInjector::tear_file(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  const auto keep = size == 0 ? 0
+                              : static_cast<std::uintmax_t>(rng_.uniform_int(
+                                    0, static_cast<std::int64_t>(size) - 1));
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) return false;
+  ++stats_.files_torn;
+  return true;
+}
+
+}  // namespace mm::fault

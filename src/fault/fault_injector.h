@@ -1,0 +1,73 @@
+// Executes a FaultPlan. One injector owns one deterministic fault stream:
+// the same plan + seed damages the same frames in the same way on every
+// run, so a soak failure is reproducible bit-for-bit. Per-card effects
+// (dropout windows, clock skew/drift) are stateless hashes of (seed, card,
+// time) — they don't consume the stream, so enabling them never shifts
+// which frames get corrupted.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+
+namespace mm::fault {
+
+/// Monotone counters of the damage actually injected (the ground truth a
+/// soak test compares quarantine counters against).
+struct FaultStats {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_truncated = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t files_torn = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  /// What the transport did to this frame.
+  enum class FrameAction {
+    kPass,       ///< delivered once (possibly corrupted/truncated in place)
+    kDrop,       ///< lost; the frame never reaches the consumer
+    kDuplicate,  ///< delivered twice (possibly damaged, identically, twice)
+  };
+
+  /// Applies per-frame faults in place: drop, else bit corruption and/or
+  /// tail truncation, else duplication. Damage and action are drawn from
+  /// the injector's seeded stream.
+  FrameAction apply_frame(std::vector<std::uint8_t>& frame);
+
+  /// True while `card` sits inside one of its dropout windows. Windows are
+  /// `nic_dropout_mean_s` long and placed pseudo-randomly so each card is
+  /// down `nic_dropout_rate` of the time, independently of the others.
+  [[nodiscard]] bool card_down(std::size_t card, double t) const;
+
+  /// The timestamp `card`'s own clock reports at true time `t` (constant
+  /// skew plus linear drift, both uniform per card within the plan's caps).
+  [[nodiscard]] double card_time(std::size_t card, double t) const;
+
+  /// Draws whether the next persistence write dies mid-file.
+  [[nodiscard]] bool should_tear_write();
+
+  /// Chops a partially-written file: keeps a random prefix (possibly zero
+  /// bytes) of its current contents. Returns false if the file is missing.
+  bool tear_file(const std::filesystem::path& path);
+
+ private:
+  [[nodiscard]] double card_hash_uniform(std::uint64_t salt, std::uint64_t a,
+                                         std::uint64_t b) const;
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace mm::fault

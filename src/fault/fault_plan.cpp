@@ -1,0 +1,122 @@
+#include "fault/fault_plan.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace mm::fault {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const auto end = text.find(sep, begin);
+    out.push_back(text.substr(begin, end - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+bool FaultPlan::active() const noexcept {
+  return corrupt_rate > 0.0 || truncate_rate > 0.0 || drop_rate > 0.0 ||
+         duplicate_rate > 0.0 || nic_dropout_rate > 0.0 || clock_skew_max_s > 0.0 ||
+         clock_drift_max_ppm > 0.0 || torn_write_rate > 0.0;
+}
+
+util::Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  using R = util::Result<FaultPlan>;
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& item : split(spec, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) return R::failure("fault plan: missing '=' in '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      if (!parse_u64(val, plan.seed)) return R::failure("fault plan: bad seed '" + val + "'");
+      continue;
+    }
+    double value = 0.0;
+    if (!parse_double(val, value) || value < 0.0) {
+      return R::failure("fault plan: bad value for '" + key + "': '" + val + "'");
+    }
+    const bool is_rate = key == "corrupt" || key == "truncate" || key == "drop" ||
+                         key == "dup" || key == "nic-dropout" || key == "torn";
+    if (is_rate && value > 1.0) {
+      return R::failure("fault plan: rate '" + key + "' must be in [0,1]");
+    }
+    if (key == "corrupt") {
+      plan.corrupt_rate = value;
+    } else if (key == "corrupt-bits") {
+      plan.corrupt_bits_max = static_cast<int>(value);
+    } else if (key == "truncate") {
+      plan.truncate_rate = value;
+    } else if (key == "drop") {
+      plan.drop_rate = value;
+    } else if (key == "dup") {
+      plan.duplicate_rate = value;
+    } else if (key == "nic-dropout") {
+      plan.nic_dropout_rate = value;
+    } else if (key == "dropout-mean") {
+      plan.nic_dropout_mean_s = value;
+    } else if (key == "skew") {
+      plan.clock_skew_max_s = value;
+    } else if (key == "drift") {
+      plan.clock_drift_max_ppm = value;
+    } else if (key == "torn") {
+      plan.torn_write_rate = value;
+    } else {
+      return R::failure("fault plan: unknown key '" + key + "'");
+    }
+  }
+  if (plan.corrupt_bits_max < 1) return R::failure("fault plan: corrupt-bits must be >= 1");
+  if (plan.nic_dropout_rate > 0.0 && plan.nic_dropout_mean_s <= 0.0) {
+    return R::failure("fault plan: dropout-mean must be > 0 when nic-dropout is set");
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  out.precision(12);
+  const char* sep = "";
+  auto emit = [&](const char* key, double value, double silent) {
+    if (value == silent) return;
+    out << sep << key << '=' << value;
+    sep = ",";
+  };
+  emit("corrupt", corrupt_rate, 0.0);
+  emit("corrupt-bits", corrupt_bits_max, 8.0);
+  emit("truncate", truncate_rate, 0.0);
+  emit("drop", drop_rate, 0.0);
+  emit("dup", duplicate_rate, 0.0);
+  emit("nic-dropout", nic_dropout_rate, 0.0);
+  emit("dropout-mean", nic_dropout_mean_s, 30.0);
+  emit("skew", clock_skew_max_s, 0.0);
+  emit("drift", clock_drift_max_ppm, 0.0);
+  emit("torn", torn_write_rate, 0.0);
+  out << sep << "seed=" << seed;
+  return out.str();
+}
+
+}  // namespace mm::fault

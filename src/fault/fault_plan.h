@@ -1,0 +1,53 @@
+// Faultline: the fault model for the unattended monitoring station. A
+// 7-day rooftop capture (Section IV's feasibility rig) produces corrupted
+// and truncated frames, dropped and duplicated records, cards that vanish
+// mid-run, clocks that drift apart across split NICs, and half-written
+// evidence files. A FaultPlan describes how much of each to inject; the
+// capture, replay, and persistence layers accept one so any simulation can
+// be soaked under realistic damage (tests/fault_soak_test,
+// bench/bench_fault_soak, `mmctl --fault-plan`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace mm::fault {
+
+/// Seeded, declarative description of the faults to inject. All rates are
+/// probabilities in [0, 1]; a default-constructed plan injects nothing.
+struct FaultPlan {
+  // --- per-frame faults (capture + replay paths) ---
+  double corrupt_rate = 0.0;    ///< P(frame suffers random bit flips)
+  int corrupt_bits_max = 8;     ///< 1..N bits flipped per corrupted frame
+  double truncate_rate = 0.0;   ///< P(frame tail is cut off)
+  double drop_rate = 0.0;       ///< P(frame is lost entirely)
+  double duplicate_rate = 0.0;  ///< P(frame is delivered twice)
+
+  // --- per-card faults (capture path) ---
+  double nic_dropout_rate = 0.0;    ///< long-run fraction of time a card is dead
+  double nic_dropout_mean_s = 30.0; ///< length of one outage window
+  double clock_skew_max_s = 0.0;    ///< per-card constant offset, uniform in +-max
+  double clock_drift_max_ppm = 0.0; ///< per-card linear drift, uniform in +-max
+
+  // --- persistence faults ---
+  double torn_write_rate = 0.0;  ///< P(a save dies mid-write, before rename)
+
+  std::uint64_t seed = 0xfa017;
+
+  /// True when any fault channel is non-zero.
+  [[nodiscard]] bool active() const noexcept;
+
+  /// Parses a comma-separated spec, e.g.
+  ///   "corrupt=0.01,truncate=0.01,drop=0.02,dup=0.005,nic-dropout=0.1,
+  ///    dropout-mean=20,skew=0.5,drift=50,torn=0.25,seed=7"
+  /// Unknown keys, bad numbers, and out-of-range rates are errors (a typo in
+  /// a soak config should fail loudly, not silently inject nothing).
+  [[nodiscard]] static util::Result<FaultPlan> parse(const std::string& spec);
+
+  /// Inverse of parse() for logging ("corrupt=0.01,drop=0.02,seed=7").
+  [[nodiscard]] std::string to_spec() const;
+};
+
+}  // namespace mm::fault

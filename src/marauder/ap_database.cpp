@@ -60,53 +60,102 @@ ApDatabase ApDatabase::from_truth(std::span<const sim::ApTruth> truth, bool incl
   return db;
 }
 
-ApDatabase ApDatabase::from_csv(const std::filesystem::path& path,
-                                const geo::EnuFrame& frame) {
+namespace {
+
+bool parse_double_field(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+util::Result<std::vector<util::CsvRow>> read_rows(const std::filesystem::path& path) {
+  using R = util::Result<std::vector<util::CsvRow>>;
+  try {
+    return util::csv_read_file(path);
+  } catch (const std::exception& e) {
+    return R::failure(std::string("ApDatabase: ") + e.what());
+  }
+}
+
+}  // namespace
+
+util::Result<ApDatabase> ApDatabase::from_csv(const std::filesystem::path& path,
+                                              const geo::EnuFrame& frame,
+                                              CsvImportStats* stats) {
+  auto rows = read_rows(path);
+  if (!rows.ok()) return util::Result<ApDatabase>::failure(rows.error());
+  CsvImportStats local;
   ApDatabase db;
-  const auto rows = util::csv_read_file(path);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& row = rows[i];
+  for (std::size_t i = 0; i < rows.value().size(); ++i) {
+    const auto& row = rows.value()[i];
     if (i == 0 && !row.empty() && row[0] == "bssid") continue;  // header
-    if (row.size() < 4) {
-      throw std::runtime_error("ApDatabase: malformed CSV row " + std::to_string(i));
+    ++local.rows_total;
+    std::optional<net80211::MacAddress> mac;
+    if (!row.empty()) mac = net80211::MacAddress::parse(row[0]);
+    double lat = 0.0;
+    double lon = 0.0;
+    if (row.size() < 4 || !mac || !parse_double_field(row[2], lat) ||
+        !parse_double_field(row[3], lon)) {
+      ++local.quarantined;
+      continue;
     }
-    const auto mac = net80211::MacAddress::parse(row[0]);
-    if (!mac) throw std::runtime_error("ApDatabase: bad BSSID in row " + std::to_string(i));
     KnownAp ap;
     ap.bssid = *mac;
     ap.ssid = row[1];
-    ap.position = frame.to_enu({std::stod(row[2]), std::stod(row[3]), frame.origin().alt_m});
-    if (row.size() >= 5 && !row[4].empty()) ap.radius_m = std::stod(row[4]);
+    ap.position = frame.to_enu({lat, lon, frame.origin().alt_m});
+    if (row.size() >= 5 && !row[4].empty()) {
+      double radius = 0.0;
+      if (!parse_double_field(row[4], radius)) {
+        ++local.quarantined;
+        continue;
+      }
+      ap.radius_m = radius;
+    }
     db.add(std::move(ap));
+    ++local.rows_loaded;
   }
+  if (stats != nullptr) *stats = local;
   return db;
 }
 
-ApDatabase ApDatabase::from_wigle_csv(const std::filesystem::path& path,
-                                      const geo::EnuFrame& frame) {
+util::Result<ApDatabase> ApDatabase::from_wigle_csv(const std::filesystem::path& path,
+                                                    const geo::EnuFrame& frame,
+                                                    CsvImportStats* stats) {
+  auto rows = read_rows(path);
+  if (!rows.ok()) return util::Result<ApDatabase>::failure(rows.error());
+  CsvImportStats local;
   ApDatabase db;
-  const auto rows = util::csv_read_file(path);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& row = rows[i];
+  for (const auto& row : rows.value()) {
     if (row.empty()) continue;
     if (row[0].rfind("WigleWifi", 0) == 0) continue;  // app pre-header
     if (row[0] == "netid") continue;                  // column header
-    if (row.size() < 8) continue;                     // malformed sighting
-    // Column 10 ("type") distinguishes WIFI from BT/GSM when present.
+    ++local.rows_total;
+    if (row.size() < 8) {  // malformed sighting
+      ++local.quarantined;
+      continue;
+    }
+    // Column 10 ("type") distinguishes WIFI from BT/GSM when present; other
+    // radio types are filtered, not quarantined — they aren't damage.
     if (row.size() > 10 && !row[10].empty() && row[10] != "WIFI") continue;
     const auto mac = net80211::MacAddress::parse(row[0]);
-    if (!mac) continue;
+    double lat = 0.0;
+    double lon = 0.0;
+    if (!mac || !parse_double_field(row[6], lat) || !parse_double_field(row[7], lon)) {
+      ++local.quarantined;
+      continue;
+    }
     KnownAp ap;
     ap.bssid = *mac;
     ap.ssid = row[1];
-    try {
-      ap.position = frame.to_enu({std::stod(row[6]), std::stod(row[7]),
-                                  frame.origin().alt_m});
-    } catch (const std::exception&) {
-      continue;  // unparsable coordinates
-    }
+    ap.position = frame.to_enu({lat, lon, frame.origin().alt_m});
     db.add(std::move(ap));
+    ++local.rows_loaded;
   }
+  if (stats != nullptr) *stats = local;
   return db;
 }
 

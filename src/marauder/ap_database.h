@@ -16,8 +16,18 @@
 #include "geo/geodetic.h"
 #include "net80211/mac_address.h"
 #include "sim/scenario.h"
+#include "util/result.h"
 
 namespace mm::marauder {
+
+/// Per-record quarantine counters for the CSV importers: malformed rows are
+/// skipped and counted, never fatal (a week of wardriving should survive a
+/// few garbled GPS lines).
+struct CsvImportStats {
+  std::size_t rows_total = 0;
+  std::size_t rows_loaded = 0;
+  std::size_t quarantined = 0;
+};
 
 struct KnownAp {
   net80211::MacAddress bssid;
@@ -58,19 +68,23 @@ class ApDatabase {
                                              bool include_radii);
 
   /// CSV round-trip ("bssid,ssid,lat,lon[,radius_m]"); positions are stored
-  /// geodetically and projected through `frame`.
-  [[nodiscard]] static ApDatabase from_csv(const std::filesystem::path& path,
-                                           const geo::EnuFrame& frame);
+  /// geodetically and projected through `frame`. Fails (as a Result) only
+  /// when the file is unreadable; malformed rows are quarantined into
+  /// `stats` when given.
+  [[nodiscard]] static util::Result<ApDatabase> from_csv(const std::filesystem::path& path,
+                                                         const geo::EnuFrame& frame,
+                                                         CsvImportStats* stats = nullptr);
   void to_csv(const std::filesystem::path& path, const geo::EnuFrame& frame) const;
 
   /// Imports a WiGLE export file (the "WigleWifi-1.4" CSV app format: a
   /// pre-header line, then netid,ssid,authmode,firstseen,channel,rssi,
   /// currentlatitude,currentlongitude,...,type). Non-WIFI rows and rows
-  /// with unparsable BSSIDs are skipped; duplicate BSSIDs keep the last
-  /// sighting. WiGLE carries no transmission distances — radii stay unset
-  /// (the AP-Rad scenario, Section III-C.2).
-  [[nodiscard]] static ApDatabase from_wigle_csv(const std::filesystem::path& path,
-                                                 const geo::EnuFrame& frame);
+  /// with unparsable BSSIDs or coordinates are quarantined; duplicate
+  /// BSSIDs keep the last sighting. WiGLE carries no transmission
+  /// distances — radii stay unset (the AP-Rad scenario, Section III-C.2).
+  [[nodiscard]] static util::Result<ApDatabase> from_wigle_csv(
+      const std::filesystem::path& path, const geo::EnuFrame& frame,
+      CsvImportStats* stats = nullptr);
 
  private:
   std::map<net80211::MacAddress, KnownAp> aps_;

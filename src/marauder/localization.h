@@ -19,9 +19,19 @@ struct LocalizationResult {
   /// True when a degenerate-geometry fallback produced the estimate (empty
   /// vertex set, inconsistent discs, ...).
   bool used_fallback = false;
-  /// Discs the estimate was computed from; lets callers derive region
-  /// statistics (intersected area, coverage of the true location).
+  /// Discs discarded by the outlier-rejection pass (corrupted RSSI/radius
+  /// evidence): the estimate ran on the remaining discs and is degraded,
+  /// not a fallback. Zero on a clean run.
+  std::size_t discs_rejected = 0;
+  /// Discs the estimate was computed from (outliers already removed); lets
+  /// callers derive region statistics (intersected area, coverage of the
+  /// true location).
   std::vector<geo::Circle> discs;
+
+  /// Anything other than a full-evidence geometric estimate.
+  [[nodiscard]] bool degraded() const noexcept {
+    return used_fallback || discs_rejected > 0;
+  }
 };
 
 /// Area of the intersection of the result's discs (the paper's "intersected

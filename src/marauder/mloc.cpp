@@ -1,8 +1,93 @@
 #include "marauder/mloc.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "geo/disc_intersection.h"
 
 namespace mm::marauder {
+
+namespace {
+
+/// Fills `result` from a non-empty intersection region (vertex average, or
+/// the exact centroid where the vertex set is empty or requested).
+void estimate_from_region(LocalizationResult& result, const geo::DiscIntersection& region,
+                          const MLocOptions& options) {
+  if (options.exact_region_centroid || region.is_full_disc()) {
+    // Exact centroid; also the only sensible answer when one disc is nested
+    // inside all others (the vertex set Delta is empty there).
+    result.ok = true;
+    result.used_fallback = region.is_full_disc() && !options.exact_region_centroid;
+    result.estimate = region.centroid();
+    return;
+  }
+  // Paper-faithful path: average of the boundary vertices Delta.
+  const auto vertices = region.vertices();
+  if (vertices.empty()) {
+    result.ok = true;
+    result.used_fallback = true;
+    result.estimate = region.centroid();
+    return;
+  }
+  geo::Vec2 acc;
+  for (const geo::Vec2& v : vertices) acc += v;
+  result.ok = true;
+  result.estimate = acc / static_cast<double>(vertices.size());
+}
+
+/// Index of the disc most inconsistent with the rest: the one whose worst
+/// pairwise gap (centre distance minus the two radii) is largest.
+std::size_t most_violating_disc(const std::vector<geo::Circle>& discs) {
+  std::size_t worst = 0;
+  double worst_gap = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < discs.size(); ++i) {
+    double gap = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < discs.size(); ++j) {
+      if (i == j) continue;
+      const double d = discs[i].center.distance_to(discs[j].center);
+      gap = std::max(gap, d - discs[i].radius - discs[j].radius);
+    }
+    if (gap > worst_gap) {
+      worst_gap = gap;
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+/// Greedy minimal-rejection pass: removes up to `max_outliers` discs so the
+/// intersection of the survivors is non-empty. Prefers the single removal
+/// whose surviving region is tightest (most information kept); when no
+/// single removal helps, evicts the most violating disc and retries.
+/// Returns the number of discs removed, or nullopt if the region is still
+/// empty at the budget.
+std::optional<std::size_t> reject_outliers(std::vector<geo::Circle>& retained,
+                                           std::size_t max_outliers) {
+  std::size_t rejected = 0;
+  while (rejected < max_outliers && retained.size() > 1) {
+    std::size_t best = retained.size();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < retained.size(); ++i) {
+      std::vector<geo::Circle> candidate;
+      candidate.reserve(retained.size() - 1);
+      for (std::size_t j = 0; j < retained.size(); ++j) {
+        if (j != i) candidate.push_back(retained[j]);
+      }
+      const auto region = geo::DiscIntersection::compute(candidate);
+      if (!region.empty() && region.area() < best_area) {
+        best = i;
+        best_area = region.area();
+      }
+    }
+    if (best == retained.size()) best = most_violating_disc(retained);
+    retained.erase(retained.begin() + static_cast<std::ptrdiff_t>(best));
+    ++rejected;
+    if (!geo::DiscIntersection::compute(retained).empty()) return rejected;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 double intersected_area(const LocalizationResult& result) {
   if (result.discs.empty()) return 0.0;
@@ -34,40 +119,38 @@ LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
     return result;
   }
 
-  const auto region = geo::DiscIntersection::compute(discs);
+  auto region = geo::DiscIntersection::compute(discs);
+
+  if (region.empty() && options.reject_outliers) {
+    // Inconsistent evidence (corrupted RSSI/radius rows, ghost APs from
+    // bit-flipped BSSIDs, underestimated radii): discard the fewest discs
+    // that restore a non-empty intersection so the estimate degrades
+    // instead of collapsing to the centroid fallback.
+    std::vector<geo::Circle> retained = result.discs;
+    if (const auto rejected = reject_outliers(retained, options.max_outliers)) {
+      result.discs_rejected = *rejected;
+      result.discs = retained;
+      if (retained.size() == 1) {
+        result.ok = true;
+        result.estimate = retained.front().center;
+        return result;
+      }
+      region = geo::DiscIntersection::compute(retained);
+    }
+  }
 
   if (region.empty()) {
     // Inconsistent discs (underestimated radii). Fall back to the centroid
     // of AP positions so the attack still produces an answer.
     geo::Vec2 acc;
-    for (const geo::Circle& disc : discs) acc += disc.center;
+    for (const geo::Circle& disc : result.discs) acc += disc.center;
     result.ok = true;
     result.used_fallback = true;
-    result.estimate = acc / static_cast<double>(discs.size());
+    result.estimate = acc / static_cast<double>(result.discs.size());
     return result;
   }
 
-  if (options.exact_region_centroid || region.is_full_disc()) {
-    // Exact centroid; also the only sensible answer when one disc is nested
-    // inside all others (the vertex set Delta is empty there).
-    result.ok = true;
-    result.used_fallback = region.is_full_disc() && !options.exact_region_centroid;
-    result.estimate = region.centroid();
-    return result;
-  }
-
-  // Paper-faithful path: average of the boundary vertices Delta.
-  const auto vertices = region.vertices();
-  if (vertices.empty()) {
-    result.ok = true;
-    result.used_fallback = true;
-    result.estimate = region.centroid();
-    return result;
-  }
-  geo::Vec2 acc;
-  for (const geo::Vec2& v : vertices) acc += v;
-  result.ok = true;
-  result.estimate = acc / static_cast<double>(vertices.size());
+  estimate_from_region(result, region, options);
   return result;
 }
 

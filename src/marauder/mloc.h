@@ -7,7 +7,10 @@
 //   * |Gamma| = 1          -> the AP's position (nearest-AP reduction);
 //   * nested discs, Delta empty, non-empty region -> the inner disc's center;
 //   * inconsistent discs (empty intersection; possible under AP-Rad's
-//     estimated radii) -> centroid of the AP positions, flagged as fallback.
+//     estimated radii or corrupted capture evidence) -> optionally an
+//     outlier-rejection pass (drop the fewest discs that make the
+//     intersection non-empty, greedily, up to `max_outliers`), else the
+//     centroid of the AP positions, flagged as fallback.
 // `exact_region_centroid` switches the estimate from the vertex average to
 // the true centroid of the intersection region (ablation in bench_ablation).
 #pragma once
@@ -18,6 +21,13 @@ namespace mm::marauder {
 
 struct MLocOptions {
   bool exact_region_centroid = false;
+  /// Graceful degradation under damaged evidence: when the discs are
+  /// mutually inconsistent, discard the fewest discs that restore a
+  /// non-empty intersection (RANSAC-style over Gamma) instead of collapsing
+  /// straight to the centroid fallback. Rejected discs are reported in
+  /// LocalizationResult::discs_rejected.
+  bool reject_outliers = false;
+  std::size_t max_outliers = 2;
 };
 
 [[nodiscard]] LocalizationResult mloc_locate(std::span<const geo::Circle> discs,

@@ -57,6 +57,8 @@ std::vector<TrackPoint> build_trajectory(const Tracker& tracker,
     point.position = result.estimate;
     point.num_aps = result.num_aps;
     point.mac = burst.mac;
+    point.degraded = result.degraded();
+    point.discs_rejected = result.discs_rejected;
 
     if (options.max_speed_mps > 0.0 && !track.empty()) {
       const TrackPoint& prev = track.back();

@@ -19,6 +19,8 @@ struct TrackPoint {
   geo::Vec2 raw_position;                ///< unsmoothed estimate
   std::size_t num_aps = 0;               ///< |Gamma| behind the estimate
   net80211::MacAddress mac;              ///< alias active during the burst
+  bool degraded = false;                 ///< fallback or outlier-rejected estimate
+  std::size_t discs_rejected = 0;        ///< discs shed by outlier rejection
 };
 
 struct TrajectoryOptions {

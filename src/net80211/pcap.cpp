@@ -1,7 +1,6 @@
 #include "net80211/pcap.h"
 
 #include <array>
-#include <stdexcept>
 
 namespace mm::net80211 {
 
@@ -51,7 +50,10 @@ bool take_u16(std::ifstream& in, std::uint16_t& v) {
 PcapWriter::PcapWriter(const std::filesystem::path& path, std::uint32_t linktype,
                        std::uint32_t snaplen)
     : out_(path, std::ios::binary), snaplen_(snaplen) {
-  if (!out_) throw std::runtime_error("pcap: cannot create " + path.string());
+  if (!out_) {
+    error_ = "pcap: cannot create " + path.string();
+    return;
+  }
   put_u32(out_, kMagicUsec);
   put_u16(out_, 2);  // version major
   put_u16(out_, 4);  // version minor
@@ -59,9 +61,14 @@ PcapWriter::PcapWriter(const std::filesystem::path& path, std::uint32_t linktype
   put_u32(out_, 0);  // sigfigs
   put_u32(out_, snaplen_);
   put_u32(out_, linktype);
+  if (!out_) error_ = "pcap: failed to write global header to " + path.string();
 }
 
-void PcapWriter::write(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame) {
+bool PcapWriter::write(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame) {
+  if (!ok()) {
+    ++write_failures_;
+    return false;
+  }
   const std::size_t incl = std::min<std::size_t>(frame.size(), snaplen_);
   put_u32(out_, static_cast<std::uint32_t>(timestamp_us / 1000000));
   put_u32(out_, static_cast<std::uint32_t>(timestamp_us % 1000000));
@@ -69,39 +76,65 @@ void PcapWriter::write(std::uint64_t timestamp_us, std::span<const std::uint8_t>
   put_u32(out_, static_cast<std::uint32_t>(frame.size()));
   out_.write(reinterpret_cast<const char*>(frame.data()),
              static_cast<std::streamsize>(incl));
-  if (!out_) throw std::runtime_error("pcap: write failed");
+  if (!out_) {
+    error_ = "pcap: record write failed";
+    ++write_failures_;
+    return false;
+  }
   ++records_;
+  return true;
 }
 
 PcapReader::PcapReader(const std::filesystem::path& path) : in_(path, std::ios::binary) {
-  if (!in_) throw std::runtime_error("pcap: cannot open " + path.string());
+  if (!in_) {
+    error_ = "pcap: cannot open " + path.string();
+    return;
+  }
   std::uint32_t magic = 0;
-  if (!take_u32(in_, magic)) throw std::runtime_error("pcap: missing global header");
+  if (!take_u32(in_, magic)) {
+    error_ = "pcap: missing global header";
+    return;
+  }
   if (magic == kMagicUsecSwapped) {
-    throw std::runtime_error("pcap: big-endian capture files are not supported");
+    error_ = "pcap: big-endian capture files are not supported";
+    return;
   }
   if (magic == kMagicNsec) {
-    throw std::runtime_error("pcap: nanosecond-resolution captures are not supported");
+    error_ = "pcap: nanosecond-resolution captures are not supported";
+    return;
   }
-  if (magic != kMagicUsec) throw std::runtime_error("pcap: bad magic number");
+  if (magic != kMagicUsec) {
+    error_ = "pcap: bad magic number";
+    return;
+  }
   std::uint16_t major = 0;
   std::uint16_t minor = 0;
   std::uint32_t skip = 0;
   if (!take_u16(in_, major) || !take_u16(in_, minor) || !take_u32(in_, skip) ||
       !take_u32(in_, skip) || !take_u32(in_, snaplen_) || !take_u32(in_, linktype_)) {
-    throw std::runtime_error("pcap: truncated global header");
+    error_ = "pcap: truncated global header";
+    return;
   }
-  if (major != 2) throw std::runtime_error("pcap: unsupported version");
+  if (major != 2) error_ = "pcap: unsupported version";
 }
 
 std::optional<PcapRecord> PcapReader::next() {
+  if (!ok() || done_) return std::nullopt;
   std::uint32_t ts_sec = 0;
   if (!take_u32(in_, ts_sec)) return std::nullopt;  // clean EOF
   std::uint32_t ts_usec = 0;
   std::uint32_t incl_len = 0;
   std::uint32_t orig_len = 0;
   if (!take_u32(in_, ts_usec) || !take_u32(in_, incl_len) || !take_u32(in_, orig_len)) {
-    truncated_ = true;
+    done_ = truncated_ = true;
+    return std::nullopt;
+  }
+  if (incl_len > kMaxSaneRecordBytes) {
+    // Corrupt framing: the length field itself is damaged, and without it
+    // there is no way to find the next record boundary. Quarantine and end
+    // iteration rather than trusting a multi-gigabyte allocation.
+    ++quarantined_;
+    done_ = true;
     return std::nullopt;
   }
   PcapRecord record;
@@ -109,7 +142,7 @@ std::optional<PcapRecord> PcapReader::next() {
   record.data.resize(incl_len);
   if (!in_.read(reinterpret_cast<char*>(record.data.data()),
                 static_cast<std::streamsize>(incl_len))) {
-    truncated_ = true;
+    done_ = truncated_ = true;
     return std::nullopt;
   }
   return record;

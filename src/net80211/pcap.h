@@ -2,6 +2,11 @@
 // microsecond-resolution little-endian pcap: 24-byte global header followed
 // by 16-byte-headed records. The capture layer writes radiotap-framed
 // monitor-mode captures (linktype 127) that Wireshark can open.
+//
+// Both ends report failure as state, not exceptions: an unattended capture
+// rig must keep its already-collected evidence when a disk fills up, and an
+// analysis pass over a real-world (possibly damaged) capture must consume
+// as much of the file as is intact. Check ok() after construction.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,7 @@
 #include <fstream>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace mm::net80211 {
@@ -18,6 +24,11 @@ inline constexpr std::uint32_t kLinktypeRadiotap = 127;
 /// LINKTYPE_IEEE802_11 (bare frames).
 inline constexpr std::uint32_t kLinktype80211 = 105;
 
+/// Upper bound on a sane record length: no 802.11 frame plus capture header
+/// comes near this, so a bigger incl_len is corrupt framing, not data. The
+/// reader quarantines such records instead of allocating gigabytes.
+inline constexpr std::uint32_t kMaxSaneRecordBytes = 1u << 20;
+
 struct PcapRecord {
   std::uint64_t timestamp_us = 0;
   std::vector<std::uint8_t> data;
@@ -25,8 +36,10 @@ struct PcapRecord {
   bool operator==(const PcapRecord&) const = default;
 };
 
-/// Streaming pcap writer. Throws std::runtime_error if the file cannot be
-/// created; flushes on destruction (RAII).
+/// Streaming pcap writer. Never throws: a failed open or write latches into
+/// ok()/error() and is counted, so a capture loop can keep its in-memory
+/// evidence (and keep trying) when the disk misbehaves. Flushes on
+/// destruction (RAII).
 class PcapWriter {
  public:
   explicit PcapWriter(const std::filesystem::path& path,
@@ -36,34 +49,52 @@ class PcapWriter {
   PcapWriter(const PcapWriter&) = delete;
   PcapWriter& operator=(const PcapWriter&) = delete;
 
-  void write(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame);
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Appends one record; returns false (and counts the failure) when the
+  /// stream is broken. Safe to keep calling after a failure.
+  bool write(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame);
   [[nodiscard]] std::size_t records_written() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t write_failures() const noexcept { return write_failures_; }
 
  private:
   std::ofstream out_;
   std::uint32_t snaplen_;
   std::size_t records_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::string error_;
 };
 
-/// Pcap reader. Throws std::runtime_error on open/magic failures; truncated
-/// trailing records terminate iteration and set truncated().
+/// Pcap reader. Open/magic failures latch into ok()/error() instead of
+/// throwing; a file that ends mid-record terminates iteration and sets
+/// truncated(); a record whose length field is corrupt is quarantined (the
+/// stream cannot be re-synchronized past it, so iteration stops there too).
 class PcapReader {
  public:
   explicit PcapReader(const std::filesystem::path& path);
 
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
   [[nodiscard]] std::uint32_t linktype() const noexcept { return linktype_; }
   [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
-  /// Next record, or nullopt at end-of-file (or on truncation).
+  /// Next record, or nullopt at end-of-file (or on truncation/quarantine).
   [[nodiscard]] std::optional<PcapRecord> next();
   /// True if the file ended mid-record.
   [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  /// Records rejected for corrupt framing (insane length field).
+  [[nodiscard]] std::uint64_t quarantined() const noexcept { return quarantined_; }
   [[nodiscard]] std::vector<PcapRecord> read_all();
 
  private:
   std::ifstream in_;
   std::uint32_t linktype_ = 0;
   std::uint32_t snaplen_ = 0;
+  bool done_ = false;  ///< iteration latched closed (truncation or quarantine)
   bool truncated_ = false;
+  std::uint64_t quarantined_ = 0;
+  std::string error_;
 };
 
 }  // namespace mm::net80211

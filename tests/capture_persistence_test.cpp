@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "fault/fault_injector.h"
+
 namespace mm::capture {
 namespace {
 
@@ -31,8 +33,15 @@ ObservationStore make_populated_store() {
 TEST(Persistence, ExactRoundtrip) {
   const auto path = temp_file("mm_obs_roundtrip.csv");
   const ObservationStore original = make_populated_store();
-  save_observations(original, path);
-  const ObservationStore loaded = load_observations(path);
+  const auto saved = save_observations(original, path);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  EXPECT_EQ(saved.value().attempts, 1);
+  auto loaded_result = load_observations(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.error();
+  const ObservationStore& loaded = loaded_result.value().store;
+  EXPECT_EQ(loaded_result.value().stats.quarantined, 0u);
+  EXPECT_EQ(loaded_result.value().stats.rows_loaded,
+            loaded_result.value().stats.rows_total);
 
   ASSERT_EQ(loaded.device_count(), original.device_count());
   const DeviceRecord* orig_rec = original.device(kDev);
@@ -59,15 +68,19 @@ TEST(Persistence, ExactRoundtrip) {
   ASSERT_EQ(loaded.ap_sightings().size(), 1u);
   EXPECT_EQ(loaded.ap_sightings().at(kAp1).beacons, 2u);
   EXPECT_EQ(loaded.ap_sightings().at(kAp1).ssid, "NetOne");
+
+  // Atomicity: no leftover temp file after a successful save.
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
   std::filesystem::remove(path);
 }
 
 TEST(Persistence, EmptyStoreRoundtrip) {
   const auto path = temp_file("mm_obs_empty.csv");
-  save_observations(ObservationStore{}, path);
-  const ObservationStore loaded = load_observations(path);
-  EXPECT_EQ(loaded.device_count(), 0u);
-  EXPECT_TRUE(loaded.ap_sightings().empty());
+  ASSERT_TRUE(save_observations(ObservationStore{}, path).ok());
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().store.device_count(), 0u);
+  EXPECT_TRUE(loaded.value().store.ap_sightings().empty());
   std::filesystem::remove(path);
 }
 
@@ -75,34 +88,153 @@ TEST(Persistence, SsidWithCommaSurvives) {
   const auto path = temp_file("mm_obs_comma.csv");
   ObservationStore store;
   store.record_beacon(kAp1, "Cafe, The \"Best\"", 11, 1.0, -60.0);
-  save_observations(store, path);
-  const ObservationStore loaded = load_observations(path);
-  EXPECT_EQ(loaded.ap_sightings().at(kAp1).ssid, "Cafe, The \"Best\"");
+  ASSERT_TRUE(save_observations(store, path).ok());
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().store.ap_sightings().at(kAp1).ssid, "Cafe, The \"Best\"");
   std::filesystem::remove(path);
 }
 
-TEST(Persistence, UnknownTagThrows) {
+TEST(Persistence, UnknownTagQuarantined) {
   const auto path = temp_file("mm_obs_badtag.csv");
   {
     std::ofstream out(path);
     out << "gibberish,1,2,3\n";
+    out << "sighting,00:1a:2b:00:00:01,Net,6,2,-55\n";
   }
-  EXPECT_THROW((void)load_observations(path), std::runtime_error);
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().stats.quarantined, 1u);
+  EXPECT_EQ(loaded.value().stats.rows_loaded, 1u);
+  EXPECT_EQ(loaded.value().store.ap_sightings().size(), 1u);
+  ASSERT_FALSE(loaded.value().stats.sample_errors.empty());
+  EXPECT_NE(loaded.value().stats.sample_errors.front().find("unknown row tag"),
+            std::string::npos);
   std::filesystem::remove(path);
 }
 
-TEST(Persistence, ContactWithoutDeviceThrows) {
+TEST(Persistence, OrphanContactQuarantined) {
   const auto path = temp_file("mm_obs_orphan.csv");
   {
     std::ofstream out(path);
     out << "contact,00:16:6f:00:00:0a,00:1a:2b:00:00:01,1,2,1,-70,1\n";
   }
-  EXPECT_THROW((void)load_observations(path), std::runtime_error);
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().stats.quarantined, 1u);
+  EXPECT_EQ(loaded.value().store.device_count(), 0u);
   std::filesystem::remove(path);
 }
 
-TEST(Persistence, MissingFileThrows) {
-  EXPECT_THROW((void)load_observations("/nonexistent/obs.csv"), std::runtime_error);
+TEST(Persistence, MissingFileIsFailure) {
+  const auto loaded = load_observations("/nonexistent/obs.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(loaded.error().empty());
+}
+
+TEST(Persistence, TornTailQuarantinesOnlyDamagedLine) {
+  const auto path = temp_file("mm_obs_torn.csv");
+  ASSERT_TRUE(save_observations(make_populated_store(), path).ok());
+  // Chop the file mid-final-line, as an interrupted non-atomic write would:
+  // the last row ("sighting,...,-54.5\n") is left ending in a bare "-".
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().stats.quarantined, 1u);
+  EXPECT_EQ(loaded.value().stats.rows_loaded, loaded.value().stats.rows_total - 1);
+  // The intact prefix (device + contacts) survived.
+  EXPECT_EQ(loaded.value().store.device_count(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, GarbageRowsDoNotPoisonLoad) {
+  const auto path = temp_file("mm_obs_garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "device,00:16:6f:00:00:0a,1.5,5,2,HomeNet\n";
+    out << "device,zz:zz:zz:zz:zz:zz,1,2,3,\n";                          // bad MAC
+    out << "contact,00:16:6f:00:00:0a,00:1a:2b:00:00:01,x,4,2,-70,3;4\n"; // bad number
+    out << "contact,00:16:6f:00:00:0a,00:1a:2b:00:00:02,3,5,1,-80,3;oops\n";
+    out << "sighting,00:1a:2b:00:00:01,Net\n";                            // short row
+    out << "contact,00:16:6f:00:00:0a,00:1a:2b:00:00:03,3,5,1,-80,3\n";   // good
+  }
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().stats.rows_total, 6u);
+  EXPECT_EQ(loaded.value().stats.quarantined, 4u);
+  EXPECT_EQ(loaded.value().stats.rows_loaded, 2u);
+  const DeviceRecord* rec = loaded.value().store.device(kDev);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->contacts.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, TornWriteLeavesPreviousSnapshotIntact) {
+  const auto path = temp_file("mm_obs_crashsafe.csv");
+  const ObservationStore first = make_populated_store();
+  ASSERT_TRUE(save_observations(first, path).ok());
+
+  // Second save "crashes" mid-write: the injector tears the temp file and
+  // the save fails before rename.
+  ObservationStore second = make_populated_store();
+  second.record_contact(kAp2, kDev, 99.0, -60.0);
+  fault::FaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  fault::FaultInjector injector(plan);
+  SaveOptions options;
+  options.injector = &injector;
+  const auto saved = save_observations(second, path, options);
+  EXPECT_FALSE(saved.ok());
+  EXPECT_NE(saved.error().find("torn write"), std::string::npos);
+  EXPECT_EQ(injector.stats().files_torn, 1u);
+
+  // The destination still holds the first snapshot, fully loadable.
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().stats.quarantined, 0u);
+  EXPECT_EQ(loaded.value().store.device(kDev)->contacts.at(kAp2).count, 1u);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path.string() + ".tmp");
+}
+
+TEST(Persistence, SaveToUnwritableDirectoryFailsAfterRetries) {
+  SaveOptions options;
+  options.max_attempts = 2;
+  options.backoff_s = 0.0;
+  const auto saved =
+      save_observations(ObservationStore{}, "/nonexistent/dir/obs.csv", options);
+  EXPECT_FALSE(saved.ok());
+  EXPECT_NE(saved.error().find("2 attempts"), std::string::npos);
+}
+
+TEST(Checkpointer, WritesAtIntervalAndCountsFailures) {
+  const auto path = temp_file("mm_obs_checkpoint.csv");
+  std::filesystem::remove(path);
+  const ObservationStore store = make_populated_store();
+  ObservationCheckpointer cp(&store, path, /*interval_s=*/10.0);
+
+  EXPECT_FALSE(cp.maybe_checkpoint(0.0));   // anchors the clock only
+  EXPECT_FALSE(cp.maybe_checkpoint(5.0));   // within the interval
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(cp.maybe_checkpoint(10.0));
+  EXPECT_EQ(cp.checkpoints_written(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(cp.maybe_checkpoint(15.0));
+  EXPECT_TRUE(cp.maybe_checkpoint(20.5));
+  EXPECT_EQ(cp.checkpoints_written(), 2u);
+  EXPECT_EQ(cp.failures(), 0u);
+
+  // A checkpoint loads back to the full store.
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().store.device_count(), store.device_count());
+  std::filesystem::remove(path);
+
+  SaveOptions bad;
+  bad.max_attempts = 1;
+  ObservationCheckpointer broken(&store, "/nonexistent/dir/cp.csv", 1.0, bad);
+  EXPECT_FALSE(broken.checkpoint_now().ok());
+  EXPECT_EQ(broken.failures(), 1u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "capture/persistence.h"
 #include "capture/wardrive.h"
 #include "net80211/pcap.h"
 #include "net80211/radiotap.h"
@@ -199,6 +200,99 @@ TEST(Sniffer, FiveGhzApInvisibleToBgScan) {
   world.run_until(2.0);
   EXPECT_EQ(five_ghz->probes_answered(), 0u);
   EXPECT_TRUE(store.gamma(kClientMac).empty());
+}
+
+// A full-drop fault plan: every decoded frame is lost before the store, and
+// the loss shows up in the monotone degradation counters.
+TEST(Sniffer, FaultPlanDropsAllFrames) {
+  sim::World world({});
+  world.add_access_point(std::make_unique<sim::AccessPoint>(base_ap({60.0, 0.0}, 120.0)));
+  sim::MobileDevice* mobile = world.add_mobile(make_mobile({0.0, 0.0}));
+
+  ObservationStore store;
+  SnifferConfig cfg;
+  cfg.position = {0.0, 150.0};
+  cfg.fault_plan.drop_rate = 1.0;
+  Sniffer sniffer(cfg, &store);
+  sniffer.attach(world);
+  mobile->trigger_scan();
+  world.run_until(2.0);
+
+  EXPECT_GT(sniffer.stats().frames_decoded, 0u);
+  EXPECT_EQ(sniffer.stats().frames_fault_dropped, sniffer.stats().frames_decoded);
+  EXPECT_EQ(sniffer.fault_stats().frames_dropped, sniffer.stats().frames_decoded);
+  EXPECT_EQ(store.device_count(), 0u);
+}
+
+// Aggressive truncation damages frames beyond parsing: they are quarantined
+// (counted, never crashing the rig) instead of entering the store.
+TEST(Sniffer, TruncatedFramesQuarantinedNotFatal) {
+  sim::World world({});
+  world.add_access_point(std::make_unique<sim::AccessPoint>(base_ap({60.0, 0.0}, 120.0)));
+  sim::MobileDevice* mobile = world.add_mobile(make_mobile({0.0, 0.0}));
+
+  ObservationStore store;
+  SnifferConfig cfg;
+  cfg.position = {0.0, 150.0};
+  cfg.fault_plan.truncate_rate = 1.0;
+  Sniffer sniffer(cfg, &store);
+  sniffer.attach(world);
+  mobile->trigger_scan();
+  world.run_until(2.0);
+
+  EXPECT_GT(sniffer.stats().frames_decoded, 0u);
+  EXPECT_EQ(sniffer.fault_stats().frames_truncated, sniffer.stats().frames_decoded);
+  EXPECT_GT(sniffer.stats().frames_quarantined, 0u);
+}
+
+// Total NIC dropout: every decode attempt hits a downed card.
+TEST(Sniffer, NicDropoutSkipsCards) {
+  sim::World world({});
+  world.add_access_point(std::make_unique<sim::AccessPoint>(base_ap({60.0, 0.0}, 120.0)));
+  sim::MobileDevice* mobile = world.add_mobile(make_mobile({0.0, 0.0}));
+
+  ObservationStore store;
+  SnifferConfig cfg;
+  cfg.position = {0.0, 150.0};
+  cfg.fault_plan.nic_dropout_rate = 1.0;
+  Sniffer sniffer(cfg, &store);
+  sniffer.attach(world);
+  mobile->trigger_scan();
+  world.run_until(2.0);
+
+  EXPECT_EQ(sniffer.stats().frames_decoded, 0u);
+  EXPECT_GT(sniffer.stats().card_down_skips, 0u);
+  EXPECT_EQ(store.device_count(), 0u);
+}
+
+// Checkpointing from the capture loop: snapshots appear at the configured
+// sim-time cadence and load back cleanly.
+TEST(Sniffer, CheckpointsObservationStore) {
+  const auto path = std::filesystem::temp_directory_path() / "mm_sniffer_cp.csv";
+  std::filesystem::remove(path);
+  sim::World world({});
+  world.add_access_point(std::make_unique<sim::AccessPoint>(base_ap({60.0, 0.0}, 120.0)));
+  sim::MobileDevice* mobile = world.add_mobile(make_mobile({0.0, 0.0}));
+
+  ObservationStore store;
+  SnifferConfig cfg;
+  cfg.position = {0.0, 150.0};
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_interval_s = 1.0;
+  Sniffer sniffer(cfg, &store);
+  sniffer.attach(world);
+  for (double t : {0.5, 2.0, 3.5}) {
+    world.queue().schedule(t, [mobile] { mobile->trigger_scan(); });
+  }
+  world.run_until(5.0);
+
+  ASSERT_NE(sniffer.checkpointer(), nullptr);
+  EXPECT_GE(sniffer.checkpointer()->checkpoints_written(), 1u);
+  EXPECT_EQ(sniffer.checkpointer()->failures(), 0u);
+  auto loaded = load_observations(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_GT(loaded.value().store.device_count(), 0u);
+  std::filesystem::remove(path);
 }
 
 TEST(Wardriver, CollectsTrainingTuples) {

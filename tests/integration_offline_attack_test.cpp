@@ -54,9 +54,10 @@ TEST(OfflineAttack, LocateVictimFromRecordedPcap) {
 
   // Offline pass: everything reconstructed from the file.
   capture::ObservationStore offline_store;
-  const capture::ReplayStats stats = capture::replay_pcap(pcap_path, offline_store);
-  EXPECT_GT(stats.probe_responses, 3u);
-  EXPECT_EQ(stats.malformed, 0u);
+  const auto replayed = capture::replay_pcap(pcap_path, offline_store);
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  EXPECT_GT(replayed.value().probe_responses, 3u);
+  EXPECT_EQ(replayed.value().malformed, 0u);
 
   // The offline Gamma matches the live one.
   EXPECT_EQ(offline_store.gamma(kVictim), live_store.gamma(kVictim));

@@ -84,7 +84,11 @@ TEST(ApDatabase, CsvRoundtripThroughGeodetic) {
 
   const auto path = std::filesystem::temp_directory_path() / "mm_apdb.csv";
   db.to_csv(path, frame);
-  const ApDatabase loaded = ApDatabase::from_csv(path, frame);
+  CsvImportStats stats;
+  const auto loaded_result = ApDatabase::from_csv(path, frame, &stats);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.error();
+  const ApDatabase& loaded = loaded_result.value();
+  EXPECT_EQ(stats.quarantined, 0u);
   ASSERT_EQ(loaded.size(), 2u);
   const KnownAp* ap1 = loaded.find(mac(1));
   ASSERT_NE(ap1, nullptr);
@@ -113,8 +117,12 @@ TEST(ApDatabase, WigleImportParsesAppFormat) {
            "42.6555,-71.3248,30,5,BT\n";              // Bluetooth: skipped
     out << "not-a-mac,junk,,x,1,-70,42.0,-71.0,0,0,WIFI\n";  // bad BSSID
   }
-  const ApDatabase db = ApDatabase::from_wigle_csv(path, frame);
+  CsvImportStats stats;
+  const auto imported = ApDatabase::from_wigle_csv(path, frame, &stats);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  const ApDatabase& db = imported.value();
   EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(stats.quarantined, 1u);  // the bad-BSSID row; BT is filtered
   const KnownAp* ap = db.find(*net80211::MacAddress::parse("00:1a:2b:00:05:01"));
   ASSERT_NE(ap, nullptr);
   EXPECT_EQ(ap->ssid, "CampusNet");
@@ -132,19 +140,42 @@ TEST(ApDatabase, WigleImportToleratesShortRows) {
     std::ofstream out(path);
     out << "netid,ssid\n00:11:22:33:44:55,x\n";  // too few columns
   }
-  EXPECT_EQ(ApDatabase::from_wigle_csv(path, frame).size(), 0u);
+  CsvImportStats stats;
+  const auto imported = ApDatabase::from_wigle_csv(path, frame, &stats);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported.value().size(), 0u);
+  EXPECT_EQ(stats.quarantined, 1u);
   std::filesystem::remove(path);
 }
 
-TEST(ApDatabase, FromCsvRejectsMalformedRows) {
+TEST(ApDatabase, FromCsvQuarantinesMalformedRows) {
   const geo::EnuFrame frame(sim::uml_north_campus());
   const auto path = std::filesystem::temp_directory_path() / "mm_apdb_bad.csv";
   {
     std::ofstream out(path);
-    out << "bssid,ssid,lat,lon,radius_m\nnot-a-mac,x,42.0,-71.0,\n";
+    out << "bssid,ssid,lat,lon,radius_m\n";
+    out << "not-a-mac,x,42.0,-71.0,\n";                      // bad BSSID
+    out << "00:1a:2b:00:02:01,ok,42.656,-71.325,90\n";       // good
+    out << "00:1a:2b:00:02:02,badlat,north,-71.325,\n";      // bad latitude
+    out << "00:1a:2b:00:02:03,badrad,42.656,-71.325,wide\n"; // bad radius
   }
-  EXPECT_THROW((void)ApDatabase::from_csv(path, frame), std::runtime_error);
+  CsvImportStats stats;
+  const auto imported = ApDatabase::from_csv(path, frame, &stats);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  EXPECT_EQ(imported.value().size(), 1u);
+  EXPECT_EQ(stats.rows_total, 4u);
+  EXPECT_EQ(stats.rows_loaded, 1u);
+  EXPECT_EQ(stats.quarantined, 3u);
+  EXPECT_NE(imported.value().find(*net80211::MacAddress::parse("00:1a:2b:00:02:01")),
+            nullptr);
   std::filesystem::remove(path);
+}
+
+TEST(ApDatabase, FromCsvMissingFileIsFailure) {
+  const geo::EnuFrame frame(sim::uml_north_campus());
+  const auto imported = ApDatabase::from_csv("/nonexistent/apdb.csv", frame);
+  EXPECT_FALSE(imported.ok());
+  EXPECT_FALSE(imported.error().empty());
 }
 
 }  // namespace

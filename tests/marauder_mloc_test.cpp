@@ -51,6 +51,65 @@ TEST(MLoc, InconsistentDiscsFallBackToCentroid) {
   EXPECT_NEAR(r.estimate.x, 50.0, 1e-9);
 }
 
+// Graceful degradation: three consistent discs plus one corrupted outlier
+// far away. Outlier rejection drops exactly the bad disc and localizes from
+// the consistent evidence instead of averaging all four centers.
+TEST(MLoc, OutlierRejectionDropsCorruptedDisc) {
+  const geo::Vec2 mobile{20.0, 10.0};
+  std::vector<geo::Circle> discs{
+      {{0.0, 0.0}, 100.0}, {{60.0, 0.0}, 100.0}, {{20.0, 70.0}, 100.0},
+      {{5000.0, 5000.0}, 50.0}};  // bit-flipped position: impossible evidence
+  const LocalizationResult rejected =
+      mloc_locate(discs, {.reject_outliers = true, .max_outliers = 2});
+  ASSERT_TRUE(rejected.ok);
+  EXPECT_EQ(rejected.discs_rejected, 1u);
+  EXPECT_EQ(rejected.discs.size(), 3u);
+  EXPECT_FALSE(rejected.used_fallback);
+  EXPECT_TRUE(rejected.degraded());
+  EXPECT_LT(rejected.estimate.distance_to(mobile), 60.0);
+
+  // Without rejection the same input collapses to the centroid fallback,
+  // dragged thousands of meters toward the ghost AP.
+  const LocalizationResult fallback = mloc_locate(discs);
+  ASSERT_TRUE(fallback.ok);
+  EXPECT_TRUE(fallback.used_fallback);
+  EXPECT_GT(fallback.estimate.distance_to(mobile), 1000.0);
+}
+
+TEST(MLoc, OutlierRejectionRespectsBudget) {
+  // Three mutually inconsistent clusters: no removal budget of 1 restores a
+  // non-empty intersection, so the result must be the centroid fallback.
+  const std::vector<geo::Circle> discs{
+      {{0.0, 0.0}, 10.0}, {{1000.0, 0.0}, 10.0}, {{0.0, 1000.0}, 10.0}};
+  const LocalizationResult r =
+      mloc_locate(discs, {.reject_outliers = true, .max_outliers = 1});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_EQ(r.discs_rejected, 0u);
+  EXPECT_EQ(r.discs.size(), 3u);  // fallback runs over the original discs
+}
+
+TEST(MLoc, OutlierRejectionDownToSingleDisc) {
+  // Two inconsistent discs: rejecting one leaves |Gamma| = 1, which reduces
+  // to nearest-AP on the survivor.
+  const std::vector<geo::Circle> discs{{{0.0, 0.0}, 10.0}, {{100.0, 0.0}, 10.0}};
+  const LocalizationResult r =
+      mloc_locate(discs, {.reject_outliers = true, .max_outliers = 2});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.discs_rejected, 1u);
+  ASSERT_EQ(r.discs.size(), 1u);
+  EXPECT_EQ(r.estimate, r.discs.front().center);
+  EXPECT_TRUE(r.degraded());
+}
+
+TEST(MLoc, CleanRunIsNotDegraded) {
+  const std::vector<geo::Circle> discs{{{0.0, 0.0}, 100.0}, {{100.0, 0.0}, 100.0}};
+  const LocalizationResult r = mloc_locate(discs, {.reject_outliers = true});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.discs_rejected, 0u);
+  EXPECT_FALSE(r.degraded());
+}
+
 TEST(MLoc, EstimateInsideRegionWhenConsistent) {
   util::Rng rng(17);
   for (int trial = 0; trial < 100; ++trial) {

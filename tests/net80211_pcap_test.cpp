@@ -111,11 +111,22 @@ TEST(Pcap, SnaplenTruncatesStoredData) {
   std::filesystem::remove(path);
 }
 
-TEST(Pcap, MissingFileThrows) {
-  EXPECT_THROW(PcapReader("/nonexistent/capture.pcap"), std::runtime_error);
+TEST(Pcap, MissingFileIsError) {
+  PcapReader reader("/nonexistent/capture.pcap");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.error().empty());
+  EXPECT_FALSE(reader.next().has_value());  // safe to call anyway
 }
 
-TEST(Pcap, BadMagicThrows) {
+TEST(Pcap, MissingDirectoryWriterIsError) {
+  PcapWriter writer("/nonexistent/dir/capture.pcap");
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(writer.write(0, std::vector<std::uint8_t>{0x01}));
+  EXPECT_EQ(writer.records_written(), 0u);
+  EXPECT_EQ(writer.write_failures(), 1u);
+}
+
+TEST(Pcap, BadMagicIsError) {
   const auto path = temp_pcap("mm_badmagic.pcap");
   {
     std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -124,21 +135,65 @@ TEST(Pcap, BadMagicThrows) {
     std::fwrite(junk, 1, sizeof(junk), f);
     std::fclose(f);
   }
-  EXPECT_THROW(PcapReader reader(path), std::runtime_error);
+  PcapReader reader(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("magic"), std::string::npos);
+  EXPECT_FALSE(reader.next().has_value());
   std::filesystem::remove(path);
 }
 
-TEST(Pcap, TruncatedRecordDetected) {
+TEST(Pcap, TruncatedMidPayloadDetected) {
   const auto path = temp_pcap("mm_trunc.pcap");
   {
     PcapWriter writer(path);
     writer.write(0, std::vector<std::uint8_t>(32, 0x55));
   }
-  // Chop the file mid-record.
+  // Chop the file mid-payload: record header intact, 16 of 32 data bytes.
   std::filesystem::resize_file(path, std::filesystem::file_size(path) - 16);
   PcapReader reader(path);
   EXPECT_FALSE(reader.next().has_value());
   EXPECT_TRUE(reader.truncated());
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, TruncatedMidRecordHeaderDetected) {
+  const auto path = temp_pcap("mm_trunc_hdr.pcap");
+  {
+    PcapWriter writer(path);
+    writer.write(0, std::vector<std::uint8_t>{0x01, 0x02});
+    writer.write(1, std::vector<std::uint8_t>{0x03});
+  }
+  // Keep record 1 whole; cut record 2 in the middle of its 16-byte header.
+  std::filesystem::resize_file(path, 24 + 16 + 2 + 7);
+  PcapReader reader(path);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_FALSE(reader.next().has_value());  // stays latched, no reread
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, InsaneRecordLengthQuarantined) {
+  const auto path = temp_pcap("mm_insane.pcap");
+  {
+    PcapWriter writer(path);
+    writer.write(0, std::vector<std::uint8_t>{0x01, 0x02});
+  }
+  // Corrupt the record's incl_len (offset 24+8) to a hostile value: the
+  // reader must quarantine (not allocate gigabytes or read out of bounds).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24 + 8, SEEK_SET);
+    const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0x7f};
+    std::fwrite(huge, 1, sizeof(huge), f);
+    std::fclose(f);
+  }
+  PcapReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.quarantined(), 1u);
+  EXPECT_FALSE(reader.truncated());
   std::filesystem::remove(path);
 }
 

@@ -14,11 +14,18 @@ int cmd_info(const util::Flags& flags) {
     return 2;
   }
   capture::ObservationStore store;
-  const capture::ReplayStats stats = capture::replay_pcap(pcap_path, store);
+  const auto replayed = capture::replay_pcap(pcap_path, store);
+  if (!replayed.ok()) {
+    std::cerr << "mmctl info: " << replayed.error() << "\n";
+    return 1;
+  }
+  const capture::ReplayStats& stats = replayed.value();
 
   util::Table summary({"metric", "value"});
   summary.add_row({"pcap records", std::to_string(stats.records)});
   summary.add_row({"malformed", std::to_string(stats.malformed)});
+  summary.add_row({"framing quarantined", std::to_string(stats.framing_quarantined)});
+  summary.add_row({"truncated tail", std::string(stats.truncated_tail ? "yes" : "no")});
   summary.add_row({"probe requests", std::to_string(stats.probe_requests)});
   summary.add_row({"probe responses", std::to_string(stats.probe_responses)});
   summary.add_row({"beacons", std::to_string(stats.beacons)});

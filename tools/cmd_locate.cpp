@@ -3,6 +3,7 @@
 #include "capture/persistence.h"
 #include "capture/replay.h"
 #include "commands.h"
+#include "fault/fault_plan.h"
 #include "maps/html_map.h"
 #include "marauder/linker.h"
 #include "marauder/tracker.h"
@@ -39,31 +40,78 @@ int cmd_locate(const util::Flags& flags) {
   }
 
   const geo::EnuFrame frame(sim::uml_north_campus());
-  marauder::ApDatabase db = marauder::ApDatabase::from_csv(apdb_path, frame);
+  marauder::CsvImportStats apdb_stats;
+  auto db_result = marauder::ApDatabase::from_csv(apdb_path, frame, &apdb_stats);
+  if (!db_result.ok()) {
+    std::cerr << "mmctl locate: --apdb: " << db_result.error() << "\n";
+    return 1;
+  }
+  marauder::ApDatabase db = std::move(db_result.value());
+  if (apdb_stats.quarantined > 0) {
+    std::cerr << "apdb: quarantined " << apdb_stats.quarantined << "/"
+              << apdb_stats.rows_total << " malformed rows\n";
+  }
 
   capture::ObservationStore store;
+  std::size_t capture_quarantined = 0;
   if (!obs_path.empty()) {
-    store = capture::load_observations(obs_path);
+    auto loaded = capture::load_observations(obs_path);
+    if (!loaded.ok()) {
+      std::cerr << "mmctl locate: --observations: " << loaded.error() << "\n";
+      return 1;
+    }
+    store = std::move(loaded.value().store);
+    const capture::LoadStats& ls = loaded.value().stats;
+    capture_quarantined = ls.quarantined;
+    if (ls.quarantined > 0) {
+      std::cerr << "observations: quarantined " << ls.quarantined << "/" << ls.rows_total
+                << " rows";
+      if (!ls.sample_errors.empty()) {
+        std::cerr << " (e.g. " << ls.sample_errors.front() << ")";
+      }
+      std::cerr << "\n";
+    }
   } else {
-    const capture::ReplayStats stats = capture::replay_pcap(pcap_path, store);
+    capture::ReplayOptions replay_options;
+    if (flags.has("fault-plan")) {
+      auto parsed = fault::FaultPlan::parse(flags.get("fault-plan", ""));
+      if (!parsed.ok()) {
+        std::cerr << "mmctl locate: --fault-plan: " << parsed.error() << "\n";
+        return 2;
+      }
+      replay_options.fault_plan = parsed.value();
+    }
+    auto replayed = capture::replay_pcap(pcap_path, store, replay_options);
+    if (!replayed.ok()) {
+      std::cerr << "mmctl locate: --pcap: " << replayed.error() << "\n";
+      return 1;
+    }
+    const capture::ReplayStats& stats = replayed.value();
+    capture_quarantined = stats.quarantined();
     std::cerr << "replayed " << stats.records << " records (" << stats.malformed
-              << " malformed)\n";
+              << " malformed, " << stats.framing_quarantined << " framing-quarantined"
+              << (stats.truncated_tail ? ", truncated tail" : "") << ")\n";
   }
 
   marauder::TrackerOptions options;
   options.algorithm = algorithm;
+  // Damaged evidence (quarantined rows upstream) makes inconsistent disc
+  // sets likely; let M-Loc shed outliers instead of falling back.
+  options.mloc.reject_outliers = flags.has("reject-outliers");
+  options.aprad.mloc.reject_outliers = options.mloc.reject_outliers;
   marauder::Tracker tracker(std::move(db), options);
   tracker.prepare(store);
 
   const auto identities = marauder::link_identities(store);
   util::Table table({"identity (first MAC)", "aliases", "track pts", "last x (m)",
-                     "last y (m)", "lat", "lon", "|Gamma|"});
+                     "last y (m)", "lat", "lon", "|Gamma|", "degraded"});
   maps::MarauderMap map("mmctl locate — " + algorithm_name, frame);
   for (const auto& [mac, ap] : tracker.database().records()) {
     map.add_ap(ap.position, ap.ssid, ap.radius_m);
   }
 
   std::size_t located = 0;
+  std::size_t degraded = 0;
   for (const auto& identity : identities) {
     // Assemble the identity's full movement track (per scan burst, across
     // MAC rotations); report the latest position — what the Marauder's Map
@@ -72,12 +120,14 @@ int cmd_locate(const util::Flags& flags) {
     if (track.empty()) continue;
     ++located;
     const marauder::TrackPoint& last = track.back();
+    if (last.degraded) ++degraded;
     const geo::Geodetic g = frame.to_geodetic(last.position);
     table.add_row({identity.macs.front().to_string(),
                    std::to_string(identity.macs.size()), std::to_string(track.size()),
                    util::Table::fmt(last.position.x, 1),
                    util::Table::fmt(last.position.y, 1), util::Table::fmt(g.lat_deg, 6),
-                   util::Table::fmt(g.lon_deg, 6), std::to_string(last.num_aps)});
+                   util::Table::fmt(g.lon_deg, 6), std::to_string(last.num_aps),
+                   last.degraded ? "yes" : ""});
     map.add_estimate(last.position, identity.macs.front().to_string());
     if (track.size() > 1) {
       std::vector<geo::Vec2> path;
@@ -88,7 +138,12 @@ int cmd_locate(const util::Flags& flags) {
   }
   table.print(std::cout);
   std::cout << "\nlocated " << located << "/" << identities.size()
-            << " identities (" << store.device_count() << " MACs observed)\n";
+            << " identities (" << store.device_count() << " MACs observed";
+  if (capture_quarantined > 0) {
+    std::cout << ", " << capture_quarantined << " capture rows quarantined";
+  }
+  if (degraded > 0) std::cout << ", " << degraded << " degraded estimates";
+  std::cout << ")\n";
 
   if (!map_path.empty()) {
     map.write_html(map_path);

@@ -5,6 +5,7 @@
 #include "marauder/ap_database.h"
 #include "capture/sniffer.h"
 #include "commands.h"
+#include "fault/fault_plan.h"
 #include "sim/mobile.h"
 #include "sim/mobility.h"
 #include "sim/scenario.h"
@@ -18,6 +19,15 @@ int cmd_simulate(const util::Flags& flags) {
   if (config_path.empty()) {
     std::cerr << "mmctl simulate: --config <scenario.ini> is required\n";
     return 2;
+  }
+  fault::FaultPlan fault_plan;
+  if (flags.has("fault-plan")) {
+    auto parsed = fault::FaultPlan::parse(flags.get("fault-plan", ""));
+    if (!parsed.ok()) {
+      std::cerr << "mmctl simulate: --fault-plan: " << parsed.error() << "\n";
+      return 2;
+    }
+    fault_plan = parsed.value();
   }
   const util::IniFile ini = util::IniFile::load(config_path);
 
@@ -78,6 +88,11 @@ int cmd_simulate(const util::Flags& flags) {
   sc.position = {ini.get_double("sniffer", "x", 0.0), ini.get_double("sniffer", "y", 0.0)};
   sc.antenna_height_m = ini.get_double("sniffer", "height_m", 20.0);
   sc.pcap_path = prefix + ".pcap";
+  sc.fault_plan = fault_plan;
+  if (flags.has("checkpoint-interval")) {
+    sc.checkpoint_path = prefix + "_checkpoint.csv";
+    sc.checkpoint_interval_s = flags.get_double("checkpoint-interval", 60.0);
+  }
   capture::Sniffer sniffer(sc, &store);
   sniffer.attach(world);
 
@@ -89,17 +104,39 @@ int cmd_simulate(const util::Flags& flags) {
   const geo::EnuFrame frame(sim::uml_north_campus());
   marauder::ApDatabase::from_truth(truth, /*include_radii=*/true)
       .to_csv(prefix + "_apdb.csv", frame);
-  capture::save_observations(store, prefix + "_observations.csv");
+  capture::SaveOptions save_options;
+  if (fault_plan.torn_write_rate > 0.0) save_options.injector = sniffer.injector();
+  const auto saved =
+      capture::save_observations(store, prefix + "_observations.csv", save_options);
+  if (!saved.ok()) {
+    std::cerr << "mmctl simulate: failed to save observations: " << saved.error() << "\n";
+  }
 
   std::cout << "simulated " << duration << " s: " << world.frames_transmitted()
             << " frames on air, " << sniffer.stats().frames_decoded << " decoded ("
             << sniffer.stats().probe_requests << " probe-req, "
             << sniffer.stats().probe_responses << " probe-resp, "
             << sniffer.stats().beacons << " beacons)\n"
-            << "devices observed: " << store.device_count() << "\n"
-            << "wrote " << prefix << ".pcap, " << prefix << "_apdb.csv, " << prefix
-            << "_observations.csv\n";
-  return 0;
+            << "devices observed: " << store.device_count() << "\n";
+  if (fault_plan.active()) {
+    const auto& fs = sniffer.fault_stats();
+    const auto& ss = sniffer.stats();
+    std::cout << "fault injection [" << fault_plan.to_spec() << "]:\n"
+              << "  frames seen " << fs.frames_seen << ", corrupted "
+              << fs.frames_corrupted << ", truncated " << fs.frames_truncated
+              << ", dropped " << fs.frames_dropped << ", duplicated "
+              << fs.frames_duplicated << "\n"
+              << "  quarantined after damage: " << ss.frames_quarantined
+              << ", card-down skips: " << ss.card_down_skips << "\n";
+  }
+  if (const auto* cp = sniffer.checkpointer()) {
+    std::cout << "checkpoints: " << cp->checkpoints_written() << " written, "
+              << cp->failures() << " failed -> " << cp->path().string() << "\n";
+  }
+  std::cout << "wrote " << prefix << ".pcap, " << prefix << "_apdb.csv";
+  if (saved.ok()) std::cout << ", " << prefix << "_observations.csv";
+  std::cout << "\n";
+  return saved.ok() ? 0 : 1;
 }
 
 }  // namespace mm::tools

@@ -14,14 +14,25 @@ int cmd_wigle(const util::Flags& flags) {
     return 2;
   }
   const geo::EnuFrame frame(sim::uml_north_campus());
-  const marauder::ApDatabase db = marauder::ApDatabase::from_wigle_csv(in_path, frame);
+  marauder::CsvImportStats stats;
+  const auto imported = marauder::ApDatabase::from_wigle_csv(in_path, frame, &stats);
+  if (!imported.ok()) {
+    std::cerr << "mmctl wigle: " << imported.error() << "\n";
+    return 1;
+  }
+  const marauder::ApDatabase& db = imported.value();
   if (db.empty()) {
-    std::cerr << "mmctl wigle: no WIFI rows parsed from " << in_path << "\n";
+    std::cerr << "mmctl wigle: no WIFI rows parsed from " << in_path << " ("
+              << stats.quarantined << "/" << stats.rows_total << " rows quarantined)\n";
     return 1;
   }
   db.to_csv(out_path, frame);
-  std::cout << "imported " << db.size() << " APs from " << in_path << " -> " << out_path
-            << " (locations only; run the attack with --algorithm aprad)\n";
+  std::cout << "imported " << db.size() << " APs from " << in_path << " -> " << out_path;
+  if (stats.quarantined > 0) {
+    std::cout << " (" << stats.quarantined << "/" << stats.rows_total
+              << " malformed rows skipped)";
+  }
+  std::cout << " (locations only; run the attack with --algorithm aprad)\n";
   return 0;
 }
 

@@ -22,10 +22,19 @@ commands:
   simulate   run an INI-described scenario; writes pcap + AP db + observations
              --config <scenario.ini>   (required)
              --out <prefix>            (default: mm_sim)
+             --fault-plan <spec>       inject capture faults, e.g.
+                                       corrupt=0.01,drop=0.005,nic-dropout=0.02,seed=7
+                                       keys: corrupt, corrupt-bits, truncate, drop,
+                                       dup, nic-dropout, dropout-mean, skew, drift,
+                                       torn, seed
+             --checkpoint-interval <s> periodic atomic snapshots of the store
   locate     localize every observed device
              --apdb <apdb.csv>         (required)
              --observations <obs.csv>  or  --pcap <capture.pcap>
              --algorithm mloc|aprad|centroid|nearest   (default: mloc)
+             --reject-outliers         shed inconsistent discs instead of
+                                       collapsing to the centroid fallback
+             --fault-plan <spec>       inject faults during pcap replay
              --map <out.html>          optional map render
   wigle      convert a WiGLE app export into an AP database CSV
              --in <wigle.csv> --out <apdb.csv>
