@@ -1,0 +1,98 @@
+#include "capture/frame_event.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "capture/observation_store.h"
+
+namespace mm::capture {
+
+void FrameEvent::set_ssid(const std::optional<std::string>& s) {
+  has_ssid = s.has_value();
+  ssid_len = 0;
+  if (!has_ssid) return;
+  ssid_len = static_cast<std::uint8_t>(std::min(s->size(), kMaxSsid));
+  std::memcpy(ssid, s->data(), ssid_len);
+}
+
+ClassifiedFrame classify_frame(const net80211::ManagementFrame& frame, double time_s,
+                               double rssi_dbm) {
+  ClassifiedFrame out;
+  out.event.time_s = time_s;
+  out.event.rssi_dbm = rssi_dbm;
+  switch (frame.subtype) {
+    case net80211::ManagementSubtype::kProbeRequest:
+      out.cls = FrameClass::kProbeRequest;
+      out.has_event = true;
+      out.event.kind = FrameEventKind::kProbeRequest;
+      out.event.device = frame.addr2;
+      out.event.set_ssid(frame.ssid());
+      break;
+    case net80211::ManagementSubtype::kProbeResponse:
+      // addr2 = AP, addr1 = client: evidence the client communicates with
+      // the AP (the Gamma-set building block of Section II-A).
+      out.cls = FrameClass::kProbeResponse;
+      out.has_event = true;
+      out.event.kind = FrameEventKind::kContact;
+      out.event.ap = frame.addr2;
+      out.event.device = frame.addr1;
+      break;
+    case net80211::ManagementSubtype::kBeacon:
+      out.cls = FrameClass::kBeacon;
+      out.has_event = true;
+      out.event.kind = FrameEventKind::kBeacon;
+      out.event.ap = frame.addr2;
+      out.event.set_ssid(frame.ssid().value_or(""));
+      out.event.channel = static_cast<std::int16_t>(frame.ds_channel().value_or(0));
+      break;
+    case net80211::ManagementSubtype::kAssociationRequest:
+      // The device exists ("found") even though it never probed.
+      out.cls = FrameClass::kOther;
+      out.has_event = true;
+      out.event.kind = FrameEventKind::kPresence;
+      out.event.device = frame.addr2;
+      break;
+    case net80211::ManagementSubtype::kAssociationResponse:
+      out.cls = FrameClass::kOther;
+      if (frame.status_code == 0) {
+        // A successful association is two-way proof of communicability.
+        out.has_event = true;
+        out.event.kind = FrameEventKind::kContact;
+        out.event.ap = frame.addr2;
+        out.event.device = frame.addr1;
+      }
+      break;
+    case net80211::ManagementSubtype::kDataNull:
+      // Ongoing data exchange: the client (addr2) talks to its AP (addr3).
+      out.cls = FrameClass::kOther;
+      out.has_event = true;
+      out.event.kind = FrameEventKind::kContact;
+      out.event.ap = frame.addr3;
+      out.event.device = frame.addr2;
+      break;
+    default:
+      out.cls = FrameClass::kOther;
+      break;
+  }
+  return out;
+}
+
+void apply_event(const FrameEvent& event, ObservationStore& store) {
+  switch (event.kind) {
+    case FrameEventKind::kProbeRequest:
+      store.record_probe_request(event.device, event.time_s, event.ssid_str());
+      break;
+    case FrameEventKind::kPresence:
+      store.record_presence(event.device, event.time_s);
+      break;
+    case FrameEventKind::kContact:
+      store.record_contact(event.ap, event.device, event.time_s, event.rssi_dbm);
+      break;
+    case FrameEventKind::kBeacon:
+      store.record_beacon(event.ap, event.ssid_str().value_or(""), event.channel,
+                          event.time_s, event.rssi_dbm);
+      break;
+  }
+}
+
+}  // namespace mm::capture

@@ -5,8 +5,11 @@
 namespace mm::capture {
 
 namespace {
-DeviceRecord& touch_device(std::map<net80211::MacAddress, DeviceRecord>& devices,
-                           const net80211::MacAddress& mac, sim::SimTime time) {
+using DeviceMap =
+    std::unordered_map<net80211::MacAddress, DeviceRecord, net80211::MacHasher>;
+
+DeviceRecord& touch_device(DeviceMap& devices, const net80211::MacAddress& mac,
+                           sim::SimTime time) {
   auto [it, inserted] = devices.try_emplace(mac);
   DeviceRecord& rec = it->second;
   if (inserted) {
@@ -47,6 +50,18 @@ void ObservationStore::record_contact(const net80211::MacAddress& ap,
   ++contact.count;
   contact.last_rssi_dbm = rssi_dbm;
   contact.times.push_back(time);
+  cap_contact_history(contact);
+}
+
+void ObservationStore::cap_contact_history(ApContact& contact) const {
+  if (options_.unbounded_contact_history) return;
+  const std::size_t cap = std::max<std::size_t>(options_.contact_history_cap, 4);
+  if (contact.times.size() <= cap) return;
+  // Compact the oldest quarter in one move; amortized O(1) per recorded
+  // frame, and the retained suffix stays time-ordered.
+  const std::size_t drop = cap / 4;
+  contact.times.erase(contact.times.begin(),
+                      contact.times.begin() + static_cast<std::ptrdiff_t>(drop));
 }
 
 void ObservationStore::record_beacon(const net80211::MacAddress& bssid,
@@ -67,6 +82,7 @@ std::vector<net80211::MacAddress> ObservationStore::devices() const {
   std::vector<net80211::MacAddress> out;
   out.reserve(devices_.size());
   for (const auto& [mac, rec] : devices_) out.push_back(mac);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -92,7 +108,7 @@ std::vector<std::set<net80211::MacAddress>> ObservationStore::all_gammas(
     const ObservationWindow& window) const {
   std::vector<std::set<net80211::MacAddress>> gammas;
   gammas.reserve(devices_.size());
-  for (const auto& [mac, rec] : devices_) {
+  for (const auto& mac : devices()) {
     auto g = gamma(mac, window);
     if (!g.empty()) gammas.push_back(std::move(g));
   }
@@ -102,7 +118,8 @@ std::vector<std::set<net80211::MacAddress>> ObservationStore::all_gammas(
 std::vector<std::set<net80211::MacAddress>> ObservationStore::session_gammas(
     double session_gap_s, const ObservationWindow& window) const {
   std::vector<std::set<net80211::MacAddress>> gammas;
-  for (const auto& [mac, rec] : devices_) {
+  for (const auto& mac : devices()) {
+    const DeviceRecord& rec = *device(mac);
     // Flatten the device's contact events into a time-sorted list.
     std::vector<std::pair<sim::SimTime, net80211::MacAddress>> events;
     for (const auto& [ap, contact] : rec.contacts) {
@@ -140,11 +157,13 @@ void ObservationStore::clear() {
 }
 
 void ObservationStore::restore_device(DeviceRecord record) {
-  devices_[record.mac] = std::move(record);
+  const net80211::MacAddress mac = record.mac;
+  devices_[mac] = std::move(record);
 }
 
 void ObservationStore::restore_sighting(ApSighting sighting) {
-  sightings_[sighting.bssid] = std::move(sighting);
+  const net80211::MacAddress bssid = sighting.bssid;
+  sightings_[bssid] = std::move(sighting);
 }
 
 }  // namespace mm::capture

@@ -9,6 +9,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net80211/mac_address.h"
@@ -31,7 +32,12 @@ struct ApContact {
   sim::SimTime last_seen = 0.0;
   std::uint64_t count = 0;
   double last_rssi_dbm = -200.0;
-  std::vector<sim::SimTime> times;  ///< every observation instant
+  /// Observation instants. Bounded by the store's contact_history_cap unless
+  /// unbounded_contact_history is set: once the cap is reached the oldest
+  /// instants are compacted away (first_seen/last_seen/count always remain
+  /// exact), so a long-running stream holds bounded memory per device while
+  /// recent-window queries stay exact.
+  std::vector<sim::SimTime> times;
 };
 
 struct DeviceRecord {
@@ -51,8 +57,22 @@ struct ApSighting {
   double last_rssi_dbm = -200.0;
 };
 
+struct ObservationStoreOptions {
+  /// Per-contact cap on retained observation instants. When exceeded, the
+  /// oldest quarter of the instants is dropped (amortized O(1) per frame).
+  /// ObservationWindow queries remain exact over the retained suffix; the
+  /// aggregate fields (first_seen/last_seen/count) are always exact.
+  std::size_t contact_history_cap = 4096;
+  /// Opt-in: retain every observation instant (the pre-streaming behaviour;
+  /// memory grows without bound on a long capture).
+  bool unbounded_contact_history = false;
+};
+
 class ObservationStore {
  public:
+  ObservationStore() = default;
+  explicit ObservationStore(ObservationStoreOptions options) : options_(options) {}
+
   void record_probe_request(const net80211::MacAddress& device, sim::SimTime time,
                             const std::optional<std::string>& directed_ssid);
   /// Marks a device as seen (association/data traffic) without counting a
@@ -63,7 +83,10 @@ class ObservationStore {
   void record_beacon(const net80211::MacAddress& bssid, const std::string& ssid,
                      int channel, sim::SimTime time, double rssi_dbm);
 
+  [[nodiscard]] const ObservationStoreOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::size_t device_count() const noexcept { return devices_.size(); }
+  /// Device MACs in ascending order (the index is unordered internally; the
+  /// sorted view keeps exports, tables, and locate_all deterministic).
   [[nodiscard]] std::vector<net80211::MacAddress> devices() const;
   [[nodiscard]] const DeviceRecord* device(const net80211::MacAddress& mac) const;
 
@@ -100,7 +123,10 @@ class ObservationStore {
   void restore_sighting(ApSighting sighting);
 
  private:
-  std::map<net80211::MacAddress, DeviceRecord> devices_;
+  void cap_contact_history(ApContact& contact) const;
+
+  ObservationStoreOptions options_;
+  std::unordered_map<net80211::MacAddress, DeviceRecord, net80211::MacHasher> devices_;
   std::map<net80211::MacAddress, ApSighting> sightings_;
 };
 

@@ -1,66 +1,56 @@
 #include "capture/replay.h"
 
+#include "capture/frame_event.h"
 #include "net80211/frames.h"
 #include "net80211/pcap.h"
 #include "net80211/radiotap.h"
 
 namespace mm::capture {
 
-namespace {
-
-/// Parses one record and, when intact, feeds it to the store.
-void ingest_record(const net80211::PcapRecord& record, ObservationStore& store,
-                   ReplayStats& stats) {
-  const auto rt = net80211::Radiotap::parse(record.data);
-  if (!rt.ok()) {
-    ++stats.malformed;
-    return;
+void count_frame_class(FrameClass cls, ReplayStats& stats) {
+  switch (cls) {
+    case FrameClass::kProbeRequest:
+      ++stats.probe_requests;
+      break;
+    case FrameClass::kProbeResponse:
+      ++stats.probe_responses;
+      break;
+    case FrameClass::kBeacon:
+      ++stats.beacons;
+      break;
+    case FrameClass::kOther:
+      ++stats.other;
+      break;
   }
+}
+
+std::optional<ClassifiedFrame> decode_record(const net80211::PcapRecord& record) {
+  const auto rt = net80211::Radiotap::parse(record.data);
+  if (!rt.ok()) return std::nullopt;
   // Radiotap::parse guarantees header_length <= data.size(), so the body
   // span below never reads out of bounds even on hostile length fields.
   const std::span<const std::uint8_t> body{
       record.data.data() + rt.value().header_length,
       record.data.size() - rt.value().header_length};
   const auto parsed = net80211::ManagementFrame::parse(body);
-  if (!parsed.ok()) {
+  if (!parsed.ok()) return std::nullopt;
+  const double time_s = static_cast<double>(record.timestamp_us) * 1e-6;
+  const double rssi = rt.value().header.antenna_signal_dbm;
+  return classify_frame(parsed.value(), time_s, rssi);
+}
+
+namespace {
+
+/// Parses one record and, when intact, feeds it to the store.
+void ingest_record(const net80211::PcapRecord& record, ObservationStore& store,
+                   ReplayStats& stats) {
+  const auto decoded = decode_record(record);
+  if (!decoded) {
     ++stats.malformed;
     return;
   }
-  const net80211::ManagementFrame& frame = parsed.value();
-  const double time_s = static_cast<double>(record.timestamp_us) * 1e-6;
-  const double rssi = rt.value().header.antenna_signal_dbm;
-  switch (frame.subtype) {
-    case net80211::ManagementSubtype::kProbeRequest:
-      ++stats.probe_requests;
-      store.record_probe_request(frame.addr2, time_s, frame.ssid());
-      break;
-    case net80211::ManagementSubtype::kProbeResponse:
-      ++stats.probe_responses;
-      store.record_contact(frame.addr2, frame.addr1, time_s, rssi);
-      break;
-    case net80211::ManagementSubtype::kBeacon:
-      ++stats.beacons;
-      store.record_beacon(frame.addr2, frame.ssid().value_or(""),
-                          frame.ds_channel().value_or(0), time_s, rssi);
-      break;
-    case net80211::ManagementSubtype::kAssociationRequest:
-      ++stats.other;
-      store.record_presence(frame.addr2, time_s);
-      break;
-    case net80211::ManagementSubtype::kAssociationResponse:
-      ++stats.other;
-      if (frame.status_code == 0) {
-        store.record_contact(frame.addr2, frame.addr1, time_s, rssi);
-      }
-      break;
-    case net80211::ManagementSubtype::kDataNull:
-      ++stats.other;
-      store.record_contact(frame.addr3, frame.addr2, time_s, rssi);
-      break;
-    default:
-      ++stats.other;
-      break;
-  }
+  count_frame_class(decoded->cls, stats);
+  if (decoded->has_event) apply_event(decoded->event, store);
 }
 
 }  // namespace

@@ -9,9 +9,12 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 
+#include "capture/frame_event.h"
 #include "capture/observation_store.h"
 #include "fault/fault_injector.h"
+#include "net80211/pcap.h"
 #include "util/result.h"
 
 namespace mm::capture {
@@ -47,5 +50,15 @@ struct ReplayStats {
 util::Result<ReplayStats> replay_pcap(const std::filesystem::path& path,
                                       ObservationStore& store,
                                       const ReplayOptions& options = {});
+
+/// Radiotap + 802.11 decode of one pcap record into its observation event;
+/// nullopt when the record is malformed. Shared by the batch replay above
+/// and the streaming feed (pipeline/live_feed.h) so both quarantine exactly
+/// the same records.
+[[nodiscard]] std::optional<ClassifiedFrame> decode_record(
+    const net80211::PcapRecord& record);
+
+/// Bumps the ReplayStats subtype counter for one decoded frame.
+void count_frame_class(FrameClass cls, ReplayStats& stats);
 
 }  // namespace mm::capture

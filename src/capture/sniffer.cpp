@@ -133,46 +133,34 @@ void Sniffer::on_air_frame(const net80211::ManagementFrame& frame, const sim::Rx
 void Sniffer::record(const net80211::ManagementFrame& frame, const sim::RxInfo& rx,
                      sim::SimTime card_time, std::span<const std::uint8_t> wire_bytes) {
   switch (frame.subtype) {
-    case net80211::ManagementSubtype::kProbeRequest: {
+    case net80211::ManagementSubtype::kProbeRequest:
       ++stats_.probe_requests;
-      store_->record_probe_request(frame.addr2, card_time, frame.ssid());
       break;
-    }
-    case net80211::ManagementSubtype::kProbeResponse: {
+    case net80211::ManagementSubtype::kProbeResponse:
       ++stats_.probe_responses;
-      // addr2 = AP, addr1 = client: evidence the client communicates with
-      // the AP (the Gamma-set building block of Section II-A).
-      store_->record_contact(frame.addr2, frame.addr1, card_time, rx.rssi_dbm);
       break;
-    }
-    case net80211::ManagementSubtype::kBeacon: {
+    case net80211::ManagementSubtype::kBeacon:
       ++stats_.beacons;
-      store_->record_beacon(frame.addr2, frame.ssid().value_or(""),
-                            frame.ds_channel().value_or(0), card_time, rx.rssi_dbm);
       break;
-    }
-    case net80211::ManagementSubtype::kAssociationRequest: {
+    case net80211::ManagementSubtype::kAssociationRequest:
+    case net80211::ManagementSubtype::kAssociationResponse:
       ++stats_.associations;
-      // The device exists ("found") even though it never probed.
-      store_->record_presence(frame.addr2, card_time);
       break;
-    }
-    case net80211::ManagementSubtype::kAssociationResponse: {
-      ++stats_.associations;
-      if (frame.status_code == 0) {
-        // A successful association is two-way proof of communicability.
-        store_->record_contact(frame.addr2, frame.addr1, card_time, rx.rssi_dbm);
-      }
-      break;
-    }
-    case net80211::ManagementSubtype::kDataNull: {
+    case net80211::ManagementSubtype::kDataNull:
       ++stats_.data_frames;
-      // Ongoing data exchange: the client (addr2) talks to its AP (addr3).
-      store_->record_contact(frame.addr3, frame.addr2, card_time, rx.rssi_dbm);
       break;
-    }
     case net80211::ManagementSubtype::kDeauthentication:
       break;  // our own active attack traffic; nothing to learn
+  }
+
+  // One decode policy for every consumer (store, live sink, batch replay):
+  // what the frame teaches the attacker is decided in classify_frame.
+  const ClassifiedFrame decoded = classify_frame(frame, card_time, rx.rssi_dbm);
+  if (decoded.has_event) {
+    apply_event(decoded.event, *store_);
+    // A live monitoring rig is a capture thread for the streaming engine:
+    // the sink pushes the decoded event into Riptide's ring.
+    if (event_sink_) event_sink_(decoded.event);
   }
 
   if (pcap_) {

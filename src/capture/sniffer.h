@@ -17,10 +17,12 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "capture/frame_event.h"
 #include "capture/observation_store.h"
 #include "capture/persistence.h"
 #include "fault/fault_injector.h"
@@ -100,6 +102,14 @@ class Sniffer final : public sim::FrameReceiver {
     return pcap_.get();
   }
 
+  /// Streams every decoded observation event to `sink` (in addition to the
+  /// store). This is how a live station feeds Riptide: the sink pushes into
+  /// the engine's lock-free ring, so the capture path never blocks on the
+  /// localization workers.
+  void set_event_sink(std::function<void(const FrameEvent&)> sink) {
+    event_sink_ = std::move(sink);
+  }
+
   /// Channel a given card listens on at time t.
   [[nodiscard]] rf::Channel card_channel(std::size_t card, sim::SimTime t) const;
   [[nodiscard]] std::size_t card_count() const noexcept;
@@ -125,6 +135,7 @@ class Sniffer final : public sim::FrameReceiver {
   SnifferStats stats_;
   std::unique_ptr<net80211::PcapWriter> pcap_;
   std::unique_ptr<ObservationCheckpointer> checkpointer_;
+  std::function<void(const FrameEvent&)> event_sink_;
 };
 
 }  // namespace mm::capture

@@ -32,6 +32,12 @@ class IntervalSet {
     return s;
   }
 
+  static IntervalSet from(std::vector<Interval> intervals) {
+    IntervalSet s;
+    s.intervals_ = std::move(intervals);
+    return s;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
   [[nodiscard]] const std::vector<Interval>& intervals() const noexcept { return intervals_; }
 
@@ -71,6 +77,42 @@ class IntervalSet {
  private:
   std::vector<Interval> intervals_;
 };
+
+/// Clips circle `i`'s boundary interval set by the constraint of disc `j`.
+/// This is the one per-pair arithmetic both compute() and incremental_add()
+/// run, which is what makes the incremental path bit-identical to a full
+/// recompute: angular-interval intersection is an exact max/min lattice over
+/// per-pair endpoint values, so clipping order cannot change the result.
+void clip_circle_by_disc(IntervalSet& set, const Circle& ci, const Circle& cj) {
+  const Vec2 delta = cj.center - ci.center;
+  const double d = delta.norm();
+  if (d + ci.radius <= cj.radius + kEps) {
+    return;  // circle i lies fully inside disc j: no constraint
+  }
+  if (d + cj.radius <= ci.radius - kEps || d < kEps) {
+    // Disc j strictly inside disc i (or concentric smaller): boundary of
+    // circle i is entirely outside disc j.
+    set.clear();
+    return;
+  }
+  const double alpha = delta.angle();
+  const double cos_half =
+      (d * d + ci.radius * ci.radius - cj.radius * cj.radius) / (2.0 * d * ci.radius);
+  const double half = std::acos(std::clamp(cos_half, -1.0, 1.0));
+  set.clip(alpha - half, alpha + half);
+}
+
+/// Re-joins an interval pair split at the 0/2*pi cut so arc endpoints are
+/// genuine circle-circle intersection vertices (emit it as a single arc with
+/// a negative begin; all downstream trigonometry is periodic).
+std::vector<Interval> rejoin_wrap(std::vector<Interval> ivs) {
+  if (ivs.size() >= 2 && ivs.front().lo < kMinArcSpan &&
+      ivs.back().hi > kTwoPi - kMinArcSpan) {
+    ivs.front().lo = ivs.back().lo - kTwoPi;
+    ivs.pop_back();
+  }
+  return ivs;
+}
 
 /// Closed-form contribution of one CCW arc to (1/2) * contour integral of
 /// (x dy - y dx) — i.e., to the region's area.
@@ -164,66 +206,115 @@ DiscIntersection DiscIntersection::compute(std::span<const Circle> discs) {
     IntervalSet set = IntervalSet::full();
     for (std::size_t j = 0; j < discs.size() && !set.empty(); ++j) {
       if (j == i) continue;
-      const Vec2 delta = discs[j].center - discs[i].center;
-      const double d = delta.norm();
-      if (d + discs[i].radius <= discs[j].radius + kEps) {
-        continue;  // circle i lies fully inside disc j: no constraint
-      }
-      if (d + discs[j].radius <= discs[i].radius - kEps || d < kEps) {
-        // Disc j strictly inside disc i (or concentric smaller): boundary of
-        // circle i is entirely outside disc j.
-        set.clear();
-        break;
-      }
-      const double alpha = delta.angle();
-      const double cos_half =
-          (d * d + discs[i].radius * discs[i].radius - discs[j].radius * discs[j].radius) /
-          (2.0 * d * discs[i].radius);
-      const double half = std::acos(std::clamp(cos_half, -1.0, 1.0));
-      set.clip(alpha - half, alpha + half);
+      clip_circle_by_disc(set, discs[i], discs[j]);
     }
-    // Re-join an interval pair split at the 0/2*pi cut so arc endpoints are
-    // genuine circle-circle intersection vertices (emit it as a single arc
-    // with theta_end > 2*pi; all downstream trigonometry is periodic).
-    std::vector<Interval> ivs = set.intervals();
-    if (ivs.size() >= 2 && ivs.front().lo < kMinArcSpan &&
-        ivs.back().hi > kTwoPi - kMinArcSpan) {
-      ivs.front().lo = ivs.back().lo - kTwoPi;
-      ivs.pop_back();
+    for (const Interval& iv : set.intervals()) {
+      result.raw_arcs_.push_back({i, iv.lo, iv.hi});
     }
-    for (const Interval& iv : ivs) {
+    for (const Interval& iv : rejoin_wrap(set.intervals())) {
       result.arcs_.push_back({i, iv.lo, iv.hi});
     }
   }
 
   if (result.arcs_.empty()) {
-    // Either one disc contains the whole intersection (nested case) or the
-    // intersection is empty (pairwise-overlapping but no common point).
-    std::size_t smallest = 0;
-    for (std::size_t i = 1; i < discs.size(); ++i) {
-      if (discs[i].radius < discs[smallest].radius) smallest = i;
-    }
-    bool contained = true;
-    for (std::size_t j = 0; j < discs.size() && contained; ++j) {
-      if (j == smallest) continue;
-      contained = discs[smallest].inside_of(discs[j], kEps);
-    }
-    if (contained) {
-      result.empty_ = false;
-      result.full_disc_ = true;
-      result.arcs_.push_back({smallest, 0.0, kTwoPi});
-      result.area_ = discs[smallest].area();
-      result.centroid_ = discs[smallest].center;
-      return result;
-    }
-    result.empty_ = true;
-    result.arcs_.clear();
+    result.resolve_arcless();
     return result;
   }
 
   result.empty_ = false;
   result.finalize_measures();
   return result;
+}
+
+std::optional<DiscIntersection> DiscIntersection::incremental_add(
+    const DiscIntersection& base, const Circle& add, std::size_t insert_pos) {
+  // States the cached boundary cannot extend exactly: an empty region (the
+  // batch path's early exits differ), the nested full-disc case (no interval
+  // sets were materialized), and out-of-range positions.
+  if (base.empty_ || base.full_disc_ || base.raw_arcs_.empty() ||
+      insert_pos > base.discs_.size() || !(add.radius > 0.0)) {
+    return std::nullopt;
+  }
+
+  DiscIntersection result;
+  result.discs_.reserve(base.discs_.size() + 1);
+  result.discs_.assign(base.discs_.begin(), base.discs_.end());
+  result.discs_.insert(result.discs_.begin() + static_cast<std::ptrdiff_t>(insert_pos),
+                       add);
+
+  // Per-circle split interval lists of the cached base, indexed by the *new*
+  // circle numbering (old circles at or past insert_pos shift up by one).
+  std::vector<std::vector<Interval>> sets(result.discs_.size());
+  for (const BoundaryArc& arc : base.raw_arcs_) {
+    const std::size_t idx =
+        arc.circle_index < insert_pos ? arc.circle_index : arc.circle_index + 1;
+    sets[idx].push_back({arc.theta_begin, arc.theta_end});
+  }
+
+  // Old circles: one extra clip against the new disc. A circle whose cached
+  // interval set is already empty stays empty (constraints only shrink it).
+  for (std::size_t i = 0; i < result.discs_.size(); ++i) {
+    if (i == insert_pos || sets[i].empty()) continue;
+    IntervalSet set = IntervalSet::from(std::move(sets[i]));
+    clip_circle_by_disc(set, result.discs_[i], add);
+    sets[i] = set.intervals();
+  }
+
+  // The new circle: clipped by every retained disc, exactly as compute()
+  // would in its inner loop.
+  {
+    IntervalSet set = IntervalSet::full();
+    for (std::size_t j = 0; j < result.discs_.size() && !set.empty(); ++j) {
+      if (j == insert_pos) continue;
+      clip_circle_by_disc(set, add, result.discs_[j]);
+    }
+    sets[insert_pos] = set.intervals();
+  }
+
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (const Interval& iv : sets[i]) {
+      result.raw_arcs_.push_back({i, iv.lo, iv.hi});
+    }
+    for (const Interval& iv : rejoin_wrap(sets[i])) {
+      result.arcs_.push_back({i, iv.lo, iv.hi});
+    }
+  }
+
+  if (result.arcs_.empty()) {
+    result.resolve_arcless();
+    return result;
+  }
+
+  result.empty_ = false;
+  result.finalize_measures();
+  return result;
+}
+
+void DiscIntersection::resolve_arcless() {
+  // Either one disc contains the whole intersection (nested case) or the
+  // intersection is empty (pairwise-overlapping but no common point).
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < discs_.size(); ++i) {
+    if (discs_[i].radius < discs_[smallest].radius) smallest = i;
+  }
+  bool contained = true;
+  for (std::size_t j = 0; j < discs_.size() && contained; ++j) {
+    if (j == smallest) continue;
+    contained = discs_[smallest].inside_of(discs_[j], kEps);
+  }
+  if (contained) {
+    empty_ = false;
+    full_disc_ = true;
+    arcs_.clear();
+    raw_arcs_.clear();
+    arcs_.push_back({smallest, 0.0, kTwoPi});
+    area_ = discs_[smallest].area();
+    centroid_ = discs_[smallest].center;
+    return;
+  }
+  empty_ = true;
+  arcs_.clear();
+  raw_arcs_.clear();
 }
 
 void DiscIntersection::finalize_measures() {

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,24 @@ class DiscIntersection {
   /// Throws std::invalid_argument on an empty input or a non-positive radius.
   static DiscIntersection compute(std::span<const Circle> discs);
 
+  /// Incremental variant for streaming Gamma growth (Riptide's M-Loc hot
+  /// path): given `base` == compute(S) and one additional disc, produces
+  /// compute(S') for S' = S with `add` inserted at `insert_pos` of the
+  /// *retained* disc list — by clipping the cached boundary arcs against the
+  /// new disc instead of redoing the O(k^2) pairwise pass.
+  ///
+  /// The result is bit-identical to a full recompute because both paths run
+  /// the same per-pair clipping arithmetic and angular-interval intersection
+  /// is an exact max/min lattice — provided the caller guarantees `add`
+  /// neither prunes nor is pruned by a retained disc and is not disjoint
+  /// from any disc of the full input (those cases change the retained set or
+  /// the early-exit path). Returns nullopt whenever the cached state cannot
+  /// guarantee equality (empty or nested/full-disc base); the caller then
+  /// falls back to a full compute().
+  static std::optional<DiscIntersection> incremental_add(const DiscIntersection& base,
+                                                         const Circle& add,
+                                                         std::size_t insert_pos);
+
   [[nodiscard]] bool empty() const noexcept { return empty_; }
   /// True when the region is exactly one input disc (nested-discs case).
   [[nodiscard]] bool is_full_disc() const noexcept { return full_disc_; }
@@ -57,10 +76,18 @@ class DiscIntersection {
 
  private:
   DiscIntersection() = default;
+  /// Decides the arcs_-empty endgame (nested discs -> one full disc, or
+  /// pairwise overlap without a common point -> empty) over discs_.
+  void resolve_arcless();
   void finalize_measures();
 
   std::vector<Circle> discs_;
   std::vector<BoundaryArc> arcs_;
+  /// Pre-rejoin boundary arcs: per-circle angular intervals still split at
+  /// the 0/2*pi cut, exactly as the interval clipper produced them. The
+  /// incremental path clips these (re-deriving them from the rejoined arcs_
+  /// would round-trip through +-2*pi and lose the last ulp).
+  std::vector<BoundaryArc> raw_arcs_;
   bool empty_ = true;
   bool full_disc_ = false;
   double area_ = 0.0;

@@ -119,7 +119,24 @@ LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
     return result;
   }
 
-  auto region = geo::DiscIntersection::compute(discs);
+  return mloc_locate_prepared(discs, geo::DiscIntersection::compute(discs), options);
+}
+
+LocalizationResult mloc_locate_prepared(std::span<const geo::Circle> discs,
+                                        const geo::DiscIntersection& prepared,
+                                        const MLocOptions& options) {
+  LocalizationResult result;
+  result.method = "M-Loc";
+  result.num_aps = discs.size();
+  result.discs.assign(discs.begin(), discs.end());
+  if (discs.empty()) return result;
+  if (discs.size() == 1) {
+    result.ok = true;
+    result.estimate = discs.front().center;
+    return result;
+  }
+
+  geo::DiscIntersection region = prepared;
 
   if (region.empty() && options.reject_outliers) {
     // Inconsistent evidence (corrupted RSSI/radius rows, ghost APs from

@@ -15,6 +15,7 @@
 // the true centroid of the intersection region (ablation in bench_ablation).
 #pragma once
 
+#include "geo/disc_intersection.h"
 #include "marauder/localization.h"
 
 namespace mm::marauder {
@@ -32,5 +33,14 @@ struct MLocOptions {
 
 [[nodiscard]] LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
                                              const MLocOptions& options = {});
+
+/// M-Loc with a precomputed intersection region for `discs` (Riptide's
+/// incremental path: the region was maintained arc-by-arc as Gamma grew).
+/// `region` must equal DiscIntersection::compute(discs); given that, the
+/// result is bit-for-bit what mloc_locate(discs, options) returns — the
+/// outlier-rejection and fallback branches run the same full recomputes.
+[[nodiscard]] LocalizationResult mloc_locate_prepared(std::span<const geo::Circle> discs,
+                                                      const geo::DiscIntersection& region,
+                                                      const MLocOptions& options = {});
 
 }  // namespace mm::marauder

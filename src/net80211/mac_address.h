@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/hash.h"
+
 namespace mm::util {
 class Rng;
 }
@@ -46,6 +48,14 @@ class MacAddress {
   }
   /// Packs the six bytes into the low 48 bits (for hashing / map keys).
   [[nodiscard]] std::uint64_t to_u64() const noexcept;
+  /// Inverse of to_u64 (bits above 48 are ignored).
+  [[nodiscard]] static constexpr MacAddress from_u64(std::uint64_t v) noexcept {
+    std::array<std::uint8_t, 6> bytes{};
+    for (std::size_t i = 0; i < 6; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(v >> (8 * (5 - i)));
+    }
+    return MacAddress(bytes);
+  }
 
   auto operator<=>(const MacAddress&) const = default;
 
@@ -53,11 +63,22 @@ class MacAddress {
   std::array<std::uint8_t, 6> bytes_{};
 };
 
+/// The project's MAC hasher: full-avalanche mix of the 48-bit key. This is
+/// the one hash both the ObservationStore's device index and Riptide's shard
+/// partitioner use, so a device lands in the same shard that owns its
+/// unordered_map bucket spread (libstdc++ std::hash<uint64_t> is the
+/// identity, which clusters same-OUI devices).
+struct MacHasher {
+  [[nodiscard]] std::size_t operator()(const MacAddress& mac) const noexcept {
+    return static_cast<std::size_t>(util::mix64(mac.to_u64()));
+  }
+};
+
 }  // namespace mm::net80211
 
 template <>
 struct std::hash<mm::net80211::MacAddress> {
   std::size_t operator()(const mm::net80211::MacAddress& mac) const noexcept {
-    return std::hash<std::uint64_t>{}(mac.to_u64());
+    return mm::net80211::MacHasher{}(mac);
   }
 };

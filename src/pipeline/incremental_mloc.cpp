@@ -1,0 +1,136 @@
+#include "pipeline/incremental_mloc.h"
+
+#include <algorithm>
+
+namespace mm::pipeline {
+
+namespace {
+
+/// Mirror of DiscIntersection::compute()'s internal epsilon. The pre-checks
+/// below must apply the *same* tolerance the pruning and disjointness
+/// predicates inside compute() use, or the incremental path would diverge
+/// from the batch path exactly at the boundary cases.
+constexpr double kEps = 1e-9;
+
+/// compute()'s retained-disc vector over the full input, replicated verbatim
+/// (including the keep-the-first tie-break for exact duplicates).
+std::vector<char> pruning_keep(const std::vector<geo::Circle>& discs) {
+  std::vector<char> keep(discs.size(), 1);
+  for (std::size_t j = 0; j < discs.size(); ++j) {
+    for (std::size_t i = 0; i < discs.size() && keep[j]; ++i) {
+      if (i == j) continue;
+      if (discs[i].inside_of(discs[j], kEps) &&
+          (!discs[j].inside_of(discs[i], kEps) || i < j)) {
+        keep[j] = 0;
+      }
+    }
+  }
+  return keep;
+}
+
+}  // namespace
+
+bool IncrementalDeviceLocator::add(const net80211::MacAddress& ap,
+                                   const geo::Circle& disc) {
+  const auto it = std::lower_bound(aps_.begin(), aps_.end(), ap);
+  if (it != aps_.end() && *it == ap) return false;  // Gamma unchanged
+  const std::size_t pos = static_cast<std::size_t>(it - aps_.begin());
+  aps_.insert(it, ap);
+  discs_.insert(discs_.begin() + static_cast<std::ptrdiff_t>(pos), disc);
+  kept_.insert(kept_.begin() + static_cast<std::ptrdiff_t>(pos), 1);
+  result_valid_ = false;
+
+  if (discs_.size() < 2) {
+    region_.reset();  // single-disc path never builds a region
+    return true;
+  }
+  if (!region_) return true;  // already dirty: recompute lazily
+
+  if (region_->empty()) {
+    // Intersections only shrink: a superset of mutually-inconsistent discs
+    // stays inconsistent, and mloc_locate_prepared branches on empty() alone.
+    return true;
+  }
+
+  // Would compute() retain a different disc set with the new input?
+  const std::vector<char> keep = pruning_keep(discs_);
+  for (std::size_t i = 0; i < discs_.size(); ++i) {
+    if (i == pos) continue;
+    const std::size_t old_i = i < pos ? i : i - 1;
+    if (keep[i] != kept_[old_i]) {
+      region_.reset();  // pruning changed: the cached arcs are stale
+      return true;
+    }
+  }
+
+  // Would compute()'s disjointness early-exit fire? Only pairs involving the
+  // new disc are new; every old pair was checked when region_ was built.
+  for (std::size_t i = 0; i < discs_.size(); ++i) {
+    if (i == pos) continue;
+    if (disc.disjoint_from(discs_[i], -kEps)) {
+      region_.reset();  // batch path returns the empty early-exit
+      return true;
+    }
+  }
+
+  if (!keep[pos]) {
+    // The new disc is pruned as redundant: the retained set — and therefore
+    // the region, arc for arc — is exactly what we already have.
+    kept_[pos] = 0;
+    return true;
+  }
+
+  // Position of the new disc within the retained list.
+  std::size_t retained_pos = 0;
+  for (std::size_t i = 0; i < pos; ++i) retained_pos += kept_[i] != 0;
+
+  auto extended = geo::DiscIntersection::incremental_add(*region_, disc, retained_pos);
+  if (!extended) {
+    region_.reset();  // full-disc/nested base: cached state insufficient
+    return true;
+  }
+  region_ = std::move(extended);
+  return true;
+}
+
+void IncrementalDeviceLocator::rebuild_kept() {
+  // Match the region's retained discs back to the full list. The retained
+  // list is a value-exact subsequence of discs_ (compute() copies, never
+  // perturbs), so a greedy in-order scan recovers the flags.
+  std::fill(kept_.begin(), kept_.end(), 0);
+  std::size_t cursor = 0;
+  for (const geo::Circle& r : region_->discs()) {
+    while (cursor < discs_.size() &&
+           !(discs_[cursor].center.x == r.center.x &&
+             discs_[cursor].center.y == r.center.y && discs_[cursor].radius == r.radius)) {
+      ++cursor;
+    }
+    if (cursor == discs_.size()) break;  // empty-region result: discs() is the full input
+    kept_[cursor++] = 1;
+  }
+}
+
+void IncrementalDeviceLocator::ensure_region(IncrementalStats& stats) {
+  if (region_) {
+    ++stats.incremental_updates;
+    return;
+  }
+  region_ = geo::DiscIntersection::compute(discs_);
+  rebuild_kept();
+  ++stats.full_recomputes;
+}
+
+const marauder::LocalizationResult& IncrementalDeviceLocator::locate(
+    const marauder::MLocOptions& options, IncrementalStats& stats) {
+  if (result_valid_) return result_;
+  if (discs_.size() < 2) {
+    result_ = marauder::mloc_locate(discs_, options);
+  } else {
+    ensure_region(stats);
+    result_ = marauder::mloc_locate_prepared(discs_, *region_, options);
+  }
+  result_valid_ = true;
+  return result_;
+}
+
+}  // namespace mm::pipeline

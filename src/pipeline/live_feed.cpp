@@ -1,0 +1,60 @@
+#include "pipeline/live_feed.h"
+
+#include "net80211/pcap.h"
+
+namespace mm::pipeline {
+
+util::Result<LiveFeedStats> feed_pcap(const std::filesystem::path& path,
+                                      LiveTracker& tracker,
+                                      const LiveFeedOptions& options) {
+  using R = util::Result<LiveFeedStats>;
+  net80211::PcapReader reader(path);
+  if (!reader.ok()) return R::failure("feed_pcap: " + reader.error());
+  if (reader.linktype() != net80211::kLinktypeRadiotap) {
+    return R::failure("feed_pcap: expected radiotap linktype 127, got " +
+                      std::to_string(reader.linktype()));
+  }
+
+  fault::FaultInjector injector(options.fault_plan);
+  const bool inject = options.fault_plan.active();
+  sim::ReplayClock clock(options.speed);
+
+  LiveFeedStats stats;
+  while (auto record = reader.next()) {
+    ++stats.replay.records;
+    int deliveries = 1;
+    if (inject) {
+      switch (injector.apply_frame(record->data)) {
+        case fault::FaultInjector::FrameAction::kDrop:
+          deliveries = 0;
+          break;
+        case fault::FaultInjector::FrameAction::kDuplicate:
+          deliveries = 2;
+          break;
+        case fault::FaultInjector::FrameAction::kPass:
+          break;
+      }
+    }
+    for (int i = 0; i < deliveries; ++i) {
+      const auto decoded = capture::decode_record(*record);
+      if (!decoded) {
+        ++stats.replay.malformed;
+        continue;
+      }
+      capture::count_frame_class(decoded->cls, stats.replay);
+      if (!decoded->has_event) continue;
+      clock.wait_until(decoded->event.time_s);
+      if (tracker.push(decoded->event)) {
+        ++stats.pushed;
+      } else {
+        ++stats.dropped;
+      }
+    }
+  }
+  stats.replay.framing_quarantined = reader.quarantined();
+  stats.replay.truncated_tail = reader.truncated();
+  stats.replay.faults = injector.stats();
+  return stats;
+}
+
+}  // namespace mm::pipeline

@@ -1,0 +1,46 @@
+// Feeds a recorded pcap through the live pipeline: the capture-thread role
+// when Riptide is driven from a file instead of monitor-mode cards.
+//
+// The record loop is a mirror of capture::replay_pcap — same PcapReader, the
+// same FaultInjector applied in the same order (so a given plan+seed damages
+// exactly the same records on both paths), the same decode_record quarantine
+// policy, the same stats counters — except that decoded events are pushed
+// into a LiveTracker instead of applied to a store inline. Under the kBlock
+// drop policy this makes the live run informationally identical to a batch
+// replay of the same file, which the live/batch equivalence test pins
+// bit-for-bit.
+#pragma once
+
+#include <filesystem>
+
+#include "capture/replay.h"
+#include "pipeline/live_tracker.h"
+#include "sim/replay_clock.h"
+#include "util/result.h"
+
+namespace mm::pipeline {
+
+struct LiveFeedOptions {
+  /// Faults injected into each record before parsing; mirrors
+  /// capture::ReplayOptions::fault_plan.
+  fault::FaultPlan fault_plan{};
+  /// Wall-clock pacing: 0 = as fast as possible, 1 = capture speed.
+  double speed = 0.0;
+};
+
+struct LiveFeedStats {
+  /// Decode/quarantine counters, identical in meaning (and, for the same
+  /// file + plan, in value) to the batch replay's.
+  capture::ReplayStats replay;
+  std::uint64_t pushed = 0;   ///< events handed to the tracker
+  std::uint64_t dropped = 0;  ///< events refused by a full ring (kDropNewest)
+};
+
+/// Streams every intact record of the capture into the tracker. The tracker
+/// must be start()ed; the caller stop()s it afterwards to drain. Fails (as a
+/// Result) only when the file cannot be opened or is not a radiotap pcap.
+util::Result<LiveFeedStats> feed_pcap(const std::filesystem::path& path,
+                                      LiveTracker& tracker,
+                                      const LiveFeedOptions& options = {});
+
+}  // namespace mm::pipeline

@@ -1,0 +1,219 @@
+#include "pipeline/live_tracker.h"
+
+#include <atomic>
+
+namespace mm::pipeline {
+
+/// One shard: a ring, a worker thread, and the state only that worker
+/// touches. Counters the stats() surface reads while the engine runs are
+/// atomics; everything else is worker-private by the ownership discipline.
+struct LiveTracker::Shard {
+  explicit Shard(const LiveTrackerConfig& config)
+      : ring(config.ring_capacity), store(config.store) {}
+
+  FrameRing ring;
+  std::thread thread;
+
+  // Worker-private (single writer; external reads only after stop()).
+  capture::ObservationStore store;
+  struct DeviceState {
+    IncrementalDeviceLocator locator;
+    SeqlockSlot* slot = nullptr;
+    std::uint64_t publishes = 0;
+  };
+  std::unordered_map<net80211::MacAddress, DeviceState, net80211::MacHasher> devices;
+  IncrementalStats inc;  ///< staging; mirrored into the atomics below
+
+  // Read live by stats().
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> contacts{0};
+  std::atomic<std::uint64_t> publishes{0};
+  std::atomic<std::uint64_t> incremental_updates{0};
+  std::atomic<std::uint64_t> full_recomputes{0};
+  std::atomic<std::uint64_t> device_count{0};
+};
+
+LiveTracker::LiveTracker(const marauder::ApDatabase& db, LiveTrackerConfig config)
+    : db_(db),
+      config_(config),
+      directory_(config.directory_capacity) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+}
+
+LiveTracker::~LiveTracker() { stop(); }
+
+void LiveTracker::start() {
+  if (running_) return;
+  stopping_.store(false, std::memory_order_release);
+  started_at_ = std::chrono::steady_clock::now();
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+  running_ = true;
+}
+
+void LiveTracker::stop() {
+  if (!running_) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  elapsed_s_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             started_at_)
+                   .count();
+  running_ = false;
+}
+
+std::size_t LiveTracker::shard_for(const net80211::MacAddress& key) const noexcept {
+  return util::shard_of(util::mix64(key.to_u64()), shards_.size());
+}
+
+bool LiveTracker::push(const capture::FrameEvent& event) {
+  Shard& shard = *shards_[shard_for(event.partition_key())];
+  if (shard.ring.try_push(event)) return true;
+  if (config_.drop_policy == DropPolicy::kDropNewest) {
+    shard.ring.count_drop();
+    return false;
+  }
+  // kBlock: lossless mode. The worker drains continuously, so space appears
+  // as soon as it catches up; yield rather than burn the producer's core.
+  while (!shard.ring.try_push(event)) {
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+void LiveTracker::worker_loop(Shard& shard) {
+  capture::FrameEvent event;
+  for (;;) {
+    if (shard.ring.try_pop(event)) {
+      process_event(shard, event);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Producers are done once stop() is called; one more drain pass
+      // catches anything published between the failed pop and the flag.
+      if (!shard.ring.try_pop(event)) break;
+      process_event(shard, event);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void LiveTracker::process_event(Shard& shard, const capture::FrameEvent& event) {
+  capture::apply_event(event, shard.store);
+  shard.frames.fetch_add(1, std::memory_order_relaxed);
+  shard.device_count.store(shard.store.device_count(), std::memory_order_relaxed);
+  if (event.kind != capture::FrameEventKind::kContact) return;
+  shard.contacts.fetch_add(1, std::memory_order_relaxed);
+
+  // Gamma gained evidence; if the AP is database-known the device's disc set
+  // may grow, which is the only thing that can move its M-Loc estimate.
+  const marauder::KnownAp* ap = db_.find(event.ap);
+  if (ap == nullptr) return;
+  Shard::DeviceState& device = shard.devices[event.device];
+  const geo::Circle disc{ap->position, ap->radius_m.value_or(config_.default_radius_m)};
+  if (!device.locator.add(event.ap, disc)) return;  // AP already in Gamma
+
+  const marauder::LocalizationResult& result =
+      device.locator.locate(config_.mloc, shard.inc);
+  shard.incremental_updates.store(shard.inc.incremental_updates,
+                                  std::memory_order_relaxed);
+  shard.full_recomputes.store(shard.inc.full_recomputes, std::memory_order_relaxed);
+
+  if (device.slot == nullptr) {
+    device.slot = directory_.insert(event.device);
+    if (device.slot == nullptr) {
+      directory_overflows_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  LivePosition position;
+  position.x_m = result.estimate.x;
+  position.y_m = result.estimate.y;
+  position.updated_at_s = event.time_s;
+  position.gamma_size = static_cast<std::uint32_t>(device.locator.disc_count());
+  position.ok = result.ok ? 1 : 0;
+  position.used_fallback = result.used_fallback ? 1 : 0;
+  position.discs_rejected = static_cast<std::uint16_t>(result.discs_rejected);
+  position.updates = ++device.publishes;
+  device.slot->publish(position);
+  shard.publishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<LivePosition> LiveTracker::locate(const net80211::MacAddress& mac) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<LivePosition> out;
+  if (const SeqlockSlot* slot = directory_.find(mac)) {
+    LivePosition position;
+    if (slot->read(position)) out = position;
+  }
+  const double us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+          .count();
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    locate_latency_us_.add(us);
+  }
+  return out;
+}
+
+std::vector<std::pair<net80211::MacAddress, LivePosition>> LiveTracker::snapshot()
+    const {
+  return directory_.snapshot();
+}
+
+const capture::ObservationStore& LiveTracker::shard_store(std::size_t shard) const {
+  return shards_.at(shard)->store;
+}
+
+PipelineStats LiveTracker::stats() const {
+  PipelineStats out;
+  const double elapsed =
+      running_ ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               started_at_)
+                     .count()
+               : elapsed_s_;
+  out.elapsed_s = elapsed;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.frames = shard->frames.load(std::memory_order_relaxed);
+    s.contacts = shard->contacts.load(std::memory_order_relaxed);
+    s.publishes = shard->publishes.load(std::memory_order_relaxed);
+    s.incremental_updates = shard->incremental_updates.load(std::memory_order_relaxed);
+    s.full_recomputes = shard->full_recomputes.load(std::memory_order_relaxed);
+    s.devices = shard->device_count.load(std::memory_order_relaxed);
+    s.ring_pushed = shard->ring.pushed();
+    s.ring_dropped = shard->ring.dropped();
+    s.ring_high_water = shard->ring.high_water_mark();
+    s.ring_capacity = shard->ring.capacity();
+    s.frames_per_sec =
+        elapsed > 0.0 ? static_cast<double>(s.frames) / elapsed : 0.0;
+    out.total_frames += s.frames;
+    out.total_dropped += s.ring_dropped;
+    out.shards.push_back(s);
+  }
+  out.frames_per_sec =
+      elapsed > 0.0 ? static_cast<double>(out.total_frames) / elapsed : 0.0;
+  out.directory_size = directory_.size();
+  out.directory_overflows = directory_overflows_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    out.locate_count = locate_latency_us_.count();
+    if (!locate_latency_us_.empty()) {
+      out.locate_p50_us = locate_latency_us_.percentile(50.0);
+      out.locate_p95_us = locate_latency_us_.percentile(95.0);
+      out.locate_p99_us = locate_latency_us_.percentile(99.0);
+      out.locate_max_us = locate_latency_us_.max();
+    }
+  }
+  return out;
+}
+
+}  // namespace mm::pipeline

@@ -1,0 +1,113 @@
+// Riptide: the sharded streaming ingestion + live-tracking engine.
+//
+// Threading model (DESIGN.md section 8):
+//   producers (capture threads / the pcap feed)
+//        --push()-->  per-shard FrameRing (lock-free MPSC)
+//        --worker-->  shard-private ObservationStore + IncrementalDeviceLocator
+//        --publish--> shared DeviceDirectory of seqlock slots
+//        <--read----  locate() / snapshot() from any thread, never blocking ingest
+//
+// Devices are hash-partitioned by MAC (the same util::mix64 the store's
+// device index uses): every event of one device — and every beacon of one
+// BSSID — lands in the same shard, so each shard's store slice is written by
+// exactly one thread and per-device event order equals producer push order.
+// That ownership discipline is what lets the whole engine run without a
+// single lock on the ingest path, and what makes a single-producer replay
+// through the live path bit-for-bit equal to the batch pipeline.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "capture/frame_event.h"
+#include "capture/observation_store.h"
+#include "marauder/ap_database.h"
+#include "marauder/mloc.h"
+#include "net80211/mac_address.h"
+#include "pipeline/frame_ring.h"
+#include "pipeline/incremental_mloc.h"
+#include "pipeline/pipeline_stats.h"
+#include "pipeline/seqlock.h"
+#include "util/stats.h"
+
+namespace mm::pipeline {
+
+struct LiveTrackerConfig {
+  std::size_t shards = 4;
+  std::size_t ring_capacity = 1 << 14;  ///< per shard, rounded up to a power of 2
+  DropPolicy drop_policy = DropPolicy::kDropNewest;
+  /// Radius for database APs without a known transmission distance —
+  /// mirrors the batch pipeline's discs_for(gamma, default_radius_m).
+  double default_radius_m = 100.0;
+  marauder::MLocOptions mloc{};
+  capture::ObservationStoreOptions store{};
+  std::size_t directory_capacity = 1 << 16;
+};
+
+class LiveTracker {
+ public:
+  /// The AP database is borrowed and must outlive the tracker; it is read
+  /// concurrently by all shard workers and must not be mutated while running.
+  LiveTracker(const marauder::ApDatabase& db, LiveTrackerConfig config);
+  ~LiveTracker();
+
+  LiveTracker(const LiveTracker&) = delete;
+  LiveTracker& operator=(const LiveTracker&) = delete;
+
+  void start();
+  /// Lets the workers drain every ring, then joins them. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Routes one decoded event to its owner shard. Under kDropNewest a full
+  /// ring drops the event (returns false, counted); under kBlock the caller
+  /// spins until the worker frees space (always true).
+  bool push(const capture::FrameEvent& event);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_for(const net80211::MacAddress& key) const noexcept;
+
+  /// Latest published position of one device; nullopt when never located.
+  /// Wait-free against ingest (seqlock read); latency is sampled into the
+  /// stats surface.
+  [[nodiscard]] std::optional<LivePosition> locate(const net80211::MacAddress& mac);
+
+  /// All published positions, each entry torn-free (epoch-consistent per
+  /// device; the set is whatever was claimed when the scan passed).
+  [[nodiscard]] std::vector<std::pair<net80211::MacAddress, LivePosition>> snapshot()
+      const;
+
+  [[nodiscard]] PipelineStats stats() const;
+
+  /// Shard-private store slice. Safe to read only after stop() (the owning
+  /// worker mutates it while running).
+  [[nodiscard]] const capture::ObservationStore& shard_store(std::size_t shard) const;
+
+ private:
+  struct Shard;
+
+  void worker_loop(Shard& shard);
+  void process_event(Shard& shard, const capture::FrameEvent& event);
+
+  const marauder::ApDatabase& db_;
+  LiveTrackerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  DeviceDirectory directory_;
+  std::atomic<bool> stopping_{false};
+  bool running_ = false;
+  std::chrono::steady_clock::time_point started_at_{};
+  double elapsed_s_ = 0.0;  ///< frozen at stop()
+
+  std::atomic<std::uint64_t> directory_overflows_{0};
+  mutable std::mutex latency_mutex_;
+  util::SampleSet locate_latency_us_;
+};
+
+}  // namespace mm::pipeline

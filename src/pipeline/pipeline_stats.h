@@ -1,0 +1,44 @@
+// Riptide's observable surface: per-shard and whole-engine counters snapshot
+// by LiveTracker::stats() and rendered by `mmctl live` (and serialized into
+// BENCH_pipeline.json by bench_live_throughput). Everything here is a plain
+// copied value — reading stats never touches the hot path beyond relaxed
+// atomic loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mm::pipeline {
+
+struct ShardStats {
+  std::uint64_t frames = 0;               ///< events popped and applied
+  std::uint64_t contacts = 0;             ///< Gamma-building events among them
+  std::uint64_t publishes = 0;            ///< seqlock position publishes
+  std::uint64_t incremental_updates = 0;  ///< region extended from cached arcs
+  std::uint64_t full_recomputes = 0;      ///< DiscIntersection::compute fallbacks
+  std::uint64_t devices = 0;              ///< devices owned by this shard's store
+  std::uint64_t ring_pushed = 0;
+  std::uint64_t ring_dropped = 0;
+  std::uint64_t ring_high_water = 0;      ///< peak ring occupancy
+  std::uint64_t ring_capacity = 0;
+  double frames_per_sec = 0.0;            ///< frames / engine wall-clock
+};
+
+struct PipelineStats {
+  std::vector<ShardStats> shards;
+  double elapsed_s = 0.0;          ///< start() to stop() (or to now if running)
+  std::uint64_t total_frames = 0;
+  std::uint64_t total_dropped = 0;
+  double frames_per_sec = 0.0;
+  std::uint64_t directory_size = 0;       ///< devices with a published position
+  std::uint64_t directory_overflows = 0;  ///< publishes refused: table at load limit
+
+  // locate() latency over the engine's lifetime, microseconds.
+  std::uint64_t locate_count = 0;
+  double locate_p50_us = 0.0;
+  double locate_p95_us = 0.0;
+  double locate_p99_us = 0.0;
+  double locate_max_us = 0.0;
+};
+
+}  // namespace mm::pipeline

@@ -1,0 +1,23 @@
+#include "sim/replay_clock.h"
+
+#include <thread>
+
+namespace mm::sim {
+
+void ReplayClock::wait_until(SimTime t) {
+  if (!paced()) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (!anchored_) {
+    anchored_ = true;
+    first_time_ = t;
+    anchor_ = now;
+    return;
+  }
+  const double capture_elapsed_s = (t - first_time_) / speed_;
+  const auto due =
+      anchor_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(capture_elapsed_s));
+  if (due > now) std::this_thread::sleep_until(due);
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,33 @@
+// Real-time pacing for capture replay: maps simulated capture timestamps
+// onto the wall clock so a recorded pcap can drive the live pipeline at the
+// speed it was captured at (or any multiple of it).
+#pragma once
+
+#include <chrono>
+
+#include "sim/event_queue.h"
+
+namespace mm::sim {
+
+class ReplayClock {
+ public:
+  /// speed <= 0 disables pacing entirely (as-fast-as-possible replay).
+  /// speed 1.0 replays in real time; 10.0 replays ten times faster.
+  explicit ReplayClock(double speed = 0.0) : speed_(speed) {}
+
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] bool paced() const noexcept { return speed_ > 0.0; }
+
+  /// Sleeps until the wall-clock moment corresponding to capture time `t`.
+  /// The first call anchors the mapping (its `t` plays immediately); capture
+  /// times in the past of the mapping return without sleeping.
+  void wait_until(SimTime t);
+
+ private:
+  double speed_;
+  bool anchored_ = false;
+  SimTime first_time_ = 0.0;
+  std::chrono::steady_clock::time_point anchor_{};
+};
+
+}  // namespace mm::sim

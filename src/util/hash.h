@@ -1,0 +1,30 @@
+// Shared integer hashing for hot-path containers and the streaming engine's
+// shard partitioner. The libstdc++ std::hash<uint64_t> is the identity
+// function, which is useless both for unordered_map bucket spread on
+// structured keys (MAC addresses share OUI prefixes) and for hash-partitioning
+// devices across Riptide shards — both need every input bit to influence the
+// output. mix64 is the SplitMix64 finalizer: cheap, constexpr, and full
+// avalanche.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mm::util {
+
+/// SplitMix64 finalizer: a bijective full-avalanche mix of one 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Shard index for a key already passed through mix64 (or any well-mixed
+/// hash); every output bit of the mix participates, so shard counts that are
+/// not powers of two still spread evenly.
+constexpr std::size_t shard_of(std::uint64_t mixed, std::size_t shards) noexcept {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(mixed % shards);
+}
+
+}  // namespace mm::util

@@ -155,5 +155,54 @@ TEST(ObservationStore, ClearResets) {
   EXPECT_TRUE(store.ap_sightings().empty());
 }
 
+TEST(ObservationStore, ContactHistoryCapCompactsOldestInstants) {
+  ObservationStoreOptions options;
+  options.contact_history_cap = 16;
+  ObservationStore store(options);
+  for (int i = 0; i < 100; ++i) {
+    store.record_contact(kAp1, kDevA, static_cast<sim::SimTime>(i), -70.0);
+  }
+  const ApContact& contact = store.device(kDevA)->contacts.at(kAp1);
+  // Aggregates stay exact even though instants were compacted.
+  EXPECT_EQ(contact.count, 100u);
+  EXPECT_EQ(contact.first_seen, 0.0);
+  EXPECT_EQ(contact.last_seen, 99.0);
+  // History is bounded by the cap and holds the newest suffix, time-ordered.
+  EXPECT_LE(contact.times.size(), 16u);
+  EXPECT_EQ(contact.times.back(), 99.0);
+  for (std::size_t i = 1; i < contact.times.size(); ++i) {
+    EXPECT_LT(contact.times[i - 1], contact.times[i]);
+  }
+  // Recent-window queries over the retained suffix remain exact.
+  EXPECT_EQ(store.gamma(kDevA, ObservationWindow{95.0, 99.0}).count(kAp1), 1u);
+}
+
+TEST(ObservationStore, ContactHistoryCapAppliesPerContact) {
+  ObservationStoreOptions options;
+  options.contact_history_cap = 8;
+  ObservationStore store(options);
+  for (int i = 0; i < 50; ++i) {
+    store.record_contact(kAp1, kDevA, static_cast<sim::SimTime>(i), -70.0);
+  }
+  store.record_contact(kAp2, kDevA, 1.0, -60.0);
+  const DeviceRecord* record = store.device(kDevA);
+  EXPECT_LE(record->contacts.at(kAp1).times.size(), 8u);
+  // A sparse contact on the same device is untouched by the busy one's cap.
+  EXPECT_EQ(record->contacts.at(kAp2).times.size(), 1u);
+}
+
+TEST(ObservationStore, UnboundedHistoryOptOutKeepsEveryInstant) {
+  ObservationStoreOptions options;
+  options.contact_history_cap = 16;
+  options.unbounded_contact_history = true;
+  ObservationStore store(options);
+  for (int i = 0; i < 100; ++i) {
+    store.record_contact(kAp1, kDevA, static_cast<sim::SimTime>(i), -70.0);
+  }
+  const ApContact& contact = store.device(kDevA)->contacts.at(kAp1);
+  EXPECT_EQ(contact.times.size(), 100u);
+  EXPECT_EQ(contact.count, 100u);
+}
+
 }  // namespace
 }  // namespace mm::capture

@@ -1,0 +1,183 @@
+// Incremental M-Loc invariant: after every disc arrival, the streaming
+// locator's result is BIT-identical to the batch mloc_locate over the same
+// (MAC-sorted) disc list — including the degenerate geometries where the
+// incremental path must detect that its cached region cannot be extended
+// (pruned discs, nested/full-disc regions, disjoint evidence) and fall back
+// to a full recompute.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "marauder/mloc.h"
+#include "pipeline/incremental_mloc.h"
+#include "util/rng.h"
+
+namespace mm::pipeline {
+namespace {
+
+net80211::MacAddress mac_of(std::uint64_t id) {
+  return net80211::MacAddress::from_u64(id);
+}
+
+/// Bit-level double equality (covers -0.0 vs 0.0 and any ulp drift an
+/// EXPECT_DOUBLE_EQ would wave through).
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits differ by "
+         << (std::bit_cast<std::uint64_t>(a) ^ std::bit_cast<std::uint64_t>(b)) << ")";
+}
+
+void expect_results_identical(const marauder::LocalizationResult& live,
+                              const marauder::LocalizationResult& batch) {
+  EXPECT_EQ(live.ok, batch.ok);
+  EXPECT_TRUE(bits_equal(live.estimate.x, batch.estimate.x));
+  EXPECT_TRUE(bits_equal(live.estimate.y, batch.estimate.y));
+  EXPECT_EQ(live.used_fallback, batch.used_fallback);
+  EXPECT_EQ(live.discs_rejected, batch.discs_rejected);
+  EXPECT_EQ(live.num_aps, batch.num_aps);
+  ASSERT_EQ(live.discs.size(), batch.discs.size());
+  for (std::size_t i = 0; i < live.discs.size(); ++i) {
+    EXPECT_TRUE(bits_equal(live.discs[i].center.x, batch.discs[i].center.x));
+    EXPECT_TRUE(bits_equal(live.discs[i].center.y, batch.discs[i].center.y));
+    EXPECT_TRUE(bits_equal(live.discs[i].radius, batch.discs[i].radius));
+  }
+}
+
+/// Feeds `discs` (keyed by ascending MAC ids 1..n, delivered in `order`) to
+/// an IncrementalDeviceLocator, checking the invariant after every add.
+void check_sequence(const std::vector<geo::Circle>& discs,
+                    const std::vector<std::size_t>& order,
+                    const marauder::MLocOptions& options) {
+  IncrementalDeviceLocator locator;
+  IncrementalStats stats;
+  std::vector<std::pair<std::uint64_t, geo::Circle>> sorted;  // batch reference
+  for (const std::size_t idx : order) {
+    ASSERT_TRUE(locator.add(mac_of(idx + 1), discs[idx]));
+    sorted.emplace_back(idx + 1, discs[idx]);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<geo::Circle> batch_discs;
+    for (const auto& [id, c] : sorted) batch_discs.push_back(c);
+
+    const auto& live = locator.locate(options, stats);
+    const auto batch = marauder::mloc_locate(batch_discs, options);
+    SCOPED_TRACE("after disc " + std::to_string(idx + 1) + " (" +
+                 std::to_string(sorted.size()) + " discs)");
+    expect_results_identical(live, batch);
+  }
+}
+
+TEST(IncrementalMloc, DuplicateApIsIgnored) {
+  IncrementalDeviceLocator locator;
+  EXPECT_TRUE(locator.add(mac_of(1), {{0.0, 0.0}, 50.0}));
+  EXPECT_FALSE(locator.add(mac_of(1), {{0.0, 0.0}, 50.0}));
+  EXPECT_EQ(locator.disc_count(), 1u);
+}
+
+TEST(IncrementalMloc, OverlappingChainMatchesBatchBitForBit) {
+  const std::vector<geo::Circle> discs = {
+      {{0.0, 0.0}, 60.0},  {{40.0, 10.0}, 55.0}, {{20.0, -30.0}, 70.0},
+      {{-10.0, 25.0}, 65.0}, {{35.0, 35.0}, 80.0},
+  };
+  check_sequence(discs, {0, 1, 2, 3, 4}, {});
+  check_sequence(discs, {4, 2, 0, 3, 1}, {});  // arrival != MAC order
+}
+
+TEST(IncrementalMloc, NestedDiscsForceRecomputeAndStillMatch) {
+  // Disc 2 is strictly inside disc 0 (prunes it); disc 3 duplicates disc 1.
+  const std::vector<geo::Circle> discs = {
+      {{0.0, 0.0}, 100.0},
+      {{30.0, 0.0}, 80.0},
+      {{5.0, 5.0}, 20.0},
+      {{30.0, 0.0}, 80.0},
+  };
+  check_sequence(discs, {0, 1, 2, 3}, {});
+  check_sequence(discs, {2, 3, 1, 0}, {});  // big pruned disc arrives last
+}
+
+TEST(IncrementalMloc, FullDiscRegionThenGrowth) {
+  // After discs {0,1} the region is exactly disc 1 (nested, full-disc
+  // state): incremental_add must refuse and the recompute must land the
+  // same answer as batch.
+  const std::vector<geo::Circle> discs = {
+      {{0.0, 0.0}, 100.0},
+      {{0.0, 10.0}, 30.0},
+      {{15.0, 10.0}, 40.0},
+  };
+  check_sequence(discs, {0, 1, 2}, {});
+}
+
+TEST(IncrementalMloc, DisjointEvidenceMatchesBatchFallback) {
+  const std::vector<geo::Circle> discs = {
+      {{0.0, 0.0}, 30.0},
+      {{25.0, 0.0}, 30.0},
+      {{500.0, 500.0}, 20.0},  // disjoint from both: batch early-exits empty
+      {{520.0, 500.0}, 25.0},
+  };
+  check_sequence(discs, {0, 1, 2, 3}, {});
+  marauder::MLocOptions reject;
+  reject.reject_outliers = true;
+  check_sequence(discs, {0, 1, 2, 3}, reject);  // rejection path, per call
+  check_sequence(discs, {2, 0, 3, 1}, reject);
+}
+
+TEST(IncrementalMloc, ExactCentroidOptionMatches) {
+  const std::vector<geo::Circle> discs = {
+      {{0.0, 0.0}, 60.0}, {{40.0, 10.0}, 55.0}, {{20.0, -30.0}, 70.0}};
+  marauder::MLocOptions exact;
+  exact.exact_region_centroid = true;
+  check_sequence(discs, {0, 1, 2}, exact);
+}
+
+// The broad net: random disc clouds (mixed radii, occasional nesting and
+// disjointness by construction), random arrival orders, both option sets.
+// Any divergence between the cached-arc extension and the batch recompute
+// shows up as a bit mismatch here.
+TEST(IncrementalMloc, RandomSequencesMatchBatchBitForBit) {
+  util::Rng rng(0x5eed);
+  marauder::MLocOptions reject;
+  reject.reject_outliers = true;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    std::vector<geo::Circle> discs;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Cluster most discs so intersections are common, with occasional
+      // tiny (nest-prone) and far (disjoint-prone) outliers.
+      const double spread = rng.uniform(0.0, 1.0) < 0.15 ? 400.0 : 60.0;
+      const double radius =
+          rng.uniform(0.0, 1.0) < 0.2 ? rng.uniform(5.0, 15.0) : rng.uniform(40.0, 120.0);
+      discs.push_back({{rng.uniform(-spread, spread), rng.uniform(-spread, spread)},
+                       radius});
+    }
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1))]);
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    check_sequence(discs, order, trial % 2 == 0 ? marauder::MLocOptions{} : reject);
+  }
+}
+
+// The hot path actually is incremental: a growing chain of mutually
+// overlapping discs must extend the cached region, not recompute it.
+TEST(IncrementalMloc, OverlappingGrowthUsesIncrementalPath) {
+  IncrementalDeviceLocator locator;
+  IncrementalStats stats;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    locator.add(mac_of(i + 1),
+                {{static_cast<double>(i) * 5.0, static_cast<double>(i % 3)}, 200.0});
+    locator.locate({}, stats);
+  }
+  EXPECT_EQ(stats.full_recomputes, 1u) << "only the 2-disc bootstrap may recompute";
+  EXPECT_GE(stats.incremental_updates, 9u);
+}
+
+}  // namespace
+}  // namespace mm::pipeline

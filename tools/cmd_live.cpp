@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "commands.h"
+#include "fault/fault_plan.h"
+#include "geo/geodetic.h"
+#include "marauder/ap_database.h"
+#include "pipeline/live_feed.h"
+#include "pipeline/live_tracker.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+namespace mm::tools {
+
+namespace {
+
+void write_stats_json(const std::string& path, const pipeline::PipelineStats& stats,
+                      const pipeline::LiveFeedStats& feed) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"elapsed_s\": " << stats.elapsed_s << ",\n";
+  out << "  \"total_frames\": " << stats.total_frames << ",\n";
+  out << "  \"total_dropped\": " << stats.total_dropped << ",\n";
+  out << "  \"frames_per_sec\": " << stats.frames_per_sec << ",\n";
+  out << "  \"directory_size\": " << stats.directory_size << ",\n";
+  out << "  \"directory_overflows\": " << stats.directory_overflows << ",\n";
+  out << "  \"records\": " << feed.replay.records << ",\n";
+  out << "  \"quarantined\": " << feed.replay.quarantined() << ",\n";
+  out << "  \"locate\": {\"count\": " << stats.locate_count
+      << ", \"p50_us\": " << stats.locate_p50_us << ", \"p95_us\": " << stats.locate_p95_us
+      << ", \"p99_us\": " << stats.locate_p99_us << ", \"max_us\": " << stats.locate_max_us
+      << "},\n";
+  out << "  \"shards\": [\n";
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const pipeline::ShardStats& s = stats.shards[i];
+    out << "    {\"frames\": " << s.frames << ", \"frames_per_sec\": " << s.frames_per_sec
+        << ", \"contacts\": " << s.contacts << ", \"publishes\": " << s.publishes
+        << ", \"incremental_updates\": " << s.incremental_updates
+        << ", \"full_recomputes\": " << s.full_recomputes << ", \"devices\": " << s.devices
+        << ", \"ring_dropped\": " << s.ring_dropped
+        << ", \"ring_high_water\": " << s.ring_high_water
+        << ", \"ring_capacity\": " << s.ring_capacity << "}"
+        << (i + 1 < stats.shards.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int cmd_live(const util::Flags& flags) {
+  const std::string pcap_path = flags.get("pcap", "");
+  const std::string apdb_path = flags.get("apdb", "");
+  if (pcap_path.empty() || apdb_path.empty()) {
+    std::cerr << "mmctl live: --pcap and --apdb are required\n";
+    return 2;
+  }
+
+  const geo::EnuFrame frame(sim::uml_north_campus());
+  marauder::CsvImportStats apdb_stats;
+  auto db_result = marauder::ApDatabase::from_csv(apdb_path, frame, &apdb_stats);
+  if (!db_result.ok()) {
+    std::cerr << "mmctl live: --apdb: " << db_result.error() << "\n";
+    return 1;
+  }
+  const marauder::ApDatabase db = std::move(db_result.value());
+  if (apdb_stats.quarantined > 0) {
+    std::cerr << "apdb: quarantined " << apdb_stats.quarantined << "/"
+              << apdb_stats.rows_total << " malformed rows\n";
+  }
+
+  pipeline::LiveTrackerConfig config;
+  config.shards = static_cast<std::size_t>(flags.get_int("shards", 4));
+  config.ring_capacity =
+      static_cast<std::size_t>(flags.get_int("ring-capacity", 1 << 14));
+  config.default_radius_m = flags.get_double("default-radius", 100.0);
+  config.mloc.reject_outliers = flags.has("reject-outliers");
+  const std::string policy = flags.get("drop-policy", "drop");
+  if (policy == "drop") {
+    config.drop_policy = pipeline::DropPolicy::kDropNewest;
+  } else if (policy == "block") {
+    config.drop_policy = pipeline::DropPolicy::kBlock;
+  } else {
+    std::cerr << "mmctl live: unknown --drop-policy '" << policy << "' (drop|block)\n";
+    return 2;
+  }
+
+  pipeline::LiveFeedOptions feed_options;
+  feed_options.speed = flags.get_double("speed", 0.0);
+  if (flags.has("fault-plan")) {
+    auto parsed = fault::FaultPlan::parse(flags.get("fault-plan", ""));
+    if (!parsed.ok()) {
+      std::cerr << "mmctl live: --fault-plan: " << parsed.error() << "\n";
+      return 2;
+    }
+    feed_options.fault_plan = parsed.value();
+  }
+
+  pipeline::LiveTracker tracker(db, config);
+  tracker.start();
+  auto fed = pipeline::feed_pcap(pcap_path, tracker, feed_options);
+  tracker.stop();
+  if (!fed.ok()) {
+    std::cerr << "mmctl live: --pcap: " << fed.error() << "\n";
+    return 1;
+  }
+  const pipeline::LiveFeedStats& feed = fed.value();
+  const pipeline::PipelineStats stats = tracker.stats();
+
+  util::Table shard_table({"shard", "frames", "frames/s", "contacts", "publishes",
+                           "incr", "full", "devices", "ring drop", "ring hwm"});
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const pipeline::ShardStats& s = stats.shards[i];
+    shard_table.add_row(
+        {std::to_string(i), std::to_string(s.frames), util::Table::fmt(s.frames_per_sec, 0),
+         std::to_string(s.contacts), std::to_string(s.publishes),
+         std::to_string(s.incremental_updates), std::to_string(s.full_recomputes),
+         std::to_string(s.devices), std::to_string(s.ring_dropped),
+         std::to_string(s.ring_high_water) + "/" + std::to_string(s.ring_capacity)});
+  }
+  shard_table.print(std::cout);
+  std::cout << "\n" << feed.replay.records << " records -> " << feed.pushed
+            << " events pushed, " << feed.dropped + stats.total_dropped << " dropped, "
+            << feed.replay.quarantined() << " quarantined, " << stats.total_frames
+            << " processed in " << util::Table::fmt(stats.elapsed_s, 3) << " s ("
+            << util::Table::fmt(stats.frames_per_sec, 0) << " frames/s)\n\n";
+
+  auto snapshot = tracker.snapshot();
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  util::Table device_table(
+      {"device", "x (m)", "y (m)", "lat", "lon", "|Gamma|", "updates", "degraded"});
+  for (const auto& [mac, pos] : snapshot) {
+    const geo::Geodetic g = frame.to_geodetic({pos.x_m, pos.y_m});
+    device_table.add_row(
+        {mac.to_string(), util::Table::fmt(pos.x_m, 1), util::Table::fmt(pos.y_m, 1),
+         util::Table::fmt(g.lat_deg, 6), util::Table::fmt(g.lon_deg, 6),
+         std::to_string(pos.gamma_size), std::to_string(pos.updates),
+         pos.used_fallback != 0 ? "fallback"
+         : pos.discs_rejected > 0
+             ? std::to_string(pos.discs_rejected) + " discs rejected"
+             : ""});
+  }
+  device_table.print(std::cout);
+  std::cout << "\ntracking " << snapshot.size() << " devices live\n";
+
+  const std::string json_path = flags.get("stats-json", "");
+  if (!json_path.empty()) {
+    write_stats_json(json_path, stats, feed);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace mm::tools

@@ -28,4 +28,11 @@ int cmd_wigle(const util::Flags& flags);
 /// sighted, channel distribution.
 int cmd_info(const util::Flags& flags);
 
+/// `mmctl live --pcap cap.pcap --apdb apdb.csv [--shards N] [--speed X]
+///        [--ring-capacity N] [--drop-policy drop|block] [--fault-plan spec]
+///        [--reject-outliers] [--stats-json out.json]`
+/// Streams the capture through Riptide (the sharded live-tracking engine)
+/// and prints per-shard throughput stats plus the live position snapshot.
+int cmd_live(const util::Flags& flags);
+
 }  // namespace mm::tools

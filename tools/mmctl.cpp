@@ -40,6 +40,16 @@ commands:
              --in <wigle.csv> --out <apdb.csv>
   info       capture statistics from a pcap
              --pcap <capture.pcap>
+  live       stream a capture through Riptide, the sharded live-tracking
+             engine, and print throughput stats + the live position snapshot
+             --pcap <capture.pcap> --apdb <apdb.csv>   (required)
+             --shards <N>              worker shards (default: 4)
+             --speed <X>               pace at X times capture speed (0 = flat out)
+             --ring-capacity <N>       per-shard ingest ring slots (default: 16384)
+             --drop-policy drop|block  backpressure when a ring fills (default: drop)
+             --fault-plan <spec>       inject faults into the stream (see simulate)
+             --reject-outliers         shed inconsistent discs in live M-Loc
+             --stats-json <out.json>   machine-readable engine stats
 )";
 }
 
@@ -58,6 +68,7 @@ int main(int argc, char** argv) {
     if (command == "locate") return mm::tools::cmd_locate(flags);
     if (command == "wigle") return mm::tools::cmd_wigle(flags);
     if (command == "info") return mm::tools::cmd_info(flags);
+    if (command == "live") return mm::tools::cmd_live(flags);
   } catch (const std::exception& error) {
     std::cerr << "mmctl " << command << ": " << error.what() << "\n";
     return 1;
