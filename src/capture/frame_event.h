@@ -37,6 +37,11 @@ struct FrameEvent {
   static constexpr std::size_t kMaxSsid = 32;
 
   FrameEventKind kind = FrameEventKind::kPresence;
+  /// Position of this event in its capture stream, assigned by the feed
+  /// (1-based; 0 = unassigned). Phoenix's exactly-once cursor: each shard
+  /// checkpoints the highest sequence it has applied, and recovery skips
+  /// events at or below that high-water mark.
+  std::uint64_t stream_seq = 0;
   net80211::MacAddress device;  ///< the mobile (kBeacon: unused)
   net80211::MacAddress ap;      ///< the AP / BSSID (kProbeRequest/kPresence: unused)
   double time_s = 0.0;

@@ -3,13 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <charconv>
 #include <chrono>
 #include <fstream>
-#include <sstream>
 #include <system_error>
 #include <thread>
 
 #include "fault/fault_injector.h"
+#include "util/counters.h"
 #include "util/csv.h"
 
 namespace mm::capture {
@@ -17,10 +18,14 @@ namespace mm::capture {
 namespace {
 
 std::string fmt(double value) {
-  std::ostringstream out;
-  out.precision(17);
-  out << value;
-  return out.str();
+  // Shortest round-trip form: to_chars guarantees the loader's stod gets the
+  // exact same double back, and it is orders of magnitude faster than
+  // stream formatting — checkpoints serialize every contact timestamp, so
+  // this sits on the Phoenix checkpoint path.
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
 }
 
 std::string join(const std::vector<std::string>& parts, char sep) {
@@ -74,7 +79,19 @@ std::string write_and_sync(const std::filesystem::path& tmp,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return "cannot create " + tmp.string();
-    for (const util::CsvRow& row : rows) out << util::csv_join(row) << '\n';
+    // One buffered pass: join into a text block and hand the stream large
+    // writes instead of one formatted write per row.
+    std::string block;
+    block.reserve(1u << 16);
+    for (const util::CsvRow& row : rows) {
+      block += util::csv_join(row);
+      block += '\n';
+      if (block.size() >= (1u << 16)) {
+        out.write(block.data(), static_cast<std::streamsize>(block.size()));
+        block.clear();
+      }
+    }
+    out.write(block.data(), static_cast<std::streamsize>(block.size()));
     out.flush();
     if (!out) return "write failed on " + tmp.string();
   }
@@ -119,7 +136,7 @@ bool parse_int_field(const std::string& text, int& out) {
 }
 
 void quarantine(LoadStats& stats, std::size_t row, const std::string& reason) {
-  ++stats.quarantined;
+  util::sat_inc(stats.quarantined);
   if (stats.sample_errors.size() < 8) {
     stats.sample_errors.push_back("row " + std::to_string(row) + ": " + reason);
   }
@@ -162,7 +179,8 @@ util::Result<SaveStats> save_observations(const ObservationStore& store,
                     std::to_string(attempts) + " attempts");
 }
 
-util::Result<LoadResult> load_observations(const std::filesystem::path& path) {
+util::Result<LoadResult> load_observations(const std::filesystem::path& path,
+                                           const ObservationStoreOptions& store_options) {
   using R = util::Result<LoadResult>;
   std::ifstream in(path);
   if (!in) return R::failure("load_observations: cannot open " + path.string());
@@ -172,6 +190,7 @@ util::Result<LoadResult> load_observations(const std::filesystem::path& path) {
   std::vector<util::CsvRow> rows;
   std::string line;
   LoadResult result;
+  result.store = ObservationStore(store_options);
   LoadStats& stats = result.stats;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();

@@ -70,7 +70,11 @@ util::Result<SaveStats> save_observations(const ObservationStore& store,
 /// Restores a store saved by save_observations. Malformed rows (bad MACs,
 /// unparsable numbers, short rows, unknown tags, contacts whose device row
 /// was lost) are quarantined, not fatal; only an unreadable file fails.
-[[nodiscard]] util::Result<LoadResult> load_observations(const std::filesystem::path& path);
+/// `store_options` configure the restored store — a recovery that will keep
+/// ingesting must restore with the original run's contact-history cap, or
+/// later compaction decisions diverge from the uninterrupted run's.
+[[nodiscard]] util::Result<LoadResult> load_observations(
+    const std::filesystem::path& path, const ObservationStoreOptions& store_options = {});
 
 /// Periodic checkpointing for a long-running capture: call maybe_checkpoint
 /// from the capture loop and a killed rig loses at most one interval of

@@ -4,6 +4,7 @@
 #include "net80211/frames.h"
 #include "net80211/pcap.h"
 #include "net80211/radiotap.h"
+#include "util/counters.h"
 
 namespace mm::capture {
 
@@ -46,7 +47,7 @@ void ingest_record(const net80211::PcapRecord& record, ObservationStore& store,
                    ReplayStats& stats) {
   const auto decoded = decode_record(record);
   if (!decoded) {
-    ++stats.malformed;
+    util::sat_inc(stats.malformed);  // quarantine counters never wrap
     return;
   }
   count_frame_class(decoded->cls, stats);

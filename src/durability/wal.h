@@ -1,0 +1,178 @@
+// Phoenix: the per-shard write-ahead log of decoded FrameEvents.
+//
+// Each Riptide shard owns one WAL directory of rotating segment files. The
+// worker appends every event it is about to apply — record framing is
+// [u32 payload_len][u32 crc32c][payload], payload = stream sequence + the
+// event fields in fixed little-endian layout — and group-commits the buffer
+// to disk every `commit_every_records` appends (fsync per commit is
+// configurable; the cadence is the durability/throughput dial). A process
+// crash therefore loses at most one uncommitted group, and a machine crash
+// at most the writes since the last fsync.
+//
+// The reader is built for the morning after: segments are scanned in
+// sequence order, every record is CRC-checked, and the first bad frame
+// truncates the segment there — the torn tail is counted (bytes + records)
+// and never applied. Arbitrary bytes on disk can produce an empty replay,
+// never a crash or an over-read (tests/durability_fuzz_test.cpp, in the
+// style of the net80211 parsers).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "capture/frame_event.h"
+#include "util/result.h"
+
+namespace mm::fault {
+class FaultInjector;
+}  // namespace mm::fault
+
+namespace mm::durability {
+
+/// One logged ingestion: the event plus its per-shard stream sequence (the
+/// exactly-once cursor checkpoints and recovery coordinate on).
+struct WalRecord {
+  std::uint64_t seq = 0;
+  capture::FrameEvent event;
+};
+
+/// Fixed payload size of the v1 record codec.
+inline constexpr std::size_t kWalPayloadBytes = 77;
+/// Framing sanity bound: a length field beyond this is a bad frame, not an
+/// allocation request.
+inline constexpr std::size_t kWalMaxPayloadBytes = 512;
+
+/// Serializes one record into exactly kWalPayloadBytes at `out`.
+void encode_wal_payload(const WalRecord& record, std::uint8_t* out) noexcept;
+void encode_wal_payload(std::uint64_t seq, const capture::FrameEvent& event,
+                        std::uint8_t* out) noexcept;
+
+/// Strict inverse; false when the payload is not a well-formed v1 record
+/// (wrong size, unknown event kind, oversized SSID length).
+[[nodiscard]] bool decode_wal_payload(std::span<const std::uint8_t> payload,
+                                      WalRecord& out) noexcept;
+
+struct WalWriterOptions {
+  std::size_t segment_bytes = 8u << 20;    ///< rotate threshold (committed bytes)
+  std::size_t commit_every_records = 256;  ///< group-commit cadence
+  bool fsync_on_commit = true;             ///< fsync each commit (machine-crash safety)
+  /// When set, each commit asks the injector whether this write is torn: the
+  /// segment is chopped mid-byte and the writer reports failure and refuses
+  /// further appends — exactly what a crash mid-write leaves behind.
+  fault::FaultInjector* injector = nullptr;
+};
+
+struct WalWriterStats {
+  std::uint64_t records = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t segments_opened = 0;
+  std::uint64_t committed_bytes = 0;
+  std::uint64_t last_committed_seq = 0;
+  std::uint64_t append_failures = 0;
+};
+
+class WalWriter {
+ public:
+  /// `dir` must exist; segments are created inside it lazily (named by the
+  /// first sequence they hold, so recovery can order and reclaim them
+  /// without reading).
+  WalWriter(std::filesystem::path dir, std::uint32_t shard, WalWriterOptions options);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Buffers one record; commits automatically every commit_every_records
+  /// appends and rotates segments at the size threshold. Fails only on I/O
+  /// error (or injected torn write), after which the writer is dead.
+  util::Result<bool> append(const WalRecord& record);
+
+  /// Hot-path variant: same as append(WalRecord) without materializing the
+  /// record — the shard worker logs every frame, so the copy matters.
+  util::Result<bool> append(std::uint64_t seq, const capture::FrameEvent& event);
+
+  /// Flushes everything buffered to the OS (and fsyncs per options). Called
+  /// by the shard worker on ring-idle so quiet periods leave no long tail.
+  util::Result<bool> commit();
+
+  /// commit() + close the current segment (fsync'd). The next append opens
+  /// a fresh segment.
+  util::Result<bool> seal();
+
+  [[nodiscard]] const WalWriterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] std::size_t buffered_records() const noexcept { return buffered_records_; }
+
+ private:
+  util::Result<bool> open_segment(std::uint64_t first_seq);
+  void close_fd() noexcept;
+
+  std::filesystem::path dir_;
+  std::uint32_t shard_;
+  WalWriterOptions options_;
+  WalWriterStats stats_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t buffered_records_ = 0;
+  std::uint64_t buffered_last_seq_ = 0;
+  std::filesystem::path segment_path_;
+  int fd_ = -1;
+  std::size_t segment_committed_bytes_ = 0;
+  bool failed_ = false;
+};
+
+/// One decoded segment, however damaged the bytes were.
+struct SegmentReadResult {
+  std::vector<WalRecord> records;
+  std::uint32_t shard = 0;
+  std::uint64_t first_seq = 0;
+  bool header_ok = false;
+  bool torn = false;                    ///< stopped at the first bad frame
+  std::uint64_t discarded_bytes = 0;    ///< tail bytes after the truncation point
+  std::uint64_t discarded_records = 0;  ///< lower bound: frames provably lost
+};
+
+/// Pure decoder over in-memory bytes; total on arbitrary input.
+[[nodiscard]] SegmentReadResult read_wal_segment_bytes(
+    std::span<const std::uint8_t> bytes);
+
+/// Reads and decodes one segment file. Fails only when the file cannot be
+/// read; damage is reported in the result, not as an error.
+[[nodiscard]] util::Result<SegmentReadResult> read_wal_segment(
+    const std::filesystem::path& path);
+
+/// Segment files in `dir`, sorted ascending by the first sequence encoded in
+/// their name.
+[[nodiscard]] std::vector<std::filesystem::path> list_wal_segments(
+    const std::filesystem::path& dir);
+
+struct WalReplayStats {
+  std::uint64_t segments_read = 0;
+  std::uint64_t records_seen = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t records_skipped = 0;  ///< seq <= from_seq (already checkpointed)
+  std::uint64_t torn_tails = 0;
+  std::uint64_t discarded_bytes = 0;
+  std::uint64_t discarded_records = 0;
+  std::uint64_t segments_abandoned = 0;  ///< after a mid-log torn segment
+  std::uint64_t max_seq = 0;             ///< highest sequence replayed or skipped
+};
+
+/// Replays every record with seq > from_seq, ascending, through `apply`.
+/// Replay stops at the first torn segment that is not the newest one: a hole
+/// in the middle of the log means later records would be applied out of
+/// order, so they are abandoned and counted instead.
+[[nodiscard]] util::Result<WalReplayStats> replay_wal(
+    const std::filesystem::path& dir, std::uint64_t from_seq,
+    const std::function<void(const WalRecord&)>& apply);
+
+/// Deletes segments whose every record is covered by `applied_seq` (proved
+/// by the next segment's starting sequence — the newest segment always
+/// survives). Returns how many were reclaimed.
+std::size_t reclaim_wal_segments(const std::filesystem::path& dir,
+                                 std::uint64_t applied_seq);
+
+}  // namespace mm::durability

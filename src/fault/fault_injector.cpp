@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <system_error>
 
+#include "util/counters.h"
+
 namespace mm::fault {
 
 namespace {
@@ -18,7 +20,9 @@ double FaultInjector::card_hash_uniform(std::uint64_t salt, std::uint64_t a,
 }
 
 FaultInjector::FrameAction FaultInjector::apply_frame(std::vector<std::uint8_t>& frame) {
-  ++stats_.frames_seen;
+  // Fault counters saturate rather than wrap: the injector runs inside
+  // multi-day soaks where a wrapped damage count would read as "clean".
+  util::sat_inc(stats_.frames_seen);
   // One bernoulli per channel, every frame, so the stream position (and
   // therefore which later frames get damaged) is independent of outcomes.
   const bool drop = rng_.bernoulli(plan_.drop_rate);
@@ -26,11 +30,11 @@ FaultInjector::FrameAction FaultInjector::apply_frame(std::vector<std::uint8_t>&
   const bool truncate = rng_.bernoulli(plan_.truncate_rate);
   const bool duplicate = rng_.bernoulli(plan_.duplicate_rate);
   if (drop) {
-    ++stats_.frames_dropped;
+    util::sat_inc(stats_.frames_dropped);
     return FrameAction::kDrop;
   }
   if (corrupt && !frame.empty()) {
-    ++stats_.frames_corrupted;
+    util::sat_inc(stats_.frames_corrupted);
     const auto flips = rng_.uniform_int(1, plan_.corrupt_bits_max);
     for (std::int64_t i = 0; i < flips; ++i) {
       const auto bit = static_cast<std::size_t>(
@@ -39,12 +43,12 @@ FaultInjector::FrameAction FaultInjector::apply_frame(std::vector<std::uint8_t>&
     }
   }
   if (truncate && !frame.empty()) {
-    ++stats_.frames_truncated;
+    util::sat_inc(stats_.frames_truncated);
     frame.resize(static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1)));
   }
   if (duplicate) {
-    ++stats_.frames_duplicated;
+    util::sat_inc(stats_.frames_duplicated);
     return FrameAction::kDuplicate;
   }
   return FrameAction::kPass;
@@ -91,7 +95,7 @@ bool FaultInjector::tear_file(const std::filesystem::path& path) {
                                     0, static_cast<std::int64_t>(size) - 1));
   std::filesystem::resize_file(path, keep, ec);
   if (ec) return false;
-  ++stats_.files_torn;
+  util::sat_inc(stats_.files_torn);
   return true;
 }
 

@@ -23,6 +23,7 @@
 #include <new>
 
 #include "capture/frame_event.h"
+#include "util/counters.h"
 
 namespace mm::pipeline {
 
@@ -96,7 +97,9 @@ class FrameRing {
     return true;
   }
 
-  void count_drop() noexcept { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  /// Saturating: a multi-day soak pinned at max still reads as "dropping",
+  /// never wraps back to a healthy-looking zero (util/counters.h).
+  void count_drop() noexcept { util::sat_fetch_add(dropped_); }
 
   [[nodiscard]] std::uint64_t pushed() const noexcept {
     return pushed_.load(std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "pipeline/live_feed.h"
 
 #include "net80211/pcap.h"
+#include "util/counters.h"
 
 namespace mm::pipeline {
 
@@ -20,7 +21,12 @@ util::Result<LiveFeedStats> feed_pcap(const std::filesystem::path& path,
   sim::ReplayClock clock(options.speed);
 
   LiveFeedStats stats;
+  std::uint64_t next_seq = 0;
   while (auto record = reader.next()) {
+    if (options.stop != nullptr && options.stop->load(std::memory_order_acquire)) {
+      stats.interrupted = true;
+      break;
+    }
     ++stats.replay.records;
     int deliveries = 1;
     if (inject) {
@@ -38,16 +44,22 @@ util::Result<LiveFeedStats> feed_pcap(const std::filesystem::path& path,
     for (int i = 0; i < deliveries; ++i) {
       const auto decoded = capture::decode_record(*record);
       if (!decoded) {
-        ++stats.replay.malformed;
+        util::sat_inc(stats.replay.malformed);
         continue;
       }
       capture::count_frame_class(decoded->cls, stats.replay);
       if (!decoded->has_event) continue;
       clock.wait_until(decoded->event.time_s);
-      if (tracker.push(decoded->event)) {
+      // Sequences are consumed per *event*, dropped or not (a full ring must
+      // not shift the numbering of everything behind it), and each injected
+      // duplicate gets its own — the dedup cursor must not confuse the two
+      // deliveries.
+      capture::FrameEvent event = decoded->event;
+      event.stream_seq = ++next_seq;
+      if (tracker.push(event)) {
         ++stats.pushed;
       } else {
-        ++stats.dropped;
+        util::sat_inc(stats.dropped);
       }
     }
   }

@@ -26,6 +26,11 @@ struct LiveFeedOptions {
   fault::FaultPlan fault_plan{};
   /// Wall-clock pacing: 0 = as fast as possible, 1 = capture speed.
   double speed = 0.0;
+  /// Cooperative cancellation (the `mmctl live` SIGINT/SIGTERM path): when
+  /// set and it becomes true, the feed stops between records and returns
+  /// normally with `interrupted` flagged, so the tracker can still drain and
+  /// write its final checkpoint.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct LiveFeedStats {
@@ -34,11 +39,19 @@ struct LiveFeedStats {
   capture::ReplayStats replay;
   std::uint64_t pushed = 0;   ///< events handed to the tracker
   std::uint64_t dropped = 0;  ///< events refused by a full ring (kDropNewest)
+  bool interrupted = false;   ///< stopped early by LiveFeedOptions::stop
 };
 
 /// Streams every intact record of the capture into the tracker. The tracker
 /// must be start()ed; the caller stop()s it afterwards to drain. Fails (as a
 /// Result) only when the file cannot be opened or is not a radiotap pcap.
+///
+/// Every event is stamped with a 1-based stream sequence before the push.
+/// The assignment is a pure function of the file + fault plan (the injector
+/// stream is deterministic and drops/duplicates are decided before decoding),
+/// so re-feeding the same capture after a crash reproduces the same
+/// sequences — which is what lets recovered shards skip exactly the events
+/// they already applied (Phoenix's exactly-once cursor).
 util::Result<LiveFeedStats> feed_pcap(const std::filesystem::path& path,
                                       LiveTracker& tracker,
                                       const LiveFeedOptions& options = {});

@@ -22,6 +22,43 @@ struct ShardStats {
   std::uint64_t ring_high_water = 0;      ///< peak ring occupancy
   std::uint64_t ring_capacity = 0;
   double frames_per_sec = 0.0;            ///< frames / engine wall-clock
+
+  // Phoenix durability (zero when the WAL is off).
+  std::uint64_t applied_seq = 0;          ///< exactly-once high-water mark
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_commits = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t wal_segments = 0;
+  std::uint64_t wal_append_failures = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t dedup_skipped = 0;        ///< re-fed events already applied pre-crash
+  bool wal_dead = false;                  ///< writer gave up after an I/O failure
+
+  // Phoenix supervision.
+  std::uint64_t restarts = 0;             ///< generations swapped in by the supervisor
+  std::uint64_t lost_events = 0;          ///< ring events unrecoverable at restart
+  bool degraded = false;                  ///< circuit-broken: partition has no worker
+};
+
+/// What recover() did — kept by the tracker and surfaced in `mmctl live
+/// --stats-json` so an operator can see how much of the pre-crash run came
+/// back and what the torn tails cost.
+struct RecoveryStats {
+  bool performed = false;
+  std::uint64_t checkpoints_loaded = 0;
+  std::uint64_t checkpoints_damaged = 0;   ///< newer checkpoints skipped as unusable
+  std::uint64_t checkpoint_rows_loaded = 0;
+  std::uint64_t checkpoint_rows_quarantined = 0;
+  std::uint64_t wal_segments_read = 0;
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t wal_records_skipped = 0;   ///< already covered by a checkpoint
+  std::uint64_t wal_torn_tails = 0;
+  std::uint64_t wal_discarded_records = 0;  ///< lower bound: frames in torn tails
+  std::uint64_t wal_segments_abandoned = 0; ///< after a mid-log torn segment
+  std::uint64_t devices_restored = 0;
+  std::uint64_t positions_republished = 0;
+  std::uint64_t max_applied_seq = 0;
 };
 
 struct PipelineStats {
@@ -32,6 +69,14 @@ struct PipelineStats {
   double frames_per_sec = 0.0;
   std::uint64_t directory_size = 0;       ///< devices with a published position
   std::uint64_t directory_overflows = 0;  ///< publishes refused: table at load limit
+
+  // Phoenix rollups.
+  bool durability_enabled = false;
+  std::uint64_t total_wal_records = 0;
+  std::uint64_t total_checkpoints = 0;
+  std::uint64_t total_restarts = 0;
+  std::uint64_t degraded_shards = 0;
+  RecoveryStats recovery{};  ///< zeroed when recover() never ran
 
   // locate() latency over the engine's lifetime, microseconds.
   std::uint64_t locate_count = 0;

@@ -45,6 +45,13 @@ struct LivePosition {
   std::uint8_t used_fallback = 0; ///< degraded: centroid-of-APs fallback
   std::uint16_t discs_rejected = 0;  ///< degraded: outlier discs removed
   std::uint64_t updates = 0;      ///< publish count (monotone; readers can diff)
+  /// Degraded: the owning shard is circuit-broken (Phoenix supervision), so
+  /// this position is the last word before the partition went down. Stamped
+  /// at *query* time by LiveTracker::locate()/snapshot() — deliberately NOT
+  /// part of the seqlock encoding, because the flag belongs to the shard,
+  /// not to any single publish, and must appear on positions published long
+  /// before the breaker tripped.
+  std::uint8_t shard_degraded = 0;
 
   [[nodiscard]] std::array<std::uint64_t, kWords> encode() const noexcept {
     return {std::bit_cast<std::uint64_t>(x_m), std::bit_cast<std::uint64_t>(y_m),

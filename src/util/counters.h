@@ -1,0 +1,36 @@
+// Saturating counter arithmetic for the long-haul accounting surfaces
+// (drop, quarantine, and fault counters). A multi-day soak must never wrap a
+// counter back to zero — a wrapped drop count reads as "healthy" exactly when
+// the engine has been shedding the longest. Saturation pins the counter at
+// max instead, which is unambiguous to an operator and monotone for the
+// harnesses that watch deltas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace mm::util {
+
+/// a + b, pinned at numeric_limits<uint64_t>::max() instead of wrapping.
+constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<std::uint64_t>::max() : sum;
+}
+
+/// counter = sat_add(counter, delta) for a plain counter field.
+constexpr void sat_inc(std::uint64_t& counter, std::uint64_t delta = 1) noexcept {
+  counter = sat_add(counter, delta);
+}
+
+/// Saturating increment of an atomic counter (CAS loop; the counter is cold —
+/// it only moves when something is being dropped or quarantined).
+inline void sat_fetch_add(std::atomic<std::uint64_t>& counter,
+                          std::uint64_t delta = 1) noexcept {
+  std::uint64_t seen = counter.load(std::memory_order_relaxed);
+  while (!counter.compare_exchange_weak(seen, sat_add(seen, delta),
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace mm::util

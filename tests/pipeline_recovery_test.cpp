@@ -1,0 +1,332 @@
+// Phoenix crash recovery, end to end: a child process ingests a capture with
+// durability on and _exit()s mid-ingest at a randomized offset (the hook
+// fires between the WAL append of the previous event and the apply of the
+// next — the worst places a crash can land). The parent then recovers from
+// whatever the corpse left on disk — checkpoint + WAL tail, possibly with a
+// torn segment — re-feeds the capture (the exactly-once cursor dedups the
+// recovered prefix), and must end bit-for-bit equal to an uninterrupted run:
+// same store slices, same published positions, clean or under a fault plan.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "capture/sniffer.h"
+#include "durability/wal.h"
+#include "marauder/ap_database.h"
+#include "pipeline/live_feed.h"
+#include "pipeline/live_tracker.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+
+namespace mm::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << a << " != " << b << " (bitwise)";
+}
+
+struct RecoveryScenario {
+  std::vector<sim::ApTruth> truth;
+  fs::path pcap_path;
+};
+
+/// Simulates a small campus capture (same shape as pipeline_live_test).
+RecoveryScenario record_capture(const char* pcap_name) {
+  RecoveryScenario s;
+  sim::CampusConfig campus;
+  campus.seed = 1337;
+  campus.num_aps = 60;
+  campus.half_extent_m = 200.0;
+  s.truth = sim::generate_campus_aps(campus);
+
+  sim::World world({.seed = 21, .propagation = nullptr});
+  sim::populate_world(world, s.truth, /*beacons_enabled=*/true);
+
+  const std::vector<geo::Vec2> positions = {
+      {40.0, -20.0}, {-60.0, 30.0}, {10.0, 70.0}, {-30.0, -50.0}};
+  std::vector<sim::MobileDevice*> devices;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    std::array<std::uint8_t, 6> bytes{0x00, 0x16, 0x6f, 0x00, 0x03,
+                                      static_cast<std::uint8_t>(i + 1)};
+    sim::MobileConfig mc;
+    mc.mac = net80211::MacAddress(bytes);
+    mc.mobility = std::make_shared<sim::StaticPosition>(positions[i]);
+    devices.push_back(world.add_mobile(std::make_unique<sim::MobileDevice>(mc)));
+  }
+
+  capture::ObservationStore store;
+  capture::SnifferConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.antenna_height_m = 20.0;
+  cfg.pcap_path = fs::temp_directory_path() / pcap_name;
+  {
+    capture::Sniffer sniffer(cfg, &store);
+    sniffer.attach(world);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      sim::MobileDevice* dev = devices[i];
+      world.queue().schedule(1.0 + 0.3 * static_cast<double>(i),
+                             [dev] { dev->trigger_scan(); });
+      world.queue().schedule(3.5 + 0.3 * static_cast<double>(i),
+                             [dev] { dev->trigger_scan(); });
+    }
+    world.run_until(7.0);
+  }
+  s.pcap_path = *cfg.pcap_path;
+  return s;
+}
+
+LiveTrackerConfig base_config(const fs::path& wal_dir) {
+  LiveTrackerConfig config;
+  config.shards = 4;
+  config.ring_capacity = 1 << 10;
+  config.drop_policy = DropPolicy::kBlock;  // lossless: equality must be exact
+  config.durability.dir = wal_dir;
+  config.durability.wal.commit_every_records = 4;
+  config.durability.wal.fsync_on_commit = false;  // _exit keeps OS-buffered writes
+  config.durability.checkpoint_interval_s = 0.0;  // checkpoints forced by tests
+  config.durability.checkpoint_save.fsync = false;
+  return config;
+}
+
+/// Runs the capture through a durable tracker to completion. The reference
+/// every crashed-and-recovered run must match.
+void run_uninterrupted(const RecoveryScenario& s, const fault::FaultPlan& plan,
+                       LiveTracker& tracker) {
+  tracker.start();
+  LiveFeedOptions options;
+  options.fault_plan = plan;
+  const auto fed = feed_pcap(s.pcap_path, tracker, options);
+  ASSERT_TRUE(fed.ok()) << fed.error();
+  tracker.stop();
+}
+
+/// Forks a child that ingests with the same config but _exit(42)s when the
+/// hook has seen `kill_after` events. Returns after reaping the child.
+void crash_mid_ingest(const RecoveryScenario& s, const marauder::ApDatabase& db,
+                      const fs::path& wal_dir, const fault::FaultPlan& plan,
+                      std::uint64_t kill_after) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: no gtest assertions (they would confuse the parent's report) —
+    // any outcome other than _exit(42) shows up as a wait-status mismatch.
+    static std::atomic<std::uint64_t> seen{0};
+    LiveTrackerConfig config = base_config(wal_dir);
+    config.durability.checkpoint_interval_s = 0.001;  // checkpoint aggressively
+    config.ingest_hook = [kill_after](std::size_t, const capture::FrameEvent&) {
+      if (seen.fetch_add(1, std::memory_order_relaxed) + 1 == kill_after) {
+        _exit(42);  // crash point: mid-event, WAL tail uncommitted
+      }
+    };
+    LiveTracker tracker(db, config);
+    tracker.start();
+    LiveFeedOptions options;
+    options.fault_plan = plan;
+    (void)feed_pcap(s.pcap_path, tracker, options);
+    tracker.stop();
+    _exit(7);  // capture was shorter than kill_after — test bug
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42) << "child did not die at the crash point";
+}
+
+/// The headline assertion: identical store slices and published positions.
+void expect_trackers_equal(LiveTracker& recovered, LiveTracker& reference) {
+  ASSERT_EQ(recovered.shard_count(), reference.shard_count());
+  for (std::size_t i = 0; i < reference.shard_count(); ++i) {
+    SCOPED_TRACE("shard " + std::to_string(i));
+    const auto& got = recovered.shard_store(i);
+    const auto& want = reference.shard_store(i);
+    ASSERT_EQ(got.device_count(), want.device_count());
+    for (const auto& mac : want.devices()) {
+      SCOPED_TRACE(mac.to_string());
+      const capture::DeviceRecord* w = want.device(mac);
+      const capture::DeviceRecord* g = got.device(mac);
+      ASSERT_NE(g, nullptr);
+      EXPECT_TRUE(bits_equal(g->first_seen, w->first_seen));
+      EXPECT_TRUE(bits_equal(g->last_seen, w->last_seen));
+      EXPECT_EQ(g->probe_requests, w->probe_requests);
+      EXPECT_EQ(g->directed_ssids, w->directed_ssids);
+      ASSERT_EQ(g->contacts.size(), w->contacts.size());
+      for (const auto& [ap, contact] : w->contacts) {
+        const auto it = g->contacts.find(ap);
+        ASSERT_NE(it, g->contacts.end()) << ap.to_string();
+        EXPECT_TRUE(bits_equal(it->second.first_seen, contact.first_seen));
+        EXPECT_TRUE(bits_equal(it->second.last_seen, contact.last_seen));
+        EXPECT_EQ(it->second.count, contact.count);
+        EXPECT_TRUE(bits_equal(it->second.last_rssi_dbm, contact.last_rssi_dbm));
+        EXPECT_EQ(it->second.times, contact.times);
+      }
+    }
+    ASSERT_EQ(got.ap_sightings().size(), want.ap_sightings().size());
+  }
+
+  auto want_snapshot = reference.snapshot();
+  auto got_snapshot = recovered.snapshot();
+  ASSERT_EQ(got_snapshot.size(), want_snapshot.size());
+  std::sort(want_snapshot.begin(), want_snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(got_snapshot.begin(), got_snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < want_snapshot.size(); ++i) {
+    SCOPED_TRACE(want_snapshot[i].first.to_string());
+    EXPECT_EQ(got_snapshot[i].first, want_snapshot[i].first);
+    const LivePosition& w = want_snapshot[i].second;
+    const LivePosition& g = got_snapshot[i].second;
+    EXPECT_TRUE(bits_equal(g.x_m, w.x_m));
+    EXPECT_TRUE(bits_equal(g.y_m, w.y_m));
+    EXPECT_EQ(g.gamma_size, w.gamma_size);
+    EXPECT_EQ(g.updates, w.updates);
+    EXPECT_EQ(g.ok, w.ok);
+    EXPECT_EQ(g.used_fallback, w.used_fallback);
+    EXPECT_EQ(g.discs_rejected, w.discs_rejected);
+  }
+}
+
+void crash_recover_compare(const RecoveryScenario& s, const marauder::ApDatabase& db,
+                           const fault::FaultPlan& plan, std::uint64_t kill_after,
+                           const char* tag, bool tear_wal_tail = false) {
+  SCOPED_TRACE(std::string(tag) + " kill_after=" + std::to_string(kill_after));
+  const fs::path ref_dir = fs::temp_directory_path() / (std::string(tag) + "_ref");
+  const fs::path crash_dir = fs::temp_directory_path() / (std::string(tag) + "_crash");
+  fs::remove_all(ref_dir);
+  fs::remove_all(crash_dir);
+  fs::create_directories(ref_dir);
+  fs::create_directories(crash_dir);
+
+  LiveTracker reference(db, base_config(ref_dir));
+  run_uninterrupted(s, plan, reference);
+
+  crash_mid_ingest(s, db, crash_dir, plan, kill_after);
+
+  if (tear_wal_tail) {
+    // The crash also tore the newest WAL segment of shard 0 mid-record: the
+    // torn records fall below the recovered high-water mark, so the re-feed
+    // re-applies them and equality still holds.
+    const fs::path shard0 = crash_dir / "shard-0";
+    const auto segments = durability::list_wal_segments(shard0);
+    if (!segments.empty()) {
+      std::error_code ec;
+      const auto size = fs::file_size(segments.back(), ec);
+      if (!ec && size > 5) fs::resize_file(segments.back(), size - 5, ec);
+    }
+  }
+
+  LiveTracker recovered(db, base_config(crash_dir));
+  const auto stats = recovered.recover();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_TRUE(stats.value().performed);
+  // A deep crash must have left durable state behind (a very early one may
+  // die before the first group commit or checkpoint — that is the point of
+  // the early offset: recovery of an empty corpse must also be correct).
+  if (kill_after >= 50) {
+    EXPECT_GT(stats.value().max_applied_seq, 0u);
+  }
+
+  // The recovered prefix is real pre-crash state: every restored device must
+  // exist in the reference with a bit-identical first sighting.
+  for (std::size_t i = 0; i < recovered.shard_count(); ++i) {
+    const auto& slice = recovered.shard_store(i);
+    for (const auto& mac : slice.devices()) {
+      const capture::DeviceRecord* w = reference.shard_store(i).device(mac);
+      ASSERT_NE(w, nullptr) << mac.to_string() << " restored but never existed";
+      EXPECT_TRUE(bits_equal(slice.device(mac)->first_seen, w->first_seen));
+    }
+  }
+
+  // Re-feed the whole capture: the cursor skips everything already applied.
+  recovered.start();
+  LiveFeedOptions options;
+  options.fault_plan = plan;
+  const auto fed = feed_pcap(s.pcap_path, recovered, options);
+  ASSERT_TRUE(fed.ok()) << fed.error();
+  recovered.stop();
+
+  const PipelineStats after = recovered.stats();
+  std::uint64_t dedup_skipped = 0;
+  for (const auto& shard : after.shards) dedup_skipped += shard.dedup_skipped;
+  if (kill_after >= 50) {
+    EXPECT_GT(dedup_skipped, 0u) << "recovery restored state but nothing deduped";
+  }
+
+  expect_trackers_equal(recovered, reference);
+
+  fs::remove_all(ref_dir);
+  fs::remove_all(crash_dir);
+}
+
+TEST(PipelineRecovery, KillAtRandomOffsetsRecoversBitForBit) {
+  const RecoveryScenario s = record_capture("mm_recovery_clean.pcap");
+  const auto db = marauder::ApDatabase::from_truth(s.truth, true);
+  // "Random" offsets, fixed for reproducibility: early (first commit group
+  // not full), mid-stream, and deep (past several checkpoints).
+  for (const std::uint64_t kill_after : {3u, 57u, 211u}) {
+    crash_recover_compare(s, db, {}, kill_after, "mm_rec_clean");
+  }
+  fs::remove(s.pcap_path);
+}
+
+TEST(PipelineRecovery, CrashUnderAFaultPlanRecoversBitForBit) {
+  const RecoveryScenario s = record_capture("mm_recovery_fault.pcap");
+  const auto db = marauder::ApDatabase::from_truth(s.truth, true);
+  fault::FaultPlan plan;
+  plan.corrupt_rate = 0.05;
+  plan.drop_rate = 0.02;
+  plan.duplicate_rate = 0.02;
+  plan.seed = 77;
+  // The fault stream is deterministic, so the reference run and the child's
+  // partial run damage the same frames and assign the same sequences.
+  for (const std::uint64_t kill_after : {23u, 140u}) {
+    crash_recover_compare(s, db, plan, kill_after, "mm_rec_fault");
+  }
+  fs::remove(s.pcap_path);
+}
+
+TEST(PipelineRecovery, TornWalTailStillRecoversBitForBit) {
+  const RecoveryScenario s = record_capture("mm_recovery_torn.pcap");
+  const auto db = marauder::ApDatabase::from_truth(s.truth, true);
+  crash_recover_compare(s, db, {}, 90, "mm_rec_torn", /*tear_wal_tail=*/true);
+  fs::remove(s.pcap_path);
+}
+
+TEST(PipelineRecovery, ColdDirectoryIsNotAnError) {
+  const RecoveryScenario s = record_capture("mm_recovery_cold.pcap");
+  const auto db = marauder::ApDatabase::from_truth(s.truth, true);
+  const fs::path dir = fs::temp_directory_path() / "mm_rec_cold";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  LiveTracker tracker(db, base_config(dir));
+  const auto stats = tracker.recover();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_EQ(stats.value().checkpoints_loaded, 0u);
+  EXPECT_EQ(stats.value().max_applied_seq, 0u);
+  // And the engine still runs normally afterwards.
+  tracker.start();
+  const auto fed = feed_pcap(s.pcap_path, tracker);
+  ASSERT_TRUE(fed.ok()) << fed.error();
+  tracker.stop();
+  EXPECT_GT(tracker.stats().total_frames, 0u);
+  fs::remove_all(dir);
+  fs::remove(s.pcap_path);
+}
+
+}  // namespace
+}  // namespace mm::pipeline

@@ -50,6 +50,16 @@ commands:
              --fault-plan <spec>       inject faults into the stream (see simulate)
              --reject-outliers         shed inconsistent discs in live M-Loc
              --stats-json <out.json>   machine-readable engine stats
+             --wal-dir <dir>           Phoenix durability: per-shard WAL +
+                                       checkpoints under <dir>/shard-N/
+             --checkpoint-secs <s>     checkpoint cadence (default: 30)
+             --no-fsync                skip fsync on WAL group commit
+             --recover                 replay checkpoint + WAL tail from
+                                       --wal-dir before ingesting
+             --supervise               run the shard watchdog (restarts
+                                       wedged/crashed shards)
+             SIGINT/SIGTERM drain the rings, flush a final checkpoint, and
+             still print/write the stats before exiting.
 )";
 }
 
