@@ -13,13 +13,15 @@ int main(int argc, char** argv) {
   const int k_max = static_cast<int>(flags.get_int("kmax", 20));
   const int trials = static_cast<int>(flags.get_int("trials", 8000));
   const std::uint64_t seed = flags.get_seed(2);
+  // Trials are counter-seeded, so any thread count prints the same numbers.
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
 
   std::cout << "Fig 2: expected intersected area vs #communicable APs (r = 1)\n\n";
   util::Table table({"k", "CA (Theorem 2)", "CA (Monte Carlo)", "k*CA"});
   for (int k = 1; k <= k_max; ++k) {
     const double formula = analysis::thm2_expected_area(k, 1.0);
     const double mc = analysis::thm2_monte_carlo_area(
-        k, 1.0, trials, seed + static_cast<std::uint64_t>(k));
+        k, 1.0, trials, seed + static_cast<std::uint64_t>(k), threads);
     table.add_row({std::to_string(k), util::Table::fmt(formula, 4),
                    util::Table::fmt(mc, 4), util::Table::fmt(k * formula, 4)});
   }

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   const int k = static_cast<int>(flags.get_int("k", 10));
   const int trials = static_cast<int>(flags.get_int("trials", 5000));
   const std::uint64_t seed = flags.get_seed(5);
+  // Trials are counter-seeded, so any thread count prints the same numbers.
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
 
   std::cout << "Fig 5: intersected area vs estimated distance R (k = " << k
             << ", true r = 1)\n\n";
@@ -21,8 +23,8 @@ int main(int argc, char** argv) {
   const double base = analysis::thm3_expected_area(k, 1.0, 1.0);
   for (double big_r = 1.0; big_r <= 3.01; big_r += 0.25) {
     const double formula = analysis::thm3_expected_area(k, 1.0, big_r);
-    const auto mc = analysis::thm3_monte_carlo(k, 1.0, big_r, trials,
-                                               seed + static_cast<std::uint64_t>(big_r * 100));
+    const auto mc = analysis::thm3_monte_carlo(
+        k, 1.0, big_r, trials, seed + static_cast<std::uint64_t>(big_r * 100), threads);
     table.add_row({util::Table::fmt(big_r, 2), util::Table::fmt(formula, 4),
                    util::Table::fmt(mc.mean_area, 4),
                    util::Table::fmt(formula / base, 2)});

@@ -1,0 +1,267 @@
+// Afterburner offline throughput: Tracker::locate_all over a synthetic
+// capture (serial vs threaded), the Gamma-memo cache's effect, and the
+// parallel Monte-Carlo / AP-Rad kernels. The acceptance bar is a >= 4x
+// locate_all speedup at 4 threads on a 4-core machine; every parallel run is
+// also checked bit-for-bit against its serial twin, and a mismatch is a hard
+// failure (determinism is the engine's contract, not an aspiration).
+//
+//   bench_offline_throughput [--devices N] [--clusters C] [--aps-per-device K]
+//                            [--reps R] [--threads T] [--mc-trials N]
+//                            [--out BENCH_offline.json]
+//
+// Devices are grouped into clusters that share one Gamma (phones in the same
+// room hear the same APs), so the duplicate fraction — and hence the cache
+// hit rate — is (devices - clusters) / devices by construction.
+#include <bit>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/theorems.h"
+#include "capture/observation_store.h"
+#include "marauder/ap_database.h"
+#include "marauder/aprad.h"
+#include "marauder/tracker.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mm;
+using ResultMap = std::map<net80211::MacAddress, marauder::LocalizationResult>;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Synthetic capture: `devices` devices in `clusters` co-located groups, each
+/// group contacting the same `aps_per_device` consecutive campus APs.
+capture::ObservationStore make_store(std::size_t devices, std::size_t clusters,
+                                     std::size_t aps_per_device,
+                                     const std::vector<sim::ApTruth>& truth,
+                                     std::uint64_t seed) {
+  capture::ObservationStore store;
+  util::Rng rng(seed);
+  std::vector<std::size_t> cluster_base(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    cluster_base[c] = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(truth.size()) - 1));
+  }
+  for (std::size_t d = 0; d < devices; ++d) {
+    const auto mac = net80211::MacAddress::from_u64(0x0016f0000000ULL + d);
+    const std::size_t base = cluster_base[d % clusters];
+    for (std::size_t k = 0; k < aps_per_device; ++k) {
+      const auto& ap = truth[(base + k) % truth.size()].bssid;
+      store.record_contact(ap, mac, 1.0 + 0.1 * static_cast<double>(k), -60.0);
+    }
+  }
+  return store;
+}
+
+bool same_result(const marauder::LocalizationResult& a,
+                 const marauder::LocalizationResult& b) {
+  if (a.ok != b.ok || a.used_fallback != b.used_fallback ||
+      a.discs_rejected != b.discs_rejected || a.num_aps != b.num_aps ||
+      std::bit_cast<std::uint64_t>(a.estimate.x) !=
+          std::bit_cast<std::uint64_t>(b.estimate.x) ||
+      std::bit_cast<std::uint64_t>(a.estimate.y) !=
+          std::bit_cast<std::uint64_t>(b.estimate.y) ||
+      a.discs.size() != b.discs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.discs.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.discs[i].center.x) !=
+            std::bit_cast<std::uint64_t>(b.discs[i].center.x) ||
+        std::bit_cast<std::uint64_t>(a.discs[i].center.y) !=
+            std::bit_cast<std::uint64_t>(b.discs[i].center.y) ||
+        std::bit_cast<std::uint64_t>(a.discs[i].radius) !=
+            std::bit_cast<std::uint64_t>(b.discs[i].radius)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_results(const ResultMap& a, const ResultMap& b) {
+  if (a.size() != b.size()) return false;
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    if (ita->first != itb->first || !same_result(ita->second, itb->second)) return false;
+  }
+  return true;
+}
+
+struct LocateRun {
+  double best_s = 0.0;
+  double devices_per_sec = 0.0;
+  marauder::GammaCacheStats cache;
+  ResultMap results;
+};
+
+/// Times locate_all on a fresh tracker per rep (cold cache each time, so the
+/// reported hit rate is the intra-run duplicate fraction, not rep warm-up).
+LocateRun run_locate(const marauder::ApDatabase& db,
+                     const capture::ObservationStore& store, std::size_t threads,
+                     bool gamma_cache, int reps) {
+  LocateRun run;
+  run.best_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    marauder::TrackerOptions options;
+    options.algorithm = marauder::Algorithm::kMLoc;
+    options.threads = threads;
+    options.gamma_cache = gamma_cache;
+    marauder::Tracker tracker(db, options);
+    const double t0 = now_seconds();
+    ResultMap results = tracker.locate_all(store);
+    const double elapsed = now_seconds() - t0;
+    run.best_s = std::min(run.best_s, elapsed);
+    run.cache = tracker.gamma_cache_stats();
+    run.results = std::move(results);
+  }
+  run.devices_per_sec =
+      run.best_s > 0.0 ? static_cast<double>(store.device_count()) / run.best_s : 0.0;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto devices = static_cast<std::size_t>(flags.get_int("devices", 4000));
+  const auto clusters = static_cast<std::size_t>(
+      flags.get_int("clusters", static_cast<std::int64_t>(devices) / 4));
+  const auto aps_per_device = static_cast<std::size_t>(flags.get_int("aps-per-device", 6));
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  const auto threads_flag = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::size_t threads =
+      threads_flag == 0 ? util::ThreadPool::default_parallelism() : threads_flag;
+  const int mc_trials = static_cast<int>(flags.get_int("mc-trials", 4000));
+  const std::string out_path = flags.get("out", "BENCH_offline.json");
+
+  sim::CampusConfig campus;
+  campus.seed = 2009;
+  campus.num_aps = 170;
+  const auto truth = sim::generate_campus_aps(campus);
+  const auto db = marauder::ApDatabase::from_truth(truth, true);
+  const auto store = make_store(devices, std::max<std::size_t>(clusters, 1),
+                                aps_per_device, truth, 0xafbe);
+
+  std::cout << "Afterburner offline throughput (" << devices << " devices, "
+            << clusters << " clusters, " << threads << " threads)\n\n";
+
+  // locate_all: serial w/o cache, serial w/ cache, threaded w/ cache.
+  const LocateRun serial_nocache = run_locate(db, store, 1, false, reps);
+  const LocateRun serial = run_locate(db, store, 1, true, reps);
+  const LocateRun threaded = run_locate(db, store, threads, true, reps);
+  const double cache_speedup =
+      serial.best_s > 0.0 ? serial_nocache.best_s / serial.best_s : 0.0;
+  const double locate_speedup =
+      threaded.best_s > 0.0 ? serial.best_s / threaded.best_s : 0.0;
+  const double hit_rate =
+      serial.cache.hits + serial.cache.misses > 0
+          ? static_cast<double>(serial.cache.hits) /
+                static_cast<double>(serial.cache.hits + serial.cache.misses)
+          : 0.0;
+  const bool locate_identical = same_results(serial_nocache.results, serial.results) &&
+                                same_results(serial.results, threaded.results);
+  std::cout << "locate_all serial (no cache): "
+            << static_cast<std::uint64_t>(serial_nocache.devices_per_sec)
+            << " devices/s\n"
+            << "locate_all serial (cache):    "
+            << static_cast<std::uint64_t>(serial.devices_per_sec) << " devices/s  ("
+            << cache_speedup << "x, hit rate " << hit_rate << ")\n"
+            << "locate_all threaded (cache):  "
+            << static_cast<std::uint64_t>(threaded.devices_per_sec) << " devices/s  ("
+            << locate_speedup << "x vs serial)\n";
+
+  // Parallel Monte-Carlo kernel (the bench_fig* workhorse).
+  const double mc_t0 = now_seconds();
+  const double mc_serial = analysis::thm2_monte_carlo_area(8, 1.0, mc_trials, 42, 1);
+  const double mc_serial_s = now_seconds() - mc_t0;
+  const double mc_t1 = now_seconds();
+  const double mc_threaded = analysis::thm2_monte_carlo_area(8, 1.0, mc_trials, 42, threads);
+  const double mc_threaded_s = now_seconds() - mc_t1;
+  const double mc_speedup = mc_threaded_s > 0.0 ? mc_serial_s / mc_threaded_s : 0.0;
+  const bool mc_identical = std::bit_cast<std::uint64_t>(mc_serial) ==
+                            std::bit_cast<std::uint64_t>(mc_threaded);
+  std::cout << "thm2 Monte Carlo (" << mc_trials << " trials): serial " << mc_serial_s
+            << " s, threaded " << mc_threaded_s << " s (" << mc_speedup << "x)\n";
+
+  // Parallel AP-Rad constraint generation.
+  const auto gammas = store.all_gammas();
+  const auto aprad_db = marauder::ApDatabase::from_truth(truth, false);
+  marauder::ApRadOptions aprad_serial_opts;
+  aprad_serial_opts.threads = 1;
+  marauder::ApRadOptions aprad_threaded_opts;
+  aprad_threaded_opts.threads = threads;
+  const double ar_t0 = now_seconds();
+  const auto radii_serial = marauder::aprad_estimate_radii(aprad_db, gammas, aprad_serial_opts);
+  const double aprad_serial_s = now_seconds() - ar_t0;
+  const double ar_t1 = now_seconds();
+  const auto radii_threaded =
+      marauder::aprad_estimate_radii(aprad_db, gammas, aprad_threaded_opts);
+  const double aprad_threaded_s = now_seconds() - ar_t1;
+  const double aprad_speedup =
+      aprad_threaded_s > 0.0 ? aprad_serial_s / aprad_threaded_s : 0.0;
+  bool aprad_identical = radii_serial.size() == radii_threaded.size();
+  if (aprad_identical) {
+    auto its = radii_serial.begin();
+    auto itt = radii_threaded.begin();
+    for (; its != radii_serial.end(); ++its, ++itt) {
+      if (its->first != itt->first || std::bit_cast<std::uint64_t>(its->second) !=
+                                          std::bit_cast<std::uint64_t>(itt->second)) {
+        aprad_identical = false;
+        break;
+      }
+    }
+  }
+  std::cout << "AP-Rad radii (" << gammas.size() << " gammas): serial " << aprad_serial_s
+            << " s, threaded " << aprad_threaded_s << " s (" << aprad_speedup << "x)\n\n";
+
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"offline_throughput\",\n"
+      << "  \"devices\": " << devices << ",\n"
+      << "  \"clusters\": " << clusters << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"serial_nocache_devices_per_sec\": " << serial_nocache.devices_per_sec << ",\n"
+      << "  \"serial_devices_per_sec\": " << serial.devices_per_sec << ",\n"
+      << "  \"threaded_devices_per_sec\": " << threaded.devices_per_sec << ",\n"
+      << "  \"locate_speedup\": " << locate_speedup << ",\n"
+      << "  \"cache_speedup\": " << cache_speedup << ",\n"
+      << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+      << "  \"locate_identical\": " << (locate_identical ? "true" : "false") << ",\n"
+      << "  \"mc_trials\": " << mc_trials << ",\n"
+      << "  \"mc_serial_s\": " << mc_serial_s << ",\n"
+      << "  \"mc_threaded_s\": " << mc_threaded_s << ",\n"
+      << "  \"mc_speedup\": " << mc_speedup << ",\n"
+      << "  \"mc_identical\": " << (mc_identical ? "true" : "false") << ",\n"
+      << "  \"aprad_serial_s\": " << aprad_serial_s << ",\n"
+      << "  \"aprad_threaded_s\": " << aprad_threaded_s << ",\n"
+      << "  \"aprad_speedup\": " << aprad_speedup << ",\n"
+      << "  \"aprad_identical\": " << (aprad_identical ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  // Determinism is a hard failure; throughput targets are machine-dependent
+  // and report WARN on small runners (the CI smoke job runs on whatever
+  // cores it gets).
+  const bool identical = locate_identical && mc_identical && aprad_identical;
+  std::cout << (identical ? "PASS" : "FAIL")
+            << ": parallel results bit-identical to serial\n";
+  const bool met = locate_speedup >= 4.0;
+  std::cout << (met ? "PASS" : "WARN") << ": locate_all speedup " << locate_speedup
+            << "x at " << threads << " threads (target >= 4x on >= 4 cores)\n";
+  const bool cache_met = cache_speedup >= 1.3;
+  std::cout << (cache_met ? "PASS" : "WARN") << ": Gamma-cache speedup " << cache_speedup
+            << "x (target >= 1.3x at 75% duplicate Gammas)\n";
+  return identical ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "analysis/theorems.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <numbers>
@@ -10,6 +11,7 @@
 #include "geo/circle.h"
 #include "geo/disc_intersection.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mm::analysis {
 
@@ -39,6 +41,18 @@ double panelled_integral(const std::function<double(double)>& f, double a, doubl
 geo::Vec2 uniform_in_disc(util::Rng& rng, geo::Vec2 center, double radius) {
   return center + geo::Vec2::from_polar(radius * std::sqrt(rng.uniform()), rng.angle());
 }
+
+/// Independent stream for one Monte-Carlo trial: the trial index is mixed
+/// into the seed, so trial t draws the same points no matter which thread —
+/// or how many threads — run the sweep.
+util::Rng trial_rng(std::uint64_t seed, int trial) {
+  return util::Rng(util::hash_combine(seed, static_cast<std::uint64_t>(trial)));
+}
+
+/// Trials per reduction chunk. Fixed (never derived from the thread count)
+/// so the grouping of the floating-point partial sums is an invariant of
+/// (trials, seed) alone.
+constexpr std::size_t kTrialChunk = 64;
 }  // namespace
 
 double thm2_expected_area(int k, double r) {
@@ -52,19 +66,27 @@ double thm2_expected_area(int k, double r) {
   return 8.0 * kPi * r * r * panelled_integral(integrand, 0.0, 1.0, 1e-12);
 }
 
-double thm2_monte_carlo_area(int k, double r, int trials, std::uint64_t seed) {
+double thm2_monte_carlo_area(int k, double r, int trials, std::uint64_t seed,
+                             std::size_t threads) {
   validate(k, r);
-  util::Rng rng(seed);
-  double total = 0.0;
-  std::vector<geo::Circle> discs;
-  for (int t = 0; t < trials; ++t) {
-    discs.clear();
-    for (int i = 0; i < k; ++i) {
-      discs.push_back({uniform_in_disc(rng, {0.0, 0.0}, r), r});
-    }
-    const auto region = geo::DiscIntersection::compute(discs);
-    total += region.empty() ? 0.0 : region.area();
-  }
+  const double total = util::parallel_reduce(
+      util::ThreadPool::shared(), static_cast<std::size_t>(std::max(trials, 0)),
+      kTrialChunk, threads, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        std::vector<geo::Circle> discs;
+        for (std::size_t t = begin; t < end; ++t) {
+          util::Rng rng = trial_rng(seed, static_cast<int>(t));
+          discs.clear();
+          for (int i = 0; i < k; ++i) {
+            discs.push_back({uniform_in_disc(rng, {0.0, 0.0}, r), r});
+          }
+          const auto region = geo::DiscIntersection::compute(discs);
+          partial += region.empty() ? 0.0 : region.area();
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return total / trials;
 }
 
@@ -94,26 +116,40 @@ double thm3_coverage_probability(int k, double r, double big_r) {
 }
 
 Thm3MonteCarlo thm3_monte_carlo(int k, double r, double big_r, int trials,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, std::size_t threads) {
   validate(k, r);
-  util::Rng rng(seed);
+  struct Partial {
+    double area = 0.0;
+    int covered = 0;
+  };
+  const Partial total = util::parallel_reduce(
+      util::ThreadPool::shared(), static_cast<std::size_t>(std::max(trials, 0)),
+      kTrialChunk, threads, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial partial;
+        std::vector<geo::Circle> discs;
+        for (std::size_t t = begin; t < end; ++t) {
+          util::Rng rng = trial_rng(seed, static_cast<int>(t));
+          discs.clear();
+          for (int i = 0; i < k; ++i) {
+            discs.push_back({uniform_in_disc(rng, {0.0, 0.0}, r), big_r});
+          }
+          const auto region = geo::DiscIntersection::compute(discs);
+          if (!region.empty()) {
+            partial.area += region.area();
+            if (region.contains({0.0, 0.0}, 1e-9)) ++partial.covered;
+          }
+        }
+        return partial;
+      },
+      [](Partial acc, const Partial& partial) {
+        acc.area += partial.area;
+        acc.covered += partial.covered;
+        return acc;
+      });
   Thm3MonteCarlo out;
-  std::vector<geo::Circle> discs;
-  int covered = 0;
-  double area_total = 0.0;
-  for (int t = 0; t < trials; ++t) {
-    discs.clear();
-    for (int i = 0; i < k; ++i) {
-      discs.push_back({uniform_in_disc(rng, {0.0, 0.0}, r), big_r});
-    }
-    const auto region = geo::DiscIntersection::compute(discs);
-    if (!region.empty()) {
-      area_total += region.area();
-      if (region.contains({0.0, 0.0}, 1e-9)) ++covered;
-    }
-  }
-  out.mean_area = area_total / trials;
-  out.coverage_probability = static_cast<double>(covered) / trials;
+  out.mean_area = total.area / trials;
+  out.coverage_probability = static_cast<double>(total.covered) / trials;
   return out;
 }
 

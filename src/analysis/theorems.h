@@ -9,6 +9,7 @@
 // when R < r.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mm::analysis {
@@ -18,8 +19,12 @@ namespace mm::analysis {
 
 /// Monte-Carlo estimate of the same quantity (k APs uniform in the disc of
 /// radius r around the mobile; exact disc-intersection area per trial).
+/// Each trial draws from its own counter-seeded stream and partial sums are
+/// combined in fixed chunk order, so the estimate is bit-identical at any
+/// `threads` (1 = serial, 0 = one per hardware core).
 [[nodiscard]] double thm2_monte_carlo_area(int k, double r, int trials,
-                                           std::uint64_t seed);
+                                           std::uint64_t seed,
+                                           std::size_t threads = 1);
 
 /// Theorem 3 expected intersected area when the estimated distance R >= r.
 [[nodiscard]] double thm3_expected_area(int k, double r, double big_r);
@@ -28,12 +33,14 @@ namespace mm::analysis {
 [[nodiscard]] double thm3_coverage_probability(int k, double r, double big_r);
 
 /// Monte-Carlo estimates for Theorem 3 (area and empirical coverage of the
-/// mobile's true location) under estimated distance R.
+/// mobile's true location) under estimated distance R. Counter-seeded per
+/// trial like thm2_monte_carlo_area: bit-identical at any `threads`.
 struct Thm3MonteCarlo {
   double mean_area = 0.0;
   double coverage_probability = 0.0;
 };
 [[nodiscard]] Thm3MonteCarlo thm3_monte_carlo(int k, double r, double big_r, int trials,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed,
+                                              std::size_t threads = 1);
 
 }  // namespace mm::analysis

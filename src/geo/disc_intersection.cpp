@@ -16,6 +16,32 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 constexpr double kEps = 1e-9;
 constexpr double kMinArcSpan = 1e-10;
 
+/// Disjointness test equivalent to a.disjoint_from(b, eps) but without the
+/// hypot: an axis-aligned bounding-box reject first (one subtract + compare
+/// per axis settles far-apart pairs, the common case on a metro-scale AP
+/// set), then the squared-distance comparison. Both sides of the exact
+/// compare are monotone transforms of the originals, so the decision only
+/// moves for tangencies inside the last ulp.
+bool disjoint_prefiltered(const Circle& a, const Circle& b, double eps) {
+  const double reach = a.radius + b.radius + eps;
+  if (reach < 0.0) return true;  // degenerate eps: nothing can touch
+  const double dx = std::abs(a.center.x - b.center.x);
+  const double dy = std::abs(a.center.y - b.center.y);
+  if (dx > reach || dy > reach) return true;  // bounding boxes already apart
+  return dx * dx + dy * dy > reach * reach;
+}
+
+/// Containment test equivalent to a.inside_of(b, eps), same treatment: a
+/// lies inside b iff |a.center - b.center| <= b.radius - a.radius + eps.
+bool inside_prefiltered(const Circle& a, const Circle& b, double eps) {
+  const double slack = b.radius - a.radius + eps;
+  if (slack < 0.0) return false;  // a is too big to fit regardless of position
+  const double dx = std::abs(a.center.x - b.center.x);
+  const double dy = std::abs(a.center.y - b.center.y);
+  if (dx > slack || dy > slack) return false;
+  return dx * dx + dy * dy <= slack * slack;
+}
+
 /// Angular interval [lo, hi] with 0 <= lo < hi <= 2*pi (wrapping intervals
 /// are split by the caller before entering an IntervalSet).
 struct Interval {
@@ -173,7 +199,7 @@ DiscIntersection DiscIntersection::compute(std::span<const Circle> discs) {
   // Early exit: any two discs disjoint => empty intersection.
   for (std::size_t i = 0; i < discs.size(); ++i) {
     for (std::size_t j = i + 1; j < discs.size(); ++j) {
-      if (discs[i].disjoint_from(discs[j], -kEps)) {
+      if (disjoint_prefiltered(discs[i], discs[j], -kEps)) {
         result.empty_ = true;
         result.discs_.assign(discs.begin(), discs.end());
         return result;
@@ -188,8 +214,8 @@ DiscIntersection DiscIntersection::compute(std::span<const Circle> discs) {
   for (std::size_t j = 0; j < discs.size(); ++j) {
     for (std::size_t i = 0; i < discs.size() && keep[j]; ++i) {
       if (i == j) continue;
-      if (discs[i].inside_of(discs[j], kEps) &&
-          (!discs[j].inside_of(discs[i], kEps) || i < j)) {
+      if (inside_prefiltered(discs[i], discs[j], kEps) &&
+          (!inside_prefiltered(discs[j], discs[i], kEps) || i < j)) {
         keep[j] = false;
       }
     }

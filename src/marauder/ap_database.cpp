@@ -1,5 +1,6 @@
 #include "marauder/ap_database.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -7,11 +8,23 @@
 
 namespace mm::marauder {
 
-void ApDatabase::add(KnownAp ap) { aps_[ap.bssid] = std::move(ap); }
+void ApDatabase::add(KnownAp ap) {
+  const net80211::MacAddress bssid = ap.bssid;
+  aps_.insert_or_assign(bssid, std::move(ap));
+}
 
 const KnownAp* ApDatabase::find(const net80211::MacAddress& bssid) const {
   const auto it = aps_.find(bssid);
   return it == aps_.end() ? nullptr : &it->second;
+}
+
+std::vector<const KnownAp*> ApDatabase::sorted_records() const {
+  std::vector<const KnownAp*> records;
+  records.reserve(aps_.size());
+  for (const auto& [mac, ap] : aps_) records.push_back(&ap);
+  std::sort(records.begin(), records.end(),
+            [](const KnownAp* a, const KnownAp* b) { return a->bssid < b->bssid; });
+  return records;
 }
 
 void ApDatabase::set_radius(const net80211::MacAddress& bssid, double radius_m) {
@@ -171,10 +184,10 @@ void ApDatabase::to_csv(const std::filesystem::path& path, const geo::EnuFrame& 
   };
   std::vector<util::CsvRow> rows;
   rows.push_back({"bssid", "ssid", "lat", "lon", "radius_m"});
-  for (const auto& [mac, ap] : aps_) {
-    const geo::Geodetic g = frame.to_geodetic(ap.position);
-    util::CsvRow row{mac.to_string(), ap.ssid, fmt(g.lat_deg), fmt(g.lon_deg),
-                     ap.radius_m ? fmt(*ap.radius_m) : std::string{}};
+  for (const KnownAp* ap : sorted_records()) {
+    const geo::Geodetic g = frame.to_geodetic(ap->position);
+    util::CsvRow row{ap->bssid.to_string(), ap->ssid, fmt(g.lat_deg), fmt(g.lon_deg),
+                     ap->radius_m ? fmt(*ap->radius_m) : std::string{}};
     rows.push_back(std::move(row));
   }
   util::csv_write_file(path, rows);

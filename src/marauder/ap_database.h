@@ -5,11 +5,11 @@
 #pragma once
 
 #include <filesystem>
-#include <map>
 #include <optional>
 #include <set>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "geo/circle.h"
@@ -43,9 +43,10 @@ class ApDatabase {
   [[nodiscard]] std::size_t size() const noexcept { return aps_.size(); }
   [[nodiscard]] bool empty() const noexcept { return aps_.empty(); }
   [[nodiscard]] const KnownAp* find(const net80211::MacAddress& bssid) const;
-  [[nodiscard]] const std::map<net80211::MacAddress, KnownAp>& records() const {
-    return aps_;
-  }
+  /// Records in ascending-BSSID order. The backing store is a hash map (one
+  /// mixed-u64 probe per disc lookup on the locate hot path), so ordered
+  /// consumers — CSV export, CLI listings — sort here instead.
+  [[nodiscard]] std::vector<const KnownAp*> sorted_records() const;
 
   /// Overwrites the stored radius of one AP (used by AP-Rad's LP output).
   void set_radius(const net80211::MacAddress& bssid, double radius_m);
@@ -87,7 +88,7 @@ class ApDatabase {
       CsvImportStats* stats = nullptr);
 
  private:
-  std::map<net80211::MacAddress, KnownAp> aps_;
+  std::unordered_map<net80211::MacAddress, KnownAp, net80211::MacHasher> aps_;
 };
 
 }  // namespace mm::marauder

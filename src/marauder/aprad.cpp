@@ -5,13 +5,23 @@
 #include <utility>
 
 #include "lp/simplex.h"
+#include "util/thread_pool.h"
 
 namespace mm::marauder {
+
+namespace {
+
+using IndexPair = std::pair<std::size_t, std::size_t>;
+using PairSet = std::set<IndexPair>;
+
+}  // namespace
 
 std::map<net80211::MacAddress, double> aprad_estimate_radii(
     const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
     const ApRadOptions& options) {
-  // Observed APs (known to the database) become LP variables.
+  // Observed APs (known to the database) become LP variables. This scan
+  // stays serial: variable indices follow first-appearance order across the
+  // gamma list, and that order feeds everything downstream.
   std::vector<net80211::MacAddress> observed;
   std::map<net80211::MacAddress, std::size_t> index;
   for (const auto& gamma : gammas) {
@@ -23,21 +33,37 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
   std::map<net80211::MacAddress, double> radii;
   if (observed.empty()) return radii;
 
-  // Co-observation matrix: pairs that appear together in some Gamma.
-  std::set<std::pair<std::size_t, std::size_t>> co_observed;
-  for (const auto& gamma : gammas) {
-    std::vector<std::size_t> members;
-    for (const auto& mac : gamma) {
-      const auto it = index.find(mac);
-      if (it != index.end()) members.push_back(it->second);
-    }
-    for (std::size_t a = 0; a < members.size(); ++a) {
-      for (std::size_t b = a + 1; b < members.size(); ++b) {
-        co_observed.emplace(std::min(members[a], members[b]),
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  const std::size_t par = options.threads;  // run_chunks maps 0 to all cores
+
+  // Co-observation matrix: pairs that appear together in some Gamma. Gammas
+  // are scanned in fixed chunks; each chunk emits a local pair set and the
+  // sets are unioned in chunk order (a set union is order-insensitive anyway,
+  // so any thread count yields the same matrix).
+  const PairSet co_observed = util::parallel_reduce(
+      pool, gammas.size(), /*chunk_size=*/16, par, PairSet{},
+      [&](std::size_t begin, std::size_t end) {
+        PairSet local;
+        std::vector<std::size_t> members;
+        for (std::size_t g = begin; g < end; ++g) {
+          members.clear();
+          for (const auto& mac : gammas[g]) {
+            const auto it = index.find(mac);
+            if (it != index.end()) members.push_back(it->second);
+          }
+          for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+              local.emplace(std::min(members[a], members[b]),
                             std::max(members[a], members[b]));
-      }
-    }
-  }
+            }
+          }
+        }
+        return local;
+      },
+      [](PairSet acc, const PairSet& part) {
+        acc.insert(part.begin(), part.end());
+        return acc;
+      });
 
   std::vector<geo::Vec2> position(observed.size());
   for (std::size_t i = 0; i < observed.size(); ++i) {
@@ -46,30 +72,56 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
 
   // Soft "<" upper bounds against each AP's nearest non-co-observed
   // neighbours (the binding pressure is local; an unlimited O(n^2) set of
-  // soft rows would swamp the solver on a dense campus).
-  std::set<std::pair<std::size_t, std::size_t>> less_pairs;
-  for (std::size_t i = 0; i < observed.size(); ++i) {
-    std::vector<std::pair<double, std::size_t>> candidates;
-    for (std::size_t j = 0; j < observed.size(); ++j) {
-      if (j == i) continue;
-      const auto key = std::minmax(i, j);
-      if (co_observed.count({key.first, key.second}) != 0) continue;
-      const double d = position[i].distance_to(position[j]);
-      if (d < 2.0 * options.max_radius_m) candidates.emplace_back(d, j);
-    }
-    std::sort(candidates.begin(), candidates.end());
-    const std::size_t take = std::min(options.max_less_neighbors, candidates.size());
-    for (std::size_t c = 0; c < take; ++c) {
-      const auto key = std::minmax(i, candidates[c].second);
-      less_pairs.insert({key.first, key.second});
-    }
+  // soft rows would swamp the solver on a dense campus). The per-AP
+  // neighbour scan is the O(n^2) hot spot — each AP's scan is independent,
+  // so rows of `selected` fill in parallel and are folded in i order below.
+  // Selected distances are kept alongside the pairs: the LP rounds used to
+  // re-derive every "<" row's distance per round.
+  std::vector<std::vector<std::pair<IndexPair, double>>> selected(observed.size());
+  util::parallel_map_into(
+      pool, par, selected,
+      [&](std::size_t i) {
+        std::vector<std::pair<double, std::size_t>> candidates;
+        for (std::size_t j = 0; j < observed.size(); ++j) {
+          if (j == i) continue;
+          const auto key = std::minmax(i, j);
+          if (co_observed.count({key.first, key.second}) != 0) continue;
+          const double d = position[i].distance_to(position[j]);
+          if (d < 2.0 * options.max_radius_m) candidates.emplace_back(d, j);
+        }
+        std::sort(candidates.begin(), candidates.end());
+        const std::size_t take = std::min(options.max_less_neighbors, candidates.size());
+        std::vector<std::pair<IndexPair, double>> rows;
+        rows.reserve(take);
+        for (std::size_t c = 0; c < take; ++c) {
+          const auto key = std::minmax(i, candidates[c].second);
+          rows.push_back({{key.first, key.second}, candidates[c].first});
+        }
+        return rows;
+      },
+      /*chunk_size=*/8);
+  std::map<IndexPair, double> less_rows;  // pair -> distance, deduped
+  for (const auto& rows : selected) {
+    for (const auto& [pair, d] : rows) less_rows.emplace(pair, d);
   }
+
+  // Flatten the co-observation matrix and precompute its distances once —
+  // the row-generation loop below re-scanned these per LP round. Ascending
+  // co_pairs order is exactly the old set-iteration order.
+  const std::vector<IndexPair> co_pairs(co_observed.begin(), co_observed.end());
+  std::vector<double> co_dist(co_pairs.size());
+  util::parallel_map_into(
+      pool, par, co_dist,
+      [&](std::size_t k) {
+        return position[co_pairs[k].first].distance_to(position[co_pairs[k].second]);
+      },
+      /*chunk_size=*/64);
 
   // Hard ">=" co-observation rows by *row generation*: rich evidence yields
   // thousands of co-observed pairs, but maximizing sum(r) satisfies nearly
   // all of them for free — only those the "<" pressure actually violates
   // need to enter the LP. Solve, find violated rows, add them, repeat.
-  std::set<std::pair<std::size_t, std::size_t>> active_hard;
+  std::vector<char> hard_active(co_pairs.size(), 0);
   lp::Solution solution;
   for (int round = 0; round < 8; ++round) {
     lp::LinearProgram program(observed.size());
@@ -77,15 +129,17 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
       program.set_objective(i, 1.0);  // maximize sum of radii (overestimate bias)
       program.add_upper_bound(i, options.max_radius_m);
     }
-    for (const auto& [i, j] : less_pairs) {
-      program.add_constraint({{{i, 1.0}, {j, 1.0}},
+    for (const auto& [pair, d] : less_rows) {
+      program.add_constraint({{{pair.first, 1.0}, {pair.second, 1.0}},
                               lp::Relation::kLessEqual,
-                              position[i].distance_to(position[j]) - options.epsilon_m,
+                              d - options.epsilon_m,
                               /*soft=*/true,
                               options.soft_penalty});
     }
-    for (const auto& [i, j] : active_hard) {
-      const double d = position[i].distance_to(position[j]);
+    for (std::size_t k = 0; k < co_pairs.size(); ++k) {
+      if (hard_active[k] == 0) continue;
+      const auto& [i, j] = co_pairs[k];
+      const double d = co_dist[k];
       // Under the disc model d <= r_i + r_j <= 2*cap always holds; polluted
       // evidence (a device that moved between two sightings) can violate
       // that, so rows the caps cannot satisfy become soft instead of making
@@ -105,11 +159,11 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
     }
 
     std::size_t added = 0;
-    for (const auto& pair : co_observed) {
-      if (active_hard.count(pair) != 0) continue;
-      const double d = position[pair.first].distance_to(position[pair.second]);
-      if (solution.values[pair.first] + solution.values[pair.second] < d - 1e-6) {
-        active_hard.insert(pair);
+    for (std::size_t k = 0; k < co_pairs.size(); ++k) {
+      if (hard_active[k] != 0) continue;
+      if (solution.values[co_pairs[k].first] + solution.values[co_pairs[k].second] <
+          co_dist[k] - 1e-6) {
+        hard_active[k] = 1;
         ++added;
       }
     }

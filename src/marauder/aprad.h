@@ -45,6 +45,10 @@ struct ApRadOptions {
   /// coverage guarantee exponentially in k, so residual noise in the
   /// co-observation evidence is absorbed upward.
   double overestimate_bias_m = 10.0;
+  /// Parallelism for constraint generation (co-observation pairs and the
+  /// O(n^2) "<" neighbour scan): 1 = serial, 0 = one per hardware core.
+  /// Output is bit-identical at any setting (fixed chunks, ordered merge).
+  std::size_t threads = 1;
   MLocOptions mloc;
 };
 

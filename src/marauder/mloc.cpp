@@ -35,17 +35,47 @@ void estimate_from_region(LocalizationResult& result, const geo::DiscIntersectio
   result.estimate = acc / static_cast<double>(vertices.size());
 }
 
-/// Index of the disc most inconsistent with the rest: the one whose worst
-/// pairwise gap (centre distance minus the two radii) is largest.
-std::size_t most_violating_disc(const std::vector<geo::Circle>& discs) {
+/// Pairwise centre distances, computed once per rejection pass. The greedy
+/// loop below runs O(n) compute() calls per eviction and, before this cache,
+/// re-derived all O(n^2) centre distances on every most_violating_disc()
+/// call on top of that; the matrix makes each lookup a load of the exact
+/// same double the direct computation would produce.
+class PairwiseDistances {
+ public:
+  explicit PairwiseDistances(const std::vector<geo::Circle>& discs)
+      : n_(discs.size()), d_(n_ * n_, 0.0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const double d = discs[i].center.distance_to(discs[j].center);
+        d_[i * n_ + j] = d;
+        d_[j * n_ + i] = d;
+      }
+    }
+  }
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return d_[i * n_ + j];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+/// Index (into `retained`) of the disc most inconsistent with the rest: the
+/// one whose worst pairwise gap (centre distance minus the two radii) is
+/// largest. `original` maps retained positions back to rows of `dist`.
+std::size_t most_violating_disc(const std::vector<geo::Circle>& retained,
+                                const std::vector<std::size_t>& original,
+                                const PairwiseDistances& dist) {
   std::size_t worst = 0;
   double worst_gap = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < discs.size(); ++i) {
+  for (std::size_t i = 0; i < retained.size(); ++i) {
     double gap = -std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < discs.size(); ++j) {
+    for (std::size_t j = 0; j < retained.size(); ++j) {
       if (i == j) continue;
-      const double d = discs[i].center.distance_to(discs[j].center);
-      gap = std::max(gap, d - discs[i].radius - discs[j].radius);
+      const double d = dist(original[i], original[j]);
+      gap = std::max(gap, d - retained[i].radius - retained[j].radius);
     }
     if (gap > worst_gap) {
       worst_gap = gap;
@@ -63,6 +93,9 @@ std::size_t most_violating_disc(const std::vector<geo::Circle>& discs) {
 /// empty at the budget.
 std::optional<std::size_t> reject_outliers(std::vector<geo::Circle>& retained,
                                            std::size_t max_outliers) {
+  const PairwiseDistances dist(retained);
+  std::vector<std::size_t> original(retained.size());
+  for (std::size_t i = 0; i < original.size(); ++i) original[i] = i;
   std::size_t rejected = 0;
   while (rejected < max_outliers && retained.size() > 1) {
     std::size_t best = retained.size();
@@ -79,8 +112,9 @@ std::optional<std::size_t> reject_outliers(std::vector<geo::Circle>& retained,
         best_area = region.area();
       }
     }
-    if (best == retained.size()) best = most_violating_disc(retained);
+    if (best == retained.size()) best = most_violating_disc(retained, original, dist);
     retained.erase(retained.begin() + static_cast<std::ptrdiff_t>(best));
+    original.erase(original.begin() + static_cast<std::ptrdiff_t>(best));
     ++rejected;
     if (!geo::DiscIntersection::compute(retained).empty()) return rejected;
   }

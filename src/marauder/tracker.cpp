@@ -1,8 +1,69 @@
 #include "marauder/tracker.h"
 
+#include <bit>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mm::marauder {
+
+namespace {
+
+/// Method tags mixed into the Gamma-cache key so the M-Loc and AP-Rad
+/// keyspaces cannot collide (their MLocOptions differ).
+constexpr std::uint64_t kCacheTagMLoc = 0x4d2d4c6f63ULL;    // "M-Loc"
+constexpr std::uint64_t kCacheTagApRad = 0x41502d526164ULL; // "AP-Rad"
+
+/// Key of a disc set: every coordinate enters the hash through its exact bit
+/// pattern, so two Gammas collide only when their discs are identical to the
+/// last bit (and a full equality check below rules out hash collisions).
+std::uint64_t disc_set_key(const std::vector<geo::Circle>& discs, std::uint64_t tag) {
+  std::uint64_t h = util::hash_combine(tag, discs.size());
+  for (const geo::Circle& disc : discs) {
+    h = util::hash_combine(h, std::bit_cast<std::uint64_t>(disc.center.x));
+    h = util::hash_combine(h, std::bit_cast<std::uint64_t>(disc.center.y));
+    h = util::hash_combine(h, std::bit_cast<std::uint64_t>(disc.radius));
+  }
+  return h;
+}
+
+bool same_discs(const std::vector<geo::Circle>& a, const std::vector<geo::Circle>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i].center.x) !=
+            std::bit_cast<std::uint64_t>(b[i].center.x) ||
+        std::bit_cast<std::uint64_t>(a[i].center.y) !=
+            std::bit_cast<std::uint64_t>(b[i].center.y) ||
+        std::bit_cast<std::uint64_t>(a[i].radius) !=
+            std::bit_cast<std::uint64_t>(b[i].radius)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Thread-safe memo of mloc_locate by disc set. Entries keep their full disc
+/// vector: the 64-bit key is only a bucket address, equality is exact, so a
+/// hit returns precisely what recomputing would have.
+struct Tracker::GammaCache {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, std::vector<std::pair<std::vector<geo::Circle>,
+                                                          LocalizationResult>>>
+      entries;
+  GammaCacheStats stats;
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.clear();
+    stats = {};
+  }
+};
 
 const char* to_string(Algorithm algorithm) noexcept {
   switch (algorithm) {
@@ -23,7 +84,9 @@ const char* to_string(Algorithm algorithm) noexcept {
 }
 
 Tracker::Tracker(ApDatabase db, TrackerOptions options)
-    : db_(std::move(db)), options_(std::move(options)) {
+    : db_(std::move(db)),
+      options_(std::move(options)),
+      cache_(std::make_shared<GammaCache>()) {
   if (options_.algorithm == Algorithm::kApLoc) {
     throw std::invalid_argument("Tracker: AP-Loc requires from_training()");
   }
@@ -56,11 +119,17 @@ void Tracker::prepare(const capture::ObservationStore& store,
   std::vector<std::set<net80211::MacAddress>> gammas =
       store.session_gammas(options_.session_gap_s, window);
   gammas.insert(gammas.end(), training_evidence_.begin(), training_evidence_.end());
-  const auto radii = aprad_estimate_radii(db_, gammas, options_.aprad);
+  // One parallelism knob for the whole tracker: the constraint-generation
+  // scans inherit locate_all's thread budget.
+  ApRadOptions aprad = options_.aprad;
+  aprad.threads = options_.threads;
+  const auto radii = aprad_estimate_radii(db_, gammas, aprad);
   for (const auto& [mac, radius] : radii) {
     if (radius > 0.0) db_.set_radius(mac, radius);
   }
   prepared_ = true;
+  // The LP just rewrote the radii, so every memoized disc set is stale.
+  cache_->clear();
 }
 
 LocalizationResult Tracker::locate(const capture::ObservationStore& store,
@@ -69,19 +138,29 @@ LocalizationResult Tracker::locate(const capture::ObservationStore& store,
   const auto gamma = store.gamma(device, window);
   switch (options_.algorithm) {
     case Algorithm::kMLoc: {
-      LocalizationResult result =
-          mloc_locate(db_.discs_for(gamma, options_.default_radius_m), options_.mloc);
+      LocalizationResult result = cached_mloc(
+          db_.discs_for(gamma, options_.default_radius_m), options_.mloc, kCacheTagMLoc);
       result.method = "M-Loc";
       return result;
     }
     case Algorithm::kApRad: {
       if (!prepared_) {
-        throw std::logic_error("Tracker: call prepare() before locate() for AP-Rad/AP-Loc");
+        // Faultline convention: degrade, don't throw. Without the LP radii
+        // the defensible disc set is the Theorem-1 cap for every heard AP —
+        // a coarse but covering region — and the result is flagged so the
+        // display can grey it out.
+        LocalizationResult result =
+            cached_mloc(db_.discs_for(gamma, options_.aprad.max_radius_m),
+                        options_.aprad.mloc, kCacheTagApRad);
+        result.method = "AP-Rad";
+        result.used_fallback = true;
+        return result;
       }
       // Radii were materialized into db_ by prepare(); unknown ones fall
       // back to the cap (overestimates preferred, Theorem 3).
-      LocalizationResult result = mloc_locate(
-          db_.discs_for(gamma, options_.aprad.max_radius_m), options_.aprad.mloc);
+      LocalizationResult result =
+          cached_mloc(db_.discs_for(gamma, options_.aprad.max_radius_m),
+                      options_.aprad.mloc, kCacheTagApRad);
       result.method = "AP-Rad";
       return result;
     }
@@ -112,12 +191,61 @@ LocalizationResult Tracker::locate(const capture::ObservationStore& store,
 std::map<net80211::MacAddress, LocalizationResult> Tracker::locate_all(
     const capture::ObservationStore& store,
     const capture::ObservationWindow& window) const {
+  const std::vector<net80211::MacAddress> devices = store.devices();
+  // Per-device localizations are independent: fan out over the sorted device
+  // list, slot each result by index, then fold into the map in MAC order —
+  // the exact sequence the serial loop produced.
+  std::vector<LocalizationResult> per_device(devices.size());
+  util::parallel_map_into(
+      util::ThreadPool::shared(), options_.threads, per_device,
+      [&](std::size_t i) { return locate(store, devices[i], window); },
+      /*chunk_size=*/4);
   std::map<net80211::MacAddress, LocalizationResult> results;
-  for (const auto& mac : store.devices()) {
-    LocalizationResult result = locate(store, mac, window);
-    if (result.ok) results.emplace(mac, std::move(result));
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (per_device[i].ok) results.emplace(devices[i], std::move(per_device[i]));
   }
   return results;
+}
+
+LocalizationResult Tracker::cached_mloc(std::vector<geo::Circle> discs,
+                                        const MLocOptions& mloc,
+                                        std::uint64_t method_tag) const {
+  if (!options_.gamma_cache) return mloc_locate(discs, mloc);
+  const std::uint64_t key = disc_set_key(discs, method_tag);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    const auto it = cache_->entries.find(key);
+    if (it != cache_->entries.end()) {
+      for (const auto& [cached_discs, cached_result] : it->second) {
+        if (same_discs(cached_discs, discs)) {
+          ++cache_->stats.hits;
+          return cached_result;
+        }
+      }
+    }
+  }
+  LocalizationResult result = mloc_locate(discs, mloc);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    ++cache_->stats.misses;
+    auto& bucket = cache_->entries[key];
+    // A racing thread may have inserted the same Gamma while we computed;
+    // mloc_locate is deterministic, so either copy is the same answer.
+    bool present = false;
+    for (const auto& [cached_discs, cached_result] : bucket) {
+      if (same_discs(cached_discs, discs)) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) bucket.emplace_back(std::move(discs), result);
+  }
+  return result;
+}
+
+GammaCacheStats Tracker::gamma_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->stats;
 }
 
 }  // namespace mm::marauder

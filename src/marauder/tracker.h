@@ -4,7 +4,9 @@
 // Marauder's map display feeds from.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "capture/observation_store.h"
@@ -29,9 +31,24 @@ struct TrackerOptions {
   /// one device further apart than this are separate Gamma sessions (the
   /// paper's "within a short period of time").
   double session_gap_s = 5.0;
+  /// Parallelism for locate_all() and prepare()'s AP-Rad constraint
+  /// generation: 1 = serial, 0 = one per hardware core. Per-device tasks are
+  /// merged in ascending-MAC order, so the result map is identical — bit for
+  /// bit — at any setting.
+  std::size_t threads = 1;
+  /// Memoize localization by Gamma disc set. Co-located devices (same room,
+  /// same AP contacts) share identical disc sets, and M-Loc / AP-Rad are
+  /// pure functions of those discs — so repeats cost one hash + compare.
+  bool gamma_cache = true;
   ApRadOptions aprad;
   ApLocOptions aploc;
   MLocOptions mloc;
+};
+
+/// Counters for the Gamma-memo cache (cumulative since the last prepare()).
+struct GammaCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
 };
 
 class Tracker {
@@ -61,11 +78,23 @@ class Tracker {
   [[nodiscard]] const ApDatabase& database() const noexcept { return db_; }
   [[nodiscard]] const TrackerOptions& options() const noexcept { return options_; }
 
+  /// Hit/miss counters of the Gamma-memo cache (zeros when disabled).
+  [[nodiscard]] GammaCacheStats gamma_cache_stats() const;
+
  private:
+  struct GammaCache;  ///< keyed by hashed disc set; thread-safe
+
+  /// M-Loc through the Gamma-memo cache. `method_tag` distinguishes the
+  /// M-Loc and AP-Rad keyspaces; `mloc` must be the per-algorithm options.
+  [[nodiscard]] LocalizationResult cached_mloc(std::vector<geo::Circle> discs,
+                                               const MLocOptions& mloc,
+                                               std::uint64_t method_tag) const;
+
   ApDatabase db_;
   TrackerOptions options_;
   std::vector<std::set<net80211::MacAddress>> training_evidence_;
   bool prepared_ = false;
+  std::shared_ptr<GammaCache> cache_;  ///< shared_ptr keeps Tracker movable
 };
 
 }  // namespace mm::marauder

@@ -1,0 +1,179 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace mm::util {
+
+namespace {
+
+/// One run_chunks() invocation: an atomic chunk cursor shared by the caller
+/// and its helper jobs. Chunk boundaries are fixed up front, so which
+/// participant executes a chunk never affects what the chunk computes.
+struct Batch {
+  const ThreadPool::ChunkFn* fn = nullptr;
+  std::size_t count = 0;
+  std::size_t chunk_size = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t outstanding_jobs = 0;  ///< helper jobs queued or running (guarded)
+  std::exception_ptr error;          ///< first failure wins (guarded)
+
+  void drain() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(count, begin + chunk_size);
+      try {
+        (*fn)(c, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Abandon the remaining chunks: the batch is failing anyway and the
+        // caller will rethrow.
+        next.store(chunks, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::size_t max_workers = 0;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<Batch>> queue;  ///< one entry per requested helper
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping
+        batch = std::move(queue.front());
+        queue.pop_front();
+      }
+      batch->drain();
+      {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        --batch->outstanding_jobs;
+      }
+      batch->done_cv.notify_one();
+    }
+  }
+
+  /// Spawns helpers up to the cap; called under mutex.
+  void ensure_workers(std::size_t want) {
+    const std::size_t target = std::min(want, max_workers);
+    while (workers.size() < target) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t max_workers) : impl_(std::make_unique<Impl>()) {
+  impl_->max_workers =
+      max_workers == 0 ? ThreadPool::default_parallelism() : max_workers;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::max_workers() const noexcept { return impl_->max_workers; }
+
+std::size_t ThreadPool::spawned_workers() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->workers.size();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Sized past the hardware so determinism tests (1 vs 2 vs 8 threads) run
+  // real concurrency even on small CI machines; workers are lazy, so the
+  // cap costs nothing until someone asks for that much parallelism.
+  static ThreadPool instance(std::max<std::size_t>(default_parallelism(), 16) - 1);
+  return instance;
+}
+
+std::size_t ThreadPool::default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::run_chunks(std::size_t count, std::size_t chunk_size,
+                            std::size_t parallelism, const ChunkFn& fn) {
+  if (count == 0) return;
+  chunk_size = std::max<std::size_t>(chunk_size, 1);
+  const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
+  if (parallelism == 0) parallelism = default_parallelism();
+  const std::size_t helpers =
+      std::min({parallelism - 1, impl_->max_workers, chunks - 1});
+
+  if (helpers == 0) {
+    // Serial fast path: no queue, no atomics. Chunk boundaries are the same
+    // ones the parallel path uses, so results match it bit for bit.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(c, c * chunk_size, std::min(count, (c + 1) * chunk_size));
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  batch->chunk_size = chunk_size;
+  batch->chunks = chunks;
+  batch->outstanding_jobs = helpers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->ensure_workers(helpers);
+    for (std::size_t h = 0; h < helpers; ++h) impl_->queue.push_back(batch);
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller drains too: even if every worker is busy with other batches
+  // (including a batch *this call* is nested inside), the chunks all get
+  // executed and the nested call can't deadlock.
+  batch->drain();
+
+  // Helper jobs that never left the queue have nothing left to do — cancel
+  // them so the wait below only covers jobs actually running on a worker.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto& queue = impl_->queue;
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (*it == batch) {
+        it = queue.erase(it);
+        std::lock_guard<std::mutex> batch_lock(batch->mutex);
+        --batch->outstanding_jobs;
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done_cv.wait(lock, [&] { return batch->outstanding_jobs == 0; });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+}
+
+}  // namespace mm::util

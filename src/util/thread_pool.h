@@ -1,0 +1,107 @@
+// Afterburner: the offline attack stack's chunked thread pool.
+//
+// The offline path (Tracker::locate_all over every captured device, AP-Rad
+// constraint generation, the bench harness's Monte-Carlo sweeps) is
+// embarrassingly parallel but must stay *bit-for-bit deterministic*: a
+// replayed attack is evidence, and EXPERIMENTS.md promises every number is
+// reproducible from its seed regardless of the machine. The pool therefore
+// never lets scheduling order leak into results:
+//
+//   * work is split into fixed-size chunks whose boundaries depend only on
+//     (count, chunk_size) — never on the thread count — and each chunk knows
+//     its index, so per-chunk partial results land in pre-assigned slots;
+//   * reductions combine those partials in chunk-index order, which keeps
+//     even floating-point sums identical at 1, 2, or 64 threads;
+//   * `parallelism == 1` runs inline on the caller with no queue or atomics,
+//     so the serial path is trivially the same computation.
+//
+// The calling thread always participates in draining its own chunk set, so a
+// nested run_chunks() from inside a pool worker makes progress even when
+// every worker is busy — no deadlock, no special nesting rules. Workers are
+// spawned lazily up to the pool's cap and persist (blocked on a condvar)
+// between batches.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace mm::util {
+
+class ThreadPool {
+ public:
+  /// A pool that lazily spawns up to `max_workers` helper threads
+  /// (0 = one per hardware core). The caller of run_chunks() is always an
+  /// additional participant, so total concurrency is `parallelism` when
+  /// `parallelism - 1 <= max_workers`.
+  explicit ThreadPool(std::size_t max_workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t max_workers() const noexcept;
+  /// Helper threads actually spawned so far.
+  [[nodiscard]] std::size_t spawned_workers() const;
+
+  /// Process-wide pool shared by the offline stack. Sized generously enough
+  /// that determinism tests can run real threads even on small machines.
+  static ThreadPool& shared();
+
+  /// Hardware concurrency, clamped to >= 1 (the conventional meaning of
+  /// `threads == 0` in the offline options structs).
+  [[nodiscard]] static std::size_t default_parallelism();
+
+  using ChunkFn =
+      std::function<void(std::size_t chunk_index, std::size_t begin, std::size_t end)>;
+
+  /// Runs fn(chunk_index, begin, end) over the fixed-size chunks of
+  /// [0, count). `parallelism` is the total number of concurrent
+  /// participants including the caller (0 = default_parallelism(); 1 = run
+  /// inline, touching no queue). Blocks until every chunk has run; the
+  /// first exception thrown by any chunk is rethrown here (remaining
+  /// chunks are abandoned).
+  void run_chunks(std::size_t count, std::size_t chunk_size, std::size_t parallelism,
+                  const ChunkFn& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Deterministic parallel map: out[i] = fn(i) for i in [0, out.size()).
+/// Results are slotted by index, so the output is identical at any
+/// parallelism.
+template <typename R, typename Fn>
+void parallel_map_into(ThreadPool& pool, std::size_t parallelism, std::vector<R>& out,
+                       Fn&& fn, std::size_t chunk_size = 1) {
+  pool.run_chunks(out.size(), chunk_size, parallelism,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+                  });
+}
+
+/// Deterministic chunk-ordered reduce: per_chunk(begin, end) -> Acc partial,
+/// partials combined left-to-right in chunk-index order. Because the chunk
+/// boundaries depend only on chunk_size, the grouping of floating-point
+/// additions — and hence the result, to the last bit — is independent of
+/// the thread count.
+template <typename Acc, typename ChunkFn, typename CombineFn>
+[[nodiscard]] Acc parallel_reduce(ThreadPool& pool, std::size_t count,
+                                  std::size_t chunk_size, std::size_t parallelism,
+                                  Acc init, ChunkFn&& per_chunk, CombineFn&& combine) {
+  if (count == 0) return init;
+  chunk_size = std::max<std::size_t>(chunk_size, 1);
+  const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
+  std::vector<Acc> partials(chunks);
+  pool.run_chunks(count, chunk_size, parallelism,
+                  [&](std::size_t c, std::size_t begin, std::size_t end) {
+                    partials[c] = per_chunk(begin, end);
+                  });
+  Acc acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c) acc = combine(std::move(acc), partials[c]);
+  return acc;
+}
+
+}  // namespace mm::util

@@ -1,0 +1,209 @@
+// Afterburner's core promise: the parallel offline stack is bit-for-bit
+// identical to its serial twin at any thread count — locate_all (clean and
+// under an active fault plan), AP-Rad's constraint generation, the
+// Monte-Carlo theorem kernels, and the Gamma-memo cache. Run under TSan in
+// CI alongside the pool contract tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/theorems.h"
+#include "capture/sniffer.h"
+#include "marauder/aprad.h"
+#include "marauder/tracker.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+
+namespace mm {
+namespace {
+
+using ResultMap = std::map<net80211::MacAddress, marauder::LocalizationResult>;
+
+bool bit_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_same_results(const ResultMap& a, const ResultMap& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first);
+    const marauder::LocalizationResult& ra = ita->second;
+    const marauder::LocalizationResult& rb = itb->second;
+    EXPECT_EQ(ra.ok, rb.ok);
+    EXPECT_EQ(ra.used_fallback, rb.used_fallback);
+    EXPECT_EQ(ra.discs_rejected, rb.discs_rejected);
+    EXPECT_EQ(ra.num_aps, rb.num_aps);
+    EXPECT_TRUE(bit_equal(ra.estimate.x, rb.estimate.x)) << ita->first.to_string();
+    EXPECT_TRUE(bit_equal(ra.estimate.y, rb.estimate.y)) << ita->first.to_string();
+    ASSERT_EQ(ra.discs.size(), rb.discs.size());
+    for (std::size_t i = 0; i < ra.discs.size(); ++i) {
+      EXPECT_TRUE(bit_equal(ra.discs[i].center.x, rb.discs[i].center.x));
+      EXPECT_TRUE(bit_equal(ra.discs[i].center.y, rb.discs[i].center.y));
+      EXPECT_TRUE(bit_equal(ra.discs[i].radius, rb.discs[i].radius));
+    }
+  }
+}
+
+struct Capture {
+  std::vector<sim::ApTruth> truth;
+  capture::ObservationStore store;
+};
+
+/// Static devices scattered over a campus, one scan each, optionally through
+/// a fault plan (corrupted evidence exercises the outlier-rejection path).
+Capture make_capture(const fault::FaultPlan& plan = {}) {
+  Capture c;
+  sim::CampusConfig campus;
+  campus.seed = 1717;
+  campus.num_aps = 120;
+  campus.half_extent_m = 280.0;
+  c.truth = sim::generate_campus_aps(campus);
+
+  sim::World world({.seed = 29, .propagation = nullptr});
+  sim::populate_world(world, c.truth, /*beacons_enabled=*/false);
+
+  std::vector<sim::MobileDevice*> devices;
+  for (std::size_t i = 0; i < 12; ++i) {
+    sim::MobileConfig mc;
+    std::array<std::uint8_t, 6> bytes{0x00, 0x16, 0x6f, 0x00, 0x02,
+                                      static_cast<std::uint8_t>(i + 1)};
+    mc.mac = net80211::MacAddress(bytes);
+    mc.profile.probes = false;
+    const double x = -150.0 + 75.0 * static_cast<double>(i % 5);
+    const double y = -100.0 + 100.0 * static_cast<double>(i / 5);
+    mc.mobility = std::make_shared<sim::StaticPosition>(geo::Vec2{x, y});
+    devices.push_back(world.add_mobile(std::make_unique<sim::MobileDevice>(mc)));
+  }
+
+  capture::SnifferConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.antenna_height_m = 20.0;
+  cfg.fault_plan = plan;
+  capture::Sniffer sniffer(cfg, &c.store);
+  sniffer.attach(world);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    sim::MobileDevice* dev = devices[i];
+    world.queue().schedule(1.0 + 0.25 * static_cast<double>(i),
+                           [dev] { dev->trigger_scan(); });
+  }
+  world.run_until(6.0);
+  return c;
+}
+
+ResultMap locate_all_with(const Capture& c, std::size_t threads, bool cache,
+                          bool reject_outliers) {
+  marauder::TrackerOptions options;
+  options.algorithm = marauder::Algorithm::kMLoc;
+  options.threads = threads;
+  options.gamma_cache = cache;
+  options.mloc.reject_outliers = reject_outliers;
+  marauder::Tracker tracker(marauder::ApDatabase::from_truth(c.truth, true), options);
+  return tracker.locate_all(c.store);
+}
+
+TEST(AfterburnerDeterminism, LocateAllBitIdenticalAcrossThreadCounts) {
+  const Capture c = make_capture();
+  ASSERT_GE(c.store.device_count(), 10u);
+  const ResultMap serial = locate_all_with(c, 1, true, false);
+  ASSERT_FALSE(serial.empty());
+  expect_same_results(serial, locate_all_with(c, 2, true, false));
+  expect_same_results(serial, locate_all_with(c, 8, true, false));
+}
+
+TEST(AfterburnerDeterminism, GammaCacheDoesNotChangeResults) {
+  const Capture c = make_capture();
+  expect_same_results(locate_all_with(c, 1, false, false),
+                      locate_all_with(c, 8, true, false));
+}
+
+TEST(AfterburnerDeterminism, LocateAllIdenticalUnderFaultPlan) {
+  // Corrupted frames make inconsistent disc sets likely, so this run drives
+  // the greedy rejection path (distance-matrix code) across thread counts.
+  fault::FaultPlan plan;
+  plan.corrupt_rate = 0.08;
+  plan.duplicate_rate = 0.05;
+  const Capture c = make_capture(plan);
+  ASSERT_GE(c.store.device_count(), 8u);
+  const ResultMap serial = locate_all_with(c, 1, true, true);
+  ASSERT_FALSE(serial.empty());
+  expect_same_results(serial, locate_all_with(c, 2, true, true));
+  expect_same_results(serial, locate_all_with(c, 8, true, true));
+}
+
+TEST(AfterburnerDeterminism, ApRadRadiiIdenticalAcrossThreadCounts) {
+  const Capture c = make_capture();
+  const auto gammas = c.store.all_gammas();
+  ASSERT_FALSE(gammas.empty());
+  const auto db = marauder::ApDatabase::from_truth(c.truth, false);
+
+  auto radii_at = [&](std::size_t threads) {
+    marauder::ApRadOptions options;
+    options.threads = threads;
+    return marauder::aprad_estimate_radii(db, gammas, options);
+  };
+  const auto serial = radii_at(1);
+  ASSERT_FALSE(serial.empty());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto parallel = radii_at(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    auto its = serial.begin();
+    auto itp = parallel.begin();
+    for (; its != serial.end(); ++its, ++itp) {
+      EXPECT_EQ(its->first, itp->first);
+      EXPECT_TRUE(bit_equal(its->second, itp->second)) << its->first.to_string();
+    }
+  }
+}
+
+TEST(AfterburnerDeterminism, MonteCarloKernelsBitIdenticalAcrossThreadCounts) {
+  const double serial2 = analysis::thm2_monte_carlo_area(6, 1.0, 500, 77, 1);
+  EXPECT_TRUE(bit_equal(serial2, analysis::thm2_monte_carlo_area(6, 1.0, 500, 77, 2)));
+  EXPECT_TRUE(bit_equal(serial2, analysis::thm2_monte_carlo_area(6, 1.0, 500, 77, 8)));
+
+  const auto serial3 = analysis::thm3_monte_carlo(6, 1.0, 0.9, 500, 77, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto parallel = analysis::thm3_monte_carlo(6, 1.0, 0.9, 500, 77, threads);
+    EXPECT_TRUE(bit_equal(serial3.mean_area, parallel.mean_area));
+    EXPECT_TRUE(bit_equal(serial3.coverage_probability, parallel.coverage_probability));
+  }
+}
+
+TEST(AfterburnerDeterminism, GammaCacheHitsOnSharedGammasAndStaysExact) {
+  // Two co-located device groups: every device in a group hears the same
+  // APs, so each group costs one M-Loc solve and the rest are cache hits.
+  sim::CampusConfig campus;
+  campus.seed = 55;
+  campus.num_aps = 40;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  capture::ObservationStore store;
+  for (std::size_t d = 0; d < 10; ++d) {
+    const auto mac = net80211::MacAddress::from_u64(0x0016f0001000ULL + d);
+    const std::size_t base = (d % 2) * 7;
+    for (std::size_t k = 0; k < 4; ++k) {
+      store.record_contact(truth[base + k].bssid, mac, 1.0, -55.0);
+    }
+  }
+
+  marauder::TrackerOptions options;
+  options.algorithm = marauder::Algorithm::kMLoc;
+  marauder::Tracker cached(marauder::ApDatabase::from_truth(truth, true), options);
+  const ResultMap with_cache = cached.locate_all(store);
+  const auto stats = cached.gamma_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);  // one per distinct Gamma
+  EXPECT_EQ(stats.hits, 8u);
+
+  options.gamma_cache = false;
+  marauder::Tracker uncached(marauder::ApDatabase::from_truth(truth, true), options);
+  expect_same_results(with_cache, uncached.locate_all(store));
+}
+
+}  // namespace
+}  // namespace mm

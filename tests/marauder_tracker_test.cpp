@@ -150,10 +150,44 @@ TEST(TrackerEndToEnd, LocateAllCoversVictim) {
   EXPECT_EQ(all.count(kVictim), 1u);
 }
 
-TEST(Tracker, ApRadRequiresPrepare) {
+TEST(Tracker, ApRadWithoutPrepareDegradesInsteadOfThrowing) {
+  // Faultline convention: an unprepared AP-Rad tracker (no LP radii yet)
+  // answers with the Theorem-1 radius cap and flags the result degraded —
+  // it never throws.
+  const Pipeline p = run_campus_walk(707);
+  Tracker tracker(ApDatabase::from_truth(p.truth, false),
+                  {.algorithm = Algorithm::kApRad});
+  const auto& [t, true_pos] = p.samples[p.samples.size() / 2];
+  const capture::ObservationWindow window{t - 1.0, t + 5.0};
+  ASSERT_GE(p.store.gamma(kVictim, window).size(), 2u);
+
+  const LocalizationResult unprepared = tracker.locate(p.store, kVictim, window);
+  EXPECT_TRUE(unprepared.ok);
+  EXPECT_TRUE(unprepared.degraded());
+  EXPECT_EQ(unprepared.method, "AP-Rad");
+  // Every disc carries the cap, not an estimated radius.
+  for (const auto& disc : unprepared.discs) {
+    EXPECT_DOUBLE_EQ(disc.radius, tracker.options().aprad.max_radius_m);
+  }
+
+  // After prepare() the same query answers from the LP radii: at least one
+  // disc shrinks below the blanket cap.
+  tracker.prepare(p.store);
+  const LocalizationResult prepared = tracker.locate(p.store, kVictim, window);
+  EXPECT_TRUE(prepared.ok);
+  bool any_estimated = false;
+  for (const auto& disc : prepared.discs) {
+    if (disc.radius < tracker.options().aprad.max_radius_m) any_estimated = true;
+  }
+  EXPECT_TRUE(any_estimated);
+}
+
+TEST(Tracker, ApRadUnpreparedEmptyGammaStaysNotOk) {
   Tracker tracker(ApDatabase{}, {.algorithm = Algorithm::kApRad});
   const capture::ObservationStore store;
-  EXPECT_THROW((void)tracker.locate(store, kVictim), std::logic_error);
+  const LocalizationResult result = tracker.locate(store, kVictim);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.degraded());
 }
 
 TEST(Tracker, ApLocConstructorRejected) {

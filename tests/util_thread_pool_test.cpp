@@ -1,0 +1,138 @@
+// Afterburner pool contract: every chunk runs exactly once, exceptions
+// propagate, nesting cannot deadlock, and chunk-ordered reduction is
+// bit-identical at any parallelism. Run under TSan in CI.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mm::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.run_chunks(kCount, 7, 4, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfParallelism) {
+  ThreadPool pool(8);
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::pair<std::size_t, std::size_t>> bounds(4);
+    pool.run_chunks(10, 3, parallelism,
+                    [&](std::size_t c, std::size_t begin, std::size_t end) {
+                      bounds[c] = {begin, end};
+                    });
+    EXPECT_EQ(bounds[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+    EXPECT_EQ(bounds[1], (std::pair<std::size_t, std::size_t>{3, 6}));
+    EXPECT_EQ(bounds[2], (std::pair<std::size_t, std::size_t>{6, 9}));
+    EXPECT_EQ(bounds[3], (std::pair<std::size_t, std::size_t>{9, 10}));
+  }
+}
+
+TEST(ThreadPool, SerialPathSpawnsNoWorkers) {
+  ThreadPool pool(4);
+  std::size_t ran = 0;
+  pool.run_chunks(100, 10, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+    ran += end - begin;  // single-threaded by contract: no atomics needed
+  });
+  EXPECT_EQ(ran, 100u);
+  EXPECT_EQ(pool.spawned_workers(), 0u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_chunks(100, 1, 4,
+                      [&](std::size_t c, std::size_t, std::size_t) {
+                        if (c == 13) throw std::runtime_error("chunk 13");
+                      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NestedRunChunksCompletes) {
+  // Caller participation makes nesting safe even when the inner batch gets
+  // no helpers: every level drains its own chunks.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run_chunks(8, 1, 4, [&](std::size_t, std::size_t, std::size_t) {
+    pool.run_chunks(8, 1, 4, [&](std::size_t, std::size_t begin, std::size_t end) {
+      inner_total.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPool, ReduceBitIdenticalAcrossParallelism) {
+  ThreadPool pool(8);
+  // Summands spanning ~12 orders of magnitude: any regrouping of the
+  // additions would change the result, so equality here is the determinism
+  // guarantee, not luck.
+  constexpr std::size_t kCount = 10'000;
+  std::vector<double> values(kCount);
+  Rng rng(99);
+  for (auto& v : values) v = std::exp(rng.uniform(-14.0, 14.0));
+
+  auto sum_at = [&](std::size_t parallelism) {
+    return parallel_reduce(
+        pool, kCount, 64, parallelism, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double partial = 0.0;
+          for (std::size_t i = begin; i < end; ++i) partial += values[i];
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  const double serial = sum_at(1);
+  EXPECT_EQ(serial, sum_at(2));
+  EXPECT_EQ(serial, sum_at(8));
+}
+
+TEST(ThreadPool, MapIntoFillsEverySlot) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> out(257);
+  parallel_map_into(pool, 4, out, [](std::size_t i) { return i * i; }, 5);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ConcurrentBatchesFromManyThreads) {
+  // The shared pool serves every offline component at once; hammer one pool
+  // from several caller threads to give TSan something to chew on.
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::atomic<std::size_t> grand_total{0};
+  for (int c = 0; c < 6; ++c) {
+    callers.emplace_back([&] {
+      for (int iter = 0; iter < 20; ++iter) {
+        std::atomic<std::size_t> local{0};
+        pool.run_chunks(100, 3, 4, [&](std::size_t, std::size_t begin, std::size_t end) {
+          local.fetch_add(end - begin);
+        });
+        grand_total.fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(grand_total.load(), 6u * 20u * 100u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.run_chunks(0, 8, 4, [&](std::size_t, std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace mm::util

@@ -106,8 +106,8 @@ int cmd_locate(const util::Flags& flags) {
   util::Table table({"identity (first MAC)", "aliases", "track pts", "last x (m)",
                      "last y (m)", "lat", "lon", "|Gamma|", "degraded"});
   maps::MarauderMap map("mmctl locate — " + algorithm_name, frame);
-  for (const auto& [mac, ap] : tracker.database().records()) {
-    map.add_ap(ap.position, ap.ssid, ap.radius_m);
+  for (const marauder::KnownAp* ap : tracker.database().sorted_records()) {
+    map.add_ap(ap->position, ap->ssid, ap->radius_m);
   }
 
   std::size_t located = 0;
