@@ -104,6 +104,22 @@ std::set<net80211::MacAddress> ObservationStore::gamma(
   return aps;
 }
 
+std::vector<net80211::MacAddress> ObservationStore::gamma_sorted(
+    const net80211::MacAddress& device, const ObservationWindow& window) const {
+  std::vector<net80211::MacAddress> aps;
+  const DeviceRecord* rec = this->device(device);
+  if (rec == nullptr) return aps;
+  aps.reserve(rec->contacts.size());
+  // contacts is an ordered map, so appending in iteration order yields the
+  // ascending-BSSID order gamma() produces.
+  for (const auto& [ap, contact] : rec->contacts) {
+    const bool in_window = std::any_of(contact.times.begin(), contact.times.end(),
+                                       [&](sim::SimTime t) { return window.contains(t); });
+    if (in_window) aps.push_back(ap);
+  }
+  return aps;
+}
+
 std::vector<std::set<net80211::MacAddress>> ObservationStore::all_gammas(
     const ObservationWindow& window) const {
   std::vector<std::set<net80211::MacAddress>> gammas;

@@ -94,6 +94,13 @@ class ObservationStore {
   [[nodiscard]] std::set<net80211::MacAddress> gamma(
       const net80211::MacAddress& device, const ObservationWindow& window = {}) const;
 
+  /// Gamma as a sorted vector — the same members in the same ascending order
+  /// as gamma(), without the per-member red-black-tree node allocations (the
+  /// contact map is already ordered, so this is one linear pass). The locate
+  /// hot paths consume this; gamma() remains for set-algebra callers.
+  [[nodiscard]] std::vector<net80211::MacAddress> gamma_sorted(
+      const net80211::MacAddress& device, const ObservationWindow& window = {}) const;
+
   /// Gamma sets of all devices (input to AP-Rad's co-observation constraints).
   [[nodiscard]] std::vector<std::set<net80211::MacAddress>> all_gammas(
       const ObservationWindow& window = {}) const;

@@ -72,9 +72,35 @@ double Sniffer::decode_probability(double rssi_dbm, rf::Channel tx, rf::Channel 
   const double penalty = rf::cross_channel_penalty_db(tx, card);
   if (std::isinf(penalty)) return 0.0;
   const double snr = config_.chain.effective_snr_db(rssi_dbm) - penalty;
+  const double margin = snr - config_.chain.nic().snr_min_db;
+  // Hard decode floor: this far under the lock threshold the logistic tail
+  // is astronomically small (~3e-12 at 40 dB) — call it zero. Besides being
+  // physical, an exact zero consumes no Bernoulli draw, which is what lets
+  // the medium cull sub-floor deliveries without shifting the RNG stream.
+  if (margin <= -config_.decode_floor_margin_db) return 0.0;
   // The SNR term gates weak signals; the lock ceiling caps off-channel
   // capture regardless of power (Fig 9: "few or none").
-  return ceiling * logistic_decode(snr - config_.chain.nic().snr_min_db);
+  return ceiling * logistic_decode(margin);
+}
+
+sim::DeliveryInterest Sniffer::delivery_interest() const {
+  if (checkpointer_ && config_.fault_plan.torn_write_rate > 0.0) {
+    // Torn-write checkpoints consume injector draws at save time, and saves
+    // are triggered from the top of on_air_frame — culling would change
+    // which deliveries trigger them and thereby shift the whole damage
+    // stream. Correctness first: ask for every delivery.
+    return {};
+  }
+  sim::DeliveryInterest interest;
+  interest.fixed_position = config_.position;
+  // rssi below which decode_probability is 0 for every card: on-channel
+  // (penalty 0, ceiling 1) is the most decodable case, and effective SNR is
+  // additive in rssi. The extra 0.5 dB swallows the few-ulp difference
+  // between effective_snr_db(rssi) and rssi + effective_snr_db(0), keeping
+  // the promise strictly conservative.
+  interest.min_rssi_dbm = config_.chain.nic().snr_min_db - config_.decode_floor_margin_db -
+                          config_.chain.effective_snr_db(0.0) - 0.5;
+  return interest;
 }
 
 void Sniffer::on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) {

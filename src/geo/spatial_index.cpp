@@ -1,0 +1,241 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mm::geo {
+
+namespace {
+
+/// floor(v / cell) as an int64 cell coordinate. std::floor keeps the
+/// negative side correct (-0.3 -> cell -1, not 0). Clamping guards the cast
+/// against extreme coordinate/cell ratios; it is monotone, so insertion and
+/// query traversal agree on which (possibly saturated) cell a point is in.
+std::int64_t cell_coord(double v, double cell) noexcept {
+  constexpr double kLimit = 1099511627776.0;  // 2^40 cells
+  const double scaled = std::floor(v / cell);
+  if (!(scaled > -kLimit)) return -static_cast<std::int64_t>(kLimit);  // also NaN
+  if (scaled > kLimit) return static_cast<std::int64_t>(kLimit);
+  return static_cast<std::int64_t>(scaled);
+}
+
+}  // namespace
+
+std::size_t SpatialIndex::CellHasher::operator()(const Cell& c) const noexcept {
+  return static_cast<std::size_t>(util::hash_combine(static_cast<std::uint64_t>(c.x),
+                                                     static_cast<std::uint64_t>(c.y)));
+}
+
+SpatialIndex::SpatialIndex(double cell_size_m) : cell_size_(cell_size_m) {
+  if (!(cell_size_m > 0.0) || !std::isfinite(cell_size_m)) {
+    throw std::invalid_argument("SpatialIndex: cell size must be positive and finite");
+  }
+}
+
+SpatialIndex SpatialIndex::build_from(std::span<const Vec2> points, double cell_size_m) {
+  double cell = cell_size_m;
+  if (!(cell > 0.0)) {
+    // ~1 point per cell over the bounding box; degenerate (empty, coincident)
+    // inputs fall back to a unit cell.
+    double lo_x = 0.0, lo_y = 0.0, hi_x = 0.0, hi_y = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i == 0) {
+        lo_x = hi_x = points[i].x;
+        lo_y = hi_y = points[i].y;
+      } else {
+        lo_x = std::min(lo_x, points[i].x);
+        hi_x = std::max(hi_x, points[i].x);
+        lo_y = std::min(lo_y, points[i].y);
+        hi_y = std::max(hi_y, points[i].y);
+      }
+    }
+    const double area = (hi_x - lo_x) * (hi_y - lo_y);
+    cell = points.empty() ? 1.0 : std::sqrt(area / static_cast<double>(points.size()));
+    if (!(cell > 1e-6) || !std::isfinite(cell)) cell = 1.0;
+  }
+  SpatialIndex index(cell);
+  for (std::size_t i = 0; i < points.size(); ++i) index.insert(i, points[i]);
+  return index;
+}
+
+SpatialIndex::Cell SpatialIndex::cell_of(Vec2 p) const noexcept {
+  return {cell_coord(p.x, cell_size_), cell_coord(p.y, cell_size_)};
+}
+
+void SpatialIndex::insert(Id id, Vec2 p) {
+  if (!points_.emplace(id, p).second) {
+    throw std::invalid_argument("SpatialIndex::insert: duplicate id");
+  }
+  const Cell c = cell_of(p);
+  cells_[c].push_back({id, p});
+  if (!has_bounds_) {
+    cell_lo_ = cell_hi_ = c;
+    has_bounds_ = true;
+  } else {
+    cell_lo_.x = std::min(cell_lo_.x, c.x);
+    cell_lo_.y = std::min(cell_lo_.y, c.y);
+    cell_hi_.x = std::max(cell_hi_.x, c.x);
+    cell_hi_.y = std::max(cell_hi_.y, c.y);
+  }
+}
+
+bool SpatialIndex::erase(Id id) {
+  const auto it = points_.find(id);
+  if (it == points_.end()) return false;
+  const Cell c = cell_of(it->second);
+  const auto cell_it = cells_.find(c);
+  if (cell_it != cells_.end()) {
+    auto& bucket = cell_it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [&](const Entry& e) { return e.id == id; }),
+                 bucket.end());
+    if (bucket.empty()) cells_.erase(cell_it);
+  }
+  points_.erase(it);
+  return true;
+}
+
+void SpatialIndex::clear() {
+  cells_.clear();
+  points_.clear();
+  has_bounds_ = false;
+}
+
+std::vector<SpatialIndex::Id> SpatialIndex::query_disc(Vec2 center, double radius_m) const {
+  std::vector<Id> out;
+  query_disc(center, radius_m, out);
+  return out;
+}
+
+void SpatialIndex::query_disc(Vec2 center, double radius_m, std::vector<Id>& out) const {
+  out.clear();
+  if (!(radius_m >= 0.0) || points_.empty()) return;  // rejects NaN too
+
+  const std::int64_t cx_lo = cell_coord(center.x - radius_m, cell_size_);
+  const std::int64_t cx_hi = cell_coord(center.x + radius_m, cell_size_);
+  const std::int64_t cy_lo = cell_coord(center.y - radius_m, cell_size_);
+  const std::int64_t cy_hi = cell_coord(center.y + radius_m, cell_size_);
+  const auto span_x = static_cast<std::uint64_t>(cx_hi - cx_lo + 1);
+  const auto span_y = static_cast<std::uint64_t>(cy_hi - cy_lo + 1);
+
+  // A huge radius over a small index degenerates to visiting every occupied
+  // cell instead of the whole rectangle. Either traversal yields the same
+  // result: the final ascending-id sort canonicalizes the order.
+  if (span_x > cells_.size() || span_y > cells_.size() ||
+      span_x * span_y > cells_.size()) {
+    for (const auto& [cell, bucket] : cells_) {
+      if (cell.x < cx_lo || cell.x > cx_hi || cell.y < cy_lo || cell.y > cy_hi) continue;
+      for (const Entry& e : bucket) {
+        if (e.p.distance_to(center) <= radius_m) out.push_back(e.id);
+      }
+    }
+  } else {
+    for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+        const auto it = cells_.find({cx, cy});
+        if (it == cells_.end()) continue;
+        for (const Entry& e : it->second) {
+          if (e.p.distance_to(center) <= radius_m) out.push_back(e.id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<SpatialIndex::Id> SpatialIndex::query_range(Vec2 lo, Vec2 hi) const {
+  std::vector<Id> out;
+  query_range(lo, hi, out);
+  return out;
+}
+
+void SpatialIndex::query_range(Vec2 lo, Vec2 hi, std::vector<Id>& out) const {
+  out.clear();
+  if (points_.empty() || !(lo.x <= hi.x) || !(lo.y <= hi.y)) return;
+
+  const std::int64_t cx_lo = cell_coord(lo.x, cell_size_);
+  const std::int64_t cx_hi = cell_coord(hi.x, cell_size_);
+  const std::int64_t cy_lo = cell_coord(lo.y, cell_size_);
+  const std::int64_t cy_hi = cell_coord(hi.y, cell_size_);
+  const auto span_x = static_cast<std::uint64_t>(cx_hi - cx_lo + 1);
+  const auto span_y = static_cast<std::uint64_t>(cy_hi - cy_lo + 1);
+
+  const auto in_rect = [&](Vec2 p) {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  };
+  if (span_x > cells_.size() || span_y > cells_.size() ||
+      span_x * span_y > cells_.size()) {
+    for (const auto& [cell, bucket] : cells_) {
+      if (cell.x < cx_lo || cell.x > cx_hi || cell.y < cy_lo || cell.y > cy_hi) continue;
+      for (const Entry& e : bucket) {
+        if (in_rect(e.p)) out.push_back(e.id);
+      }
+    }
+  } else {
+    for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+        const auto it = cells_.find({cx, cy});
+        if (it == cells_.end()) continue;
+        for (const Entry& e : it->second) {
+          if (in_rect(e.p)) out.push_back(e.id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<SpatialIndex::Id> SpatialIndex::nearest_k(Vec2 center, std::size_t k) const {
+  std::vector<Id> out;
+  if (k == 0 || points_.empty()) return out;
+
+  // Expanding Chebyshev rings of cells around the center's cell. A cell in
+  // ring m holds points at distance >= (m-1)*cell (the center may sit on its
+  // own cell's edge), so once the k-th best distance beats that bound no
+  // farther ring can change the answer.
+  const Cell c0 = cell_of(center);
+  const std::int64_t max_ring = std::max(
+      std::max(std::abs(c0.x - cell_lo_.x), std::abs(cell_hi_.x - c0.x)),
+      std::max(std::abs(c0.y - cell_lo_.y), std::abs(cell_hi_.y - c0.y)));
+
+  std::vector<std::pair<double, Id>> best;
+  const auto scan_cell = [&](std::int64_t cx, std::int64_t cy) {
+    const auto it = cells_.find({cx, cy});
+    if (it == cells_.end()) return;
+    for (const Entry& e : it->second) best.emplace_back(e.p.distance_to(center), e.id);
+  };
+
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    if (ring == 0) {
+      scan_cell(c0.x, c0.y);
+    } else {
+      for (std::int64_t cx = c0.x - ring; cx <= c0.x + ring; ++cx) {
+        scan_cell(cx, c0.y - ring);
+        scan_cell(cx, c0.y + ring);
+      }
+      for (std::int64_t cy = c0.y - ring + 1; cy <= c0.y + ring - 1; ++cy) {
+        scan_cell(c0.x - ring, cy);
+        scan_cell(c0.x + ring, cy);
+      }
+    }
+    if (best.size() >= k) {
+      std::nth_element(best.begin(), best.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       best.end());
+      const double kth = best[k - 1].first;
+      // Points in ring+1 sit at distance >= ring*cell; strict > leaves ties
+      // (which resolve by id) to the next iteration.
+      if (static_cast<double>(ring) * cell_size_ > kth) break;
+    }
+  }
+
+  std::sort(best.begin(), best.end());
+  if (best.size() > k) best.resize(k);
+  out.reserve(best.size());
+  for (const auto& [dist, id] : best) out.push_back(id);
+  return out;
+}
+
+}  // namespace mm::geo

@@ -1,16 +1,74 @@
 #include "marauder/ap_database.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/csv.h"
 
 namespace mm::marauder {
 
+/// Derived views over aps_, built on first use. `sorted` holds pointers into
+/// the (node-stable) unordered_map; `grid` indexes positions by the record's
+/// rank in `sorted`, so ascending grid ids ARE ascending BSSIDs and every
+/// spatial query inherits the canonical ordering for free.
+struct ApDatabase::Caches {
+  std::mutex mutex;
+  bool sorted_valid = false;
+  std::vector<const KnownAp*> sorted;
+  bool grid_valid = false;
+  std::optional<geo::SpatialIndex> grid;
+};
+
+ApDatabase::ApDatabase() : caches_(std::make_unique<Caches>()) {}
+
+ApDatabase::~ApDatabase() = default;
+
+ApDatabase::ApDatabase(const ApDatabase& other)
+    : aps_(other.aps_), caches_(std::make_unique<Caches>()) {}
+
+ApDatabase& ApDatabase::operator=(const ApDatabase& other) {
+  if (this != &other) {
+    aps_ = other.aps_;
+    invalidate_caches();
+  }
+  return *this;
+}
+
+ApDatabase::ApDatabase(ApDatabase&& other) noexcept
+    : aps_(std::move(other.aps_)), caches_(std::move(other.caches_)) {
+  // Moving the map preserves node addresses, so the cached pointer vector
+  // stays valid and travels with us; the source gets a fresh (cold) cache so
+  // it remains usable as an empty database.
+  other.caches_ = std::make_unique<Caches>();
+}
+
+ApDatabase& ApDatabase::operator=(ApDatabase&& other) noexcept {
+  if (this != &other) {
+    aps_ = std::move(other.aps_);
+    caches_ = std::move(other.caches_);
+    other.caches_ = std::make_unique<Caches>();
+  }
+  return *this;
+}
+
+ApDatabase::Caches& ApDatabase::caches() const { return *caches_; }
+
+void ApDatabase::invalidate_caches() {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.sorted_valid = false;
+  c.sorted.clear();
+  c.grid_valid = false;
+  c.grid.reset();
+}
+
 void ApDatabase::add(KnownAp ap) {
   const net80211::MacAddress bssid = ap.bssid;
   aps_.insert_or_assign(bssid, std::move(ap));
+  invalidate_caches();
 }
 
 const KnownAp* ApDatabase::find(const net80211::MacAddress& bssid) const {
@@ -18,19 +76,89 @@ const KnownAp* ApDatabase::find(const net80211::MacAddress& bssid) const {
   return it == aps_.end() ? nullptr : &it->second;
 }
 
-std::vector<const KnownAp*> ApDatabase::sorted_records() const {
-  std::vector<const KnownAp*> records;
-  records.reserve(aps_.size());
-  for (const auto& [mac, ap] : aps_) records.push_back(&ap);
-  std::sort(records.begin(), records.end(),
-            [](const KnownAp* a, const KnownAp* b) { return a->bssid < b->bssid; });
-  return records;
+const std::vector<const KnownAp*>& ApDatabase::sorted_records() const {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  if (!c.sorted_valid) {
+    c.sorted.clear();
+    c.sorted.reserve(aps_.size());
+    for (const auto& [mac, ap] : aps_) c.sorted.push_back(&ap);
+    std::sort(c.sorted.begin(), c.sorted.end(),
+              [](const KnownAp* a, const KnownAp* b) { return a->bssid < b->bssid; });
+    c.sorted_valid = true;
+  }
+  return c.sorted;
+}
+
+namespace {
+
+/// Cell sized for ~1 record per cell over the sorted records' bounding box
+/// (clamped to [1 m, 1 km]); an empty or single-point database gets 100 m.
+double pick_cell_m(const std::vector<const KnownAp*>& records) {
+  if (records.size() < 2) return 100.0;
+  geo::Vec2 lo = records.front()->position;
+  geo::Vec2 hi = lo;
+  for (const KnownAp* ap : records) {
+    lo.x = std::min(lo.x, ap->position.x);
+    lo.y = std::min(lo.y, ap->position.y);
+    hi.x = std::max(hi.x, ap->position.x);
+    hi.y = std::max(hi.y, ap->position.y);
+  }
+  const double area = std::max(1.0, (hi.x - lo.x) * (hi.y - lo.y));
+  const double cell = std::sqrt(area / static_cast<double>(records.size()));
+  return std::clamp(cell, 1.0, 1000.0);
+}
+
+}  // namespace
+
+std::vector<const KnownAp*> ApDatabase::aps_in_range(geo::Vec2 center,
+                                                     double radius_m) const {
+  const std::vector<const KnownAp*>& sorted = sorted_records();
+  Caches& c = caches();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (!c.grid_valid) {
+      geo::SpatialIndex grid(pick_cell_m(sorted));
+      for (std::size_t i = 0; i < sorted.size(); ++i) grid.insert(i, sorted[i]->position);
+      c.grid.emplace(std::move(grid));
+      c.grid_valid = true;
+    }
+  }
+  std::vector<const KnownAp*> out;
+  for (const geo::SpatialIndex::Id id : c.grid->query_disc(center, radius_m)) {
+    out.push_back(sorted[id]);
+  }
+  return out;
+}
+
+std::vector<const KnownAp*> ApDatabase::nearest_aps(geo::Vec2 center,
+                                                    std::size_t k) const {
+  const std::vector<const KnownAp*>& sorted = sorted_records();
+  Caches& c = caches();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (!c.grid_valid) {
+      geo::SpatialIndex grid(pick_cell_m(sorted));
+      for (std::size_t i = 0; i < sorted.size(); ++i) grid.insert(i, sorted[i]->position);
+      c.grid.emplace(std::move(grid));
+      c.grid_valid = true;
+    }
+  }
+  // nearest_k breaks distance ties by ascending id = ascending BSSID, so the
+  // documented (distance, BSSID) order falls out directly.
+  std::vector<const KnownAp*> out;
+  for (const geo::SpatialIndex::Id id : c.grid->nearest_k(center, k)) {
+    out.push_back(sorted[id]);
+  }
+  return out;
 }
 
 void ApDatabase::set_radius(const net80211::MacAddress& bssid, double radius_m) {
   const auto it = aps_.find(bssid);
   if (it == aps_.end()) throw std::out_of_range("ApDatabase::set_radius: unknown BSSID");
   it->second.radius_m = radius_m;
+  // In-place field mutation: record addresses and positions are untouched,
+  // so both caches stay valid.
 }
 
 void ApDatabase::strip_radii() {
@@ -49,11 +177,34 @@ std::vector<geo::Circle> ApDatabase::discs_for(
   return discs;
 }
 
+std::vector<geo::Circle> ApDatabase::discs_for(
+    std::span<const net80211::MacAddress> gamma_sorted, double default_radius_m) const {
+  std::vector<geo::Circle> discs;
+  discs.reserve(gamma_sorted.size());
+  for (const auto& mac : gamma_sorted) {
+    const KnownAp* ap = find(mac);
+    if (ap == nullptr) continue;
+    discs.push_back({ap->position, ap->radius_m.value_or(default_radius_m)});
+  }
+  return discs;
+}
+
 std::vector<geo::Vec2> ApDatabase::positions_for(
     const std::set<net80211::MacAddress>& gamma) const {
   std::vector<geo::Vec2> positions;
   positions.reserve(gamma.size());
   for (const auto& mac : gamma) {
+    const KnownAp* ap = find(mac);
+    if (ap != nullptr) positions.push_back(ap->position);
+  }
+  return positions;
+}
+
+std::vector<geo::Vec2> ApDatabase::positions_for(
+    std::span<const net80211::MacAddress> gamma_sorted) const {
+  std::vector<geo::Vec2> positions;
+  positions.reserve(gamma_sorted.size());
+  for (const auto& mac : gamma_sorted) {
     const KnownAp* ap = find(mac);
     if (ap != nullptr) positions.push_back(ap->position);
   }

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
@@ -14,6 +16,7 @@
 
 #include "geo/circle.h"
 #include "geo/geodetic.h"
+#include "geo/spatial_index.h"
 #include "net80211/mac_address.h"
 #include "sim/scenario.h"
 #include "util/result.h"
@@ -38,15 +41,34 @@ struct KnownAp {
 
 class ApDatabase {
  public:
+  ApDatabase();
+  ApDatabase(const ApDatabase& other);
+  ApDatabase& operator=(const ApDatabase& other);
+  ApDatabase(ApDatabase&& other) noexcept;
+  ApDatabase& operator=(ApDatabase&& other) noexcept;
+  ~ApDatabase();
+
   void add(KnownAp ap);
 
   [[nodiscard]] std::size_t size() const noexcept { return aps_.size(); }
   [[nodiscard]] bool empty() const noexcept { return aps_.empty(); }
   [[nodiscard]] const KnownAp* find(const net80211::MacAddress& bssid) const;
   /// Records in ascending-BSSID order. The backing store is a hash map (one
-  /// mixed-u64 probe per disc lookup on the locate hot path), so ordered
-  /// consumers — CSV export, CLI listings — sort here instead.
-  [[nodiscard]] std::vector<const KnownAp*> sorted_records() const;
+  /// mixed-u64 probe per disc lookup on the locate hot path); the sorted
+  /// view is built lazily, cached, and invalidated by add() — set_radius /
+  /// strip_radii mutate record fields in place and cannot reorder the
+  /// pointer vector, so they keep the cache.
+  [[nodiscard]] const std::vector<const KnownAp*>& sorted_records() const;
+
+  /// APs whose position lies within `radius_m` of `center`, in ascending
+  /// BSSID order, served by a lazily built Atlas grid (invalidated whenever
+  /// add() can move a position). Results match a brute-force scan over
+  /// sorted_records() exactly, boundary included.
+  [[nodiscard]] std::vector<const KnownAp*> aps_in_range(geo::Vec2 center,
+                                                         double radius_m) const;
+  /// The k nearest APs to `center`, ordered by (distance, BSSID).
+  [[nodiscard]] std::vector<const KnownAp*> nearest_aps(geo::Vec2 center,
+                                                        std::size_t k) const;
 
   /// Overwrites the stored radius of one AP (used by AP-Rad's LP output).
   void set_radius(const net80211::MacAddress& bssid, double radius_m);
@@ -57,10 +79,16 @@ class ApDatabase {
   /// radius use `default_radius_m`. Unknown BSSIDs are skipped.
   [[nodiscard]] std::vector<geo::Circle> discs_for(
       const std::set<net80211::MacAddress>& gamma, double default_radius_m) const;
+  /// Same over a sorted MAC vector (the allocation-free Gamma produced by
+  /// ObservationStore::gamma_sorted); identical output for identical input.
+  [[nodiscard]] std::vector<geo::Circle> discs_for(
+      std::span<const net80211::MacAddress> gamma_sorted, double default_radius_m) const;
 
   /// Positions of Gamma's members known to the database.
   [[nodiscard]] std::vector<geo::Vec2> positions_for(
       const std::set<net80211::MacAddress>& gamma) const;
+  [[nodiscard]] std::vector<geo::Vec2> positions_for(
+      std::span<const net80211::MacAddress> gamma_sorted) const;
 
   /// Builds the ground-truth database from a simulated deployment; radii are
   /// included only when `include_radii` (M-Loc scenario) and dropped
@@ -88,7 +116,19 @@ class ApDatabase {
       CsvImportStats* stats = nullptr);
 
  private:
+  /// Lazily built derived views. Kept behind a unique_ptr so the database
+  /// stays movable/copyable (copies start with cold caches — the cached
+  /// pointers refer into the source map). A mutex serializes lazy builds so
+  /// const readers (locate_all worker threads) may race on first use; the
+  /// returned views themselves are only read, never handed out mutable.
+  /// Mutations (add / CSV import) follow the repo-wide convention that the
+  /// database is not concurrently read while being written.
+  struct Caches;
+  Caches& caches() const;
+  void invalidate_caches();
+
   std::unordered_map<net80211::MacAddress, KnownAp, net80211::MacHasher> aps_;
+  mutable std::unique_ptr<Caches> caches_;
 };
 
 }  // namespace mm::marauder

@@ -1,9 +1,11 @@
 #include "marauder/aprad.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "geo/spatial_index.h"
 #include "lp/simplex.h"
 #include "util/thread_pool.h"
 
@@ -16,13 +18,14 @@ using PairSet = std::set<IndexPair>;
 
 }  // namespace
 
-std::map<net80211::MacAddress, double> aprad_estimate_radii(
+ApRadConstraints aprad_prepare_constraints(
     const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
     const ApRadOptions& options) {
+  ApRadConstraints out;
   // Observed APs (known to the database) become LP variables. This scan
   // stays serial: variable indices follow first-appearance order across the
   // gamma list, and that order feeds everything downstream.
-  std::vector<net80211::MacAddress> observed;
+  std::vector<net80211::MacAddress>& observed = out.observed;
   std::map<net80211::MacAddress, std::size_t> index;
   for (const auto& gamma : gammas) {
     for (const auto& mac : gamma) {
@@ -30,8 +33,7 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
       if (index.emplace(mac, observed.size()).second) observed.push_back(mac);
     }
   }
-  std::map<net80211::MacAddress, double> radii;
-  if (observed.empty()) return radii;
+  if (observed.empty()) return out;
 
   util::ThreadPool& pool = util::ThreadPool::shared();
   const std::size_t par = options.threads;  // run_chunks maps 0 to all cores
@@ -65,29 +67,50 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
         return acc;
       });
 
-  std::vector<geo::Vec2> position(observed.size());
+  std::vector<geo::Vec2>& position = out.position;
+  position.resize(observed.size());
   for (std::size_t i = 0; i < observed.size(); ++i) {
     position[i] = db.find(observed[i])->position;
   }
 
   // Soft "<" upper bounds against each AP's nearest non-co-observed
   // neighbours (the binding pressure is local; an unlimited O(n^2) set of
-  // soft rows would swamp the solver on a dense campus). The per-AP
-  // neighbour scan is the O(n^2) hot spot — each AP's scan is independent,
-  // so rows of `selected` fill in parallel and are folded in i order below.
-  // Selected distances are kept alongside the pairs: the LP rounds used to
-  // re-derive every "<" row's distance per round.
+  // soft rows would swamp the solver on a dense campus). This per-AP
+  // neighbour scan used to be the self-documented O(n^2) hot spot; it now
+  // runs through an Atlas grid over the observed positions — only APs within
+  // the 2R interest disc are candidates at all. The grid returns ascending
+  // indices (exactly the old j-loop order) and the original strict
+  // d < 2R predicate re-filters its inclusive boundary, so the candidate
+  // list, its (d, j) sort, and every LP row are bit-identical to the scan.
+  // Each AP's scan is independent, so rows of `selected` fill in parallel
+  // and are folded in i order below. Selected distances are kept alongside
+  // the pairs: the LP rounds used to re-derive every "<" row's distance per
+  // round.
+  const double interest_radius = 2.0 * options.max_radius_m;
+  std::optional<geo::SpatialIndex> grid;
+  if (options.spatial_index) {
+    geo::SpatialIndex built(std::max(1.0, options.max_radius_m));
+    for (std::size_t i = 0; i < position.size(); ++i) built.insert(i, position[i]);
+    grid.emplace(std::move(built));
+  }
   std::vector<std::vector<std::pair<IndexPair, double>>> selected(observed.size());
   util::parallel_map_into(
       pool, par, selected,
       [&](std::size_t i) {
         std::vector<std::pair<double, std::size_t>> candidates;
-        for (std::size_t j = 0; j < observed.size(); ++j) {
-          if (j == i) continue;
+        const auto consider = [&](std::size_t j) {
+          if (j == i) return;
           const auto key = std::minmax(i, j);
-          if (co_observed.count({key.first, key.second}) != 0) continue;
+          if (co_observed.count({key.first, key.second}) != 0) return;
           const double d = position[i].distance_to(position[j]);
-          if (d < 2.0 * options.max_radius_m) candidates.emplace_back(d, j);
+          if (d < interest_radius) candidates.emplace_back(d, j);
+        };
+        if (grid) {
+          for (const geo::SpatialIndex::Id j : grid->query_disc(position[i], interest_radius)) {
+            consider(j);
+          }
+        } else {
+          for (std::size_t j = 0; j < observed.size(); ++j) consider(j);
         }
         std::sort(candidates.begin(), candidates.end());
         const std::size_t take = std::min(options.max_less_neighbors, candidates.size());
@@ -100,22 +123,35 @@ std::map<net80211::MacAddress, double> aprad_estimate_radii(
         return rows;
       },
       /*chunk_size=*/8);
-  std::map<IndexPair, double> less_rows;  // pair -> distance, deduped
+  std::map<IndexPair, double>& less_rows = out.less_rows;  // pair -> distance, deduped
   for (const auto& rows : selected) {
     for (const auto& [pair, d] : rows) less_rows.emplace(pair, d);
   }
 
   // Flatten the co-observation matrix and precompute its distances once —
-  // the row-generation loop below re-scanned these per LP round. Ascending
+  // the LP's row-generation loop re-scans these per round. Ascending
   // co_pairs order is exactly the old set-iteration order.
-  const std::vector<IndexPair> co_pairs(co_observed.begin(), co_observed.end());
-  std::vector<double> co_dist(co_pairs.size());
+  out.co_pairs.assign(co_observed.begin(), co_observed.end());
+  out.co_dist.resize(out.co_pairs.size());
   util::parallel_map_into(
-      pool, par, co_dist,
+      pool, par, out.co_dist,
       [&](std::size_t k) {
-        return position[co_pairs[k].first].distance_to(position[co_pairs[k].second]);
+        return position[out.co_pairs[k].first].distance_to(position[out.co_pairs[k].second]);
       },
       /*chunk_size=*/64);
+  return out;
+}
+
+std::map<net80211::MacAddress, double> aprad_estimate_radii(
+    const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
+    const ApRadOptions& options) {
+  const ApRadConstraints prepared = aprad_prepare_constraints(db, gammas, options);
+  const std::vector<net80211::MacAddress>& observed = prepared.observed;
+  const std::map<IndexPair, double>& less_rows = prepared.less_rows;
+  const std::vector<IndexPair>& co_pairs = prepared.co_pairs;
+  const std::vector<double>& co_dist = prepared.co_dist;
+  std::map<net80211::MacAddress, double> radii;
+  if (observed.empty()) return radii;
 
   // Hard ">=" co-observation rows by *row generation*: rich evidence yields
   // thousands of co-observed pairs, but maximizing sum(r) satisfies nearly

@@ -46,11 +46,36 @@ struct ApRadOptions {
   /// co-observation evidence is absorbed upward.
   double overestimate_bias_m = 10.0;
   /// Parallelism for constraint generation (co-observation pairs and the
-  /// O(n^2) "<" neighbour scan): 1 = serial, 0 = one per hardware core.
+  /// "<" neighbour scan): 1 = serial, 0 = one per hardware core.
   /// Output is bit-identical at any setting (fixed chunks, ordered merge).
   std::size_t threads = 1;
+  /// Route the "<" neighbour scan through an Atlas grid over the observed AP
+  /// positions (query radius 2x the cap) instead of the O(n^2) all-pairs
+  /// loop. Candidate sets, LP rows, and radii are bit-identical either way
+  /// (the grid returns ascending indices and the original strict predicate
+  /// re-filters them); the flag exists so benches can time the scan oracle.
+  bool spatial_index = true;
   MLocOptions mloc;
 };
+
+/// The LP inputs produced by constraint generation, exposed so benches and
+/// equivalence tests can exercise the hot path without paying for the LP.
+struct ApRadConstraints {
+  /// LP variables in first-appearance order across the Gamma list.
+  std::vector<net80211::MacAddress> observed;
+  std::vector<geo::Vec2> position;  ///< aligned with observed
+  /// Soft "<" rows: (i, j) pair (i < j) -> separating distance, deduped.
+  std::map<std::pair<std::size_t, std::size_t>, double> less_rows;
+  /// Hard ">=" candidates: co-observed pairs in ascending order, with their
+  /// precomputed distances.
+  std::vector<std::pair<std::size_t, std::size_t>> co_pairs;
+  std::vector<double> co_dist;
+};
+
+/// Constraint generation only (everything before the LP rounds).
+[[nodiscard]] ApRadConstraints aprad_prepare_constraints(
+    const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
+    const ApRadOptions& options = {});
 
 /// Radii estimated by the LP, keyed by BSSID (only observed APs appear).
 /// Throws std::runtime_error if the LP fails to reach an optimum.

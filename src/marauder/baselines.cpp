@@ -1,5 +1,7 @@
 #include "marauder/baselines.h"
 
+#include <vector>
+
 #include "rf/units.h"
 
 namespace mm::marauder {
@@ -44,7 +46,18 @@ LocalizationResult weighted_centroid_locate(
     acc += position * weight;
     total_weight += weight;
   }
-  if (total_weight <= 0.0) return result;
+  if (total_weight <= 0.0) {
+    // Every weight underflowed to zero (all RSSI below ~-320 dBm, or
+    // denormal-flushed): dividing would yield NaN/inf. The positions are
+    // still evidence, so degrade to the unweighted centroid and flag it.
+    std::vector<geo::Vec2> positions;
+    positions.reserve(aps_with_rssi.size());
+    for (const auto& [position, rssi_dbm] : aps_with_rssi) positions.push_back(position);
+    LocalizationResult fallback = centroid_locate(positions);
+    fallback.method = result.method;
+    fallback.used_fallback = true;
+    return fallback;
+  }
   result.ok = true;
   result.estimate = acc / total_weight;
   return result;

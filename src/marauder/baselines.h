@@ -21,6 +21,8 @@ namespace mm::marauder {
 /// Weighted centroid (WCL): AP positions weighted by linear received power.
 /// A classic range-free refinement of the centroid; shares the centroid's
 /// vulnerability to skewed AP placement but down-weights distant APs.
+/// If every weight underflows to zero (extremely low RSSI), degrades to the
+/// unweighted centroid with used_fallback set rather than failing.
 [[nodiscard]] LocalizationResult weighted_centroid_locate(
     std::span<const std::pair<geo::Vec2, double>> aps_with_rssi);
 

@@ -1,5 +1,6 @@
 #include "marauder/tracker.h"
 
+#include <algorithm>
 #include <bit>
 #include <mutex>
 #include <stdexcept>
@@ -135,7 +136,9 @@ void Tracker::prepare(const capture::ObservationStore& store,
 LocalizationResult Tracker::locate(const capture::ObservationStore& store,
                                    const net80211::MacAddress& device,
                                    const capture::ObservationWindow& window) const {
-  const auto gamma = store.gamma(device, window);
+  // The sorted-vector Gamma: same members, same ascending order as gamma(),
+  // without a red-black-tree allocation per member on the hot path.
+  const std::vector<net80211::MacAddress> gamma = store.gamma_sorted(device, window);
   switch (options_.algorithm) {
     case Algorithm::kMLoc: {
       LocalizationResult result = cached_mloc(
@@ -175,7 +178,7 @@ LocalizationResult Tracker::locate(const capture::ObservationStore& store,
       const capture::DeviceRecord* rec = store.device(device);
       if (rec != nullptr) {
         for (const auto& [mac, contact] : rec->contacts) {
-          if (gamma.count(mac) == 0) continue;
+          if (!std::binary_search(gamma.begin(), gamma.end(), mac)) continue;
           const KnownAp* ap = db_.find(mac);
           if (ap != nullptr) with_rssi.emplace_back(ap->position, contact.last_rssi_dbm);
         }

@@ -12,22 +12,6 @@ namespace {
 /// from the batch path exactly at the boundary cases.
 constexpr double kEps = 1e-9;
 
-/// compute()'s retained-disc vector over the full input, replicated verbatim
-/// (including the keep-the-first tie-break for exact duplicates).
-std::vector<char> pruning_keep(const std::vector<geo::Circle>& discs) {
-  std::vector<char> keep(discs.size(), 1);
-  for (std::size_t j = 0; j < discs.size(); ++j) {
-    for (std::size_t i = 0; i < discs.size() && keep[j]; ++i) {
-      if (i == j) continue;
-      if (discs[i].inside_of(discs[j], kEps) &&
-          (!discs[j].inside_of(discs[i], kEps) || i < j)) {
-        keep[j] = 0;
-      }
-    }
-  }
-  return keep;
-}
-
 }  // namespace
 
 bool IncrementalDeviceLocator::add(const net80211::MacAddress& ap,
@@ -38,6 +22,13 @@ bool IncrementalDeviceLocator::add(const net80211::MacAddress& ap,
   aps_.insert(it, ap);
   discs_.insert(discs_.begin() + static_cast<std::ptrdiff_t>(pos), disc);
   kept_.insert(kept_.begin() + static_cast<std::ptrdiff_t>(pos), 1);
+  // Keep the center grid in lockstep (even while region_ is dirty — the next
+  // valid region needs it). Grid ids are arrival-ordered; the middle insert
+  // shifts every slot at or past pos.
+  for (std::size_t& slot : slot_of_id_) slot += slot >= pos ? 1 : 0;
+  center_grid_.insert(slot_of_id_.size(), disc.center);
+  slot_of_id_.push_back(pos);
+  max_radius_ = std::max(max_radius_, disc.radius);
   result_valid_ = false;
 
   if (discs_.size() < 2) {
@@ -52,28 +43,41 @@ bool IncrementalDeviceLocator::add(const net80211::MacAddress& ap,
     return true;
   }
 
-  // Would compute() retain a different disc set with the new input?
-  const std::vector<char> keep = pruning_keep(discs_);
-  for (std::size_t i = 0; i < discs_.size(); ++i) {
-    if (i == pos) continue;
-    const std::size_t old_i = i < pos ? i : i - 1;
-    if (keep[i] != kept_[old_i]) {
-      region_.reset();  // pruning changed: the cached arcs are stale
-      return true;
-    }
+  // Only pairs involving the new disc are new: old pairs keep their relative
+  // index order under the middle insert, so every old pruning relation and
+  // disjointness verdict is literally unchanged, and old keep flags can only
+  // flip 1 -> 0 with the newcomer as pruner. Every disc that can prune, be
+  // pruned by, or be disjoint-relevant to the newcomer lies within
+  // r_new + r_max of its center (inside_of needs d <= max(r_i, r_j) + kEps;
+  // an old disc beyond the query radius satisfies d > r_new + r_i - kEps and
+  // is therefore disjoint). The grid hands back exactly that neighbourhood;
+  // the original predicates — same epsilons, same index tie-breaks — then run
+  // verbatim on the candidates.
+  const std::vector<geo::SpatialIndex::Id> candidates =
+      center_grid_.query_disc(disc.center, disc.radius + max_radius_ + 1.0);
+  if (candidates.size() < discs_.size()) {
+    region_.reset();  // some old disc is provably disjoint: batch early-exit
+    return true;
   }
-
-  // Would compute()'s disjointness early-exit fire? Only pairs involving the
-  // new disc are new; every old pair was checked when region_ was built.
-  for (std::size_t i = 0; i < discs_.size(); ++i) {
-    if (i == pos) continue;
-    if (disc.disjoint_from(discs_[i], -kEps)) {
+  bool new_pruned = false;
+  for (const geo::SpatialIndex::Id id : candidates) {
+    const std::size_t j = slot_of_id_[id];
+    if (j == pos) continue;
+    if (disc.disjoint_from(discs_[j], -kEps)) {
       region_.reset();  // batch path returns the empty early-exit
       return true;
     }
+    if (kept_[j] != 0 && disc.inside_of(discs_[j], kEps) &&
+        (!discs_[j].inside_of(disc, kEps) || pos < j)) {
+      region_.reset();  // newcomer prunes a retained disc: cached arcs stale
+      return true;
+    }
+    if (!new_pruned && discs_[j].inside_of(disc, kEps) &&
+        (!disc.inside_of(discs_[j], kEps) || j < pos)) {
+      new_pruned = true;
+    }
   }
-
-  if (!keep[pos]) {
+  if (new_pruned) {
     // The new disc is pruned as redundant: the retained set — and therefore
     // the region, arc for arc — is exactly what we already have.
     kept_[pos] = 0;

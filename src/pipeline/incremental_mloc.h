@@ -25,6 +25,7 @@
 
 #include "geo/circle.h"
 #include "geo/disc_intersection.h"
+#include "geo/spatial_index.h"
 #include "marauder/mloc.h"
 #include "net80211/mac_address.h"
 
@@ -59,6 +60,13 @@ class IncrementalDeviceLocator {
   std::vector<net80211::MacAddress> aps_;  ///< ascending (mirrors std::set Gamma order)
   std::vector<geo::Circle> discs_;         ///< aligned with aps_
   std::vector<char> kept_;                 ///< aligned: survived compute()'s pruning
+  /// Atlas grid over the disc centers (id = arrival order), used by add()'s
+  /// no-op proof: only discs within r_new + r_max of the newcomer can prune,
+  /// be pruned by, or fail to intersect it, so the per-arrival check touches
+  /// a neighbourhood instead of rescanning all O(k^2) pairs.
+  geo::SpatialIndex center_grid_{100.0};
+  std::vector<std::size_t> slot_of_id_;  ///< grid id -> current index in discs_
+  double max_radius_ = 0.0;              ///< running max over all added discs
   /// Cached intersection of discs_; nullopt = dirty (recomputed at locate()).
   std::optional<geo::DiscIntersection> region_;
   marauder::LocalizationResult result_;

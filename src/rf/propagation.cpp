@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -57,10 +58,24 @@ double Terrain::obstruction_depth_m(geo::Vec2 a, double height_a_m, geo::Vec2 b,
   return worst;
 }
 
+double PropagationModel::max_range_m(double /*max_loss_db*/, double /*freq_mhz*/) const {
+  // No generally-provable bound: never cull.
+  return std::numeric_limits<double>::infinity();
+}
+
 double FreeSpaceModel::path_loss_db(geo::Vec2 tx, double /*tx_height_m*/, geo::Vec2 rx,
                                     double /*rx_height_m*/, double freq_mhz) const {
   const double d = std::max(kMinDistanceM, tx.distance_to(rx));
   return free_space_path_loss_db(d, freq_mhz);
+}
+
+double FreeSpaceModel::max_range_m(double max_loss_db, double freq_mhz) const {
+  // Inverse of 20 log10(4 pi d / lambda), nudged up so floating-point
+  // round-trip error stays on the conservative (deliver) side; the near-field
+  // clamp only raises loss below 1 m, which the >= comparison already covers.
+  const double lambda = wavelength_m(freq_mhz);
+  return lambda / (4.0 * 3.14159265358979323846) * std::pow(10.0, max_loss_db / 20.0) *
+         (1.0 + 1e-9);
 }
 
 LogDistanceModel::LogDistanceModel(double exponent, double shadowing_sigma_db,
@@ -79,6 +94,14 @@ double LogDistanceModel::path_loss_db(geo::Vec2 tx, double /*tx_height_m*/, geo:
     loss += shadowing_sigma_db_ * link_gaussian(tx, rx, seed_);
   }
   return loss;
+}
+
+double LogDistanceModel::max_range_m(double max_loss_db, double freq_mhz) const {
+  // The shadowing draw is unbounded in both directions, so loss is not
+  // monotone in distance and no finite range is provable.
+  if (shadowing_sigma_db_ > 0.0) return std::numeric_limits<double>::infinity();
+  const double excess = max_loss_db - free_space_path_loss_db(1.0, freq_mhz);
+  return std::pow(10.0, excess / (10.0 * exponent_)) * (1.0 + 1e-9);
 }
 
 TerrainAwareModel::TerrainAwareModel(std::shared_ptr<const PropagationModel> base,
@@ -103,6 +126,12 @@ double TerrainAwareModel::path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Ve
     loss += std::min(max_obstruction_db_, base_nlos_db_ + db_per_meter_depth_ * depth);
   }
   return loss;
+}
+
+double TerrainAwareModel::max_range_m(double max_loss_db, double freq_mhz) const {
+  // Obstruction is a non-negative add-on: any link the base model already
+  // puts past max_loss_db only gets worse, so the base bound carries over.
+  return base_->max_range_m(max_loss_db, freq_mhz);
 }
 
 }  // namespace mm::rf

@@ -53,12 +53,22 @@ class PropagationModel {
   [[nodiscard]] virtual double path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
                                             double rx_height_m,
                                             double freq_mhz) const = 0;
+
+  /// Conservative interest bound for Atlas's delivery culling: a distance R
+  /// such that every link longer than R is guaranteed to lose more than
+  /// `max_loss_db`. The default (+infinity) means "cannot bound — never
+  /// cull"; models override only when the bound is provable. Implementations
+  /// must be conservative: overestimating R costs performance, while
+  /// underestimating it would silently drop deliverable frames.
+  [[nodiscard]] virtual double max_range_m(double max_loss_db, double freq_mhz) const;
 };
 
 class FreeSpaceModel final : public PropagationModel {
  public:
   [[nodiscard]] double path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
                                     double rx_height_m, double freq_mhz) const override;
+  /// Exact FSPL inverse: loss is monotone in distance, so the bound is tight.
+  [[nodiscard]] double max_range_m(double max_loss_db, double freq_mhz) const override;
 };
 
 /// PL(d) = FSPL(d0=1m) + 10 n log10(d) + X_sigma, with X_sigma a log-normal
@@ -71,6 +81,9 @@ class LogDistanceModel final : public PropagationModel {
 
   [[nodiscard]] double path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
                                     double rx_height_m, double freq_mhz) const override;
+  /// Exact inverse when shadowing is disabled; with shadowing the loss is
+  /// not monotone in distance, so the bound stays unbounded (no culling).
+  [[nodiscard]] double max_range_m(double max_loss_db, double freq_mhz) const override;
   [[nodiscard]] double exponent() const noexcept { return exponent_; }
 
  private:
@@ -90,6 +103,8 @@ class TerrainAwareModel final : public PropagationModel {
 
   [[nodiscard]] double path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
                                     double rx_height_m, double freq_mhz) const override;
+  /// Obstruction only ever adds loss, so the base model's bound still holds.
+  [[nodiscard]] double max_range_m(double max_loss_db, double freq_mhz) const override;
 
  private:
   std::shared_ptr<const PropagationModel> base_;

@@ -37,6 +37,11 @@ class AccessPoint final : public FrameReceiver {
   [[nodiscard]] const ApConfig& config() const noexcept { return config_; }
   [[nodiscard]] geo::Vec2 position() const override { return config_.position; }
   [[nodiscard]] double antenna_height_m() const override { return config_.antenna_height_m; }
+  /// The AP is stationary and on_air_frame drops anything beyond the service
+  /// disc before any side effect — the exact no-op bound Atlas needs.
+  [[nodiscard]] DeliveryInterest delivery_interest() const override {
+    return {config_.position, config_.service_radius_m, std::nullopt};
+  }
   [[nodiscard]] std::uint64_t probes_answered() const noexcept { return probes_answered_; }
   [[nodiscard]] std::uint64_t beacons_sent() const noexcept { return beacons_sent_; }
   [[nodiscard]] std::uint64_t associations() const noexcept { return associations_; }

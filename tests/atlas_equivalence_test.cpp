@@ -1,0 +1,362 @@
+// Atlas equivalence: every indexed hot path must be bit-identical to the
+// linear-scan baseline it replaced. This file pins the three layers end to
+// end — the medium's delivery culling (kScan vs kIndexed worlds running the
+// same scenario, clean and under a fault plan), AP-Rad's grid neighbour scan
+// vs the O(n^2) oracle across thread counts, and ApDatabase's grid queries
+// vs brute force over sorted_records().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "capture/sniffer.h"
+#include "marauder/aprad.h"
+#include "marauder/tracker.h"
+#include "rf/propagation.h"
+#include "sim/mobile.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace mm {
+namespace {
+
+struct RunResult {
+  capture::ObservationStore store;
+  capture::SnifferStats stats;
+  capture::SnifferStats far_stats;  ///< station 50 km out: decodes nothing
+  std::uint64_t transmitted = 0;
+  std::uint64_t culled = 0;
+};
+
+/// One deterministic campus scenario: APs with beacons, a dozen wandering
+/// probers, one sniffer. Identical inputs whatever the delivery mode.
+RunResult run_campus(sim::DeliveryMode mode, const fault::FaultPlan& plan) {
+  sim::CampusConfig campus;
+  campus.seed = 2024;
+  campus.num_aps = 150;
+  campus.half_extent_m = 400.0;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  RunResult out;
+  {
+    // Log-distance clutter (no shadowing): max_range_m is finite, so the
+    // sniffer's rssi-floor culling is actually exercised.
+    sim::World world({.seed = 11,
+                      .propagation = std::make_shared<rf::LogDistanceModel>(3.2),
+                      .delivery = mode});
+    sim::populate_world(world, truth, /*beacons_enabled=*/true);
+
+    util::Rng rng(77);
+    for (int i = 0; i < 12; ++i) {
+      sim::MobileConfig mc;
+      mc.mac = net80211::MacAddress::random(rng, {0x00, 0x21, 0x5c});
+      mc.profile.probes = true;
+      mc.profile.scan_interval_s = 15.0;
+      mc.mobility = std::make_shared<sim::RandomWaypoint>(
+          geo::Vec2{-400.0, -400.0}, geo::Vec2{400.0, 400.0}, 1.0, 2.0, 200.0,
+          500 + static_cast<std::uint64_t>(i));
+      world.add_mobile(std::make_unique<sim::MobileDevice>(mc));
+    }
+
+    capture::SnifferConfig sc;
+    sc.position = {0.0, 0.0};
+    sc.antenna_height_m = 20.0;
+    sc.fault_plan = plan;
+    capture::Sniffer sniffer(sc, &out.store);
+    sniffer.attach(world);
+
+    // A second station 50 km out — far beyond the log-distance model's
+    // conservative max_range_m for its decode floor, so its rssi-floor
+    // interest culls every delivery in kIndexed while kScan still offers
+    // each frame. Its decode probability is exactly 0 either way.
+    capture::ObservationStore far_store;
+    capture::SnifferConfig far_sc;
+    far_sc.position = {50000.0, 0.0};
+    far_sc.antenna_height_m = 20.0;
+    far_sc.fault_plan = plan;
+    capture::Sniffer far_sniffer(far_sc, &far_store);
+    far_sniffer.attach(world);
+
+    world.run_until(90.0);
+    out.stats = sniffer.stats();
+    out.far_stats = far_sniffer.stats();
+    out.transmitted = world.frames_transmitted();
+    out.culled = world.deliveries_culled();
+    EXPECT_EQ(far_store.device_count(), 0u);
+  }
+  return out;
+}
+
+void expect_stores_equal(const capture::ObservationStore& a,
+                         const capture::ObservationStore& b) {
+  ASSERT_EQ(a.devices(), b.devices());
+  for (const auto& mac : a.devices()) {
+    const capture::DeviceRecord* ra = a.device(mac);
+    const capture::DeviceRecord* rb = b.device(mac);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(ra->first_seen, rb->first_seen) << mac.to_string();
+    EXPECT_EQ(ra->last_seen, rb->last_seen) << mac.to_string();
+    EXPECT_EQ(ra->probe_requests, rb->probe_requests) << mac.to_string();
+    EXPECT_EQ(ra->directed_ssids, rb->directed_ssids) << mac.to_string();
+    ASSERT_EQ(ra->contacts.size(), rb->contacts.size()) << mac.to_string();
+    auto itb = rb->contacts.begin();
+    for (const auto& [ap, ca] : ra->contacts) {
+      ASSERT_EQ(ap, itb->first) << mac.to_string();
+      const capture::ApContact& cb = itb->second;
+      EXPECT_EQ(ca.first_seen, cb.first_seen);
+      EXPECT_EQ(ca.last_seen, cb.last_seen);
+      EXPECT_EQ(ca.count, cb.count);
+      EXPECT_EQ(ca.last_rssi_dbm, cb.last_rssi_dbm);
+      EXPECT_EQ(ca.times, cb.times);
+      ++itb;
+    }
+  }
+  ASSERT_EQ(a.ap_sightings().size(), b.ap_sightings().size());
+  auto itb = b.ap_sightings().begin();
+  for (const auto& [bssid, sa] : a.ap_sightings()) {
+    ASSERT_EQ(bssid, itb->first);
+    EXPECT_EQ(sa.ssid, itb->second.ssid);
+    EXPECT_EQ(sa.channel, itb->second.channel);
+    EXPECT_EQ(sa.beacons, itb->second.beacons);
+    EXPECT_EQ(sa.last_rssi_dbm, itb->second.last_rssi_dbm);
+    ++itb;
+  }
+}
+
+void expect_results_equal(
+    const std::map<net80211::MacAddress, marauder::LocalizationResult>& a,
+    const std::map<net80211::MacAddress, marauder::LocalizationResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto itb = b.begin();
+  for (const auto& [mac, ra] : a) {
+    ASSERT_EQ(mac, itb->first);
+    const marauder::LocalizationResult& rb = itb->second;
+    EXPECT_EQ(ra.ok, rb.ok) << mac.to_string();
+    EXPECT_EQ(ra.method, rb.method) << mac.to_string();
+    // Bit-exact, not "near": the whole point of the determinism contract.
+    EXPECT_EQ(ra.estimate.x, rb.estimate.x) << mac.to_string();
+    EXPECT_EQ(ra.estimate.y, rb.estimate.y) << mac.to_string();
+    EXPECT_EQ(ra.num_aps, rb.num_aps) << mac.to_string();
+    EXPECT_EQ(ra.used_fallback, rb.used_fallback) << mac.to_string();
+    ++itb;
+  }
+}
+
+TEST(AtlasEquivalence, DeliveryCullingIsInvisibleClean) {
+  const RunResult scan = run_campus(sim::DeliveryMode::kScan, {});
+  const RunResult indexed = run_campus(sim::DeliveryMode::kIndexed, {});
+
+  EXPECT_EQ(scan.culled, 0u);
+  EXPECT_GT(indexed.culled, 0u);  // the index must actually cull, or this test is vacuous
+  EXPECT_EQ(scan.transmitted, indexed.transmitted);
+  // The far station proves the rssi-floor culling: kScan offers it every
+  // frame, kIndexed none — and it decodes zero either way.
+  EXPECT_EQ(scan.far_stats.frames_on_air, scan.transmitted);
+  EXPECT_EQ(indexed.far_stats.frames_on_air, 0u);
+  EXPECT_EQ(scan.far_stats.frames_decoded, 0u);
+  EXPECT_EQ(indexed.far_stats.frames_decoded, 0u);
+  // Offered deliveries never grow; everything decodable is untouched.
+  EXPECT_GE(scan.stats.frames_on_air, indexed.stats.frames_on_air);
+  EXPECT_EQ(scan.stats.frames_decoded, indexed.stats.frames_decoded);
+  EXPECT_EQ(scan.stats.probe_requests, indexed.stats.probe_requests);
+  EXPECT_EQ(scan.stats.probe_responses, indexed.stats.probe_responses);
+  EXPECT_EQ(scan.stats.beacons, indexed.stats.beacons);
+  EXPECT_EQ(scan.stats.associations, indexed.stats.associations);
+  EXPECT_EQ(scan.stats.data_frames, indexed.stats.data_frames);
+  expect_stores_equal(scan.store, indexed.store);
+}
+
+TEST(AtlasEquivalence, DeliveryCullingIsInvisibleUnderFaults) {
+  fault::FaultPlan plan;
+  plan.corrupt_rate = 0.02;
+  plan.truncate_rate = 0.01;
+  plan.drop_rate = 0.02;
+  plan.duplicate_rate = 0.01;
+  plan.nic_dropout_rate = 0.1;
+  plan.nic_dropout_mean_s = 10.0;
+  plan.clock_skew_max_s = 0.25;
+  plan.clock_drift_max_ppm = 40.0;
+  plan.seed = 0xFA11;
+
+  const RunResult scan = run_campus(sim::DeliveryMode::kScan, plan);
+  const RunResult indexed = run_campus(sim::DeliveryMode::kIndexed, plan);
+
+  EXPECT_GT(indexed.culled, 0u);
+  EXPECT_EQ(scan.stats.frames_decoded, indexed.stats.frames_decoded);
+  EXPECT_EQ(scan.stats.frames_quarantined, indexed.stats.frames_quarantined);
+  EXPECT_EQ(scan.stats.frames_fault_dropped, indexed.stats.frames_fault_dropped);
+  EXPECT_EQ(scan.stats.frames_fault_duplicated, indexed.stats.frames_fault_duplicated);
+  // (card_down_skips is NOT compared: it counts decode attempts during
+  // dropout windows, and culled sub-floor deliveries never attempt.)
+  expect_stores_equal(scan.store, indexed.store);
+}
+
+TEST(AtlasEquivalence, LocateAllBitIdenticalAcrossModesAndThreads) {
+  const RunResult scan = run_campus(sim::DeliveryMode::kScan, {});
+  const RunResult indexed = run_campus(sim::DeliveryMode::kIndexed, {});
+
+  sim::CampusConfig campus;
+  campus.seed = 2024;
+  campus.num_aps = 150;
+  campus.half_extent_m = 400.0;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  std::optional<std::map<net80211::MacAddress, marauder::LocalizationResult>> reference;
+  for (const capture::ObservationStore* store : {&scan.store, &indexed.store}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      marauder::TrackerOptions options;
+      options.algorithm = marauder::Algorithm::kApRad;
+      options.threads = threads;
+      marauder::Tracker tracker(marauder::ApDatabase::from_truth(truth, false), options);
+      tracker.prepare(*store);
+      const auto results = tracker.locate_all(*store);
+      if (!reference) {
+        EXPECT_FALSE(results.empty());
+        reference = results;
+      } else {
+        expect_results_equal(*reference, results);
+      }
+    }
+  }
+}
+
+TEST(AtlasEquivalence, ApRadConstraintsGridMatchesScanAcrossThreads) {
+  const RunResult run = run_campus(sim::DeliveryMode::kIndexed, {});
+  const auto gammas = run.store.session_gammas(5.0);
+  ASSERT_FALSE(gammas.empty());
+
+  sim::CampusConfig campus;
+  campus.seed = 2024;
+  campus.num_aps = 150;
+  campus.half_extent_m = 400.0;
+  const marauder::ApDatabase db =
+      marauder::ApDatabase::from_truth(sim::generate_campus_aps(campus), false);
+
+  std::optional<marauder::ApRadConstraints> reference;
+  std::optional<std::map<net80211::MacAddress, double>> reference_radii;
+  for (const bool spatial : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      marauder::ApRadOptions options;
+      options.spatial_index = spatial;
+      options.threads = threads;
+      const marauder::ApRadConstraints got =
+          marauder::aprad_prepare_constraints(db, gammas, options);
+      const auto radii = marauder::aprad_estimate_radii(db, gammas, options);
+      if (!reference) {
+        EXPECT_FALSE(got.observed.empty());
+        EXPECT_FALSE(got.less_rows.empty());
+        reference = got;
+        reference_radii = radii;
+        continue;
+      }
+      EXPECT_EQ(reference->observed, got.observed) << spatial << "/" << threads;
+      ASSERT_EQ(reference->position.size(), got.position.size());
+      for (std::size_t i = 0; i < got.position.size(); ++i) {
+        EXPECT_EQ(reference->position[i].x, got.position[i].x);
+        EXPECT_EQ(reference->position[i].y, got.position[i].y);
+      }
+      EXPECT_EQ(reference->less_rows, got.less_rows) << spatial << "/" << threads;
+      EXPECT_EQ(reference->co_pairs, got.co_pairs) << spatial << "/" << threads;
+      EXPECT_EQ(reference->co_dist, got.co_dist) << spatial << "/" << threads;
+      EXPECT_EQ(*reference_radii, radii) << spatial << "/" << threads;
+    }
+  }
+}
+
+TEST(AtlasEquivalence, ApDatabaseGridQueriesMatchBruteForce) {
+  sim::CampusConfig campus;
+  campus.seed = 31337;
+  campus.num_aps = 200;
+  campus.half_extent_m = 500.0;
+  const marauder::ApDatabase db =
+      marauder::ApDatabase::from_truth(sim::generate_campus_aps(campus), true);
+  const std::vector<const marauder::KnownAp*>& sorted = db.sorted_records();
+  ASSERT_EQ(sorted.size(), 200u);
+
+  util::Rng rng(0xDB);
+  for (int q = 0; q < 40; ++q) {
+    const geo::Vec2 center{rng.uniform(-600.0, 600.0), rng.uniform(-600.0, 600.0)};
+    const double radius = rng.uniform(0.0, 700.0);
+    std::vector<const marauder::KnownAp*> brute;
+    for (const marauder::KnownAp* ap : sorted) {
+      if (ap->position.distance_to(center) <= radius) brute.push_back(ap);
+    }
+    EXPECT_EQ(db.aps_in_range(center, radius), brute) << "query " << q;
+
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    std::vector<const marauder::KnownAp*> ranked(sorted.begin(), sorted.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](const marauder::KnownAp* a, const marauder::KnownAp* b) {
+                       return a->position.distance_to(center) <
+                              b->position.distance_to(center);
+                     });  // stable over ascending BSSID = the (distance, BSSID) order
+    ranked.resize(std::min(k, ranked.size()));
+    EXPECT_EQ(db.nearest_aps(center, k), ranked) << "query " << q;
+  }
+}
+
+TEST(AtlasEquivalence, ApDatabaseCachesInvalidateOnAddOnly) {
+  marauder::ApDatabase db;
+  marauder::KnownAp a;
+  a.bssid = *net80211::MacAddress::parse("00:00:00:00:00:02");
+  a.position = {10.0, 0.0};
+  db.add(a);
+  marauder::KnownAp b;
+  b.bssid = *net80211::MacAddress::parse("00:00:00:00:00:01");
+  b.position = {0.0, 0.0};
+  db.add(b);
+
+  const auto& sorted = db.sorted_records();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0]->bssid, b.bssid);  // ascending BSSID, not insertion order
+  // set_radius mutates in place: the cached view must survive, same pointers.
+  const marauder::KnownAp* before = sorted[0];
+  db.set_radius(b.bssid, 42.0);
+  EXPECT_EQ(db.sorted_records()[0], before);
+  EXPECT_EQ(db.sorted_records()[0]->radius_m, 42.0);
+  EXPECT_EQ(db.nearest_aps({-1.0, 0.0}, 1).front()->bssid, b.bssid);
+
+  // add() must invalidate both the sorted view and the grid.
+  marauder::KnownAp c;
+  c.bssid = *net80211::MacAddress::parse("00:00:00:00:00:00");
+  c.position = {-5.0, 0.0};
+  db.add(c);
+  ASSERT_EQ(db.sorted_records().size(), 3u);
+  EXPECT_EQ(db.sorted_records()[0]->bssid, c.bssid);
+  EXPECT_EQ(db.nearest_aps({-6.0, 0.0}, 1).front()->bssid, c.bssid);
+
+  // Copies serve the same answers from their own (cold) caches.
+  const marauder::ApDatabase copy = db;
+  ASSERT_EQ(copy.sorted_records().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(copy.sorted_records()[i], db.sorted_records()[i]);  // distinct storage
+    EXPECT_EQ(copy.sorted_records()[i]->bssid, db.sorted_records()[i]->bssid);
+  }
+  // Moves keep the cache (map nodes are pointer-stable across a move).
+  marauder::ApDatabase moved = std::move(db);
+  ASSERT_EQ(moved.sorted_records().size(), 3u);
+  EXPECT_EQ(moved.sorted_records()[0]->bssid, c.bssid);
+}
+
+TEST(AtlasEquivalence, GammaSortedMatchesGamma) {
+  const RunResult run = run_campus(sim::DeliveryMode::kIndexed, {});
+  ASSERT_GT(run.store.device_count(), 0u);
+  const capture::ObservationWindow windows[] = {{}, {20.0, 60.0}, {89.0, 90.0}};
+  for (const auto& mac : run.store.devices()) {
+    for (const auto& window : windows) {
+      const auto set_gamma = run.store.gamma(mac, window);
+      const auto vec_gamma = run.store.gamma_sorted(mac, window);
+      EXPECT_EQ(std::vector<net80211::MacAddress>(set_gamma.begin(), set_gamma.end()),
+                vec_gamma)
+          << mac.to_string();
+      EXPECT_TRUE(std::is_sorted(vec_gamma.begin(), vec_gamma.end()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mm

@@ -246,6 +246,22 @@ TEST(Baselines, WeightedCentroidEmptyFails) {
       weighted_centroid_locate(std::vector<std::pair<geo::Vec2, double>>{}).ok);
 }
 
+TEST(Baselines, WeightedCentroidUnderflowFallsBackToCentroid) {
+  // RSSI this low (-4000 dBm, i.e. 10^-400 mW — below the smallest denormal
+  // double) underflows dbm_to_mw to exactly 0 for every AP; dividing by the
+  // zero total would yield NaN. The positions are still evidence, so the
+  // result degrades to the unweighted centroid and says so.
+  const std::vector<std::pair<geo::Vec2, double>> aps{
+      {{0.0, 0.0}, -4000.0}, {{100.0, 0.0}, -4000.0}, {{50.0, 60.0}, -4000.0}};
+  const LocalizationResult r = weighted_centroid_locate(aps);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.method, "WeightedCentroid");
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_NEAR(r.estimate.x, 50.0, 1e-9);
+  EXPECT_NEAR(r.estimate.y, 20.0, 1e-9);
+  EXPECT_EQ(r.num_aps, 3u);
+}
+
 TEST(RegionHelpers, AreaAndCoverage) {
   LocalizationResult r;
   r.discs = {{{0.0, 0.0}, 1.0}, {{1.0, 0.0}, 1.0}};

@@ -104,7 +104,7 @@ int cmd_locate(const util::Flags& flags) {
 
   const auto identities = marauder::link_identities(store);
   util::Table table({"identity (first MAC)", "aliases", "track pts", "last x (m)",
-                     "last y (m)", "lat", "lon", "|Gamma|", "degraded"});
+                     "last y (m)", "lat", "lon", "|Gamma|", "nearest AP", "degraded"});
   maps::MarauderMap map("mmctl locate — " + algorithm_name, frame);
   for (const marauder::KnownAp* ap : tracker.database().sorted_records()) {
     map.add_ap(ap->position, ap->ssid, ap->radius_m);
@@ -122,12 +122,23 @@ int cmd_locate(const util::Flags& flags) {
     const marauder::TrackPoint& last = track.back();
     if (last.degraded) ++degraded;
     const geo::Geodetic g = frame.to_geodetic(last.position);
+    // The landmark a human reads off the map: the known AP closest to the
+    // estimate (Atlas grid query — the database may hold a whole city).
+    const auto nearest = tracker.database().nearest_aps(last.position, 1);
+    std::string landmark;
+    if (!nearest.empty()) {
+      landmark = nearest.front()->ssid.empty() ? nearest.front()->bssid.to_string()
+                                               : nearest.front()->ssid;
+      landmark += " (" +
+                  util::Table::fmt(last.position.distance_to(nearest.front()->position), 0) +
+                  " m)";
+    }
     table.add_row({identity.macs.front().to_string(),
                    std::to_string(identity.macs.size()), std::to_string(track.size()),
                    util::Table::fmt(last.position.x, 1),
                    util::Table::fmt(last.position.y, 1), util::Table::fmt(g.lat_deg, 6),
                    util::Table::fmt(g.lon_deg, 6), std::to_string(last.num_aps),
-                   last.degraded ? "yes" : ""});
+                   landmark, last.degraded ? "yes" : ""});
     map.add_estimate(last.position, identity.macs.front().to_string());
     if (track.size() > 1) {
       std::vector<geo::Vec2> path;
