@@ -20,6 +20,9 @@ bool has_frame_faults(const fault::FaultPlan& plan) {
   return plan.corrupt_rate > 0.0 || plan.truncate_rate > 0.0 || plan.drop_rate > 0.0 ||
          plan.duplicate_rate > 0.0;
 }
+
+/// Seed salt for the checkpoint injector's torn-write stream.
+constexpr std::uint64_t kTornSaltSniffer = 0x70e12;
 }  // namespace
 
 Sniffer::Sniffer(SnifferConfig config, ObservationStore* store)
@@ -42,17 +45,41 @@ Sniffer::Sniffer(SnifferConfig config, ObservationStore* store)
   }
   if (config_.checkpoint_path) {
     SaveOptions save;
-    save.injector = config_.fault_plan.torn_write_rate > 0.0 ? &injector_ : nullptr;
+    if (config_.fault_plan.torn_write_rate > 0.0) {
+      // A dedicated stream for torn-save draws: checkpoints must not consume
+      // from the frame-damage stream, or their cadence would shift which
+      // frames get corrupted (and force always-deliver; DESIGN.md §12).
+      fault::FaultPlan torn_plan = config_.fault_plan;
+      torn_plan.seed = util::hash_combine(config_.fault_plan.seed, kTornSaltSniffer);
+      checkpoint_injector_ = std::make_unique<fault::FaultInjector>(torn_plan);
+      save.injector = checkpoint_injector_.get();
+    }
     checkpointer_ = std::make_unique<ObservationCheckpointer>(
         store_, *config_.checkpoint_path, config_.checkpoint_interval_s, save);
+    alive_ = std::make_shared<bool>(true);
   }
 }
 
-Sniffer::~Sniffer() = default;
+Sniffer::~Sniffer() {
+  if (alive_) *alive_ = false;
+}
 
 void Sniffer::attach(sim::World& world) {
   world_ = &world;
   world.register_receiver(this);
+  // Checkpoints ride the simulation clock, not the delivery stream: the
+  // cadence is identical whether the medium scans or culls, which is what
+  // keeps a torn-write station's delivery interest tight.
+  if (checkpointer_ && config_.checkpoint_interval_s > 0.0) schedule_next_checkpoint();
+}
+
+void Sniffer::schedule_next_checkpoint() {
+  world_->queue().schedule_in(
+      config_.checkpoint_interval_s, [this, alive = alive_] {
+        if (!*alive) return;
+        (void)checkpointer_->checkpoint_now();  // failures tallied by the checkpointer
+        schedule_next_checkpoint();
+      });
 }
 
 std::size_t Sniffer::card_count() const noexcept {
@@ -84,13 +111,6 @@ double Sniffer::decode_probability(double rssi_dbm, rf::Channel tx, rf::Channel 
 }
 
 sim::DeliveryInterest Sniffer::delivery_interest() const {
-  if (checkpointer_ && config_.fault_plan.torn_write_rate > 0.0) {
-    // Torn-write checkpoints consume injector draws at save time, and saves
-    // are triggered from the top of on_air_frame — culling would change
-    // which deliveries trigger them and thereby shift the whole damage
-    // stream. Correctness first: ask for every delivery.
-    return {};
-  }
   sim::DeliveryInterest interest;
   interest.fixed_position = config_.position;
   // rssi below which decode_probability is 0 for every card: on-channel
@@ -105,7 +125,6 @@ sim::DeliveryInterest Sniffer::delivery_interest() const {
 
 void Sniffer::on_air_frame(const net80211::ManagementFrame& frame, const sim::RxInfo& rx) {
   ++stats_.frames_on_air;
-  if (checkpointer_) checkpointer_->maybe_checkpoint(rx.time);
 
   constexpr std::size_t kNoCard = static_cast<std::size_t>(-1);
   std::size_t decoded_by = kNoCard;

@@ -50,6 +50,10 @@ struct SnifferConfig {
   fault::FaultPlan fault_plan{};
   /// When set, the store is checkpointed here every checkpoint_interval_s
   /// of sim-time (atomic temp+rename snapshots; see ObservationCheckpointer).
+  /// Checkpoints fire from the world's event queue — on the clock, not on
+  /// deliveries — and torn-write draws come from a dedicated injector
+  /// stream, so checkpointing never perturbs the frame-damage stream and
+  /// never costs the station its delivery culling.
   std::optional<std::filesystem::path> checkpoint_path;
   double checkpoint_interval_s = 60.0;
   /// Hard decode floor: a card whose effective SNR sits this far below the
@@ -85,7 +89,8 @@ class Sniffer final : public sim::FrameReceiver {
   Sniffer(const Sniffer&) = delete;
   Sniffer& operator=(const Sniffer&) = delete;
 
-  /// Registers with the world's medium.
+  /// Registers with the world's medium and, when checkpointing is
+  /// configured, schedules the periodic checkpoint events on its queue.
   void attach(sim::World& world);
 
   [[nodiscard]] const SnifferConfig& config() const noexcept { return config_; }
@@ -137,15 +142,23 @@ class Sniffer final : public sim::FrameReceiver {
               sim::SimTime card_time, std::span<const std::uint8_t> wire_bytes);
   void write_pcap(const sim::RxInfo& rx, sim::SimTime card_time,
                   std::span<const std::uint8_t> body);
+  void schedule_next_checkpoint();
 
   SnifferConfig config_;
   ObservationStore* store_;
   sim::World* world_ = nullptr;
   util::Rng rng_;
   fault::FaultInjector injector_;
+  /// Torn-write draws for checkpoint saves. A separate seeded stream (not
+  /// injector_) so checkpoint cadence never shifts which frames get damaged
+  /// — the decoupling that lets torn-write stations keep Atlas culling.
+  std::unique_ptr<fault::FaultInjector> checkpoint_injector_;
   SnifferStats stats_;
   std::unique_ptr<net80211::PcapWriter> pcap_;
   std::unique_ptr<ObservationCheckpointer> checkpointer_;
+  /// Cleared by the destructor; scheduled checkpoint events hold a copy and
+  /// become no-ops once the sniffer is gone (the world may outlive it).
+  std::shared_ptr<bool> alive_;
   std::function<void(const FrameEvent&)> event_sink_;
 };
 

@@ -39,7 +39,8 @@ bool parse_u64(const std::string& text, std::uint64_t& out) {
 bool FaultPlan::active() const noexcept {
   return corrupt_rate > 0.0 || truncate_rate > 0.0 || drop_rate > 0.0 ||
          duplicate_rate > 0.0 || nic_dropout_rate > 0.0 || clock_skew_max_s > 0.0 ||
-         clock_drift_max_ppm > 0.0 || torn_write_rate > 0.0;
+         clock_drift_max_ppm > 0.0 || reorder_rate > 0.0 || burst_rate > 0.0 ||
+         torn_write_rate > 0.0;
 }
 
 util::Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
@@ -61,7 +62,8 @@ util::Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
       return R::failure("fault plan: bad value for '" + key + "': '" + val + "'");
     }
     const bool is_rate = key == "corrupt" || key == "truncate" || key == "drop" ||
-                         key == "dup" || key == "nic-dropout" || key == "torn";
+                         key == "dup" || key == "nic-dropout" || key == "reorder" ||
+                         key == "burst" || key == "torn";
     if (is_rate && value > 1.0) {
       return R::failure("fault plan: rate '" + key + "' must be in [0,1]");
     }
@@ -83,6 +85,14 @@ util::Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
       plan.clock_skew_max_s = value;
     } else if (key == "drift") {
       plan.clock_drift_max_ppm = value;
+    } else if (key == "reorder") {
+      plan.reorder_rate = value;
+    } else if (key == "reorder-depth") {
+      plan.reorder_depth_max = static_cast<int>(value);
+    } else if (key == "burst") {
+      plan.burst_rate = value;
+    } else if (key == "burst-frames") {
+      plan.burst_frames_mean = value;
     } else if (key == "torn") {
       plan.torn_write_rate = value;
     } else {
@@ -92,6 +102,12 @@ util::Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
   if (plan.corrupt_bits_max < 1) return R::failure("fault plan: corrupt-bits must be >= 1");
   if (plan.nic_dropout_rate > 0.0 && plan.nic_dropout_mean_s <= 0.0) {
     return R::failure("fault plan: dropout-mean must be > 0 when nic-dropout is set");
+  }
+  if (plan.reorder_depth_max < 1) {
+    return R::failure("fault plan: reorder-depth must be >= 1");
+  }
+  if (plan.burst_rate > 0.0 && plan.burst_frames_mean < 1.0) {
+    return R::failure("fault plan: burst-frames must be >= 1 when burst is set");
   }
   return plan;
 }
@@ -114,6 +130,10 @@ std::string FaultPlan::to_spec() const {
   emit("dropout-mean", nic_dropout_mean_s, 30.0);
   emit("skew", clock_skew_max_s, 0.0);
   emit("drift", clock_drift_max_ppm, 0.0);
+  emit("reorder", reorder_rate, 0.0);
+  emit("reorder-depth", reorder_depth_max, 4.0);
+  emit("burst", burst_rate, 0.0);
+  emit("burst-frames", burst_frames_mean, 16.0);
   emit("torn", torn_write_rate, 0.0);
   out << sep << "seed=" << seed;
   return out.str();

@@ -31,6 +31,12 @@ struct FaultPlan {
   double clock_skew_max_s = 0.0;    ///< per-card constant offset, uniform in +-max
   double clock_drift_max_ppm = 0.0; ///< per-card linear drift, uniform in +-max
 
+  // --- link faults (the sensor fabric's wire between sniffer and tracker) ---
+  double reorder_rate = 0.0;       ///< P(frame is delayed behind later frames)
+  int reorder_depth_max = 4;       ///< 1..N frames a delayed frame waits behind
+  double burst_rate = 0.0;         ///< P(a burst outage starts at this frame)
+  double burst_frames_mean = 16.0; ///< mean frames lost per burst outage
+
   // --- persistence faults ---
   double torn_write_rate = 0.0;  ///< P(a save dies mid-write, before rename)
 
@@ -41,7 +47,8 @@ struct FaultPlan {
 
   /// Parses a comma-separated spec, e.g.
   ///   "corrupt=0.01,truncate=0.01,drop=0.02,dup=0.005,nic-dropout=0.1,
-  ///    dropout-mean=20,skew=0.5,drift=50,torn=0.25,seed=7"
+  ///    dropout-mean=20,skew=0.5,drift=50,reorder=0.05,reorder-depth=4,
+  ///    burst=0.001,burst-frames=16,torn=0.25,seed=7"
   /// Unknown keys, bad numbers, and out-of-range rates are errors (a typo in
   /// a soak config should fail loudly, not silently inject nothing).
   [[nodiscard]] static util::Result<FaultPlan> parse(const std::string& spec);

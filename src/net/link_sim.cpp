@@ -1,0 +1,100 @@
+#include "net/link_sim.h"
+
+#include <algorithm>
+
+namespace mm::net {
+
+namespace {
+/// Salt for the link's private draw stream (burst + reorder), keeping it
+/// independent of the injector's per-frame damage stream.
+constexpr std::uint64_t kLinkSalt = 0x11a77;
+}  // namespace
+
+LinkSimulator::LinkSimulator(const fault::FaultPlan& plan)
+    : plan_(plan),
+      injector_(plan),
+      link_rng_(util::hash_combine(plan.seed, kLinkSalt)) {}
+
+void LinkSimulator::emit(std::span<const std::uint8_t> bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+  ++stats_.frames_delivered;
+  // A real emission carries the stream forward; delayed frames ride that
+  // progress. Collect the ones whose wait expires, in insertion order.
+  if (delayed_.empty()) return;
+  std::vector<Delayed> due;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (--it->frames_left <= 0) {
+      due.push_back(std::move(*it));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const Delayed& d : due) {
+    out_.insert(out_.end(), d.bytes.begin(), d.bytes.end());
+    ++stats_.frames_delivered;
+  }
+}
+
+void LinkSimulator::send(std::span<const std::uint8_t> frame) {
+  ++stats_.frames_sent;
+  // Draw order (fixed per frame so the stream position is seed-stable):
+  // burst-start bernoulli, then — only for frames that reach the link —
+  // the injector's four per-frame bernoullis, then one reorder bernoulli
+  // per surviving delivery.
+  if (plan_.burst_rate > 0.0 && link_rng_.bernoulli(plan_.burst_rate) &&
+      burst_left_ == 0) {
+    // Uniform in [1, 2*mean-1] keeps the configured mean with bounded tails.
+    burst_left_ = static_cast<std::uint64_t>(link_rng_.uniform_int(
+        1, std::max<std::int64_t>(1, 2 * static_cast<std::int64_t>(plan_.burst_frames_mean) - 1)));
+  }
+  if (burst_left_ > 0) {
+    --burst_left_;
+    ++stats_.burst_dropped;
+    return;  // the sender is dark; nothing reaches the link
+  }
+
+  std::vector<std::uint8_t> bytes(frame.begin(), frame.end());
+  int deliveries = 1;
+  const auto before = injector_.stats();
+  switch (injector_.apply_frame(bytes)) {
+    case fault::FaultInjector::FrameAction::kDrop:
+      ++stats_.dropped;
+      return;
+    case fault::FaultInjector::FrameAction::kDuplicate:
+      ++stats_.duplicated;
+      deliveries = 2;
+      break;
+    case fault::FaultInjector::FrameAction::kPass:
+      break;
+  }
+  stats_.corrupted += injector_.stats().frames_corrupted - before.frames_corrupted;
+  stats_.truncated += injector_.stats().frames_truncated - before.frames_truncated;
+
+  for (int i = 0; i < deliveries; ++i) {
+    if (plan_.reorder_rate > 0.0 && link_rng_.bernoulli(plan_.reorder_rate)) {
+      const int depth = static_cast<int>(
+          link_rng_.uniform_int(1, std::max(1, plan_.reorder_depth_max)));
+      delayed_.push_back({depth, bytes});
+      ++stats_.reordered;
+      continue;
+    }
+    emit(bytes);
+  }
+}
+
+void LinkSimulator::flush() {
+  for (const Delayed& d : delayed_) {
+    out_.insert(out_.end(), d.bytes.begin(), d.bytes.end());
+    ++stats_.frames_delivered;
+  }
+  delayed_.clear();
+}
+
+std::vector<std::uint8_t> LinkSimulator::take() {
+  std::vector<std::uint8_t> taken = std::move(out_);
+  out_.clear();
+  return taken;
+}
+
+}  // namespace mm::net

@@ -1,0 +1,77 @@
+// Lattice link simulator: the lossy wire between a remote sniffer and the
+// central engine (DESIGN.md §12). One seeded instance deterministically
+// damages a sequence of wire frames the way a cheap serial/UDP link does:
+//
+//   * per-frame drop / bit-corrupt / truncate / duplicate via the shared
+//     FaultInjector (identical damage semantics — and spec keys — to the
+//     capture and replay paths, so one FaultPlan drives every soak);
+//   * reordering: a frame is delayed behind 1..reorder_depth_max of its
+//     successors (reorder_rate per frame);
+//   * burst outages: with burst_rate per frame an outage starts and the
+//     next ~burst_frames_mean frames vanish before reaching the link
+//     (an unplugged dongle, a rebooting relay).
+//
+// Determinism contract: the same plan + seed over the same frame sequence
+// produces the same output bytes. Burst and reorder draws come from a
+// dedicated stream (hash_combine(seed, salt)) consumed once per frame, so
+// enabling them never shifts which frames the injector damages; frames
+// swallowed by a burst never reach the injector, exactly as if the sender
+// were dark.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+
+namespace mm::net {
+
+struct LinkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;  ///< frames that reached the output (dups count)
+  std::uint64_t burst_dropped = 0;
+  std::uint64_t dropped = 0;      ///< injector kDrop
+  std::uint64_t duplicated = 0;   ///< injector kDuplicate
+  std::uint64_t corrupted = 0;    ///< injector bit flips (frame still delivered)
+  std::uint64_t truncated = 0;
+  std::uint64_t reordered = 0;    ///< frames delayed behind successors
+};
+
+class LinkSimulator {
+ public:
+  explicit LinkSimulator(const fault::FaultPlan& plan);
+
+  /// Pushes one encoded wire frame through the link; whatever survives is
+  /// appended to the output byte stream (possibly later, if delayed).
+  void send(std::span<const std::uint8_t> frame);
+
+  /// Delivers every still-delayed frame (end of stream drains the link).
+  void flush();
+
+  /// Accumulated output bytes; take() moves them out and resets the buffer
+  /// so a pump loop can forward chunks incrementally.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Delayed {
+    int frames_left;  ///< emitted after this many subsequent emissions
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void emit(std::span<const std::uint8_t> bytes);
+
+  fault::FaultPlan plan_;
+  fault::FaultInjector injector_;
+  util::Rng link_rng_;  ///< burst + reorder draws, separate from the injector's
+  std::uint64_t burst_left_ = 0;
+  std::vector<Delayed> delayed_;
+  std::vector<std::uint8_t> out_;
+  LinkStats stats_;
+};
+
+}  // namespace mm::net

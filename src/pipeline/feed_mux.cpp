@@ -1,0 +1,69 @@
+#include "pipeline/feed_mux.h"
+
+namespace mm::pipeline {
+
+SnifferFeedMux::SnifferFeedMux(LiveTracker& tracker, net::FecDecoderOptions fec_options)
+    : tracker_(tracker), fec_options_(fec_options) {}
+
+std::size_t SnifferFeedMux::add_feed(std::uint32_t stream_id) {
+  feeds_.push_back(Feed{stream_id, net::WireDecoder{}, net::FecDecoder{fec_options_},
+                        0, 0, 0});
+  return feeds_.size() - 1;
+}
+
+void SnifferFeedMux::drain_events(Feed& feed) {
+  capture::FrameEvent event;
+  while (feed.fec.next(event)) {
+    // Global sequences are assigned at release, in release order — the same
+    // "consumed per event, dropped or not" discipline as feed_pcap, so the
+    // numbering is a pure function of the pumped chunk sequence.
+    event.stream_seq = ++next_seq_;
+    if (tracker_.push(event)) {
+      ++feed.events_delivered;
+    } else {
+      ++feed.events_dropped;
+    }
+  }
+}
+
+void SnifferFeedMux::on_bytes(std::size_t feed_index, std::span<const std::uint8_t> bytes) {
+  Feed& feed = feeds_.at(feed_index);
+  feed.wire.feed(bytes);
+  net::WireFrame frame;
+  while (feed.wire.next(frame)) {
+    if (frame.stream_id != feed.stream_id) {
+      ++feed.stream_mismatches;
+      continue;
+    }
+    feed.fec.push(frame);
+    drain_events(feed);
+  }
+}
+
+void SnifferFeedMux::finish() {
+  for (Feed& feed : feeds_) {
+    feed.fec.finish();
+    drain_events(feed);
+  }
+}
+
+FeedMuxStats SnifferFeedMux::stats() const {
+  FeedMuxStats out;
+  out.feeds.reserve(feeds_.size());
+  for (const Feed& feed : feeds_) {
+    FeedStats fs;
+    fs.stream_id = feed.stream_id;
+    fs.wire = feed.wire.stats();
+    fs.fec = feed.fec.stats();
+    fs.stream_mismatches = feed.stream_mismatches;
+    fs.events_delivered = feed.events_delivered;
+    fs.events_dropped = feed.events_dropped;
+    out.events_delivered += feed.events_delivered;
+    out.events_dropped += feed.events_dropped;
+    out.feeds.push_back(fs);
+  }
+  out.last_stream_seq = next_seq_;
+  return out;
+}
+
+}  // namespace mm::pipeline

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -222,6 +223,81 @@ TEST(AtlasEquivalence, LocateAllBitIdenticalAcrossModesAndThreads) {
       }
     }
   }
+}
+
+// Torn-write checkpointing used to force always-deliver (clock-driven
+// checkpoints rode the delivery stream, so the interest had to stay open).
+// Now checkpoints are event-queue scheduled: a torn-write station keeps its
+// tight interest, the medium culls it like any other, and the checkpoint
+// cadence — and the store — are identical in both delivery modes.
+TEST(AtlasEquivalence, TornWriteSnifferIsStillCulled) {
+  fault::FaultPlan plan;
+  plan.torn_write_rate = 0.3;
+  plan.seed = 0x70;
+
+  struct TornRun {
+    capture::ObservationStore store;
+    capture::SnifferStats stats;
+    std::size_t checkpoints = 0;
+    std::uint64_t torn = 0;
+    std::uint64_t culled = 0;
+  };
+  const auto run_mode = [&](sim::DeliveryMode mode) {
+    sim::CampusConfig campus;
+    campus.seed = 2024;
+    campus.num_aps = 60;
+    campus.half_extent_m = 300.0;
+    const auto truth = sim::generate_campus_aps(campus);
+
+    TornRun out;
+    sim::World world({.seed = 31,
+                      .propagation = std::make_shared<rf::LogDistanceModel>(3.2),
+                      .delivery = mode});
+    sim::populate_world(world, truth, /*beacons_enabled=*/true);
+    util::Rng rng(55);
+    for (int i = 0; i < 6; ++i) {
+      sim::MobileConfig mc;
+      mc.mac = net80211::MacAddress::random(rng, {0x00, 0x21, 0x5c});
+      mc.profile.probes = true;
+      mc.profile.scan_interval_s = 10.0;
+      mc.mobility = std::make_shared<sim::RandomWaypoint>(
+          geo::Vec2{-300.0, -300.0}, geo::Vec2{300.0, 300.0}, 1.0, 2.0, 150.0,
+          900 + static_cast<std::uint64_t>(i));
+      world.add_mobile(std::make_unique<sim::MobileDevice>(mc));
+    }
+
+    capture::SnifferConfig sc;
+    sc.position = {0.0, 0.0};
+    sc.antenna_height_m = 20.0;
+    sc.fault_plan = plan;
+    sc.checkpoint_path = std::filesystem::temp_directory_path() /
+                         (mode == sim::DeliveryMode::kScan ? "mm_torn_scan.csv"
+                                                           : "mm_torn_indexed.csv");
+    sc.checkpoint_interval_s = 5.0;
+    capture::Sniffer sniffer(sc, &out.store);
+    sniffer.attach(world);
+    world.run_until(60.0);
+    out.stats = sniffer.stats();
+    out.checkpoints = sniffer.checkpointer()->checkpoints_written();
+    out.torn = sniffer.checkpointer()->failures();
+    out.culled = world.deliveries_culled();
+    std::filesystem::remove(*sc.checkpoint_path);
+    return out;
+  };
+
+  const TornRun scan = run_mode(sim::DeliveryMode::kScan);
+  const TornRun indexed = run_mode(sim::DeliveryMode::kIndexed);
+
+  // The whole point of the decoupling: the torn-write station no longer
+  // pins its interest open, so the indexed medium actually culls.
+  EXPECT_EQ(scan.culled, 0u);
+  EXPECT_GT(indexed.culled, 0u);
+  // Clock-driven cadence is delivery-mode independent, torn saves included.
+  EXPECT_EQ(scan.checkpoints + scan.torn, 12u);
+  EXPECT_EQ(scan.checkpoints, indexed.checkpoints);
+  EXPECT_EQ(scan.torn, indexed.torn);
+  EXPECT_EQ(scan.stats.frames_decoded, indexed.stats.frames_decoded);
+  expect_stores_equal(scan.store, indexed.store);
 }
 
 TEST(AtlasEquivalence, ApRadConstraintsGridMatchesScanAcrossThreads) {

@@ -35,4 +35,17 @@ int cmd_info(const util::Flags& flags);
 /// and prints per-shard throughput stats plus the live position snapshot.
 int cmd_live(const util::Flags& flags);
 
+/// `mmctl net-send --pcap cap.pcap --out stream.bin [--stream-id N]
+///        [--fec-k K] [--link-plan spec]`
+/// Encodes a capture into the Lattice wire format (framing + CRC + XOR
+/// parity), optionally dragging it through the seeded lossy-link simulator.
+int cmd_net_send(const util::Flags& flags);
+
+/// `mmctl net-recv --in s1.bin[,s2.bin...] --apdb apdb.csv [--stream-ids 1,2]
+///        [--shards N] [--fec-window W] [--wal-dir dir] [--recover]
+///        [--stats-json out.json]`
+/// Reassembles one or more Lattice streams through the SnifferFeedMux into
+/// Riptide and prints throughput, per-feed fabric health, and positions.
+int cmd_net_recv(const util::Flags& flags);
+
 }  // namespace mm::tools

@@ -60,6 +60,26 @@ commands:
                                        wedged/crashed shards)
              SIGINT/SIGTERM drain the rings, flush a final checkpoint, and
              still print/write the stats before exiting.
+  net-send   encode a capture into the Lattice sensor-fabric wire format
+             (framed + CRC32C + XOR parity) for a remote feed
+             --pcap <capture.pcap> --out <stream.bin>   (required)
+             --stream-id <N>           feed identity (default: 1)
+             --fec-k <K>               data frames per parity frame
+                                       (default: 8; 0 disables parity)
+             --link-plan <spec>        damage the stream with the seeded link
+                                       simulator, e.g. drop=0.05,corrupt=0.01,
+                                       reorder=0.02,burst=0.001,seed=7
+                                       extra keys: reorder, reorder-depth,
+                                       burst, burst-frames
+  net-recv   reassemble Lattice streams into Riptide and print throughput,
+             per-feed fabric health, and the live position snapshot
+             --in <s1.bin[,s2.bin...]> --apdb <apdb.csv>   (required)
+             --stream-ids <1,2,...>    per-file stream ids (default: 1..N)
+             --fec-window <W>          reassembly window in sequences
+                                       (default: 256)
+             plus live's --shards/--ring-capacity/--drop-policy/
+             --reject-outliers/--wal-dir/--checkpoint-secs/--no-fsync/
+             --recover/--stats-json
 )";
 }
 
@@ -79,6 +99,8 @@ int main(int argc, char** argv) {
     if (command == "wigle") return mm::tools::cmd_wigle(flags);
     if (command == "info") return mm::tools::cmd_info(flags);
     if (command == "live") return mm::tools::cmd_live(flags);
+    if (command == "net-send") return mm::tools::cmd_net_send(flags);
+    if (command == "net-recv") return mm::tools::cmd_net_recv(flags);
   } catch (const std::exception& error) {
     std::cerr << "mmctl " << command << ": " << error.what() << "\n";
     return 1;
