@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/rng.h"
 
@@ -192,42 +194,113 @@ std::vector<SpatialIndex::Id> SpatialIndex::nearest_k(Vec2 center, std::size_t k
   std::vector<Id> out;
   if (k == 0 || points_.empty()) return out;
 
-  // Expanding Chebyshev rings of cells around the center's cell. A cell in
-  // ring m holds points at distance >= (m-1)*cell (the center may sit on its
-  // own cell's edge), so once the k-th best distance beats that bound no
-  // farther ring can change the answer.
-  const Cell c0 = cell_of(center);
-  const std::int64_t max_ring = std::max(
-      std::max(std::abs(c0.x - cell_lo_.x), std::abs(cell_hi_.x - c0.x)),
-      std::max(std::abs(c0.y - cell_lo_.y), std::abs(cell_hi_.y - c0.y)));
-
   std::vector<std::pair<double, Id>> best;
-  const auto scan_cell = [&](std::int64_t cx, std::int64_t cy) {
-    const auto it = cells_.find({cx, cy});
-    if (it == cells_.end()) return;
-    for (const Entry& e : it->second) best.emplace_back(e.p.distance_to(center), e.id);
-  };
 
-  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
-    if (ring == 0) {
-      scan_cell(c0.x, c0.y);
-    } else {
-      for (std::int64_t cx = c0.x - ring; cx <= c0.x + ring; ++cx) {
-        scan_cell(cx, c0.y - ring);
-        scan_cell(cx, c0.y + ring);
+  if (2 * k >= points_.size()) {
+    // The answer covers (most of) the index; any traversal degenerates to a
+    // full scan, so do the scan without frontier bookkeeping.
+    best.reserve(points_.size());
+    for (const auto& [id, p] : points_) best.emplace_back(p.distance_to(center), id);
+  } else {
+    // Best-first search over cells. The frontier starts at the occupied
+    // bounding box's cell nearest the query (a far-away center therefore
+    // skips straight past the empty gulf old ring expansion crawled across)
+    // and expands 8-neighbourhoods in ascending lower-bound order, so cells
+    // behind the query are popped only if the answer forces them.
+    //
+    // The per-cell lower bound is the per-axis ring argument: a point whose
+    // cell is d >= 1 cells away along an axis lies at least (d-1)*cell away
+    // along that axis (the center may sit on its own cell's edge), giving
+    // hypot(max(0,dx-1), max(0,dy-1)) * cell overall. The 1e-12 shave keeps
+    // it a true lower bound under the rounding of hypot and the cell
+    // bucketing divisions — sloppiness only ever scans extra cells, never
+    // skips a contender, so results stay bit-identical to the brute oracle.
+    const Cell c0 = cell_of(center);
+    const Cell start{std::clamp(c0.x, cell_lo_.x, cell_hi_.x),
+                     std::clamp(c0.y, cell_lo_.y, cell_hi_.y)};
+    const auto bound_of = [&](const Cell& c) {
+      const std::int64_t dx = c.x > c0.x ? c.x - c0.x : c0.x - c.x;
+      const std::int64_t dy = c.y > c0.y ? c.y - c0.y : c0.y - c.y;
+      const double ax = dx > 0 ? static_cast<double>(dx - 1) * cell_size_ : 0.0;
+      const double ay = dy > 0 ? static_cast<double>(dy - 1) * cell_size_ : 0.0;
+      return std::hypot(ax, ay) * (1.0 - 1e-12);
+    };
+
+    using FrontierEntry = std::pair<double, Cell>;
+    std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, std::greater<>>
+        frontier;
+    std::unordered_set<Cell, CellHasher> seen;
+    // Max-heap of the k best (distance, id) pairs seen so far; its top is
+    // the current k-th best, the bound the frontier races against.
+    std::priority_queue<std::pair<double, Id>> top;
+    const auto scan_bucket = [&](const std::vector<Entry>& bucket) {
+      for (const Entry& e : bucket) {
+        const std::pair<double, Id> cand{e.p.distance_to(center), e.id};
+        if (top.size() < k) {
+          top.push(cand);
+        } else if (cand < top.top()) {
+          top.pop();
+          top.push(cand);
+        }
       }
-      for (std::int64_t cy = c0.y - ring + 1; cy <= c0.y + ring - 1; ++cy) {
-        scan_cell(c0.x - ring, cy);
-        scan_cell(c0.x + ring, cy);
+    };
+    // When the walk has visited more cells than the index occupies, the
+    // grid is sparse relative to the search (tiny cells, wide empty gulf
+    // between the query and the answer) and cell-by-cell flooding loses to
+    // just ranking every occupied cell. Hand over to that fallback — same
+    // bounds, same predicates, so the same bits either way.
+    const std::size_t flood_limit = 2 * cells_.size() + 64;
+    bool flooded_out = false;
+    frontier.emplace(bound_of(start), start);
+    seen.insert(start);
+    while (!frontier.empty()) {
+      const auto [cell_bound, cell] = frontier.top();
+      frontier.pop();
+      // Every unpopped cell bounds >= cell_bound (bounds are monotone along
+      // any L-inf-monotone path from `start`, and one such path from inside
+      // the popped region reaches every unvisited cell through the
+      // frontier), so a strict beat by the k-th distance ends the search.
+      // Ties resolve by id in the final sort, exactly as a brute scan does.
+      if (top.size() == k && cell_bound > top.top().first) break;
+      const auto it = cells_.find(cell);
+      if (it != cells_.end()) scan_bucket(it->second);
+      if (seen.size() > flood_limit) {
+        flooded_out = true;
+        break;
+      }
+      for (int ny = -1; ny <= 1; ++ny) {
+        for (int nx = -1; nx <= 1; ++nx) {
+          if (nx == 0 && ny == 0) continue;
+          const Cell n{cell.x + nx, cell.y + ny};
+          if (n.x < cell_lo_.x || n.x > cell_hi_.x || n.y < cell_lo_.y ||
+              n.y > cell_hi_.y) {
+            continue;
+          }
+          if (seen.insert(n).second) frontier.emplace(bound_of(n), n);
+        }
       }
     }
-    if (best.size() >= k) {
-      std::nth_element(best.begin(), best.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                       best.end());
-      const double kth = best[k - 1].first;
-      // Points in ring+1 sit at distance >= ring*cell; strict > leaves ties
-      // (which resolve by id) to the next iteration.
-      if (static_cast<double>(ring) * cell_size_ > kth) break;
+    if (flooded_out) {
+      // Rank every occupied cell by lower bound and scan ascending until the
+      // k-th distance beats the next bound. The heap restarts empty: it
+      // cannot de-duplicate, and re-scanning an already-visited bucket into
+      // the partial heap would double-count its ids.
+      top = {};
+      std::vector<std::pair<double, const std::vector<Entry>*>> ranked;
+      ranked.reserve(cells_.size());
+      for (const auto& [cell, bucket] : cells_) {
+        ranked.emplace_back(bound_of(cell), &bucket);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      for (const auto& [cell_bound, bucket] : ranked) {
+        if (top.size() == k && cell_bound > top.top().first) break;
+        scan_bucket(*bucket);
+      }
+    }
+    best.reserve(top.size());
+    while (!top.empty()) {
+      best.push_back(top.top());
+      top.pop();
     }
   }
 

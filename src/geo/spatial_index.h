@@ -66,14 +66,17 @@ class SpatialIndex {
   void query_range(Vec2 lo, Vec2 hi, std::vector<Id>& out) const;
 
   /// The k closest points ordered by (distance_to(center), id); fewer when
-  /// the index holds fewer than k points.
+  /// the index holds fewer than k points. Served by a best-first frontier
+  /// over cells (exact per-cell lower bounds, popped in ascending order), so
+  /// clustered data and query centers far outside the occupied bounding box
+  /// cost what the answer costs, not what the empty space between costs.
   [[nodiscard]] std::vector<Id> nearest_k(Vec2 center, std::size_t k) const;
 
  private:
   struct Cell {
     std::int64_t x = 0;
     std::int64_t y = 0;
-    bool operator==(const Cell&) const = default;
+    auto operator<=>(const Cell&) const = default;
   };
   struct CellHasher {
     std::size_t operator()(const Cell& c) const noexcept;

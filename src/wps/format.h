@@ -1,0 +1,99 @@
+// Basilisk on-disk snapshot format (DESIGN.md §13).
+//
+// A WPS snapshot is the attacker's city-scale AP database frozen into one
+// mmap-friendly file: fixed-width records sorted by (geo-tile, BSSID),
+// grouped into per-tile sections, each section CRC32C-framed, with a footer
+// index that lets a 10M+ AP file open in O(tiles) without parsing a single
+// record. Layout (all integers little-endian, offsets 16-byte aligned):
+//
+//   [FileHeader 64 B]      magic "MMWPS1\n", version, geodetic origin,
+//                          tile size, record count; CRC-guarded
+//   [Section]*             back to back, each:
+//                            [SectionHeader 48 B]  "WSEC", type, tile coords,
+//                                                  payload length + CRC,
+//                                                  header CRC
+//                            [payload]             tile records or MAC index
+//   [Footer]               "WIDX" + per-section (offset, SectionHeader) table
+//   [Trailer 24 B]         footer offset + footer CRC + magic "MMWPSEND"
+//
+// Records hold positions as the exact ENU doubles the in-memory ApDatabase
+// works in (the geodetic origin that produced them is in the header). This
+// is deliberate: storing lat/lon and re-projecting at load would round-trip
+// through trig and break the bit-identical-to-ApDatabase contract the whole
+// subsystem is pinned to. Radius-unknown is a canonical quiet-NaN sentinel.
+//
+// Damage tolerance mirrors the Phoenix checkpoint contract: the trailer and
+// footer are conveniences, not requirements — a torn tail falls back to a
+// forward scan over self-framed section headers; a section whose payload CRC
+// disagrees is quarantined (counted, skipped) on first touch, never thrown.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace mm::wps {
+
+inline constexpr std::array<std::uint8_t, 8> kFileMagic = {'M', 'M', 'W', 'P',
+                                                           'S', '1', '\n', 0};
+inline constexpr std::array<std::uint8_t, 4> kSectionMagic = {'W', 'S', 'E', 'C'};
+inline constexpr std::array<std::uint8_t, 4> kFooterMagic = {'W', 'I', 'D', 'X'};
+inline constexpr std::array<std::uint8_t, 8> kTrailerMagic = {'M', 'M', 'W', 'P',
+                                                              'S', 'E', 'N', 'D'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+inline constexpr std::size_t kFileHeaderBytes = 64;
+inline constexpr std::size_t kSectionHeaderBytes = 48;
+inline constexpr std::size_t kFooterEntryBytes = 8 + kSectionHeaderBytes;
+inline constexpr std::size_t kTrailerBytes = 24;
+inline constexpr std::size_t kRecordBytes = 32;
+inline constexpr std::size_t kMacIndexEntryBytes = 16;
+
+enum class SectionType : std::uint8_t {
+  kTileRecords = 1,  ///< payload: count * 32-byte records, BSSID-ascending
+  kMacIndex = 2,     ///< payload: count * 16-byte (bssid, record_index), sorted
+};
+
+/// The radius-unknown sentinel: the canonical quiet NaN. A stored radius is
+/// always finite and positive, so the bit pattern is unambiguous.
+inline constexpr std::uint64_t kNoRadiusBits = 0x7ff8000000000000ULL;
+
+[[nodiscard]] inline double no_radius() noexcept {
+  double d;
+  std::uint64_t bits = kNoRadiusBits;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// One fixed-width AP record, exactly as it sits on disk.
+struct PackedRecord {
+  std::uint64_t bssid = 0;  ///< MAC in the low 48 bits (MacAddress::to_u64)
+  double x = 0.0;           ///< ENU east, meters
+  double y = 0.0;           ///< ENU north, meters
+  double radius_m = 0.0;    ///< max transmission distance; NaN = unknown
+
+  [[nodiscard]] bool has_radius() const noexcept { return !std::isnan(radius_m); }
+};
+static_assert(sizeof(PackedRecord) == kRecordBytes);
+
+/// floor(v / tile) as an int64 tile coordinate — the same clamped-floor
+/// contract as Atlas's cell mapping, so the builder (which sorts records by
+/// tile) and every query (which computes the tiles a disc overlaps) agree on
+/// which tile owns a point, NaN and extreme ratios included.
+[[nodiscard]] inline std::int64_t tile_coord(double v, double tile_size_m) noexcept {
+  constexpr double kLimit = 1099511627776.0;  // 2^40 tiles
+  const double scaled = std::floor(v / tile_size_m);
+  if (!(scaled > -kLimit)) return -static_cast<std::int64_t>(kLimit);  // also NaN
+  if (scaled > kLimit) return static_cast<std::int64_t>(kLimit);
+  return static_cast<std::int64_t>(scaled);
+}
+
+struct TileKey {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  bool operator==(const TileKey&) const = default;
+  auto operator<=>(const TileKey&) const = default;
+};
+
+}  // namespace mm::wps

@@ -1,0 +1,119 @@
+// Basilisk query protocol: WPS requests and responses carried as Lattice
+// wire frames (net/wire_codec.h), so wps-serve speaks over the exact same
+// lossy byte pipes — files, FIFOs, UDP datagrams — as the sensor fabric,
+// with the same resynchronizing decode and damage accounting.
+//
+// A request is one 36-byte data-frame payload:
+//
+//   [u8 op][u8 flags=0][u16 k]     op 1 = lookup, 2 = nearest, 3 = range
+//   [u64 bssid]                    lookup only (0 otherwise)
+//   [f64 x][f64 y][f64 radius_m]   query geometry (0 where unused)
+//
+// The frame's stream_id names the client; seq is the client's monotone
+// request number, echoed verbatim by every response chunk so requests may be
+// answered out of order or in parallel.
+//
+// A response is one or more chunks (same stream_id/seq), each:
+//
+//   [u8 op][u8 status][u16 count][u32 total][u32 part][u32 parts]
+//   count * 32-byte records (wps/format.h PackedRecord layout)
+//
+// 16 + 15*32 = 496 bytes <= kMaxWirePayloadBytes, so kMaxRecordsPerChunk is
+// 15; larger result sets span `parts` chunks in result order. Records cross
+// the wire as the exact on-disk bytes — the client reassembles positions and
+// radii bit-identical to a local Service query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "net/wire_codec.h"
+#include "wps/service.h"
+
+namespace mm::wps {
+
+enum class QueryOp : std::uint8_t {
+  kLookup = 1,
+  kNearest = 2,
+  kRange = 3,
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,  ///< undecodable op / non-finite geometry / k of 0
+};
+
+inline constexpr std::size_t kRequestPayloadBytes = 36;
+inline constexpr std::size_t kResponseHeaderBytes = 16;
+inline constexpr std::size_t kMaxRecordsPerChunk =
+    (net::kMaxWirePayloadBytes - kResponseHeaderBytes) / kRecordBytes;
+
+struct QueryRequest {
+  QueryOp op = QueryOp::kLookup;
+  std::uint16_t k = 0;          ///< nearest only
+  std::uint64_t bssid = 0;      ///< lookup only
+  geo::Vec2 center{};           ///< nearest / range
+  double radius_m = 0.0;        ///< range only
+};
+
+struct QueryResponse {
+  QueryOp op = QueryOp::kLookup;
+  QueryStatus status = QueryStatus::kOk;
+  std::vector<WpsAp> aps;  ///< result order (BSSID- or (distance,BSSID)-sorted)
+};
+
+/// Encodes the 36-byte request payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const QueryRequest& req);
+
+/// Decodes a request payload; nullopt on wrong size or unknown op. Geometry
+/// is validated by the executor, not here — a parseable-but-absurd request
+/// earns a kBadRequest response rather than silence.
+[[nodiscard]] std::optional<QueryRequest> decode_request(
+    std::span<const std::uint8_t> payload);
+
+/// Runs one request against a Service (validating geometry / k) — the whole
+/// of wps-serve's per-request work.
+[[nodiscard]] QueryResponse execute_query(const Service& service,
+                                          const QueryRequest& req);
+
+/// Splits a response into wire frames (>= 1, even when empty), echoing the
+/// request's stream_id and seq onto every chunk.
+[[nodiscard]] std::vector<net::WireFrame> encode_response(
+    const QueryResponse& response, std::uint32_t stream_id, std::uint64_t seq);
+
+/// Client-side chunk reassembly: feed every response frame for a stream;
+/// whole responses pop out keyed by request seq. Chunks may arrive in any
+/// order; a lost chunk simply leaves its seq pending (the caller owns
+/// retry/timeout policy — the assembler never blocks and never throws).
+class ResponseAssembler {
+ public:
+  /// Consumes one frame. Returns the completed response's seq when this
+  /// frame finished a response, nullopt otherwise (including undecodable
+  /// chunks, which are counted and dropped).
+  std::optional<std::uint64_t> feed(const net::WireFrame& frame);
+
+  /// Takes a completed response out of the assembler.
+  [[nodiscard]] std::optional<QueryResponse> take(std::uint64_t seq);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return partial_.size(); }
+  [[nodiscard]] std::uint64_t chunks_rejected() const noexcept { return rejected_; }
+
+ private:
+  struct Partial {
+    QueryOp op = QueryOp::kLookup;
+    QueryStatus status = QueryStatus::kOk;
+    std::uint32_t parts = 0;
+    std::uint32_t parts_seen = 0;
+    std::uint32_t total = 0;
+    std::vector<std::optional<std::vector<WpsAp>>> part_aps;
+  };
+  std::unordered_map<std::uint64_t, Partial> partial_;
+  std::unordered_map<std::uint64_t, QueryResponse> complete_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace mm::wps

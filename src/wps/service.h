@@ -1,0 +1,116 @@
+// Basilisk: the tile-sharded, mmap-backed WPS query backend (DESIGN.md §13).
+//
+// wps::Service is the production face of ApDatabase — the same asset Rye &
+// Levin's "Surveilling the Masses" paper shows powering real Wi-Fi
+// positioning systems: a BSSID -> location service over a city-scale AP
+// snapshot, answering lookup / nearest / range traffic from many threads.
+//
+// The snapshot (wps/format.h) is mapped read-only; open() costs O(tiles):
+// it parses the footer index (or forward-scans section headers when the
+// tail is torn) and never touches record payloads. Per-tile work is lazy
+// and concurrent-read-safe:
+//   * first *lookup* touching a tile CRC-verifies its payload (call_once);
+//   * first *geometric query* touching a tile additionally builds that
+//     tile's geo::SpatialIndex over the mmapped records;
+//   * a tile whose CRC disagrees is quarantined — counted, skipped by every
+//     later query, never thrown (the Phoenix fallback contract).
+//
+// Determinism contract: for an undamaged snapshot built from an ApDatabase,
+// every query returns bit-identical results to the in-memory database —
+//   lookup(b)        == db.find(b)                 (position/radius bits)
+//   range(c, r)      == db.aps_in_range(c, r)      (ascending BSSID)
+//   nearest_k(c, k)  == db.nearest_aps(c, k)       ((distance, BSSID) order)
+// — because positions are the same doubles, membership predicates are the
+// same Vec2::distance_to expressions, and cross-tile merges canonicalize
+// order by (distance,) BSSID exactly as the Atlas-backed database does.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/geodetic.h"
+#include "geo/vec2.h"
+#include "marauder/ap_database.h"
+#include "net80211/mac_address.h"
+#include "util/result.h"
+#include "wps/format.h"
+
+namespace mm::wps {
+
+/// One AP as served to a client (SSIDs are not stored in snapshots).
+struct WpsAp {
+  net80211::MacAddress bssid;
+  geo::Vec2 position;
+  std::optional<double> radius_m;
+};
+
+struct ServiceOptions {
+  /// Cell size handed to each lazily built per-tile spatial index
+  /// (0 = let the index pick from the tile's own point density).
+  /// Performance only, never results.
+  double index_cell_m = 0.0;
+};
+
+/// Open-time + runtime health counters. Everything quarantine-shaped is
+/// monotone; the runtime fields are sampled from atomics.
+struct ServiceStats {
+  std::uint64_t records_total = 0;   ///< records in accepted tile sections
+  std::uint64_t tiles_total = 0;     ///< accepted tile sections
+  std::uint64_t sections_rejected = 0;  ///< index entries / scanned headers refused at open
+  std::uint64_t tail_bytes_quarantined = 0;  ///< unparseable recovery-scan residue
+  bool footer_recovered = false;     ///< trailer was damaged; index rebuilt by scan
+  bool mac_index_present = false;
+  bool mac_index_damaged = false;    ///< CRC failed on first lookup; using tile fallback
+  std::uint64_t tiles_quarantined = 0;    ///< payload CRC failures on first touch
+  std::uint64_t records_quarantined = 0;  ///< records inside quarantined tiles
+};
+
+class Service {
+ public:
+  /// Maps the snapshot read-only. Fails only when the file cannot be mapped
+  /// or its header is unusable; tail/section damage degrades instead (see
+  /// ServiceStats). The Service is movable, not copyable; all queries on a
+  /// const Service are safe from any number of threads concurrently.
+  [[nodiscard]] static util::Result<Service> open(const std::filesystem::path& path,
+                                                  const ServiceOptions& options = {});
+
+  Service(Service&&) noexcept;
+  Service& operator=(Service&&) noexcept;
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+  ~Service();
+
+  /// BSSID -> record, O(log n) through the mmapped MAC index (falling back
+  /// to per-tile binary search when the index section is absent or
+  /// damaged). nullopt when unknown or quarantined.
+  [[nodiscard]] std::optional<WpsAp> lookup(const net80211::MacAddress& bssid) const;
+
+  /// APs with position.distance_to(center) <= radius_m, ascending BSSID.
+  [[nodiscard]] std::vector<WpsAp> range(geo::Vec2 center, double radius_m) const;
+
+  /// The k nearest APs ordered by (distance, BSSID), expanding tile rings
+  /// around the query point exactly as far as the k-th best distance forces.
+  [[nodiscard]] std::vector<WpsAp> nearest_k(geo::Vec2 center, std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const noexcept;  ///< records in accepted tiles
+  [[nodiscard]] geo::Geodetic origin() const noexcept;
+  [[nodiscard]] double tile_size_m() const noexcept;
+  [[nodiscard]] TileKey tile_of(geo::Vec2 p) const noexcept;
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Rebuilds an in-memory ApDatabase from every verifiable tile — the
+  /// drop-in Tracker source (bit-identical localization to a Tracker built
+  /// on the database the snapshot came from). Quarantined tiles are skipped
+  /// and counted in stats().
+  [[nodiscard]] marauder::ApDatabase materialize() const;
+
+ private:
+  struct Impl;
+  explicit Service(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mm::wps

@@ -1,0 +1,242 @@
+#include "wps/snapshot_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "durability/crc32c.h"
+
+namespace mm::wps {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void patch_u32(std::vector<std::uint8_t>& out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[at + static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t crc_of(const std::vector<std::uint8_t>& buf, std::size_t begin,
+                     std::size_t end) {
+  return durability::crc32c({buf.data() + begin, end - begin});
+}
+
+/// Appends one section header; the two CRC fields are patched afterwards.
+struct SectionAt {
+  std::size_t header_at = 0;   ///< offset of the section header in the buffer
+  std::size_t payload_at = 0;  ///< offset of the payload
+};
+
+SectionAt begin_section(std::vector<std::uint8_t>& out, SectionType type,
+                        TileKey tile, std::uint64_t payload_bytes,
+                        std::uint64_t first_record) {
+  SectionAt at;
+  at.header_at = out.size();
+  out.insert(out.end(), kSectionMagic.begin(), kSectionMagic.end());
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put_u64(out, static_cast<std::uint64_t>(tile.x));
+  put_u64(out, static_cast<std::uint64_t>(tile.y));
+  put_u64(out, payload_bytes);
+  put_u64(out, first_record);
+  put_u32(out, 0);  // payload CRC, patched once the payload is in place
+  put_u32(out, 0);  // header CRC, patched last
+  at.payload_at = out.size();
+  return at;
+}
+
+void end_section(std::vector<std::uint8_t>& out, const SectionAt& at) {
+  const std::uint32_t payload_crc = crc_of(out, at.payload_at, out.size());
+  patch_u32(out, at.header_at + 40, payload_crc);
+  const std::uint32_t header_crc = crc_of(out, at.header_at, at.header_at + 44);
+  patch_u32(out, at.header_at + 44, header_crc);
+}
+
+void append_record(std::vector<std::uint8_t>& out, const PackedRecord& r) {
+  put_u64(out, r.bssid);
+  put_f64(out, r.x);
+  put_f64(out, r.y);
+  put_f64(out, r.radius_m);
+}
+
+util::Result<bool> write_atomic(const std::filesystem::path& path,
+                                const std::vector<std::uint8_t>& bytes, bool do_fsync) {
+  using R = util::Result<bool>;
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return R::failure("wps snapshot: cannot create " + tmp.string());
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      ::close(fd);
+      return R::failure("wps snapshot: write failed on " + tmp.string());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return R::failure("wps snapshot: fsync failed on " + tmp.string());
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return R::failure("wps snapshot: rename failed on " + path.string());
+  return true;
+}
+
+}  // namespace
+
+util::Result<SnapshotBuildStats> write_snapshot(std::vector<PackedRecord>& records,
+                                                const geo::Geodetic& origin,
+                                                const std::filesystem::path& path,
+                                                const SnapshotBuildOptions& options) {
+  using R = util::Result<SnapshotBuildStats>;
+  if (!(options.tile_size_m > 0.0) || !std::isfinite(options.tile_size_m)) {
+    return R::failure("wps snapshot: tile size must be positive and finite");
+  }
+  const double tile = options.tile_size_m;
+
+  // On-disk order: (tile, BSSID). Ascending BSSID within a tile is what makes
+  // per-tile binary search work and makes per-tile SpatialIndex ids (local
+  // record offsets) coincide with BSSID rank.
+  std::sort(records.begin(), records.end(),
+            [tile](const PackedRecord& a, const PackedRecord& b) {
+              const TileKey ta{tile_coord(a.x, tile), tile_coord(a.y, tile)};
+              const TileKey tb{tile_coord(b.x, tile), tile_coord(b.y, tile)};
+              if (ta != tb) return ta < tb;
+              return a.bssid < b.bssid;
+            });
+
+  std::vector<std::uint8_t> out;
+  // Records dominate; headers, index, and footer add ~60% worst case.
+  out.reserve(kFileHeaderBytes + records.size() * (kRecordBytes + kMacIndexEntryBytes) +
+              kTrailerBytes + 4096);
+
+  // --- file header ---
+  out.insert(out.end(), kFileMagic.begin(), kFileMagic.end());
+  put_u32(out, kFormatVersion);
+  put_u32(out, 0);  // header CRC, patched below
+  put_f64(out, origin.lat_deg);
+  put_f64(out, origin.lon_deg);
+  put_f64(out, origin.alt_m);
+  put_f64(out, tile);
+  put_u64(out, records.size());
+  put_u64(out, 0);  // reserved
+  patch_u32(out, 12, crc_of(out, 16, kFileHeaderBytes));
+
+  // --- tile sections ---
+  struct FooterRow {
+    std::uint64_t offset;
+    std::size_t header_at;
+  };
+  std::vector<FooterRow> footer_rows;
+  std::uint64_t tiles = 0;
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const TileKey key{tile_coord(records[i].x, tile), tile_coord(records[i].y, tile)};
+    std::size_t j = i;
+    while (j < records.size() &&
+           TileKey{tile_coord(records[j].x, tile), tile_coord(records[j].y, tile)} == key) {
+      ++j;
+    }
+    const std::uint64_t payload = static_cast<std::uint64_t>(j - i) * kRecordBytes;
+    const SectionAt at = begin_section(out, SectionType::kTileRecords, key, payload,
+                                       static_cast<std::uint64_t>(i));
+    for (std::size_t r = i; r < j; ++r) append_record(out, records[r]);
+    end_section(out, at);
+    footer_rows.push_back({static_cast<std::uint64_t>(at.header_at), at.header_at});
+    ++tiles;
+    i = j;
+  }
+
+  // --- MAC index section: (bssid, global record index), BSSID-ascending ---
+  if (options.mac_index && !records.empty()) {
+    std::vector<std::uint64_t> order(records.size());
+    for (std::size_t r = 0; r < records.size(); ++r) order[r] = r;
+    std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+      return records[a].bssid < records[b].bssid;
+    });
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(records.size()) * kMacIndexEntryBytes;
+    const SectionAt at = begin_section(out, SectionType::kMacIndex, {}, payload, 0);
+    for (const std::uint64_t r : order) {
+      put_u64(out, records[r].bssid);
+      put_u64(out, r);
+    }
+    end_section(out, at);
+    footer_rows.push_back({static_cast<std::uint64_t>(at.header_at), at.header_at});
+  }
+
+  // --- footer: "WIDX" + count + (offset, section header) per section ---
+  const std::size_t footer_at = out.size();
+  out.insert(out.end(), kFooterMagic.begin(), kFooterMagic.end());
+  put_u32(out, static_cast<std::uint32_t>(footer_rows.size()));
+  for (const FooterRow& row : footer_rows) {
+    put_u64(out, row.offset);
+    // The footer entry is a verbatim copy of the section header, so one
+    // header parser serves both the fast path and the recovery scan.
+    out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(row.header_at),
+               out.begin() + static_cast<std::ptrdiff_t>(row.header_at) +
+                   static_cast<std::ptrdiff_t>(kSectionHeaderBytes));
+  }
+
+  // --- trailer ---
+  const std::uint32_t footer_crc = crc_of(out, footer_at, out.size());
+  put_u64(out, static_cast<std::uint64_t>(footer_at));
+  put_u32(out, footer_crc);
+  put_u32(out, 0);
+  out.insert(out.end(), kTrailerMagic.begin(), kTrailerMagic.end());
+
+  auto written = write_atomic(path, out, options.fsync);
+  if (!written.ok()) return R::failure(written.error());
+
+  SnapshotBuildStats stats;
+  stats.records = records.size();
+  stats.tiles = tiles;
+  stats.file_bytes = out.size();
+  return stats;
+}
+
+std::vector<PackedRecord> pack_records(const marauder::ApDatabase& db) {
+  std::vector<PackedRecord> records;
+  records.reserve(db.size());
+  for (const marauder::KnownAp* ap : db.sorted_records()) {
+    PackedRecord r;
+    r.bssid = ap->bssid.to_u64();
+    r.x = ap->position.x;
+    r.y = ap->position.y;
+    r.radius_m = ap->radius_m ? *ap->radius_m : no_radius();
+    records.push_back(r);
+  }
+  return records;
+}
+
+util::Result<SnapshotBuildStats> write_snapshot(const marauder::ApDatabase& db,
+                                                const geo::Geodetic& origin,
+                                                const std::filesystem::path& path,
+                                                const SnapshotBuildOptions& options) {
+  std::vector<PackedRecord> records = pack_records(db);
+  return write_snapshot(records, origin, path, options);
+}
+
+}  // namespace mm::wps

@@ -1,0 +1,215 @@
+#include "wps/surveil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "wps/snapshot_writer.h"
+
+namespace mm::wps {
+
+namespace {
+
+/// Half the edge of the square world, from infrastructure density.
+double half_extent_m(const SurveilOptions& o) {
+  const double area_km2 =
+      static_cast<double>(o.fixed_ap_count) / std::max(o.ap_density_per_km2, 1e-6);
+  return 0.5 * std::sqrt(area_km2) * 1000.0;
+}
+
+/// Per-entity deterministic stream: identical no matter which code path or
+/// iteration order asks for it.
+util::Rng entity_rng(std::uint64_t seed, std::uint64_t entity) {
+  return util::Rng{util::hash_combine(seed, entity)};
+}
+
+geo::Vec2 uniform_point(util::Rng& rng, double half) {
+  geo::Vec2 p;
+  p.x = rng.uniform(-half, half);
+  p.y = rng.uniform(-half, half);
+  return p;
+}
+
+/// A device's waypoint walker. Ticks of any size compose to the same path
+/// as one long tick, so movement is independent of the query cadence.
+struct Walker {
+  util::Rng rng;
+  geo::Vec2 position;
+  geo::Vec2 target;
+  double travelled_m = 0.0;
+
+  Walker(std::uint64_t seed, std::uint64_t device, double half)
+      : rng(entity_rng(seed, kDeviceBssidBase + device)) {
+    position = uniform_point(rng, half);
+    target = uniform_point(rng, half);
+  }
+
+  void advance(double dt_s, double speed_mps, double half) {
+    double budget_m = dt_s * speed_mps;
+    while (budget_m > 0.0) {
+      const double leg = position.distance_to(target);
+      if (leg <= budget_m) {
+        budget_m -= leg;
+        travelled_m += leg;
+        position = target;
+        target = uniform_point(rng, half);
+        if (leg == 0.0 && position.distance_to(target) == 0.0) break;
+      } else {
+        const geo::Vec2 dir = (target - position).normalized();
+        position = position + dir * budget_m;
+        travelled_m += budget_m;
+        budget_m = 0.0;
+      }
+    }
+  }
+};
+
+marauder::KnownAp fixed_ap(const SurveilOptions& o, std::size_t i, double half) {
+  util::Rng rng = entity_rng(o.seed, kFixedBssidBase + i);
+  marauder::KnownAp ap;
+  ap.bssid = net80211::MacAddress::from_u64(kFixedBssidBase + i);
+  ap.position = uniform_point(rng, half);
+  if (rng.bernoulli(0.7)) ap.radius_m = rng.uniform(30.0, 120.0);
+  return ap;
+}
+
+}  // namespace
+
+marauder::ApDatabase build_world(const SurveilOptions& options) {
+  const double half = half_extent_m(options);
+  marauder::ApDatabase db;
+  for (std::size_t i = 0; i < options.fixed_ap_count; ++i) {
+    db.add(fixed_ap(options, i, half));
+  }
+  for (std::size_t d = 0; d < options.device_count; ++d) {
+    const Walker w(options.seed, d, half);
+    marauder::KnownAp ap;
+    ap.bssid = net80211::MacAddress::from_u64(kDeviceBssidBase + d);
+    ap.position = w.position;
+    db.add(std::move(ap));
+  }
+  return db;
+}
+
+util::Result<SurveilReport> run_surveillance(const std::filesystem::path& workdir,
+                                             const SurveilOptions& options) {
+  using R = util::Result<SurveilReport>;
+  const double half = half_extent_m(options);
+
+  // The fixed infrastructure never moves: pack it once, re-append the
+  // devices' current positions each epoch.
+  std::vector<PackedRecord> fixed;
+  fixed.reserve(options.fixed_ap_count);
+  for (std::size_t i = 0; i < options.fixed_ap_count; ++i) {
+    const marauder::KnownAp ap = fixed_ap(options, i, half);
+    PackedRecord r;
+    r.bssid = ap.bssid.to_u64();
+    r.x = ap.position.x;
+    r.y = ap.position.y;
+    r.radius_m = ap.radius_m ? *ap.radius_m : no_radius();
+    fixed.push_back(r);
+  }
+
+  std::vector<Walker> walkers;
+  walkers.reserve(options.device_count);
+  for (std::size_t d = 0; d < options.device_count; ++d) {
+    walkers.emplace_back(options.seed, d, half);
+  }
+
+  SurveilReport report;
+  report.devices_total = options.device_count;
+  std::vector<std::set<TileKey>> tiles_seen(options.device_count);
+  std::vector<std::size_t> sightings(options.device_count, 0);
+  std::unordered_set<std::uint64_t> infra_seen;
+
+  std::error_code ec;
+  std::filesystem::create_directories(workdir, ec);
+  const std::filesystem::path snapshot_path = workdir / "surveil.wps";
+  SnapshotBuildOptions build;
+  build.tile_size_m = options.tile_size_m;
+  build.fsync = false;  // scratch snapshots; determinism is unaffected
+
+  const double refresh = std::max(options.snapshot_refresh_s, 1.0);
+  const double sweep = std::max(options.query_interval_s, 1.0);
+  double clock_s = 0.0;
+  while (clock_s < options.duration_s) {
+    const double epoch_end = std::min(clock_s + refresh, options.duration_s);
+
+    // Provider crawl: snapshot the world as it stands at epoch start.
+    std::vector<PackedRecord> records = fixed;
+    for (std::size_t d = 0; d < options.device_count; ++d) {
+      PackedRecord r;
+      r.bssid = kDeviceBssidBase + d;
+      r.x = walkers[d].position.x;
+      r.y = walkers[d].position.y;
+      r.radius_m = no_radius();
+      records.push_back(r);
+    }
+    auto built = write_snapshot(records, geo::Geodetic{}, snapshot_path, build);
+    if (!built.ok()) return R::failure(built.error());
+    report.snapshot_bytes = built.value().file_bytes;
+
+    auto opened = Service::open(snapshot_path);
+    if (!opened.ok()) return R::failure(opened.error());
+    const Service service = std::move(opened).value();
+    ++report.epochs;
+
+    // Adversary sweeps against this epoch's snapshot while the population
+    // keeps moving underneath it.
+    double t = clock_s;
+    while (t < epoch_end) {
+      const double step = std::min(sweep, epoch_end - t);
+      for (std::size_t d = 0; d < options.device_count; ++d) {
+        walkers[d].advance(step, options.speed_mps, half);
+      }
+      t += step;
+
+      for (std::size_t d = 0; d < options.device_count; ++d) {
+        ++report.queries_issued;
+        const auto hit =
+            service.lookup(net80211::MacAddress::from_u64(kDeviceBssidBase + d));
+        if (!hit) continue;
+        ++report.lookup_hits;
+        ++sightings[d];
+        tiles_seen[d].insert(service.tile_of(hit->position));
+
+        if (options.nearest_k > 0) {
+          ++report.queries_issued;
+          for (const WpsAp& ap : service.nearest_k(hit->position, options.nearest_k)) {
+            const std::uint64_t b = ap.bssid.to_u64();
+            if (b >= kFixedBssidBase && b < kFixedBssidBase + options.fixed_ap_count) {
+              infra_seen.insert(b);
+            }
+          }
+        }
+      }
+    }
+    clock_s = epoch_end;
+  }
+
+  report.infrastructure_seen = infra_seen.size();
+  std::size_t tile_sum = 0;
+  report.tracks.reserve(options.device_count);
+  for (std::size_t d = 0; d < options.device_count; ++d) {
+    DeviceTrack track;
+    track.bssid = kDeviceBssidBase + d;
+    track.sightings = sightings[d];
+    track.distinct_tiles = tiles_seen[d].size();
+    track.path_length_m = walkers[d].travelled_m;
+    if (track.sightings > 0) {
+      ++report.devices_sighted;
+      tile_sum += track.distinct_tiles;
+      if (track.distinct_tiles > 1) ++report.devices_tracked;
+    }
+    report.tracks.push_back(track);
+  }
+  report.mean_tiles_per_device =
+      report.devices_sighted == 0
+          ? 0.0
+          : static_cast<double>(tile_sum) / static_cast<double>(report.devices_sighted);
+  return report;
+}
+
+}  // namespace mm::wps

@@ -1,0 +1,88 @@
+// Basilisk opportunistic mass-surveillance scenario (DESIGN.md §13).
+//
+// The attack Rye & Levin demonstrated against production WPS backends,
+// replayed against ours: an adversary with nothing but query access to the
+// positioning service tracks a moving population. Each simulated device is a
+// mobile AP (travel router, hotspot, vehicle gateway) whose BSSID lands in
+// the WPS database wherever it was last surveyed. The scenario replays days
+// of waypoint movement; every `snapshot_refresh_s` the database is
+// re-snapshotted from the devices' current positions (the provider's crawl
+// refresh), and at `query_interval_s` cadence the adversary
+//
+//   1. looks up every device BSSID (the mass-lookup sweep), and
+//   2. issues a nearest_k query at each reported position to harvest the
+//      surrounding fixed infrastructure,
+//
+// binning device sightings by geo-tile. A device is "tracked" once its
+// sighting history spans more than one tile — the across-tile linkage that
+// turns a positioning service into a movement map.
+//
+// Everything is a pure function of options.seed: world building, waypoint
+// draws, and query schedules derive from per-entity util::Rng streams keyed
+// by (seed, entity id), so a report reproduces bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "marauder/ap_database.h"
+#include "util/result.h"
+#include "wps/service.h"
+
+namespace mm::wps {
+
+struct SurveilOptions {
+  std::uint64_t seed = 1;
+  std::size_t fixed_ap_count = 20000;  ///< stationary infrastructure APs
+  std::size_t device_count = 200;      ///< moving devices (mobile BSSIDs)
+  double duration_s = 2.0 * 86400.0;   ///< replayed movement span (two days)
+  double snapshot_refresh_s = 21600.0; ///< provider crawl cadence (6 h)
+  double query_interval_s = 3600.0;    ///< adversary sweep cadence
+  double speed_mps = 1.4;              ///< device walking speed
+  double ap_density_per_km2 = 800.0;   ///< sizes the square world
+  std::size_t nearest_k = 8;           ///< infrastructure harvest per sighting
+  double tile_size_m = 512.0;          ///< snapshot tile edge
+};
+
+/// Mobile-device BSSIDs occupy a reserved locally administered OUI block so
+/// reports can tell the populations apart; fixed infrastructure uses a
+/// sibling block.
+inline constexpr std::uint64_t kDeviceBssidBase = 0x024d4d000000ULL;  // 02:4d:4d
+inline constexpr std::uint64_t kFixedBssidBase = 0x024d46000000ULL;   // 02:4d:46
+
+/// Per-device tracking outcome.
+struct DeviceTrack {
+  std::uint64_t bssid = 0;
+  std::size_t sightings = 0;       ///< lookups that returned a position
+  std::size_t distinct_tiles = 0;  ///< tiles the sightings spanned
+  double path_length_m = 0.0;      ///< ground-truth distance moved
+};
+
+struct SurveilReport {
+  std::size_t epochs = 0;               ///< snapshots built and queried
+  std::size_t queries_issued = 0;       ///< lookups + nearest_k sweeps
+  std::size_t lookup_hits = 0;          ///< device BSSIDs the WPS resolved
+  std::size_t infrastructure_seen = 0;  ///< distinct fixed APs harvested
+  std::size_t devices_total = 0;
+  std::size_t devices_sighted = 0;      ///< >= 1 successful lookup
+  std::size_t devices_tracked = 0;      ///< sightings span > 1 tile
+  double mean_tiles_per_device = 0.0;   ///< over sighted devices
+  std::uint64_t snapshot_bytes = 0;     ///< size of the last epoch snapshot
+  std::vector<DeviceTrack> tracks;      ///< one per device, BSSID-ascending
+};
+
+/// The scenario's ground-truth AP database at t = 0: `fixed_ap_count`
+/// stationary APs uniform over the density-derived square plus
+/// `device_count` mobile-device APs at their home positions. Exposed so
+/// tests can pin the world the replay starts from.
+[[nodiscard]] marauder::ApDatabase build_world(const SurveilOptions& options);
+
+/// Runs the full replay: movement, per-epoch snapshot refresh into
+/// `workdir` (one file, overwritten atomically each epoch), and the
+/// adversary's query sweeps against a Service over each snapshot. Fails
+/// only when a snapshot cannot be written or opened.
+[[nodiscard]] util::Result<SurveilReport> run_surveillance(
+    const std::filesystem::path& workdir, const SurveilOptions& options);
+
+}  // namespace mm::wps

@@ -207,6 +207,91 @@ TEST(SpatialIndex, BuildFromMatchesIncrementalInsert) {
   EXPECT_TRUE(SpatialIndex::build_from({}).empty());
 }
 
+// The best-first nearest_k rewrite earns its keep on clustered clouds: tight
+// blobs separated by wide empty gulfs, queried with large k and from centers
+// far outside the occupied bounding box. The oracle stays the same brute
+// (distance, id) sort — the traversal must never change a single bit.
+TEST(SpatialIndex, NearestKClusteredOracle) {
+  util::Rng rng(0xC1057E2);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Vec2> points;
+    const int clusters = static_cast<int>(rng.uniform_int(2, 6));
+    std::vector<Vec2> centers;
+    for (int c = 0; c < clusters; ++c) {
+      centers.push_back({rng.uniform(-50000.0, 50000.0), rng.uniform(-50000.0, 50000.0)});
+    }
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(300, 900));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 c = centers[i % centers.size()];
+      points.push_back({c.x + rng.gaussian(0.0, 40.0), c.y + rng.gaussian(0.0, 40.0)});
+    }
+    // A fine cell size recreates the pathological many-empty-cells regime.
+    const SpatialIndex index = SpatialIndex::build_from(points, rng.uniform(2.0, 30.0));
+    for (const std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                n / 2, n - 1, n, n + 10}) {
+      // From inside a cluster, between clusters, and far outside everything.
+      const Vec2 inside = points[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+      const Vec2 between = (centers[0] + centers[clusters - 1]) * 0.5;
+      const Vec2 far{rng.uniform(1.0e8, 1.0e9), rng.uniform(-1.0e9, -1.0e8)};
+      for (const Vec2& center : {inside, between, far}) {
+        EXPECT_EQ(index.nearest_k(center, k), brute_nearest(points, center, k))
+            << "round " << round << " k " << k;
+      }
+    }
+  }
+}
+
+// Equidistant points across cell boundaries: the k-th distance ties exactly,
+// and the tie must resolve by ascending id whether the contenders share a
+// cell, a frontier ring, or neither.
+TEST(SpatialIndex, NearestKExactTiesResolveById) {
+  SpatialIndex index(10.0);
+  std::vector<Vec2> points;
+  const double r = 100.0;
+  for (Id id = 0; id < 8; ++id) {
+    // Points spread over an axis-aligned square of "radius" 100 around the
+    // origin — edge midpoints, corners, and the center — in different cells,
+    // with distances tied in groups (three at 100, four at 100*sqrt(2)).
+    const double sx = (id % 3 == 0) ? 0.0 : (id % 3 == 1 ? r : -r);
+    const double sy = (id < 3) ? r : (id < 6 ? -r : 0.0);
+    points.push_back({sx, sy});
+    index.insert(id, points.back());
+  }
+  for (std::size_t k = 1; k <= points.size(); ++k) {
+    EXPECT_EQ(index.nearest_k({0.0, 0.0}, k), brute_nearest(points, {0.0, 0.0}, k))
+        << "k " << k;
+  }
+}
+
+// Erase leaves the cached cell bounding box loose; nearest_k from far away
+// must still clamp into it and return the survivors.
+TEST(SpatialIndex, NearestKAfterEraseFromFarAway) {
+  SpatialIndex index(5.0);
+  std::vector<Vec2> points;
+  util::Rng rng(0xE2A5E2);
+  for (Id id = 0; id < 120; ++id) {
+    points.push_back({rng.uniform(-300.0, 300.0), rng.uniform(-300.0, 300.0)});
+    index.insert(id, points.back());
+  }
+  std::vector<char> alive(points.size(), 1);
+  for (Id id = 0; id < 120; id += 3) {
+    index.erase(id);
+    alive[id] = 0;
+  }
+  const Vec2 far{-4.0e7, 9.0e7};
+  const auto got = index.nearest_k(far, 10);
+  std::vector<std::pair<double, Id>> ranked;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (alive[i] != 0) ranked.emplace_back(points[i].distance_to(far), i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  ranked.resize(10);
+  std::vector<Id> expect;
+  for (const auto& [d, id] : ranked) expect.push_back(id);
+  EXPECT_EQ(got, expect);
+}
+
 TEST(SpatialIndex, ExtremeCoordinatesDoNotOverflow) {
   SpatialIndex index(1.0);  // huge coordinate / tiny cell: saturated cells
   const double big = 1e18;

@@ -1,0 +1,284 @@
+// Basilisk determinism contract: a wps::Service over an mmapped snapshot is
+// bit-identical to the in-memory ApDatabase it was built from, for every
+// query shape, from any number of threads, with or without the MAC index.
+#include "wps/service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "util/rng.h"
+#include "wps/snapshot_writer.h"
+#include "wps/surveil.h"
+
+namespace mm::wps {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_path(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / name;
+  fs::remove(p);
+  return p;
+}
+
+/// A clustered random database: uniform cluster centers, Gaussian blobs, a
+/// sprinkle of far outliers — the shape city AP data actually has.
+marauder::ApDatabase random_db(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  marauder::ApDatabase db;
+  std::vector<geo::Vec2> centers;
+  const std::size_t n_clusters = 1 + n / 200;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    centers.push_back({rng.uniform(-4000.0, 4000.0), rng.uniform(-4000.0, 4000.0)});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    marauder::KnownAp ap;
+    ap.bssid = net80211::MacAddress::from_u64(0x020000000000ULL + rng.next_u64() % (4 * n));
+    if (rng.bernoulli(0.05)) {
+      ap.position = {rng.uniform(-50000.0, 50000.0), rng.uniform(-50000.0, 50000.0)};
+    } else {
+      const geo::Vec2 c = centers[i % centers.size()];
+      ap.position = {c.x + rng.gaussian(0.0, 150.0), c.y + rng.gaussian(0.0, 150.0)};
+    }
+    if (rng.bernoulli(0.6)) ap.radius_m = rng.uniform(20.0, 150.0);
+    db.add(std::move(ap));
+  }
+  return db;
+}
+
+Service open_snapshot_of(const marauder::ApDatabase& db, const std::string& name,
+                         SnapshotBuildOptions build = {}) {
+  const fs::path path = temp_path(name);
+  build.fsync = false;
+  auto stats = write_snapshot(db, geo::Geodetic{47.6, -122.3, 0.0}, path, build);
+  EXPECT_TRUE(stats.ok()) << stats.error();
+  auto service = Service::open(path);
+  EXPECT_TRUE(service.ok()) << service.error();
+  return std::move(service).value();
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ba == bb;
+}
+
+void expect_same_ap(const WpsAp& got, const marauder::KnownAp& want) {
+  EXPECT_EQ(got.bssid, want.bssid);
+  EXPECT_TRUE(bits_equal(got.position.x, want.position.x));
+  EXPECT_TRUE(bits_equal(got.position.y, want.position.y));
+  ASSERT_EQ(got.radius_m.has_value(), want.radius_m.has_value());
+  if (got.radius_m) EXPECT_TRUE(bits_equal(*got.radius_m, *want.radius_m));
+}
+
+void expect_same_list(const std::vector<WpsAp>& got,
+                      const std::vector<const marauder::KnownAp*>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) expect_same_ap(got[i], *want[i]);
+}
+
+TEST(WpsService, LookupMatchesDatabaseFind) {
+  const auto db = random_db(11, 5000);
+  const Service service = open_snapshot_of(db, "mm_wps_lookup.wps");
+  EXPECT_EQ(service.size(), db.size());
+  ASSERT_TRUE(service.stats().mac_index_present);
+  for (const marauder::KnownAp* ap : db.sorted_records()) {
+    const auto got = service.lookup(ap->bssid);
+    ASSERT_TRUE(got.has_value());
+    expect_same_ap(*got, *ap);
+  }
+  EXPECT_FALSE(service.lookup(net80211::MacAddress::from_u64(0x99ULL)).has_value());
+  EXPECT_FALSE(
+      service.lookup(net80211::MacAddress::from_u64(0xffffffffffffULL)).has_value());
+}
+
+TEST(WpsService, LookupFallbackWithoutMacIndex) {
+  const auto db = random_db(12, 2000);
+  SnapshotBuildOptions build;
+  build.mac_index = false;
+  const Service service = open_snapshot_of(db, "mm_wps_nomacidx.wps", build);
+  EXPECT_FALSE(service.stats().mac_index_present);
+  for (const marauder::KnownAp* ap : db.sorted_records()) {
+    const auto got = service.lookup(ap->bssid);
+    ASSERT_TRUE(got.has_value());
+    expect_same_ap(*got, *ap);
+  }
+  EXPECT_FALSE(service.lookup(net80211::MacAddress::from_u64(0x99ULL)).has_value());
+}
+
+TEST(WpsService, RangeMatchesApsInRange) {
+  const auto db = random_db(13, 4000);
+  const Service service = open_snapshot_of(db, "mm_wps_range.wps");
+  util::Rng rng(99);
+  for (int i = 0; i < 60; ++i) {
+    const geo::Vec2 c{rng.uniform(-5000.0, 5000.0), rng.uniform(-5000.0, 5000.0)};
+    const double r = rng.uniform(0.0, 3000.0);
+    expect_same_list(service.range(c, r), db.aps_in_range(c, r));
+  }
+  // Radius zero, exact hit, and a disc covering everything.
+  const geo::Vec2 at = db.sorted_records().front()->position;
+  expect_same_list(service.range(at, 0.0), db.aps_in_range(at, 0.0));
+  expect_same_list(service.range({0, 0}, 1e7), db.aps_in_range({0, 0}, 1e7));
+}
+
+TEST(WpsService, NearestKMatchesNearestAps) {
+  const auto db = random_db(14, 4000);
+  const Service service = open_snapshot_of(db, "mm_wps_nearest.wps");
+  util::Rng rng(100);
+  for (int i = 0; i < 40; ++i) {
+    const geo::Vec2 c{rng.uniform(-6000.0, 6000.0), rng.uniform(-6000.0, 6000.0)};
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    expect_same_list(service.nearest_k(c, k), db.nearest_aps(c, k));
+  }
+  expect_same_list(service.nearest_k({10, 10}, 0), db.nearest_aps({10, 10}, 0));
+  expect_same_list(service.nearest_k({10, 10}, db.size() + 5),
+                   db.nearest_aps({10, 10}, db.size() + 5));
+}
+
+TEST(WpsService, NearestKTiesResolveByBssid) {
+  marauder::ApDatabase db;
+  // Four APs equidistant from the origin, spread across four tiles.
+  for (int i = 0; i < 4; ++i) {
+    marauder::KnownAp ap;
+    ap.bssid = net80211::MacAddress::from_u64(0x100ULL + static_cast<unsigned>(3 - i));
+    const double sx = (i & 1) ? 700.0 : -700.0;
+    const double sy = (i & 2) ? 700.0 : -700.0;
+    ap.position = {sx, sy};
+    db.add(std::move(ap));
+  }
+  const Service service = open_snapshot_of(db, "mm_wps_ties.wps");
+  for (std::size_t k = 1; k <= 4; ++k) {
+    expect_same_list(service.nearest_k({0, 0}, k), db.nearest_aps({0, 0}, k));
+  }
+}
+
+TEST(WpsService, FarAwayQueryCenters) {
+  const auto db = random_db(15, 800);
+  const Service service = open_snapshot_of(db, "mm_wps_far.wps");
+  for (const double far : {1.0e9, -3.0e12, 5.0e15}) {
+    const geo::Vec2 c{far, -far};
+    expect_same_list(service.nearest_k(c, 7), db.nearest_aps(c, 7));
+    expect_same_list(service.range(c, 100.0), db.aps_in_range(c, 100.0));
+  }
+}
+
+TEST(WpsService, EmptySnapshot) {
+  const marauder::ApDatabase db;
+  const Service service = open_snapshot_of(db, "mm_wps_empty.wps");
+  EXPECT_EQ(service.size(), 0u);
+  EXPECT_FALSE(service.lookup(net80211::MacAddress::from_u64(1)).has_value());
+  EXPECT_TRUE(service.range({0, 0}, 1000.0).empty());
+  EXPECT_TRUE(service.nearest_k({0, 0}, 3).empty());
+}
+
+TEST(WpsService, MaterializeRebuildsDatabase) {
+  const auto db = random_db(16, 1500);
+  const Service service = open_snapshot_of(db, "mm_wps_mat.wps");
+  const marauder::ApDatabase rebuilt = service.materialize();
+  ASSERT_EQ(rebuilt.size(), db.size());
+  for (const marauder::KnownAp* ap : db.sorted_records()) {
+    const marauder::KnownAp* got = rebuilt.find(ap->bssid);
+    ASSERT_NE(got, nullptr);
+    EXPECT_TRUE(bits_equal(got->position.x, ap->position.x));
+    EXPECT_TRUE(bits_equal(got->position.y, ap->position.y));
+    ASSERT_EQ(got->radius_m.has_value(), ap->radius_m.has_value());
+    if (got->radius_m) EXPECT_TRUE(bits_equal(*got->radius_m, *ap->radius_m));
+  }
+  // The rebuilt database answers queries exactly like the original.
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const geo::Vec2 c{rng.uniform(-4000.0, 4000.0), rng.uniform(-4000.0, 4000.0)};
+    const auto a = db.nearest_aps(c, 9);
+    const auto b = rebuilt.nearest_aps(c, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j]->bssid, b[j]->bssid);
+  }
+}
+
+// The concurrency contract: lazy tile verification and index construction
+// race-free under many threads issuing mixed queries cold (TSan covers this
+// target in CI).
+TEST(WpsService, ConcurrentColdQueriesMatchOracle) {
+  const auto db = random_db(17, 3000);
+  const Service service = open_snapshot_of(db, "mm_wps_conc.wps");
+  const auto records = db.sorted_records();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 60; ++i) {
+        const geo::Vec2 c{rng.uniform(-5000.0, 5000.0), rng.uniform(-5000.0, 5000.0)};
+        const auto nearest = service.nearest_k(c, 5);
+        const auto oracle = db.nearest_aps(c, 5);
+        if (nearest.size() != oracle.size()) ++failures[t];
+        for (std::size_t j = 0; j < std::min(nearest.size(), oracle.size()); ++j) {
+          if (nearest[j].bssid != oracle[j]->bssid) ++failures[t];
+        }
+        const auto idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(records.size()) - 1));
+        const auto hit = service.lookup(records[idx]->bssid);
+        if (!hit || hit->bssid != records[idx]->bssid) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tiles_quarantined, 0u);
+  EXPECT_EQ(stats.records_quarantined, 0u);
+}
+
+TEST(WpsSurveil, WorldAndReplayAreDeterministic) {
+  SurveilOptions options;
+  options.seed = 42;
+  options.fixed_ap_count = 1500;
+  options.device_count = 24;
+  options.duration_s = 6.0 * 3600.0;
+  options.snapshot_refresh_s = 3600.0;
+  options.query_interval_s = 900.0;
+  options.speed_mps = 8.0;  // vehicles: guarantees cross-tile movement
+
+  const auto db1 = build_world(options);
+  const auto db2 = build_world(options);
+  ASSERT_EQ(db1.size(), db2.size());
+  EXPECT_EQ(db1.size(), options.fixed_ap_count + options.device_count);
+
+  const fs::path dir1 = temp_path("mm_wps_surveil1");
+  const fs::path dir2 = temp_path("mm_wps_surveil2");
+  auto r1 = run_surveillance(dir1, options);
+  auto r2 = run_surveillance(dir2, options);
+  ASSERT_TRUE(r1.ok()) << r1.error();
+  ASSERT_TRUE(r2.ok()) << r2.error();
+  const SurveilReport& a = r1.value();
+  const SurveilReport& b = r2.value();
+
+  EXPECT_EQ(a.epochs, 6u);
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.lookup_hits, b.lookup_hits);
+  EXPECT_EQ(a.infrastructure_seen, b.infrastructure_seen);
+  EXPECT_EQ(a.devices_tracked, b.devices_tracked);
+  ASSERT_EQ(a.tracks.size(), b.tracks.size());
+  for (std::size_t i = 0; i < a.tracks.size(); ++i) {
+    EXPECT_EQ(a.tracks[i].bssid, b.tracks[i].bssid);
+    EXPECT_EQ(a.tracks[i].sightings, b.tracks[i].sightings);
+    EXPECT_EQ(a.tracks[i].distinct_tiles, b.tracks[i].distinct_tiles);
+    EXPECT_TRUE(bits_equal(a.tracks[i].path_length_m, b.tracks[i].path_length_m));
+  }
+
+  // The attack works: every device is sighted, and fast movers cross tiles.
+  EXPECT_EQ(a.devices_sighted, options.device_count);
+  EXPECT_GT(a.devices_tracked, options.device_count / 2);
+  EXPECT_GT(a.infrastructure_seen, 0u);
+  fs::remove_all(dir1);
+  fs::remove_all(dir2);
+}
+
+}  // namespace
+}  // namespace mm::wps

@@ -10,10 +10,23 @@
 //   `mmctl live` does, plus the per-feed fabric health.
 //
 // The two ends meet over any dumb byte transport; a mkfifo between two
-// terminals is the README's demo rig.
+// terminals is the README's demo rig, and --udp/--udp-listen runs the same
+// codec over a real lossy datagram socket (one datagram per wire frame — the
+// resynchronizing decoder owes the wire no alignment, so datagram loss and
+// reordering land exactly where the link simulator's do).
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -54,18 +67,85 @@ std::vector<std::string> split_list(const std::string& value) {
 
 /// Walks a buffer of well-formed encoder output frame by frame (the encoder
 /// never emits damage, so the length field at offset 18 is trustworthy) and
-/// pushes each one through the link individually — the link's drop/reorder
-/// unit is the frame, not the chunk.
-void send_through_link(net::LinkSimulator& link, std::span<const std::uint8_t> bytes) {
+/// hands each one to `fn` — the unit both the link simulator and the UDP
+/// transport operate on is the frame, not the chunk.
+template <typename Fn>
+void for_each_frame(std::span<const std::uint8_t> bytes, Fn&& fn) {
   std::size_t off = 0;
   while (off + net::kWireHeaderBytes <= bytes.size()) {
     const std::size_t len = static_cast<std::size_t>(bytes[off + 18]) |
                             (static_cast<std::size_t>(bytes[off + 19]) << 8);
     const std::size_t frame_len = net::kWireHeaderBytes + len;
     if (off + frame_len > bytes.size()) break;  // unreachable for encoder output
-    link.send(bytes.subspan(off, frame_len));
+    fn(bytes.subspan(off, frame_len));
     off += frame_len;
   }
+}
+
+void send_through_link(net::LinkSimulator& link, std::span<const std::uint8_t> bytes) {
+  for_each_frame(bytes, [&](std::span<const std::uint8_t> frame) { link.send(frame); });
+}
+
+/// Opens a connected UDP socket to "host:port". Returns -1 with `error` set.
+int open_udp_sender(const std::string& spec, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    error = "expected host:port, got '" + spec + "'";
+    return -1;
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  addrinfo* resolved = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &resolved);
+      rc != 0) {
+    error = std::string("cannot resolve '") + spec + "': " + ::gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) error = "cannot open UDP socket to '" + spec + "'";
+  return fd;
+}
+
+/// Binds a UDP listener on the loopback interface. Returns -1 with `error`
+/// set. The receive buffer is bumped so a flat-out localhost sender does not
+/// overflow it between recvfrom calls (overflow loss is still real loss —
+/// the FEC layer absorbs what it can, like any other damage).
+int open_udp_listener(std::uint16_t port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int rcvbuf = 1 << 22;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  // Short poll quantum so the idle-timeout and SIGINT checks stay responsive.
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
 }
 
 void write_net_stats_json(const std::string& path, const pipeline::PipelineStats& stats,
@@ -135,8 +215,9 @@ void write_net_stats_json(const std::string& path, const pipeline::PipelineStats
 int cmd_net_send(const util::Flags& flags) {
   const std::string pcap_path = flags.get("pcap", "");
   const std::string out_path = flags.get("out", "");
-  if (pcap_path.empty() || out_path.empty()) {
-    std::cerr << "mmctl net-send: --pcap and --out are required\n";
+  const std::string udp_spec = flags.get("udp", "");
+  if (pcap_path.empty() || (out_path.empty() == udp_spec.empty())) {
+    std::cerr << "mmctl net-send: --pcap and exactly one of --out/--udp are required\n";
     return 2;
   }
   const auto stream_id = static_cast<std::uint32_t>(flags.get_int("stream-id", 1));
@@ -167,10 +248,21 @@ int cmd_net_send(const util::Flags& flags) {
     return 1;
   }
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
-    std::cerr << "mmctl net-send: cannot open --out " << out_path << "\n";
-    return 1;
+  int udp_fd = -1;
+  std::ofstream out;
+  if (!udp_spec.empty()) {
+    std::string error;
+    udp_fd = open_udp_sender(udp_spec, error);
+    if (udp_fd < 0) {
+      std::cerr << "mmctl net-send: --udp: " << error << "\n";
+      return 1;
+    }
+  } else {
+    out.open(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "mmctl net-send: cannot open --out " << out_path << "\n";
+      return 1;
+    }
   }
 
   net::FecEncoder encoder(stream_id, static_cast<std::size_t>(fec_k));
@@ -179,16 +271,36 @@ int cmd_net_send(const util::Flags& flags) {
   std::uint64_t malformed = 0;
   std::uint64_t events = 0;
   std::uint64_t next_seq = 0;
+  std::uint64_t datagrams = 0;
 
+  // File sink: append the surviving bytes. UDP sink: one datagram per frame
+  // (post-link bytes may carry damaged length fields, so the link's output
+  // ships as whole take() chunks — boundary loss is part of the damage).
+  const auto deliver = [&](std::span<const std::uint8_t> bytes) {
+    if (udp_fd >= 0) {
+      if (link) {
+        if (!bytes.empty()) {
+          ::send(udp_fd, bytes.data(), bytes.size(), 0);
+          ++datagrams;
+        }
+      } else {
+        for_each_frame(bytes, [&](std::span<const std::uint8_t> frame) {
+          ::send(udp_fd, frame.data(), frame.size(), 0);
+          ++datagrams;
+        });
+      }
+    } else {
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+  };
   const auto ship = [&](std::span<const std::uint8_t> bytes) {
     if (link) {
       send_through_link(*link, bytes);
       const std::vector<std::uint8_t> survived = link->take();
-      out.write(reinterpret_cast<const char*>(survived.data()),
-                static_cast<std::streamsize>(survived.size()));
+      deliver(survived);
     } else {
-      out.write(reinterpret_cast<const char*>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size()));
+      deliver(bytes);
     }
   };
 
@@ -212,13 +324,16 @@ int cmd_net_send(const util::Flags& flags) {
   if (link) {
     link->flush();
     const std::vector<std::uint8_t> tail = link->take();
-    out.write(reinterpret_cast<const char*>(tail.data()),
-              static_cast<std::streamsize>(tail.size()));
+    deliver(tail);
   }
-  out.flush();
-  if (!out) {
-    std::cerr << "mmctl net-send: write failed for " << out_path << "\n";
-    return 1;
+  if (udp_fd >= 0) {
+    ::close(udp_fd);
+  } else {
+    out.flush();
+    if (!out) {
+      std::cerr << "mmctl net-send: write failed for " << out_path << "\n";
+      return 1;
+    }
   }
 
   const net::FecEncoderStats& enc = encoder.stats();
@@ -240,15 +355,20 @@ int cmd_net_send(const util::Flags& flags) {
               << " truncated, " << l.duplicated << " duplicated, " << l.reordered
               << " reordered\n";
   }
-  std::cout << "wrote " << out_path << "\n";
+  if (udp_fd >= 0) {
+    std::cout << "sent " << datagrams << " datagrams to " << udp_spec << "\n";
+  } else {
+    std::cout << "wrote " << out_path << "\n";
+  }
   return 0;
 }
 
 int cmd_net_recv(const util::Flags& flags) {
   const std::string in_list = flags.get("in", "");
   const std::string apdb_path = flags.get("apdb", "");
-  if (in_list.empty() || apdb_path.empty()) {
-    std::cerr << "mmctl net-recv: --in and --apdb are required\n";
+  const bool udp_mode = flags.has("udp-listen");
+  if (apdb_path.empty() || (in_list.empty() == !udp_mode)) {
+    std::cerr << "mmctl net-recv: --apdb and exactly one of --in/--udp-listen are required\n";
     return 2;
   }
   const std::vector<std::string> paths = split_list(in_list);
@@ -258,10 +378,16 @@ int cmd_net_recv(const util::Flags& flags) {
     for (const std::string& id : split_list(flags.get("stream-ids", ""))) {
       stream_ids.push_back(static_cast<std::uint32_t>(std::stoul(id)));
     }
-    if (stream_ids.size() != paths.size()) {
+    if (!udp_mode && stream_ids.size() != paths.size()) {
       std::cerr << "mmctl net-recv: --stream-ids must list one id per --in file\n";
       return 2;
     }
+    if (udp_mode && stream_ids.size() != 1) {
+      std::cerr << "mmctl net-recv: --udp-listen carries a single feed; give one --stream-ids\n";
+      return 2;
+    }
+  } else if (udp_mode) {
+    stream_ids.push_back(1);
   } else {
     // net-send defaults to stream 1; multiple rigs are expected to be
     // launched with --stream-id 1,2,3,... matching their --in order here.
@@ -314,12 +440,29 @@ int cmd_net_recv(const util::Flags& flags) {
   fec_options.reorder_window =
       static_cast<std::size_t>(flags.get_int("fec-window", 256));
 
+  int udp_fd = -1;
+  if (udp_mode) {
+    const auto port = flags.get_int("udp-listen", 0);
+    if (port <= 0 || port > 65535) {
+      std::cerr << "mmctl net-recv: --udp-listen needs a port in [1, 65535]\n";
+      return 2;
+    }
+    std::string error;
+    udp_fd = open_udp_listener(static_cast<std::uint16_t>(port), error);
+    if (udp_fd < 0) {
+      std::cerr << "mmctl net-recv: --udp-listen: " << error << "\n";
+      return 1;
+    }
+    std::cout << "listening on udp://127.0.0.1:" << port << "\n";
+  }
+
   std::vector<std::ifstream> inputs;
   inputs.reserve(paths.size());
   for (const std::string& path : paths) {
     inputs.emplace_back(path, std::ios::binary);
     if (!inputs.back()) {
       std::cerr << "mmctl net-recv: cannot open --in " << path << "\n";
+      if (udp_fd >= 0) ::close(udp_fd);
       return 1;
     }
   }
@@ -345,27 +488,51 @@ int cmd_net_recv(const util::Flags& flags) {
   pipeline::SnifferFeedMux mux(tracker, fec_options);
   for (const std::uint32_t id : stream_ids) mux.add_feed(id);
 
-  // Round-robin pump: interleave chunks across feeds the way a poll loop
-  // over N sockets would, so the mux's global sequencing is exercised under
-  // genuine interleaving (and stays deterministic for a given file set).
-  constexpr std::size_t kChunkBytes = 4096;
-  std::vector<std::uint8_t> chunk(kChunkBytes);
-  bool any_open = true;
-  bool interrupted = false;
-  while (any_open && !interrupted) {
-    any_open = false;
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      if (g_net_interrupted.load()) {
-        interrupted = true;
-        break;
-      }
-      if (!inputs[i]) continue;
-      inputs[i].read(reinterpret_cast<char*>(chunk.data()),
-                     static_cast<std::streamsize>(kChunkBytes));
-      const auto got = static_cast<std::size_t>(inputs[i].gcount());
+  std::uint64_t datagrams = 0;
+  if (udp_mode) {
+    // Datagram pump: each recv is one sender frame (or whatever loss and
+    // reordering left of it); the stream ends after --udp-idle-secs of
+    // silence — a datagram socket has no EOF.
+    const double idle_secs = flags.get_double("udp-idle-secs", 5.0);
+    std::vector<std::uint8_t> datagram(1 << 16);
+    auto last_data = std::chrono::steady_clock::now();
+    while (!g_net_interrupted.load()) {
+      const ssize_t got = ::recv(udp_fd, datagram.data(), datagram.size(), 0);
       if (got > 0) {
-        mux.on_bytes(i, {chunk.data(), got});
-        any_open = true;
+        ++datagrams;
+        mux.on_bytes(0, {datagram.data(), static_cast<std::size_t>(got)});
+        last_data = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+      const std::chrono::duration<double> idle =
+          std::chrono::steady_clock::now() - last_data;
+      if (idle.count() >= idle_secs) break;
+    }
+    ::close(udp_fd);
+  } else {
+    // Round-robin pump: interleave chunks across feeds the way a poll loop
+    // over N sockets would, so the mux's global sequencing is exercised under
+    // genuine interleaving (and stays deterministic for a given file set).
+    constexpr std::size_t kChunkBytes = 4096;
+    std::vector<std::uint8_t> chunk(kChunkBytes);
+    bool any_open = true;
+    bool interrupted = false;
+    while (any_open && !interrupted) {
+      any_open = false;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (g_net_interrupted.load()) {
+          interrupted = true;
+          break;
+        }
+        if (!inputs[i]) continue;
+        inputs[i].read(reinterpret_cast<char*>(chunk.data()),
+                       static_cast<std::streamsize>(kChunkBytes));
+        const auto got = static_cast<std::size_t>(inputs[i].gcount());
+        if (got > 0) {
+          mux.on_bytes(i, {chunk.data(), got});
+          any_open = true;
+        }
       }
     }
   }
@@ -390,6 +557,7 @@ int cmd_net_recv(const util::Flags& flags) {
          f.degraded() ? "DEGRADED" : "ok"});
   }
   feed_table.print(std::cout);
+  if (udp_mode) std::cout << datagrams << " datagrams received\n";
   std::cout << "\n" << net_stats.events_delivered << " events into Riptide ("
             << net_stats.events_dropped << " ring-dropped), " << stats.total_frames
             << " processed in " << util::Table::fmt(stats.elapsed_s, 3) << " s ("

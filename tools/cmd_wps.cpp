@@ -1,0 +1,505 @@
+// Basilisk WPS commands (DESIGN.md §13).
+//
+//   mmctl wps-build:   freeze an AP database CSV (or a raw WiGLE export)
+//   into the mmap-backed snapshot format — the attacker's city-scale
+//   positioning backend, built once and queried forever.
+//
+//   mmctl wps-serve:   the positioning service — answer lookup / nearest /
+//   range requests carried as Lattice wire frames over any dumb byte pipe
+//   (a file, a mkfifo between two terminals), echoing responses the same
+//   way. Batches decode concurrently; responses leave in request order.
+//
+//   mmctl wps-query:   the client end — encode request frames onto a
+//   stream, or decode a response stream and print what the service said.
+//
+//   mmctl wps-surveil: replay the Rye & Levin opportunistic
+//   mass-surveillance scenario against the snapshot backend and report how
+//   many devices the query interface alone was able to track.
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "commands.h"
+#include "geo/geodetic.h"
+#include "marauder/ap_database.h"
+#include "net/wire_codec.h"
+#include "net80211/mac_address.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "wps/query_codec.h"
+#include "wps/service.h"
+#include "wps/snapshot_writer.h"
+#include "wps/surveil.h"
+
+namespace mm::tools {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::atomic<bool> g_wps_interrupted{false};
+
+extern "C" void wps_signal_handler(int) { g_wps_interrupted.store(true); }
+
+const char* op_name(wps::QueryOp op) {
+  switch (op) {
+    case wps::QueryOp::kLookup: return "lookup";
+    case wps::QueryOp::kNearest: return "nearest";
+    case wps::QueryOp::kRange: return "range";
+  }
+  return "?";
+}
+
+std::string radius_cell(const std::optional<double>& radius_m) {
+  return radius_m ? util::Table::fmt(*radius_m, 1) : "-";
+}
+
+void print_service_stats(const wps::ServiceStats& stats) {
+  std::cout << "snapshot: " << stats.records_total << " records in "
+            << stats.tiles_total << " tiles";
+  if (stats.footer_recovered) std::cout << ", footer recovered by scan";
+  if (stats.sections_rejected > 0) {
+    std::cout << ", " << stats.sections_rejected << " sections rejected";
+  }
+  if (stats.tiles_quarantined > 0) {
+    std::cout << ", " << stats.tiles_quarantined << " tiles ("
+              << stats.records_quarantined << " records) quarantined";
+  }
+  if (stats.mac_index_damaged) std::cout << ", MAC index damaged (tile fallback)";
+  std::cout << "\n";
+}
+
+void write_serve_stats_json(const std::string& path, std::uint64_t requests,
+                            std::uint64_t bad_requests, std::uint64_t undecodable,
+                            std::uint64_t records_returned,
+                            std::uint64_t response_frames,
+                            const net::WireDecoderStats& wire,
+                            const wps::ServiceStats& service) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"requests\": " << requests << ",\n";
+  out << "  \"bad_requests\": " << bad_requests << ",\n";
+  out << "  \"undecodable_frames\": " << undecodable << ",\n";
+  out << "  \"records_returned\": " << records_returned << ",\n";
+  out << "  \"response_frames\": " << response_frames << ",\n";
+  out << "  \"wire\": {\"bytes_fed\": " << wire.bytes_fed
+      << ", \"frames_decoded\": " << wire.frames_decoded
+      << ", \"resync_bytes\": " << wire.resync_bytes
+      << ", \"crc_failures\": " << wire.crc_failures << "},\n";
+  out << "  \"snapshot\": {\"records\": " << service.records_total
+      << ", \"tiles\": " << service.tiles_total
+      << ", \"sections_rejected\": " << service.sections_rejected
+      << ", \"tiles_quarantined\": " << service.tiles_quarantined
+      << ", \"records_quarantined\": " << service.records_quarantined
+      << ", \"footer_recovered\": " << (service.footer_recovered ? "true" : "false")
+      << ", \"mac_index_damaged\": " << (service.mac_index_damaged ? "true" : "false")
+      << "}\n}\n";
+}
+
+}  // namespace
+
+int cmd_wps_build(const util::Flags& flags) {
+  const std::string apdb_path = flags.get("apdb", "");
+  const std::string wigle_path = flags.get("wigle", "");
+  const std::string out_path = flags.get("out", "");
+  if (out_path.empty() || (apdb_path.empty() == wigle_path.empty())) {
+    std::cerr << "mmctl wps-build: --out and exactly one of --apdb/--wigle are required\n";
+    return 2;
+  }
+
+  const geo::Geodetic origin = sim::uml_north_campus();
+  const geo::EnuFrame frame(origin);
+  marauder::CsvImportStats import_stats;
+  auto db_result = apdb_path.empty()
+                       ? marauder::ApDatabase::from_wigle_csv(wigle_path, frame, &import_stats)
+                       : marauder::ApDatabase::from_csv(apdb_path, frame, &import_stats);
+  if (!db_result.ok()) {
+    std::cerr << "mmctl wps-build: " << db_result.error() << "\n";
+    return 1;
+  }
+  const marauder::ApDatabase db = std::move(db_result).value();
+  if (import_stats.quarantined > 0) {
+    std::cerr << "import: quarantined " << import_stats.quarantined << "/"
+              << import_stats.rows_total << " malformed rows\n";
+  }
+
+  wps::SnapshotBuildOptions options;
+  options.tile_size_m = flags.get_double("tile-size", options.tile_size_m);
+  options.mac_index = !flags.has("no-mac-index");
+  options.fsync = !flags.has("no-fsync");
+  if (!(options.tile_size_m > 0.0)) {
+    std::cerr << "mmctl wps-build: --tile-size must be positive\n";
+    return 2;
+  }
+
+  auto written = wps::write_snapshot(db, origin, out_path, options);
+  if (!written.ok()) {
+    std::cerr << "mmctl wps-build: " << written.error() << "\n";
+    return 1;
+  }
+  const wps::SnapshotBuildStats& stats = written.value();
+  std::cout << import_stats.rows_loaded << " rows -> " << stats.records
+            << " records in " << stats.tiles << " tiles ("
+            << util::Table::fmt(options.tile_size_m, 0) << " m), "
+            << stats.file_bytes << " bytes"
+            << (options.mac_index ? " (with MAC index)" : "") << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_wps_serve(const util::Flags& flags) {
+  const std::string snapshot_path = flags.get("snapshot", "");
+  const std::string in_path = flags.get("in", "");
+  const std::string out_path = flags.get("out", "");
+  if (snapshot_path.empty() || in_path.empty() || out_path.empty()) {
+    std::cerr << "mmctl wps-serve: --snapshot, --in, and --out are required\n";
+    return 2;
+  }
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+
+  auto opened = wps::Service::open(snapshot_path);
+  if (!opened.ok()) {
+    std::cerr << "mmctl wps-serve: --snapshot: " << opened.error() << "\n";
+    return 1;
+  }
+  const wps::Service service = std::move(opened).value();
+  print_service_stats(service.stats());
+
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "mmctl wps-serve: cannot open --in " << in_path << "\n";
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "mmctl wps-serve: cannot open --out " << out_path << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, wps_signal_handler);
+  std::signal(SIGTERM, wps_signal_handler);
+
+  struct PendingRequest {
+    std::uint32_t stream_id = 0;
+    std::uint64_t seq = 0;
+    wps::QueryRequest request;
+  };
+
+  net::WireDecoder decoder;
+  std::uint64_t requests = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t undecodable = 0;
+  std::uint64_t records_returned = 0;
+  std::uint64_t response_frames = 0;
+  std::uint64_t op_counts[4] = {0, 0, 0, 0};
+
+  constexpr std::size_t kChunkBytes = 4096;
+  std::vector<std::uint8_t> chunk(kChunkBytes);
+  std::vector<std::uint8_t> wire_out;
+  std::vector<PendingRequest> batch;
+  std::vector<wps::QueryResponse> responses;
+  net::WireFrame frame;
+
+  // Each read's worth of requests executes as one concurrent batch, but the
+  // responses are written back in request order — a client replaying the
+  // same request stream reads a byte-identical response stream at any
+  // --threads.
+  while (!g_wps_interrupted.load()) {
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(kChunkBytes));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    decoder.feed({chunk.data(), got});
+
+    batch.clear();
+    while (decoder.next(frame)) {
+      if (frame.type != net::WireFrameType::kData) continue;  // parity: not ours
+      const auto request = wps::decode_request(frame.payload);
+      if (!request) {
+        ++undecodable;
+        continue;
+      }
+      batch.push_back({frame.stream_id, frame.seq, *request});
+    }
+    if (batch.empty()) continue;
+
+    responses.assign(batch.size(), wps::QueryResponse{});
+    util::parallel_map_into(util::ThreadPool::shared(), threads, responses,
+                            [&](std::size_t i) {
+                              return wps::execute_query(service, batch[i].request);
+                            });
+
+    wire_out.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ++requests;
+      ++op_counts[static_cast<std::size_t>(batch[i].request.op) & 3];
+      if (responses[i].status != wps::QueryStatus::kOk) ++bad_requests;
+      records_returned += responses[i].aps.size();
+      const auto frames =
+          wps::encode_response(responses[i], batch[i].stream_id, batch[i].seq);
+      response_frames += frames.size();
+      for (const net::WireFrame& f : frames) net::append_wire_frame(f, wire_out);
+    }
+    out.write(reinterpret_cast<const char*>(wire_out.data()),
+              static_cast<std::streamsize>(wire_out.size()));
+    out.flush();  // a FIFO client is waiting on these bytes
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (!out) {
+    std::cerr << "mmctl wps-serve: write failed for " << out_path << "\n";
+    return 1;
+  }
+
+  const net::WireDecoderStats& wire = decoder.stats();
+  util::Table table({"requests", "lookup", "nearest", "range", "bad", "undecodable",
+                     "records out", "resp frames", "resync B", "crc fail"});
+  table.add_row({std::to_string(requests), std::to_string(op_counts[1]),
+                 std::to_string(op_counts[2]), std::to_string(op_counts[3]),
+                 std::to_string(bad_requests), std::to_string(undecodable),
+                 std::to_string(records_returned), std::to_string(response_frames),
+                 std::to_string(wire.resync_bytes), std::to_string(wire.crc_failures)});
+  table.print(std::cout);
+  if (decoder.buffered() > 0) {
+    std::cout << decoder.buffered() << " bytes of torn tail left in the request stream\n";
+  }
+
+  const std::string json_path = flags.get("stats-json", "");
+  if (!json_path.empty()) {
+    write_serve_stats_json(json_path, requests, bad_requests, undecodable,
+                           records_returned, response_frames, wire, service.stats());
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return g_wps_interrupted.load() ? 130 : 0;
+}
+
+namespace {
+
+int wps_query_encode(const util::Flags& flags) {
+  const std::string out_path = flags.get("out", "");
+  if (out_path.empty()) {
+    std::cerr << "mmctl wps-query encode: --out is required\n";
+    return 2;
+  }
+  const std::string op_text = flags.get("op", "");
+  wps::QueryRequest request;
+  if (op_text == "lookup") {
+    request.op = wps::QueryOp::kLookup;
+    const auto mac = net80211::MacAddress::parse(flags.get("bssid", ""));
+    if (!mac) {
+      std::cerr << "mmctl wps-query encode: lookup needs --bssid aa:bb:cc:dd:ee:ff\n";
+      return 2;
+    }
+    request.bssid = mac->to_u64();
+  } else if (op_text == "nearest") {
+    request.op = wps::QueryOp::kNearest;
+    request.k = static_cast<std::uint16_t>(flags.get_int("k", 8));
+    request.center = {flags.get_double("x", 0.0), flags.get_double("y", 0.0)};
+  } else if (op_text == "range") {
+    request.op = wps::QueryOp::kRange;
+    request.center = {flags.get_double("x", 0.0), flags.get_double("y", 0.0)};
+    request.radius_m = flags.get_double("radius", 0.0);
+  } else {
+    std::cerr << "mmctl wps-query encode: --op must be lookup|nearest|range\n";
+    return 2;
+  }
+
+  net::WireFrame frame;
+  frame.stream_id = static_cast<std::uint32_t>(flags.get_int("stream-id", 1));
+  frame.seq = static_cast<std::uint64_t>(flags.get_int("seq", 1));
+  frame.payload = wps::encode_request(request);
+  std::vector<std::uint8_t> bytes;
+  net::append_wire_frame(frame, bytes);
+
+  // Append, so successive invocations build one request stream.
+  std::ofstream out(out_path, std::ios::binary | std::ios::app);
+  if (!out) {
+    std::cerr << "mmctl wps-query encode: cannot open --out " << out_path << "\n";
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    std::cerr << "mmctl wps-query encode: write failed for " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "request " << frame.seq << " (" << op_text << ") -> " << out_path
+            << "\n";
+  return 0;
+}
+
+int wps_query_decode(const util::Flags& flags) {
+  const std::string in_path = flags.get("in", "");
+  if (in_path.empty()) {
+    std::cerr << "mmctl wps-query decode: --in is required\n";
+    return 2;
+  }
+  const auto max_rows = static_cast<std::size_t>(flags.get_int("max-rows", 20));
+
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "mmctl wps-query decode: cannot open --in " << in_path << "\n";
+    return 1;
+  }
+
+  net::WireDecoder decoder;
+  wps::ResponseAssembler assembler;
+  std::vector<std::uint64_t> completed;  // arrival order
+  constexpr std::size_t kChunkBytes = 4096;
+  std::vector<std::uint8_t> chunk(kChunkBytes);
+  net::WireFrame frame;
+  while (true) {
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(kChunkBytes));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    decoder.feed({chunk.data(), got});
+    while (decoder.next(frame)) {
+      if (const auto seq = assembler.feed(frame)) completed.push_back(*seq);
+    }
+  }
+
+  for (const std::uint64_t seq : completed) {
+    const auto response = assembler.take(seq);
+    if (!response) continue;
+    std::cout << "response seq " << seq << ": " << op_name(response->op) << ", "
+              << (response->status == wps::QueryStatus::kOk ? "ok" : "bad request")
+              << ", " << response->aps.size() << " record"
+              << (response->aps.size() == 1 ? "" : "s") << "\n";
+    if (response->aps.empty()) continue;
+    util::Table table({"bssid", "x (m)", "y (m)", "radius (m)"});
+    for (std::size_t i = 0; i < response->aps.size() && i < max_rows; ++i) {
+      const wps::WpsAp& ap = response->aps[i];
+      table.add_row({ap.bssid.to_string(), util::Table::fmt(ap.position.x, 1),
+                     util::Table::fmt(ap.position.y, 1), radius_cell(ap.radius_m)});
+    }
+    table.print(std::cout);
+    if (response->aps.size() > max_rows) {
+      std::cout << "... " << response->aps.size() - max_rows << " more\n";
+    }
+  }
+
+  const net::WireDecoderStats& wire = decoder.stats();
+  std::cout << completed.size() << " responses (" << assembler.pending()
+            << " incomplete), " << wire.frames_decoded << " frames, "
+            << assembler.chunks_rejected() << " chunks rejected, "
+            << wire.resync_bytes << " resync bytes\n";
+
+  if (flags.has("expect")) {
+    const auto expect = static_cast<std::size_t>(flags.get_int("expect", 0));
+    if (completed.size() < expect) {
+      std::cerr << "mmctl wps-query decode: expected >= " << expect
+                << " responses, got " << completed.size() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_wps_query(const util::Flags& flags) {
+  const auto& positional = flags.positional();
+  const std::string mode = positional.empty() ? "" : positional.front();
+  if (mode == "encode") return wps_query_encode(flags);
+  if (mode == "decode") return wps_query_decode(flags);
+  std::cerr << "mmctl wps-query: first argument must be 'encode' or 'decode'\n";
+  return 2;
+}
+
+int cmd_wps_surveil(const util::Flags& flags) {
+  wps::SurveilOptions options;
+  options.seed = flags.get_seed(options.seed);
+  options.fixed_ap_count =
+      static_cast<std::size_t>(flags.get_int("fixed-aps", static_cast<std::int64_t>(options.fixed_ap_count)));
+  options.device_count =
+      static_cast<std::size_t>(flags.get_int("devices", static_cast<std::int64_t>(options.device_count)));
+  options.duration_s = flags.get_double("duration-hours", options.duration_s / 3600.0) * 3600.0;
+  options.snapshot_refresh_s =
+      flags.get_double("refresh-hours", options.snapshot_refresh_s / 3600.0) * 3600.0;
+  options.query_interval_s =
+      flags.get_double("sweep-hours", options.query_interval_s / 3600.0) * 3600.0;
+  options.speed_mps = flags.get_double("speed", options.speed_mps);
+  options.ap_density_per_km2 = flags.get_double("density", options.ap_density_per_km2);
+  options.nearest_k = static_cast<std::size_t>(flags.get_int("k", static_cast<std::int64_t>(options.nearest_k)));
+  options.tile_size_m = flags.get_double("tile-size", options.tile_size_m);
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 10));
+
+  fs::path workdir = flags.get("workdir", "");
+  if (workdir.empty()) workdir = fs::temp_directory_path() / "mm_wps_surveil";
+  std::error_code ec;
+  fs::create_directories(workdir, ec);
+  if (ec) {
+    std::cerr << "mmctl wps-surveil: cannot create --workdir " << workdir << ": "
+              << ec.message() << "\n";
+    return 1;
+  }
+
+  auto result = wps::run_surveillance(workdir, options);
+  if (!result.ok()) {
+    std::cerr << "mmctl wps-surveil: " << result.error() << "\n";
+    return 1;
+  }
+  const wps::SurveilReport report = std::move(result).value();
+
+  std::cout << "replayed " << util::Table::fmt(options.duration_s / 3600.0, 1)
+            << " h of movement: " << report.epochs << " snapshot epochs, "
+            << report.queries_issued << " queries ("
+            << report.lookup_hits << " lookup hits), last snapshot "
+            << report.snapshot_bytes << " bytes\n";
+  std::cout << report.devices_sighted << "/" << report.devices_total
+            << " devices sighted, " << report.devices_tracked
+            << " tracked across tiles ("
+            << util::Table::fmt(report.mean_tiles_per_device, 2)
+            << " tiles/device mean), " << report.infrastructure_seen
+            << " fixed APs harvested\n\n";
+
+  // The movement map the query interface alone reconstructed: most-tracked
+  // devices first.
+  std::vector<const wps::DeviceTrack*> ranked;
+  ranked.reserve(report.tracks.size());
+  for (const wps::DeviceTrack& track : report.tracks) ranked.push_back(&track);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const wps::DeviceTrack* a, const wps::DeviceTrack* b) {
+              if (a->distinct_tiles != b->distinct_tiles)
+                return a->distinct_tiles > b->distinct_tiles;
+              if (a->sightings != b->sightings) return a->sightings > b->sightings;
+              return a->bssid < b->bssid;
+            });
+  util::Table table({"device", "sightings", "tiles", "path (m)"});
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    table.add_row({net80211::MacAddress::from_u64(ranked[i]->bssid).to_string(),
+                   std::to_string(ranked[i]->sightings),
+                   std::to_string(ranked[i]->distinct_tiles),
+                   util::Table::fmt(ranked[i]->path_length_m, 0)});
+  }
+  table.print(std::cout);
+
+  const std::string json_path = flags.get("stats-json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    out << "  \"epochs\": " << report.epochs << ",\n";
+    out << "  \"queries_issued\": " << report.queries_issued << ",\n";
+    out << "  \"lookup_hits\": " << report.lookup_hits << ",\n";
+    out << "  \"infrastructure_seen\": " << report.infrastructure_seen << ",\n";
+    out << "  \"devices_total\": " << report.devices_total << ",\n";
+    out << "  \"devices_sighted\": " << report.devices_sighted << ",\n";
+    out << "  \"devices_tracked\": " << report.devices_tracked << ",\n";
+    out << "  \"mean_tiles_per_device\": " << report.mean_tiles_per_device << ",\n";
+    out << "  \"snapshot_bytes\": " << report.snapshot_bytes << "\n";
+    out << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace mm::tools

@@ -48,4 +48,28 @@ int cmd_net_send(const util::Flags& flags);
 /// Riptide and prints throughput, per-feed fabric health, and positions.
 int cmd_net_recv(const util::Flags& flags);
 
+/// `mmctl wps-build (--apdb apdb.csv | --wigle wigle.csv) --out snap.wps
+///        [--tile-size m] [--no-mac-index] [--no-fsync]`
+/// Freezes an AP database into the Basilisk mmap-backed snapshot format.
+int cmd_wps_build(const util::Flags& flags);
+
+/// `mmctl wps-serve --snapshot snap.wps --in requests.bin --out responses.bin
+///        [--threads N] [--stats-json out.json]`
+/// Answers lookup/nearest/range requests carried as Lattice wire frames read
+/// from a file or FIFO, writing response frames the same way.
+int cmd_wps_serve(const util::Flags& flags);
+
+/// `mmctl wps-query encode --op lookup|nearest|range ... --out requests.bin`
+/// `mmctl wps-query decode --in responses.bin [--expect N]`
+/// The client end of wps-serve: appends request frames onto a stream /
+/// decodes and prints a response stream.
+int cmd_wps_query(const util::Flags& flags);
+
+/// `mmctl wps-surveil [--seed S] [--devices N] [--fixed-aps N]
+///        [--duration-hours H] [--refresh-hours H] [--sweep-hours H]
+///        [--workdir dir] [--stats-json out.json]`
+/// Replays the opportunistic mass-surveillance scenario against the snapshot
+/// backend and reports devices tracked across tiles.
+int cmd_wps_surveil(const util::Flags& flags);
+
 }  // namespace mm::tools

@@ -62,7 +62,10 @@ commands:
              still print/write the stats before exiting.
   net-send   encode a capture into the Lattice sensor-fabric wire format
              (framed + CRC32C + XOR parity) for a remote feed
-             --pcap <capture.pcap> --out <stream.bin>   (required)
+             --pcap <capture.pcap>     (required)
+             --out <stream.bin>        write the stream to a file or FIFO
+             --udp <host:port>         ... or send one datagram per frame
+                                       over a real UDP socket
              --stream-id <N>           feed identity (default: 1)
              --fec-k <K>               data frames per parity frame
                                        (default: 8; 0 disables parity)
@@ -73,13 +76,43 @@ commands:
                                        burst, burst-frames
   net-recv   reassemble Lattice streams into Riptide and print throughput,
              per-feed fabric health, and the live position snapshot
-             --in <s1.bin[,s2.bin...]> --apdb <apdb.csv>   (required)
+             --apdb <apdb.csv>         (required)
+             --in <s1.bin[,s2.bin...]> recorded streams to replay
+             --udp-listen <port>       ... or receive datagrams on loopback
+             --udp-idle-secs <s>       end-of-stream silence (default: 5)
              --stream-ids <1,2,...>    per-file stream ids (default: 1..N)
              --fec-window <W>          reassembly window in sequences
                                        (default: 256)
              plus live's --shards/--ring-capacity/--drop-policy/
              --reject-outliers/--wal-dir/--checkpoint-secs/--no-fsync/
              --recover/--stats-json
+  wps-build  freeze an AP database into Basilisk, the tile-sharded
+             mmap-backed WPS snapshot format
+             --apdb <apdb.csv> | --wigle <wigle.csv>   (one required)
+             --out <snap.wps>          (required)
+             --tile-size <m>           tile edge (default: 512; perf only)
+             --no-mac-index            skip the O(log n) BSSID index section
+             --no-fsync                skip fsync before the atomic rename
+  wps-serve  answer WPS lookup/nearest/range requests carried as Lattice
+             wire frames over a file or FIFO
+             --snapshot <snap.wps> --in <req> --out <resp>   (required)
+             --threads <N>             concurrent query execution (default: 1;
+                                       responses stay in request order)
+             --stats-json <out.json>   machine-readable serve stats
+  wps-query  the client end of wps-serve
+             encode --op lookup --bssid <mac> --out <req>
+             encode --op nearest --x <m> --y <m> --k <N> --out <req>
+             encode --op range --x <m> --y <m> --radius <m> --out <req>
+                    [--stream-id N] [--seq N]   (appends one frame per call)
+             decode --in <resp> [--max-rows N] [--expect N]
+  wps-surveil  replay the opportunistic mass-surveillance scenario: a moving
+             population tracked through nothing but WPS query access
+             --seed <S> --devices <N> --fixed-aps <N>
+             --duration-hours/--refresh-hours/--sweep-hours <H>
+             --speed <m/s> --density <APs/km2> --k <N> --tile-size <m>
+             --workdir <dir>           snapshot scratch dir (default: tmp)
+             --top <N>                 rows of the tracked-device table
+             --stats-json <out.json>   machine-readable report
 )";
 }
 
@@ -101,6 +134,10 @@ int main(int argc, char** argv) {
     if (command == "live") return mm::tools::cmd_live(flags);
     if (command == "net-send") return mm::tools::cmd_net_send(flags);
     if (command == "net-recv") return mm::tools::cmd_net_recv(flags);
+    if (command == "wps-build") return mm::tools::cmd_wps_build(flags);
+    if (command == "wps-serve") return mm::tools::cmd_wps_serve(flags);
+    if (command == "wps-query") return mm::tools::cmd_wps_query(flags);
+    if (command == "wps-surveil") return mm::tools::cmd_wps_surveil(flags);
   } catch (const std::exception& error) {
     std::cerr << "mmctl " << command << ": " << error.what() << "\n";
     return 1;
