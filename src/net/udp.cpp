@@ -1,0 +1,94 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace mm::net {
+
+int clamp_rcvbuf_bytes(long long requested) noexcept {
+  if (requested < kMinRcvbufBytes) return kMinRcvbufBytes;
+  if (requested > kMaxRcvbufBytes) return kMaxRcvbufBytes;
+  return static_cast<int>(requested);
+}
+
+int clamp_idle_timeout_ms(long long requested) noexcept {
+  if (requested < kMinIdleTimeoutMs) return kMinIdleTimeoutMs;
+  if (requested > kMaxIdleTimeoutMs) return kMaxIdleTimeoutMs;
+  return static_cast<int>(requested);
+}
+
+int open_udp_sender(const std::string& spec, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    error = "expected host:port, got '" + spec + "'";
+    return -1;
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  addrinfo* resolved = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &resolved);
+      rc != 0) {
+    error = std::string("cannot resolve '") + spec + "': " + ::gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) error = "cannot open UDP socket to '" + spec + "'";
+  return fd;
+}
+
+int open_udp_listener(std::uint16_t port, const UdpListenerOptions& options,
+                      std::string& error, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int rcvbuf = clamp_rcvbuf_bytes(options.rcvbuf_bytes);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *bound_port = ntohs(bound.sin_port);
+    }
+  }
+  const int quantum_ms = std::clamp(options.rcvtimeo_ms, 1, 10 * 1000);
+  timeval tv{};
+  tv.tv_sec = quantum_ms / 1000;
+  tv.tv_usec = (quantum_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+}  // namespace mm::net

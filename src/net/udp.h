@@ -1,0 +1,56 @@
+// Loopback UDP plumbing shared by every datagram transport in the tree —
+// the Lattice sensor-fabric rig (`mmctl net-send`/`net-recv`) and the Aegis
+// remote WPS tier (`mmctl wps-serve --udp`/`wps-query send`). One datagram
+// carries one wire frame; the resynchronizing decoders upstream owe the wire
+// no alignment, so datagram loss and reordering land exactly where the link
+// simulator's do.
+//
+// These are deliberately thin wrappers over BSD sockets: no event loop, no
+// ownership type — callers pump recv/send themselves and close the fd. What
+// they centralize is the policy that used to be hardcoded in cmd_net.cpp:
+// the receive-buffer size and the poll quantum, both clamped to sane ranges
+// so a flag typo cannot ask the kernel for a 2 GB buffer or a 0 ms spin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mm::net {
+
+inline constexpr int kMinRcvbufBytes = 64 * 1024;
+inline constexpr int kMaxRcvbufBytes = 64 * 1024 * 1024;
+inline constexpr int kDefaultRcvbufBytes = 1 << 22;  // 4 MB
+
+inline constexpr int kMinIdleTimeoutMs = 100;
+inline constexpr int kMaxIdleTimeoutMs = 600 * 1000;
+
+/// Clamps a requested SO_RCVBUF size into [64 KiB, 64 MiB].
+[[nodiscard]] int clamp_rcvbuf_bytes(long long requested) noexcept;
+
+/// Clamps an application idle-timeout into [100 ms, 600 s]. (A datagram
+/// socket has no EOF; "no traffic for this long" is the stream end.)
+[[nodiscard]] int clamp_idle_timeout_ms(long long requested) noexcept;
+
+struct UdpListenerOptions {
+  /// SO_RCVBUF request (clamped). A flat-out localhost sender must not
+  /// overflow the buffer between recv calls — overflow loss is still real
+  /// loss, absorbed like any other damage, but it is not the default rig.
+  int rcvbuf_bytes = kDefaultRcvbufBytes;
+  /// SO_RCVTIMEO poll quantum, so idle-timeout and signal checks stay
+  /// responsive without busy-waiting.
+  int rcvtimeo_ms = 200;
+};
+
+/// Opens a connected UDP socket to "host:port". Returns -1 with `error` set.
+[[nodiscard]] int open_udp_sender(const std::string& spec, std::string& error);
+
+/// Binds a UDP listener on the loopback interface. Port 0 asks the kernel
+/// for a free port; when `bound_port` is non-null it receives the port
+/// actually bound (tests use this to avoid port races). Returns -1 with
+/// `error` set.
+[[nodiscard]] int open_udp_listener(std::uint16_t port,
+                                    const UdpListenerOptions& options,
+                                    std::string& error,
+                                    std::uint16_t* bound_port = nullptr);
+
+}  // namespace mm::net

@@ -90,4 +90,23 @@ class WireDecoder {
   WireDecoderStats stats_;
 };
 
+/// Walks a buffer of well-formed *encoder output* frame by frame (the
+/// encoder never emits damage, so the length field at offset 18 is
+/// trustworthy) and hands each whole frame to `fn` as a span. This is the
+/// splitter every frame-granular transport shares — the link simulator and
+/// the UDP datagram paths both operate on frames, not chunks. Not for wire
+/// *input*: bytes that crossed a lossy link go through WireDecoder instead.
+template <typename Fn>
+void for_each_wire_frame(std::span<const std::uint8_t> bytes, Fn&& fn) {
+  std::size_t off = 0;
+  while (off + kWireHeaderBytes <= bytes.size()) {
+    const std::size_t len = static_cast<std::size_t>(bytes[off + 18]) |
+                            (static_cast<std::size_t>(bytes[off + 19]) << 8);
+    const std::size_t frame_len = kWireHeaderBytes + len;
+    if (off + frame_len > bytes.size()) break;  // unreachable for encoder output
+    fn(bytes.subspan(off, frame_len));
+    off += frame_len;
+  }
+}
+
 }  // namespace mm::net

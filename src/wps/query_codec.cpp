@@ -157,8 +157,15 @@ std::optional<std::uint64_t> ResponseAssembler::feed(const net::WireFrame& frame
   const std::uint32_t total = get_u32(p.data() + 4);
   const std::uint32_t part = get_u32(p.data() + 8);
   const std::uint32_t parts = get_u32(p.data() + 12);
-  if (op < 1 || op > 3 || status > 1 || parts == 0 || part >= parts ||
+  if (op < 1 || op > 3 || status > 2 || parts == 0 || part >= parts ||
       p.size() != kResponseHeaderBytes + static_cast<std::size_t>(count) * kRecordBytes) {
+    ++rejected_;
+    return std::nullopt;
+  }
+
+  if (complete_.count(frame.seq) != 0) {
+    // Retransmit of a response that already assembled: absorb, never
+    // re-apply (a second assembly could tear a response handed to take()).
     ++rejected_;
     return std::nullopt;
   }

@@ -45,6 +45,7 @@ enum class QueryOp : std::uint8_t {
 enum class QueryStatus : std::uint8_t {
   kOk = 0,
   kBadRequest = 1,  ///< undecodable op / non-finite geometry / k of 0
+  kRetryAfter = 2,  ///< load shed: queue full, retry with backoff (Aegis)
 };
 
 inline constexpr std::size_t kRequestPayloadBytes = 36;

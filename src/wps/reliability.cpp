@@ -1,0 +1,122 @@
+#include "wps/reliability.h"
+
+#include <algorithm>
+
+namespace mm::wps {
+
+// --------------------------------------------------------------------------
+// RetryPolicy
+
+std::uint64_t RetryPolicy::retry_delay_ms(std::uint64_t request_id,
+                                          int attempt) const {
+  if (attempt < 1) attempt = 1;
+  // base * 2^(attempt-1), saturating well before the cap can overflow.
+  std::uint64_t delay = options_.backoff_base_ms;
+  for (int i = 1; i < attempt && delay < options_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_max_ms);
+  if (options_.jitter > 0.0) {
+    // One throwaway Rng per draw: the stream is keyed, not shared, so two
+    // requests retrying concurrently can never perturb each other's jitter.
+    util::Rng rng(util::hash_combine(
+        options_.seed,
+        util::hash_combine(request_id, static_cast<std::uint64_t>(attempt))));
+    delay = static_cast<std::uint64_t>(
+        static_cast<double>(delay) * (1.0 + options_.jitter * rng.uniform()));
+  }
+  return delay;
+}
+
+// --------------------------------------------------------------------------
+// CircuitBreaker
+
+BreakerState CircuitBreaker::state(std::uint64_t now_ms) const {
+  if (!open_) return BreakerState::kClosed;
+  return now_ms >= open_until_ms_ ? BreakerState::kHalfOpen
+                                  : BreakerState::kOpen;
+}
+
+bool CircuitBreaker::allow(std::uint64_t now_ms) {
+  if (!open_) return true;
+  if (now_ms >= open_until_ms_ && !probe_outstanding_) {
+    // Half-open: exactly one probe rides out; everything else keeps waiting
+    // until the probe reports back.
+    probe_outstanding_ = true;
+    return true;
+  }
+  ++stats_.rejected;
+  return false;
+}
+
+void CircuitBreaker::record_success(std::uint64_t /*now_ms*/) {
+  ++stats_.successes;
+  strikes_ = 0;
+  open_ = false;
+  probe_outstanding_ = false;
+  open_window_ms_ = 0;
+}
+
+void CircuitBreaker::record_failure(std::uint64_t now_ms) {
+  ++stats_.failures;
+  if (open_) {
+    // A failed half-open probe re-trips at double the window.
+    trip(now_ms);
+    return;
+  }
+  if (++strikes_ >= options_.max_failures) trip(now_ms);
+}
+
+void CircuitBreaker::trip(std::uint64_t now_ms) {
+  ++stats_.trips;
+  open_ = true;
+  probe_outstanding_ = false;
+  open_window_ms_ = open_window_ms_ == 0
+                        ? options_.open_initial_ms
+                        : std::min(open_window_ms_ * 2, options_.open_max_ms);
+  open_until_ms_ = now_ms + open_window_ms_;
+  strikes_ = 0;
+}
+
+// --------------------------------------------------------------------------
+// DedupCache
+
+DedupCache::Lookup DedupCache::lookup(const DedupKey& key,
+                                      const std::vector<std::uint8_t>** cached) {
+  if (cached != nullptr) *cached = nullptr;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Lookup::kMiss;
+  }
+  ++stats_.hits;
+  if (!it->second.done) return Lookup::kInFlight;
+  if (cached != nullptr) *cached = &it->second.bytes;
+  return Lookup::kCached;
+}
+
+void DedupCache::begin(const DedupKey& key) { entries_.emplace(key, Entry{}); }
+
+void DedupCache::complete(const DedupKey& key,
+                          std::vector<std::uint8_t> response_bytes) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) it = entries_.emplace(key, Entry{}).first;
+  if (!it->second.done) {
+    it->second.done = true;
+    ++completed_;
+    completed_fifo_.push_back(key);
+  }
+  it->second.bytes = std::move(response_bytes);
+  while (completed_ > window_ && !completed_fifo_.empty()) {
+    const DedupKey victim = completed_fifo_.front();
+    completed_fifo_.pop_front();
+    auto vit = entries_.find(victim);
+    if (vit != entries_.end() && vit->second.done) {
+      entries_.erase(vit);
+      --completed_;
+      ++stats_.evictions;
+    }
+  }
+}
+
+}  // namespace mm::wps

@@ -1,0 +1,188 @@
+// Aegis reliability primitives (DESIGN.md §14): the deterministic policy
+// layer under the remote WPS serving tier.
+//
+// Rye & Levin's surveillance study assumes a commercial-grade positioning
+// backend: one that keeps answering while links drop packets, servers
+// overload, and snapshots refresh underneath the query stream. Aegis is that
+// operating regime made explicit — and, like every other stochastic layer in
+// this codebase, made *reproducible*:
+//
+//   * RetryPolicy: per-attempt timeout + exponential backoff with jitter,
+//     where the jitter for (request, attempt) is a pure function of
+//     (seed, request_id, attempt). Same seed => byte-identical retransmit
+//     schedules, so a chaos soak replays exactly.
+//   * CircuitBreaker: the Phoenix supervisor policy transplanted client-side
+//     — consecutive failures trip the breaker, the open window backs off
+//     exponentially, a half-open probe closes it again. All in caller-supplied
+//     milliseconds, so tests drive virtual time.
+//   * DedupCache: the server-side idempotency window. A retransmitted request
+//     is answered with the *original* encoded response bytes — it never
+//     re-executes, so a retry that races a snapshot reload can never observe
+//     a newer epoch than its first execution did.
+//
+// Nothing in this header does I/O or reads a real clock; wps/remote.h binds
+// these policies to wire bytes and transports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mm::wps {
+
+// --------------------------------------------------------------------------
+// Retry schedule
+
+struct RetryOptions {
+  /// Total transmissions per request (1 = no retries).
+  int max_attempts = 5;
+  /// Per-attempt response deadline.
+  std::uint64_t timeout_ms = 200;
+  /// Backoff before retry r (attempt r+1): base * 2^(r-1), capped, jittered.
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Jitter fraction: the delay is scaled by (1 + jitter * u), u in [0, 1).
+  double jitter = 0.25;
+  /// Salts the jitter stream. Same seed => byte-identical schedules.
+  std::uint64_t seed = 0xae915;
+};
+
+/// The deterministic retransmit schedule. Stateless: every quantity is a pure
+/// function of (options, request_id, attempt), so concurrent requests never
+/// perturb each other's draws and a replayed run retransmits at the exact
+/// same virtual instants.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options) : options_(options) {}
+
+  [[nodiscard]] const RetryOptions& options() const noexcept { return options_; }
+
+  /// Backoff inserted between attempt `attempt` timing out and attempt
+  /// `attempt + 1` transmitting (attempt is 1-based).
+  [[nodiscard]] std::uint64_t retry_delay_ms(std::uint64_t request_id,
+                                             int attempt) const;
+
+  /// True when `attempt` transmissions have all been spent.
+  [[nodiscard]] bool exhausted(int attempts) const noexcept {
+    return attempts >= options_.max_attempts;
+  }
+
+ private:
+  RetryOptions options_;
+};
+
+// --------------------------------------------------------------------------
+// Circuit breaker
+
+struct BreakerOptions {
+  /// Consecutive request failures (timeout-exhausted or shed-exhausted)
+  /// before the breaker trips — the supervisor's max_restarts, client-side.
+  std::size_t max_failures = 5;
+  /// Open window after the first trip; doubles per consecutive trip.
+  std::uint64_t open_initial_ms = 500;
+  std::uint64_t open_max_ms = 8000;
+};
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+struct BreakerStats {
+  std::uint64_t failures = 0;   ///< record_failure calls
+  std::uint64_t successes = 0;  ///< record_success calls
+  std::uint64_t trips = 0;      ///< closed/half-open -> open transitions
+  std::uint64_t rejected = 0;   ///< allow() refusals while open
+};
+
+/// Per-server failure fuse, in caller-supplied milliseconds. Mirrors the
+/// Phoenix ShardSupervisor's restart policy: strikes accumulate on
+/// consecutive failures, the open window backs off exponentially, and any
+/// success resets both. While open, allow() refuses (and counts) everything;
+/// once the window elapses a single half-open probe may pass — its outcome
+/// closes the breaker or re-trips it at double the window.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerOptions& options) : options_(options) {}
+
+  /// May a request be issued now? Counts a refusal when not.
+  [[nodiscard]] bool allow(std::uint64_t now_ms);
+
+  void record_success(std::uint64_t now_ms);
+  void record_failure(std::uint64_t now_ms);
+
+  [[nodiscard]] BreakerState state(std::uint64_t now_ms) const;
+  [[nodiscard]] const BreakerStats& stats() const noexcept { return stats_; }
+
+ private:
+  void trip(std::uint64_t now_ms);
+
+  BreakerOptions options_;
+  BreakerStats stats_;
+  std::size_t strikes_ = 0;
+  bool open_ = false;
+  bool probe_outstanding_ = false;
+  std::uint64_t open_until_ms_ = 0;
+  std::uint64_t open_window_ms_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Server-side idempotency window
+
+struct DedupKey {
+  std::uint32_t stream_id = 0;  ///< client identity
+  std::uint64_t seq = 0;        ///< the client's 8-byte request id
+  bool operator==(const DedupKey&) const = default;
+};
+
+struct DedupStats {
+  std::uint64_t misses = 0;     ///< first sighting of a request id
+  std::uint64_t hits = 0;       ///< retransmits absorbed (cached or in-flight)
+  std::uint64_t evictions = 0;  ///< completed entries aged out of the window
+};
+
+/// Bounded (request id -> encoded response bytes) window. A request id is
+/// *in-flight* between begin() and complete(); retransmits that arrive in
+/// that gap are absorbed silently (the original execution will answer), and
+/// retransmits after complete() replay the stored bytes verbatim. Only
+/// completed entries count against the window, oldest-completed evicted
+/// first; in-flight entries are bounded by the server's request queue.
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t window) : window_(window) {}
+
+  enum class Lookup : std::uint8_t { kMiss = 0, kInFlight = 1, kCached = 2 };
+
+  /// Classifies a request id, counting a hit for anything but a miss. For
+  /// kCached, `cached` points at the stored response bytes (valid until the
+  /// next complete()).
+  Lookup lookup(const DedupKey& key, const std::vector<std::uint8_t>** cached);
+
+  /// Marks a fresh request id in-flight (call after a kMiss).
+  void begin(const DedupKey& key);
+
+  /// Stores the encoded response for an in-flight id and ages the window.
+  void complete(const DedupKey& key, std::vector<std::uint8_t> response_bytes);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_.size(); }
+  [[nodiscard]] const DedupStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct KeyHasher {
+    std::size_t operator()(const DedupKey& k) const noexcept {
+      return static_cast<std::size_t>(util::hash_combine(k.stream_id, k.seq));
+    }
+  };
+  struct Entry {
+    bool done = false;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::size_t window_;
+  std::unordered_map<DedupKey, Entry, KeyHasher> entries_;
+  std::deque<DedupKey> completed_fifo_;  ///< eviction order
+  std::size_t completed_ = 0;
+  DedupStats stats_;
+};
+
+}  // namespace mm::wps

@@ -54,6 +54,18 @@ struct ServiceOptions {
   double index_cell_m = 0.0;
 };
 
+/// Admission policy for reload() (Aegis hot-swap, DESIGN.md §14). The
+/// candidate snapshot is opened *beside* the serving one and must pass every
+/// check before the swap; any failure rolls back to the incumbent.
+struct ReloadOptions {
+  /// Tiles whose payload CRCs are verified up front (deterministically
+  /// sampled; all of them when the snapshot has fewer). The sampled tiles
+  /// come up pre-verified in the new epoch.
+  std::size_t sample_tiles = 16;
+  /// Salts the tile sample (combined with the snapshot's tile count).
+  std::uint64_t seed = 0xae6e5;
+};
+
 /// Open-time + runtime health counters. Everything quarantine-shaped is
 /// monotone; the runtime fields are sampled from atomics.
 struct ServiceStats {
@@ -66,6 +78,9 @@ struct ServiceStats {
   bool mac_index_damaged = false;    ///< CRC failed on first lookup; using tile fallback
   std::uint64_t tiles_quarantined = 0;    ///< payload CRC failures on first touch
   std::uint64_t records_quarantined = 0;  ///< records inside quarantined tiles
+  std::uint64_t epoch = 1;             ///< bumps on every successful reload
+  std::uint64_t reloads = 0;           ///< successful hot-swaps
+  std::uint64_t reloads_rejected = 0;  ///< candidates quarantined at reload
 };
 
 class Service {
@@ -107,10 +122,36 @@ class Service {
   /// and counted in stats().
   [[nodiscard]] marauder::ApDatabase materialize() const;
 
+  // --- Aegis hot-swap (DESIGN.md §14) ---
+
+  /// Atomically replaces the serving snapshot with `path`. The candidate is
+  /// opened beside the incumbent and admitted only when it is pristine: no
+  /// recovered footer, no rejected sections, no quarantined tail, and every
+  /// deterministically sampled tile's payload CRC clean. On success the
+  /// epoch bumps and the new snapshot serves every *subsequent* query; on
+  /// failure the incumbent keeps serving untouched and reloads_rejected
+  /// counts the quarantined candidate. Queries already executing — local or
+  /// draining in a RemoteServer batch — hold a shared_ptr pin on their
+  /// epoch's mapping, so no query ever observes a torn swap; the old mapping
+  /// unmaps when its last pinned query finishes. Concurrent reload() calls
+  /// serialize; queries never block.
+  [[nodiscard]] util::Result<std::uint64_t> reload(
+      const std::filesystem::path& path, const ReloadOptions& options = {});
+
+  /// Eagerly verifies + spatially indexes every tile of the current epoch
+  /// (deterministic parallel chunks; parallelism 0 = hardware). Bounds the
+  /// lazy first-touch tail: after prewarm, no query pays CRC or index-build
+  /// cost. Returns the number of tiles left usable (total - quarantined).
+  std::uint64_t prewarm(std::size_t parallelism = 0) const;
+
+  /// Current serving epoch (1 at open, +1 per successful reload).
+  [[nodiscard]] std::uint64_t epoch() const noexcept;
+
  private:
   struct Impl;
-  explicit Service(std::unique_ptr<Impl> impl);
-  std::unique_ptr<Impl> impl_;
+  struct State;
+  explicit Service(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace mm::wps

@@ -1,0 +1,84 @@
+// Loopback UDP plumbing: flag clamps, kernel-assigned ports, and a real
+// datagram round trip between the shared sender/listener helpers.
+#include "net/udp.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mm::net {
+namespace {
+
+TEST(NetUdp, RcvbufClampStaysInSaneRange) {
+  EXPECT_EQ(clamp_rcvbuf_bytes(0), kMinRcvbufBytes);
+  EXPECT_EQ(clamp_rcvbuf_bytes(-5), kMinRcvbufBytes);
+  EXPECT_EQ(clamp_rcvbuf_bytes(kDefaultRcvbufBytes), kDefaultRcvbufBytes);
+  EXPECT_EQ(clamp_rcvbuf_bytes(1LL << 40), kMaxRcvbufBytes);  // 1 TB typo
+  EXPECT_EQ(clamp_rcvbuf_bytes(kMinRcvbufBytes + 1), kMinRcvbufBytes + 1);
+}
+
+TEST(NetUdp, IdleTimeoutClampStaysInSaneRange) {
+  EXPECT_EQ(clamp_idle_timeout_ms(0), kMinIdleTimeoutMs);   // no 0 ms spins
+  EXPECT_EQ(clamp_idle_timeout_ms(-1), kMinIdleTimeoutMs);
+  EXPECT_EQ(clamp_idle_timeout_ms(5000), 5000);
+  EXPECT_EQ(clamp_idle_timeout_ms(1LL << 40), kMaxIdleTimeoutMs);
+}
+
+TEST(NetUdp, SenderRejectsMalformedSpec) {
+  std::string error;
+  EXPECT_LT(open_udp_sender("no-port-here", error), 0);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_LT(open_udp_sender(":5000", error), 0);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_LT(open_udp_sender("localhost:", error), 0);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetUdp, PortZeroBindsKernelAssignedPort) {
+  UdpListenerOptions options;
+  options.rcvtimeo_ms = 50;
+  std::string error;
+  std::uint16_t bound = 0;
+  const int fd = open_udp_listener(0, options, error, &bound);
+  ASSERT_GE(fd, 0) << error;
+  EXPECT_GT(bound, 0);
+  ::close(fd);
+}
+
+TEST(NetUdp, DatagramRoundTripOnLoopback) {
+  UdpListenerOptions options;
+  options.rcvbuf_bytes = kMinRcvbufBytes;
+  options.rcvtimeo_ms = 2000;
+  std::string error;
+  std::uint16_t bound = 0;
+  const int listener = open_udp_listener(0, options, error, &bound);
+  ASSERT_GE(listener, 0) << error;
+
+  const int sender =
+      open_udp_sender("127.0.0.1:" + std::to_string(bound), error);
+  ASSERT_GE(sender, 0) << error;
+
+  const std::vector<std::uint8_t> payload = {0xae, 0x61, 0x50, 0x07};
+  ASSERT_EQ(::send(sender, payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+
+  std::vector<std::uint8_t> got(64);
+  const ssize_t n = ::recv(listener, got.data(), got.size(), 0);
+  ASSERT_EQ(n, static_cast<ssize_t>(payload.size()));
+  got.resize(static_cast<std::size_t>(n));
+  EXPECT_EQ(got, payload);
+
+  ::close(sender);
+  ::close(listener);
+}
+
+}  // namespace
+}  // namespace mm::net

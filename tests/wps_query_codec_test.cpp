@@ -161,6 +161,83 @@ TEST(WpsQueryCodec, DuplicateAndDamagedChunksAreCounted) {
   expect_same_response(*back, resp);
 }
 
+// The Aegis downlink regime: a lossy link both duplicates and reorders
+// response chunks arbitrarily. Whatever storm arrives, reassembly must stay
+// bit-exact and every redundant copy must be counted, not applied.
+TEST(WpsQueryCodec, ShuffledDuplicateStormReassemblesBitExact) {
+  const QueryResponse resp = make_response(QueryOp::kRange, 58, 8);
+  const auto frames = encode_response(resp, 3, 500);
+  ASSERT_GE(frames.size(), 4u);
+
+  // Every chunk twice, then a seeded shuffle: worst-case dup + reorder.
+  std::vector<net::WireFrame> storm;
+  for (const auto& f : frames) {
+    storm.push_back(f);
+    storm.push_back(f);
+  }
+  util::Rng rng(0xd0b1e);
+  for (std::size_t i = storm.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(storm[i - 1], storm[j]);
+  }
+
+  ResponseAssembler assembler;
+  std::optional<std::uint64_t> done;
+  for (const auto& f : storm) {
+    if (const auto seq = assembler.feed(f)) done = seq;
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, 500u);
+  // Exactly one copy of each chunk was applied; the rest were rejected
+  // (duplicates of pending chunks, or chunks for an already-complete seq).
+  EXPECT_EQ(assembler.chunks_rejected(), frames.size());
+  const auto back = assembler.take(500);
+  ASSERT_TRUE(back.has_value());
+  expect_same_response(*back, resp);
+  EXPECT_EQ(assembler.pending(), 0u);
+}
+
+TEST(WpsQueryCodec, LateDuplicatesAfterTakeAreHarmless) {
+  const QueryResponse resp = make_response(QueryOp::kNearest, 25, 9);
+  const auto frames = encode_response(resp, 4, 600);
+  ResponseAssembler assembler;
+  for (const auto& f : frames) assembler.feed(f);
+  ASSERT_TRUE(assembler.take(600).has_value());
+
+  // A straggler retransmit of an already-taken response starts a fresh
+  // partial assembly (the seq is unknown again) — it must never crash or
+  // fabricate a complete response from one chunk of many.
+  const auto again = assembler.feed(frames[0]);
+  if (frames.size() == 1) {
+    EXPECT_TRUE(again.has_value());
+  } else {
+    EXPECT_FALSE(again.has_value());
+  }
+}
+
+TEST(WpsQueryCodec, RetryAfterStatusRoundTripsAndUnknownStatusRejected) {
+  // kRetryAfter (the Aegis shed refusal) is a valid wire status...
+  QueryResponse shed;
+  shed.op = QueryOp::kNearest;
+  shed.status = QueryStatus::kRetryAfter;
+  const auto frames = encode_response(shed, 6, 700);
+  ASSERT_EQ(frames.size(), 1u);
+  ResponseAssembler assembler;
+  const auto done = assembler.feed(frames[0]);
+  ASSERT_TRUE(done.has_value());
+  const auto back = assembler.take(700);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, QueryStatus::kRetryAfter);
+  EXPECT_TRUE(back->aps.empty());
+
+  // ...but one past the enum is still garbage and must be rejected.
+  net::WireFrame bogus = frames[0];
+  bogus.payload[1] = 3;  // status byte
+  EXPECT_FALSE(assembler.feed(bogus).has_value());
+  EXPECT_GE(assembler.chunks_rejected(), 1u);
+}
+
 TEST(WpsQueryCodec, ExecuteMatchesDirectServiceCalls) {
   marauder::ApDatabase db;
   util::Rng rng(6);

@@ -1,0 +1,137 @@
+// Aegis reliability primitives: the deterministic retry schedule, the
+// circuit breaker's closed/open/half-open walk, and the idempotency window.
+#include "wps/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace mm::wps {
+namespace {
+
+TEST(RetryPolicy, ScheduleIsDeterministicPerSeed) {
+  RetryOptions options;
+  options.seed = 77;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    for (int attempt = 1; attempt < options.max_attempts; ++attempt) {
+      EXPECT_EQ(a.retry_delay_ms(id, attempt), b.retry_delay_ms(id, attempt));
+    }
+  }
+  options.seed = 78;
+  RetryPolicy c(options);
+  std::size_t differs = 0;
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    differs += a.retry_delay_ms(id, 1) != c.retry_delay_ms(id, 1);
+  }
+  EXPECT_GT(differs, 25u);  // a different salt reshuffles the jitter
+}
+
+TEST(RetryPolicy, BackoffDoublesAndCaps) {
+  RetryOptions options;
+  options.backoff_base_ms = 100;
+  options.backoff_max_ms = 400;
+  options.jitter = 0.0;  // isolate the exponential shape
+  options.max_attempts = 6;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.retry_delay_ms(9, 1), 100u);
+  EXPECT_EQ(policy.retry_delay_ms(9, 2), 200u);
+  EXPECT_EQ(policy.retry_delay_ms(9, 3), 400u);
+  EXPECT_EQ(policy.retry_delay_ms(9, 4), 400u);  // capped
+  EXPECT_FALSE(policy.exhausted(5));
+  EXPECT_TRUE(policy.exhausted(6));
+}
+
+TEST(RetryPolicy, JitterStaysWithinFraction) {
+  RetryOptions options;
+  options.backoff_base_ms = 100;
+  options.jitter = 0.25;
+  RetryPolicy policy(options);
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    const std::uint64_t d = policy.retry_delay_ms(id, 1);
+    EXPECT_GE(d, 100u);
+    EXPECT_LE(d, 125u);
+  }
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailuresAndProbesHalfOpen) {
+  BreakerOptions options;
+  options.max_failures = 3;
+  options.open_initial_ms = 100;
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allow(10));
+    breaker.record_failure(10);
+  }
+  EXPECT_EQ(breaker.state(10), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+  EXPECT_FALSE(breaker.allow(50));  // window not elapsed
+  EXPECT_GE(breaker.stats().rejected, 1u);
+
+  // Window elapsed: exactly one probe allowed (half-open), others rejected.
+  EXPECT_TRUE(breaker.allow(120));
+  EXPECT_EQ(breaker.state(120), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(120));
+
+  breaker.record_success(121);
+  EXPECT_EQ(breaker.state(122), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(122));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithDoubledWindow) {
+  BreakerOptions options;
+  options.max_failures = 2;
+  options.open_initial_ms = 100;
+  options.open_max_ms = 1000;
+  CircuitBreaker breaker(options);
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  ASSERT_EQ(breaker.state(0), BreakerState::kOpen);
+
+  ASSERT_TRUE(breaker.allow(150));  // probe
+  breaker.record_failure(150);      // probe failed: re-trip, window doubles
+  EXPECT_EQ(breaker.state(150), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+  EXPECT_FALSE(breaker.allow(260));  // 150 + 200 not elapsed yet
+  EXPECT_TRUE(breaker.allow(360));
+}
+
+TEST(DedupCache, AbsorbsInFlightAndReplaysCompleted) {
+  DedupCache cache(8);
+  const DedupKey key{1, 42};
+  const std::vector<std::uint8_t>* cached = nullptr;
+  EXPECT_EQ(cache.lookup(key, &cached), DedupCache::Lookup::kMiss);
+
+  cache.begin(key);
+  EXPECT_EQ(cache.lookup(key, &cached), DedupCache::Lookup::kInFlight);
+
+  cache.complete(key, {0xaa, 0xbb});
+  ASSERT_EQ(cache.lookup(key, &cached), DedupCache::Lookup::kCached);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(*cached, (std::vector<std::uint8_t>{0xaa, 0xbb}));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(DedupCache, EvictsOldestCompletedBeyondWindow) {
+  DedupCache cache(4);
+  const std::vector<std::uint8_t>* cached = nullptr;
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    const DedupKey key{1, seq};
+    cache.begin(key);
+    cache.complete(key, {static_cast<std::uint8_t>(seq)});
+  }
+  EXPECT_EQ(cache.stats().evictions, 6u);
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.lookup({1, 1}, &cached), DedupCache::Lookup::kMiss);
+  EXPECT_EQ(cache.lookup({1, 10}, &cached), DedupCache::Lookup::kCached);
+  // Distinct streams with the same seq are distinct requests.
+  EXPECT_EQ(cache.lookup({2, 10}, &cached), DedupCache::Lookup::kMiss);
+}
+
+}  // namespace
+}  // namespace mm::wps

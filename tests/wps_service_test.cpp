@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "util/rng.h"
@@ -233,6 +236,165 @@ TEST(WpsService, ConcurrentColdQueriesMatchOracle) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.tiles_quarantined, 0u);
   EXPECT_EQ(stats.records_quarantined, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Aegis hot-swap: reload() validation, rollback, and epoch pinning.
+
+TEST(WpsServiceReload, SwapsEpochAndAnswersFromNewSnapshot) {
+  const auto db1 = random_db(21, 2000);
+  const auto db2 = random_db(22, 2500);
+  Service service = open_snapshot_of(db1, "mm_wps_reload_a.wps");
+  EXPECT_EQ(service.epoch(), 1u);
+
+  const fs::path path2 = temp_path("mm_wps_reload_b.wps");
+  SnapshotBuildOptions build;
+  build.fsync = false;
+  ASSERT_TRUE(write_snapshot(db2, geo::Geodetic{47.6, -122.3, 0.0}, path2, build).ok());
+
+  auto swapped = service.reload(path2);
+  ASSERT_TRUE(swapped.ok()) << swapped.error();
+  EXPECT_EQ(swapped.value(), 2u);
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.size(), db2.size());
+  EXPECT_EQ(service.stats().reloads, 1u);
+  EXPECT_EQ(service.stats().reloads_rejected, 0u);
+  for (const marauder::KnownAp* ap : db2.sorted_records()) {
+    const auto got = service.lookup(ap->bssid);
+    ASSERT_TRUE(got.has_value());
+    expect_same_ap(*got, *ap);
+  }
+}
+
+TEST(WpsServiceReload, DamagedCandidateRollsBack) {
+  const auto db = random_db(23, 2000);
+  Service service = open_snapshot_of(db, "mm_wps_reload_live.wps");
+
+  const fs::path damaged = temp_path("mm_wps_reload_damaged.wps");
+  SnapshotBuildOptions build;
+  build.fsync = false;
+  ASSERT_TRUE(write_snapshot(db, geo::Geodetic{47.6, -122.3, 0.0}, damaged, build).ok());
+
+  // Flip bytes through the middle of the file — record payload territory, so
+  // some tile's CRC no longer matches.
+  {
+    std::fstream f(damaged, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::uint64_t>(f.tellg());
+    for (std::uint64_t off = size / 3; off < size / 3 + 64; off += 8) {
+      f.seekg(static_cast<std::streamoff>(off));
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x5a);
+      f.seekp(static_cast<std::streamoff>(off));
+      f.write(&byte, 1);
+    }
+  }
+
+  ReloadOptions options;
+  options.sample_tiles = 1u << 20;  // sample everything: the damage WILL be seen
+  auto swapped = service.reload(damaged, options);
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.stats().reloads, 0u);
+  EXPECT_GE(service.stats().reloads_rejected, 1u);
+  // The incumbent keeps serving, still bit-identical to its oracle.
+  for (const marauder::KnownAp* ap : db.sorted_records()) {
+    const auto got = service.lookup(ap->bssid);
+    ASSERT_TRUE(got.has_value());
+    expect_same_ap(*got, *ap);
+  }
+}
+
+// No torn epoch: queries racing a storm of reloads between two different
+// snapshots must each return an answer wholly from one epoch or the other —
+// never a mix (TSan covers this target in CI).
+TEST(WpsServiceReload, ConcurrentQueriesNeverObserveTornEpoch) {
+  const auto db1 = random_db(24, 1500);
+  marauder::ApDatabase db2;  // same BSSIDs, every position shifted
+  for (const marauder::KnownAp* ap : db1.sorted_records()) {
+    marauder::KnownAp moved = *ap;
+    moved.position = {ap->position.x + 1000.0, ap->position.y - 1000.0};
+    db2.add(std::move(moved));
+  }
+  Service service = open_snapshot_of(db1, "mm_wps_epoch_a.wps");
+  const fs::path path_a = fs::temp_directory_path() / "mm_wps_epoch_a.wps";
+  const fs::path path_b = temp_path("mm_wps_epoch_b.wps");
+  SnapshotBuildOptions build;
+  build.fsync = false;
+  ASSERT_TRUE(write_snapshot(db2, geo::Geodetic{47.6, -122.3, 0.0}, path_b, build).ok());
+
+  const auto records = db1.sorted_records();
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(3000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(records.size()) - 1));
+        const marauder::KnownAp* want1 = records[idx];
+        const marauder::KnownAp* want2 = db2.find(want1->bssid);
+        const auto got = service.lookup(want1->bssid);
+        if (!got) {
+          ++failures[t];
+          continue;
+        }
+        const bool is1 = bits_equal(got->position.x, want1->position.x) &&
+                         bits_equal(got->position.y, want1->position.y);
+        const bool is2 = bits_equal(got->position.x, want2->position.x) &&
+                         bits_equal(got->position.y, want2->position.y);
+        if (!is1 && !is2) ++failures[t];
+        // A k-NN answer must come wholly from one world too: with every AP
+        // shifted by the same vector, a torn mix would surface as a nearest
+        // set matching neither oracle.
+        const geo::Vec2 c{rng.uniform(-4000.0, 4000.0), rng.uniform(-4000.0, 4000.0)};
+        const auto nearest = service.nearest_k(c, 4);
+        const auto oracle1 = db1.nearest_aps(c, 4);
+        const auto oracle2 = db2.nearest_aps(c, 4);
+        const auto matches = [&](const std::vector<const marauder::KnownAp*>& want) {
+          if (nearest.size() != want.size()) return false;
+          for (std::size_t j = 0; j < nearest.size(); ++j) {
+            if (nearest[j].bssid != want[j]->bssid ||
+                !bits_equal(nearest[j].position.x, want[j]->position.x)) {
+              return false;
+            }
+          }
+          return true;
+        };
+        if (!matches(oracle1) && !matches(oracle2)) ++failures[t];
+      }
+    });
+  }
+
+  int swaps_ok = 0;
+  for (int round = 0; round < 24; ++round) {
+    const auto swapped = service.reload((round % 2 == 0) ? path_b : path_a);
+    if (swapped.ok()) ++swaps_ok;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(swaps_ok, 24);
+  EXPECT_EQ(service.epoch(), 1u + 24u);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+TEST(WpsService, PrewarmVerifiesEveryTile) {
+  const auto db = random_db(25, 2000);
+  const Service service = open_snapshot_of(db, "mm_wps_prewarm.wps");
+  const std::uint64_t usable = service.prewarm(4);
+  EXPECT_EQ(usable, service.stats().tiles_total);
+  EXPECT_EQ(service.stats().tiles_quarantined, 0u);
+  // Prewarmed answers are the same answers.
+  for (const marauder::KnownAp* ap : db.sorted_records()) {
+    const auto got = service.lookup(ap->bssid);
+    ASSERT_TRUE(got.has_value());
+    expect_same_ap(*got, *ap);
+  }
 }
 
 TEST(WpsSurveil, WorldAndReplayAreDeterministic) {

@@ -14,11 +14,7 @@
 // codec over a real lossy datagram socket (one datagram per wire frame — the
 // resynchronizing decoder owes the wire no alignment, so datagram loss and
 // reordering land exactly where the link simulator's do).
-#include <arpa/inet.h>
-#include <netdb.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -39,6 +35,7 @@
 #include "marauder/ap_database.h"
 #include "net/fec.h"
 #include "net/link_sim.h"
+#include "net/udp.h"
 #include "net/wire_codec.h"
 #include "net80211/pcap.h"
 #include "pipeline/feed_mux.h"
@@ -65,87 +62,9 @@ std::vector<std::string> split_list(const std::string& value) {
   return parts;
 }
 
-/// Walks a buffer of well-formed encoder output frame by frame (the encoder
-/// never emits damage, so the length field at offset 18 is trustworthy) and
-/// hands each one to `fn` — the unit both the link simulator and the UDP
-/// transport operate on is the frame, not the chunk.
-template <typename Fn>
-void for_each_frame(std::span<const std::uint8_t> bytes, Fn&& fn) {
-  std::size_t off = 0;
-  while (off + net::kWireHeaderBytes <= bytes.size()) {
-    const std::size_t len = static_cast<std::size_t>(bytes[off + 18]) |
-                            (static_cast<std::size_t>(bytes[off + 19]) << 8);
-    const std::size_t frame_len = net::kWireHeaderBytes + len;
-    if (off + frame_len > bytes.size()) break;  // unreachable for encoder output
-    fn(bytes.subspan(off, frame_len));
-    off += frame_len;
-  }
-}
-
 void send_through_link(net::LinkSimulator& link, std::span<const std::uint8_t> bytes) {
-  for_each_frame(bytes, [&](std::span<const std::uint8_t> frame) { link.send(frame); });
-}
-
-/// Opens a connected UDP socket to "host:port". Returns -1 with `error` set.
-int open_udp_sender(const std::string& spec, std::string& error) {
-  const std::size_t colon = spec.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
-    error = "expected host:port, got '" + spec + "'";
-    return -1;
-  }
-  const std::string host = spec.substr(0, colon);
-  const std::string port = spec.substr(colon + 1);
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_DGRAM;
-  addrinfo* resolved = nullptr;
-  if (const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &resolved);
-      rc != 0) {
-    error = std::string("cannot resolve '") + spec + "': " + ::gai_strerror(rc);
-    return -1;
-  }
-  int fd = -1;
-  for (const addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    ::close(fd);
-    fd = -1;
-  }
-  ::freeaddrinfo(resolved);
-  if (fd < 0) error = "cannot open UDP socket to '" + spec + "'";
-  return fd;
-}
-
-/// Binds a UDP listener on the loopback interface. Returns -1 with `error`
-/// set. The receive buffer is bumped so a flat-out localhost sender does not
-/// overflow it between recvfrom calls (overflow loss is still real loss —
-/// the FEC layer absorbs what it can, like any other damage).
-int open_udp_listener(std::uint16_t port, std::string& error) {
-  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) {
-    error = std::string("socket: ") + std::strerror(errno);
-    return -1;
-  }
-  const int rcvbuf = 1 << 22;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
-  const int reuse = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    error = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
-            std::strerror(errno);
-    ::close(fd);
-    return -1;
-  }
-  // Short poll quantum so the idle-timeout and SIGINT checks stay responsive.
-  timeval tv{};
-  tv.tv_usec = 200 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  return fd;
+  net::for_each_wire_frame(
+      bytes, [&](std::span<const std::uint8_t> frame) { link.send(frame); });
 }
 
 void write_net_stats_json(const std::string& path, const pipeline::PipelineStats& stats,
@@ -252,7 +171,7 @@ int cmd_net_send(const util::Flags& flags) {
   std::ofstream out;
   if (!udp_spec.empty()) {
     std::string error;
-    udp_fd = open_udp_sender(udp_spec, error);
+    udp_fd = net::open_udp_sender(udp_spec, error);
     if (udp_fd < 0) {
       std::cerr << "mmctl net-send: --udp: " << error << "\n";
       return 1;
@@ -284,7 +203,7 @@ int cmd_net_send(const util::Flags& flags) {
           ++datagrams;
         }
       } else {
-        for_each_frame(bytes, [&](std::span<const std::uint8_t> frame) {
+        net::for_each_wire_frame(bytes, [&](std::span<const std::uint8_t> frame) {
           ::send(udp_fd, frame.data(), frame.size(), 0);
           ++datagrams;
         });
@@ -447,8 +366,12 @@ int cmd_net_recv(const util::Flags& flags) {
       std::cerr << "mmctl net-recv: --udp-listen needs a port in [1, 65535]\n";
       return 2;
     }
+    net::UdpListenerOptions listener;
+    listener.rcvbuf_bytes = net::clamp_rcvbuf_bytes(
+        flags.get_int("rcvbuf", net::kDefaultRcvbufBytes));
     std::string error;
-    udp_fd = open_udp_listener(static_cast<std::uint16_t>(port), error);
+    udp_fd = net::open_udp_listener(static_cast<std::uint16_t>(port), listener,
+                                    error);
     if (udp_fd < 0) {
       std::cerr << "mmctl net-recv: --udp-listen: " << error << "\n";
       return 1;
@@ -491,9 +414,14 @@ int cmd_net_recv(const util::Flags& flags) {
   std::uint64_t datagrams = 0;
   if (udp_mode) {
     // Datagram pump: each recv is one sender frame (or whatever loss and
-    // reordering left of it); the stream ends after --udp-idle-secs of
-    // silence — a datagram socket has no EOF.
-    const double idle_secs = flags.get_double("udp-idle-secs", 5.0);
+    // reordering left of it); the stream ends after the idle timeout of
+    // silence — a datagram socket has no EOF. --idle-timeout-ms is the
+    // canonical flag; --udp-idle-secs predates it and still works.
+    const long long idle_ms_raw =
+        flags.has("idle-timeout-ms")
+            ? static_cast<long long>(flags.get_int("idle-timeout-ms", 5000))
+            : static_cast<long long>(flags.get_double("udp-idle-secs", 5.0) * 1000.0);
+    const double idle_secs = net::clamp_idle_timeout_ms(idle_ms_raw) / 1000.0;
     std::vector<std::uint8_t> datagram(1 << 16);
     auto last_data = std::chrono::steady_clock::now();
     while (!g_net_interrupted.load()) {

@@ -6,18 +6,28 @@
 //
 //   mmctl wps-serve:   the positioning service — answer lookup / nearest /
 //   range requests carried as Lattice wire frames over any dumb byte pipe
-//   (a file, a mkfifo between two terminals), echoing responses the same
-//   way. Batches decode concurrently; responses leave in request order.
+//   (a file, a mkfifo between two terminals), or — with --udp — over a real
+//   datagram socket through the Aegis fault-tolerant tier: request-id dedup,
+//   bounded queue with explicit load shedding, SIGHUP snapshot hot-swap.
+//   Batches decode concurrently; responses leave in request order.
 //
 //   mmctl wps-query:   the client end — encode request frames onto a
-//   stream, or decode a response stream and print what the service said.
+//   stream, decode a response stream and print what the service said, or
+//   (send) run the retrying Aegis RemoteClient against a live --udp server.
 //
 //   mmctl wps-surveil: replay the Rye & Levin opportunistic
 //   mass-surveillance scenario against the snapshot backend and report how
 //   many devices the query interface alone was able to track.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -26,14 +36,19 @@
 #include <vector>
 
 #include "commands.h"
+#include "fault/fault_plan.h"
 #include "geo/geodetic.h"
 #include "marauder/ap_database.h"
+#include "net/link_sim.h"
+#include "net/udp.h"
 #include "net/wire_codec.h"
 #include "net80211/mac_address.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "wps/query_codec.h"
+#include "wps/remote.h"
+#include "wps/reliability.h"
 #include "wps/service.h"
 #include "wps/snapshot_writer.h"
 #include "wps/surveil.h"
@@ -45,8 +60,21 @@ namespace {
 namespace fs = std::filesystem;
 
 std::atomic<bool> g_wps_interrupted{false};
+std::atomic<bool> g_wps_reload{false};
 
 extern "C" void wps_signal_handler(int) { g_wps_interrupted.store(true); }
+extern "C" void wps_hup_handler(int) { g_wps_reload.store(true); }
+
+/// Sorted-percentile helper over recorded per-request handling times.
+double percentile_us(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
 
 const char* op_name(wps::QueryOp op) {
   switch (op) {
@@ -76,12 +104,23 @@ void print_service_stats(const wps::ServiceStats& stats) {
   std::cout << "\n";
 }
 
+/// Serving-tier additions riding along in the stats JSON (Aegis, prewarm).
+struct ServeJsonExtras {
+  bool prewarmed = false;
+  double prewarm_s = 0.0;
+  double p50_us = 0.0;  ///< per-request handling latency (post-prewarm)
+  double p99_us = 0.0;
+  const wps::RemoteServerStats* aegis = nullptr;  ///< UDP mode only
+  const wps::DedupStats* dedup = nullptr;
+};
+
 void write_serve_stats_json(const std::string& path, std::uint64_t requests,
                             std::uint64_t bad_requests, std::uint64_t undecodable,
                             std::uint64_t records_returned,
                             std::uint64_t response_frames,
                             const net::WireDecoderStats& wire,
-                            const wps::ServiceStats& service) {
+                            const wps::ServiceStats& service,
+                            const ServeJsonExtras& extras) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"requests\": " << requests << ",\n";
@@ -89,6 +128,20 @@ void write_serve_stats_json(const std::string& path, std::uint64_t requests,
   out << "  \"undecodable_frames\": " << undecodable << ",\n";
   out << "  \"records_returned\": " << records_returned << ",\n";
   out << "  \"response_frames\": " << response_frames << ",\n";
+  out << "  \"prewarm\": {\"enabled\": " << (extras.prewarmed ? "true" : "false")
+      << ", \"prewarm_s\": " << extras.prewarm_s << "},\n";
+  out << "  \"latency\": {\"p50_us\": " << extras.p50_us
+      << ", \"p99_us\": " << extras.p99_us << "},\n";
+  if (extras.aegis != nullptr && extras.dedup != nullptr) {
+    out << "  \"aegis\": {\"executed\": " << extras.aegis->executed
+        << ", \"shed\": " << extras.aegis->shed
+        << ", \"replayed\": " << extras.aegis->replayed
+        << ", \"absorbed_inflight\": " << extras.aegis->absorbed_inflight
+        << ", \"responses_sent\": " << extras.aegis->responses_sent
+        << ", \"dedup_hits\": " << extras.dedup->hits
+        << ", \"dedup_misses\": " << extras.dedup->misses
+        << ", \"dedup_evictions\": " << extras.dedup->evictions << "},\n";
+  }
   out << "  \"wire\": {\"bytes_fed\": " << wire.bytes_fed
       << ", \"frames_decoded\": " << wire.frames_decoded
       << ", \"resync_bytes\": " << wire.resync_bytes
@@ -100,6 +153,9 @@ void write_serve_stats_json(const std::string& path, std::uint64_t requests,
       << ", \"records_quarantined\": " << service.records_quarantined
       << ", \"footer_recovered\": " << (service.footer_recovered ? "true" : "false")
       << ", \"mac_index_damaged\": " << (service.mac_index_damaged ? "true" : "false")
+      << ", \"epoch\": " << service.epoch
+      << ", \"reloads\": " << service.reloads
+      << ", \"reloads_rejected\": " << service.reloads_rejected
       << "}\n}\n";
 }
 
@@ -154,12 +210,143 @@ int cmd_wps_build(const util::Flags& flags) {
   return 0;
 }
 
+namespace {
+
+/// SIGHUP hot-swap: re-open --snapshot beside the live mmap, validate, swap
+/// or roll back. Serving never stops either way.
+void wps_maybe_reload(wps::Service& service, const std::string& snapshot_path) {
+  if (!g_wps_reload.exchange(false)) return;
+  auto swapped = service.reload(snapshot_path);
+  if (swapped.ok()) {
+    std::cout << "reload: snapshot hot-swapped, now epoch " << swapped.value()
+              << "\n"
+              << std::flush;
+  } else {
+    std::cout << "reload rejected (still serving epoch " << service.epoch()
+              << "): " << swapped.error() << "\n"
+              << std::flush;
+  }
+}
+
+/// The Aegis UDP tier: one datagram in = one upstream chunk, one wire frame
+/// out = one datagram back. Single-threaded datagram pump; batch execution
+/// inside RemoteServer::drain() is where --threads applies.
+int wps_serve_udp_loop(const util::Flags& flags, wps::Service& service,
+                       const std::string& snapshot_path, std::size_t threads,
+                       ServeJsonExtras extras) {
+  using clock = std::chrono::steady_clock;
+  net::UdpListenerOptions listener;
+  listener.rcvbuf_bytes =
+      net::clamp_rcvbuf_bytes(flags.get_int("rcvbuf", net::kDefaultRcvbufBytes));
+  const int idle_ms =
+      net::clamp_idle_timeout_ms(flags.get_int("idle-timeout-ms", 5000));
+  std::string error;
+  std::uint16_t bound_port = 0;
+  const int fd = net::open_udp_listener(
+      static_cast<std::uint16_t>(flags.get_int("udp", 0)), listener, error,
+      &bound_port);
+  if (fd < 0) {
+    std::cerr << "mmctl wps-serve: " << error << "\n";
+    return 1;
+  }
+
+  wps::RemoteServerOptions server_options;
+  server_options.max_queue =
+      static_cast<std::size_t>(flags.get_int("max-queue", 256));
+  server_options.dedup_window =
+      static_cast<std::size_t>(flags.get_int("dedup-window", 4096));
+  server_options.threads = threads;
+  wps::RemoteServer server(service, server_options);
+
+  std::cout << "listening on 127.0.0.1:" << bound_port << " (udp), queue "
+            << server_options.max_queue << ", dedup window "
+            << server_options.dedup_window << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, wps_signal_handler);
+  std::signal(SIGTERM, wps_signal_handler);
+  std::signal(SIGHUP, wps_hup_handler);
+
+  std::vector<std::uint8_t> datagram(65536);
+  std::vector<std::vector<std::uint8_t>> frames_out;
+  std::vector<double> handle_us;
+  std::uint64_t datagrams_in = 0;
+  auto last_traffic = clock::now();
+
+  while (!g_wps_interrupted.load()) {
+    wps_maybe_reload(service, snapshot_path);
+    sockaddr_in src{};
+    socklen_t srclen = sizeof(src);
+    const ssize_t got = ::recvfrom(fd, datagram.data(), datagram.size(), 0,
+                                   reinterpret_cast<sockaddr*>(&src), &srclen);
+    if (got <= 0) {
+      if (g_wps_interrupted.load()) break;
+      const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            clock::now() - last_traffic)
+                            .count();
+      if (idle >= idle_ms) break;
+      continue;  // poll quantum elapsed (EAGAIN) or EINTR
+    }
+    last_traffic = clock::now();
+    ++datagrams_in;
+    const auto t0 = last_traffic;
+    frames_out.clear();
+    // One datagram handled at a time, so every frame emitted this round —
+    // fresh responses, dedup replays, shed refusals alike — answers the
+    // sender that just spoke; replies go straight back to `src`.
+    server.on_bytes({datagram.data(), static_cast<std::size_t>(got)},
+                    frames_out);
+    server.drain(frames_out);
+    for (const auto& f : frames_out) {
+      (void)::sendto(fd, f.data(), f.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&src), srclen);
+    }
+    handle_us.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+  }
+  ::close(fd);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
+
+  const wps::RemoteServerStats& st = server.stats();
+  extras.p50_us = percentile_us(handle_us, 0.50);
+  extras.p99_us = percentile_us(handle_us, 0.99);
+  extras.aegis = &st;
+  extras.dedup = &server.dedup_stats();
+
+  util::Table table({"datagrams", "requests", "executed", "shed", "replayed",
+                     "absorbed", "bad", "resp frames", "p99 us"});
+  table.add_row(
+      {std::to_string(datagrams_in), std::to_string(st.requests_decoded),
+       std::to_string(st.executed), std::to_string(st.shed),
+       std::to_string(st.replayed), std::to_string(st.absorbed_inflight),
+       std::to_string(st.bad_requests), std::to_string(st.responses_sent),
+       util::Table::fmt(extras.p99_us, 1)});
+  table.print(std::cout);
+
+  const std::string json_path = flags.get("stats-json", "");
+  if (!json_path.empty()) {
+    write_serve_stats_json(json_path, st.requests_decoded, st.bad_requests,
+                           /*undecodable=*/0, /*records_returned=*/0,
+                           st.responses_sent, server.decoder_stats(),
+                           service.stats(), extras);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return g_wps_interrupted.load() ? 130 : 0;
+}
+
+}  // namespace
+
 int cmd_wps_serve(const util::Flags& flags) {
   const std::string snapshot_path = flags.get("snapshot", "");
+  const bool udp_mode = flags.has("udp");
   const std::string in_path = flags.get("in", "");
   const std::string out_path = flags.get("out", "");
-  if (snapshot_path.empty() || in_path.empty() || out_path.empty()) {
-    std::cerr << "mmctl wps-serve: --snapshot, --in, and --out are required\n";
+  if (snapshot_path.empty() ||
+      (!udp_mode && (in_path.empty() || out_path.empty()))) {
+    std::cerr << "mmctl wps-serve: --snapshot plus either --udp PORT or "
+                 "--in/--out are required\n";
     return 2;
   }
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
@@ -169,8 +356,24 @@ int cmd_wps_serve(const util::Flags& flags) {
     std::cerr << "mmctl wps-serve: --snapshot: " << opened.error() << "\n";
     return 1;
   }
-  const wps::Service service = std::move(opened).value();
+  wps::Service service = std::move(opened).value();
   print_service_stats(service.stats());
+
+  ServeJsonExtras extras;
+  if (flags.has("prewarm")) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t usable = service.prewarm(threads);
+    extras.prewarmed = true;
+    extras.prewarm_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::cout << "prewarm: " << usable << " tiles verified+indexed in "
+              << util::Table::fmt(extras.prewarm_s, 3) << " s\n";
+  }
+
+  if (udp_mode) {
+    return wps_serve_udp_loop(flags, service, snapshot_path, threads, extras);
+  }
 
   std::ifstream in(in_path, std::ios::binary);
   if (!in) {
@@ -185,6 +388,7 @@ int cmd_wps_serve(const util::Flags& flags) {
 
   std::signal(SIGINT, wps_signal_handler);
   std::signal(SIGTERM, wps_signal_handler);
+  std::signal(SIGHUP, wps_hup_handler);
 
   struct PendingRequest {
     std::uint32_t stream_id = 0;
@@ -199,6 +403,7 @@ int cmd_wps_serve(const util::Flags& flags) {
   std::uint64_t records_returned = 0;
   std::uint64_t response_frames = 0;
   std::uint64_t op_counts[4] = {0, 0, 0, 0};
+  std::vector<double> handle_us;
 
   constexpr std::size_t kChunkBytes = 4096;
   std::vector<std::uint8_t> chunk(kChunkBytes);
@@ -212,6 +417,7 @@ int cmd_wps_serve(const util::Flags& flags) {
   // same request stream reads a byte-identical response stream at any
   // --threads.
   while (!g_wps_interrupted.load()) {
+    wps_maybe_reload(service, snapshot_path);
     in.read(reinterpret_cast<char*>(chunk.data()),
             static_cast<std::streamsize>(kChunkBytes));
     const auto got = static_cast<std::size_t>(in.gcount());
@@ -231,10 +437,18 @@ int cmd_wps_serve(const util::Flags& flags) {
     if (batch.empty()) continue;
 
     responses.assign(batch.size(), wps::QueryResponse{});
+    const auto batch_t0 = std::chrono::steady_clock::now();
     util::parallel_map_into(util::ThreadPool::shared(), threads, responses,
                             [&](std::size_t i) {
                               return wps::execute_query(service, batch[i].request);
                             });
+    // Batches execute as a unit; attribute the wall time evenly so the
+    // latency percentiles in the stats JSON stay per-request quantities.
+    const double batch_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - batch_t0)
+                                .count();
+    handle_us.insert(handle_us.end(), batch.size(),
+                     batch_us / static_cast<double>(batch.size()));
 
     wire_out.clear();
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -253,6 +467,7 @@ int cmd_wps_serve(const util::Flags& flags) {
   }
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
   if (!out) {
     std::cerr << "mmctl wps-serve: write failed for " << out_path << "\n";
     return 1;
@@ -273,8 +488,11 @@ int cmd_wps_serve(const util::Flags& flags) {
 
   const std::string json_path = flags.get("stats-json", "");
   if (!json_path.empty()) {
+    extras.p50_us = percentile_us(handle_us, 0.50);
+    extras.p99_us = percentile_us(handle_us, 0.99);
     write_serve_stats_json(json_path, requests, bad_requests, undecodable,
-                           records_returned, response_frames, wire, service.stats());
+                           records_returned, response_frames, wire,
+                           service.stats(), extras);
     std::cout << "wrote " << json_path << "\n";
   }
   return g_wps_interrupted.load() ? 130 : 0;
@@ -282,19 +500,16 @@ int cmd_wps_serve(const util::Flags& flags) {
 
 namespace {
 
-int wps_query_encode(const util::Flags& flags) {
-  const std::string out_path = flags.get("out", "");
-  if (out_path.empty()) {
-    std::cerr << "mmctl wps-query encode: --out is required\n";
-    return 2;
-  }
+/// Shared --op/--bssid/--k/--x/--y/--radius surface of `wps-query encode`
+/// and `wps-query send`. Returns 0, or 2 after printing a usage error.
+int parse_query_request(const util::Flags& flags, const char* who,
+                        wps::QueryRequest& request) {
   const std::string op_text = flags.get("op", "");
-  wps::QueryRequest request;
   if (op_text == "lookup") {
     request.op = wps::QueryOp::kLookup;
     const auto mac = net80211::MacAddress::parse(flags.get("bssid", ""));
     if (!mac) {
-      std::cerr << "mmctl wps-query encode: lookup needs --bssid aa:bb:cc:dd:ee:ff\n";
+      std::cerr << who << ": lookup needs --bssid aa:bb:cc:dd:ee:ff\n";
       return 2;
     }
     request.bssid = mac->to_u64();
@@ -307,8 +522,23 @@ int wps_query_encode(const util::Flags& flags) {
     request.center = {flags.get_double("x", 0.0), flags.get_double("y", 0.0)};
     request.radius_m = flags.get_double("radius", 0.0);
   } else {
-    std::cerr << "mmctl wps-query encode: --op must be lookup|nearest|range\n";
+    std::cerr << who << ": --op must be lookup|nearest|range\n";
     return 2;
+  }
+  return 0;
+}
+
+int wps_query_encode(const util::Flags& flags) {
+  const std::string out_path = flags.get("out", "");
+  if (out_path.empty()) {
+    std::cerr << "mmctl wps-query encode: --out is required\n";
+    return 2;
+  }
+  const std::string op_text = flags.get("op", "");
+  wps::QueryRequest request;
+  if (const int rc = parse_query_request(flags, "mmctl wps-query encode", request);
+      rc != 0) {
+    return rc;
   }
 
   net::WireFrame frame;
@@ -404,6 +634,138 @@ int wps_query_decode(const util::Flags& flags) {
   return 0;
 }
 
+/// `wps-query send`: the Aegis RemoteClient over a live UDP socket. The same
+/// event-driven state machine the chaos tests pump on a virtual clock runs
+/// here on steady_clock milliseconds; --link-plan optionally damages the
+/// outbound direction in-process before the datagrams ever leave.
+int wps_query_send(const util::Flags& flags) {
+  const std::string spec = flags.get("udp", "");
+  if (spec.empty()) {
+    std::cerr << "mmctl wps-query send: --udp host:port is required\n";
+    return 2;
+  }
+  wps::QueryRequest request;
+  if (const int rc = parse_query_request(flags, "mmctl wps-query send", request);
+      rc != 0) {
+    return rc;
+  }
+
+  wps::RemoteClientOptions options;
+  options.stream_id = static_cast<std::uint32_t>(flags.get_int("stream-id", 1));
+  options.retry.max_attempts = static_cast<int>(
+      flags.get_int("retries", options.retry.max_attempts));
+  options.retry.timeout_ms = static_cast<std::uint64_t>(flags.get_int(
+      "timeout-ms", static_cast<std::int64_t>(options.retry.timeout_ms)));
+  options.retry.seed = flags.get_seed(options.retry.seed);
+  if (options.retry.max_attempts < 1 || options.retry.timeout_ms == 0) {
+    std::cerr << "mmctl wps-query send: --retries and --timeout-ms must be positive\n";
+    return 2;
+  }
+
+  std::optional<net::LinkSimulator> link;
+  if (flags.has("link-plan")) {
+    auto parsed = fault::FaultPlan::parse(flags.get("link-plan", ""));
+    if (!parsed.ok()) {
+      std::cerr << "mmctl wps-query send: --link-plan: " << parsed.error() << "\n";
+      return 2;
+    }
+    link.emplace(parsed.value());
+  }
+
+  std::string error;
+  const int fd = net::open_udp_sender(spec, error);
+  if (fd < 0) {
+    std::cerr << "mmctl wps-query send: " << error << "\n";
+    return 1;
+  }
+  timeval tv{};
+  tv.tv_usec = 20 * 1000;  // 20 ms poll quantum keeps the retry clock live
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  wps::RemoteClient client(options);
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto now_ms = [&t_start] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t_start)
+            .count());
+  };
+
+  const auto count = static_cast<std::size_t>(flags.get_int("count", 1));
+  for (std::size_t i = 0; i < count; ++i) client.issue(request, now_ms());
+
+  std::signal(SIGINT, wps_signal_handler);
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<std::uint8_t> buf(65536);
+  while (!client.idle() && !g_wps_interrupted.load()) {
+    frames.clear();
+    client.tick(now_ms(), frames);
+    for (const auto& f : frames) {
+      if (link) {
+        // The simulator may drop, duplicate, or re-emit parked frames; its
+        // whole output for this send goes out as one datagram — the server's
+        // resynchronizing decoder owes the wire no framing alignment.
+        link->send({f.data(), f.size()});
+        const auto bytes = link->take();
+        if (!bytes.empty()) (void)::send(fd, bytes.data(), bytes.size(), 0);
+      } else {
+        (void)::send(fd, f.data(), f.size(), 0);
+      }
+    }
+    const ssize_t got = ::recv(fd, buf.data(), buf.size(), 0);
+    if (got > 0) {
+      client.on_bytes({buf.data(), static_cast<std::size_t>(got)}, now_ms());
+    }
+  }
+  ::close(fd);
+  std::signal(SIGINT, SIG_DFL);
+
+  const auto outcomes = client.drain();
+  std::size_t ok_answers = 0;
+  for (const wps::Outcome& o : outcomes) {
+    std::cout << "request " << o.request_id << ": ";
+    switch (o.kind) {
+      case wps::OutcomeKind::kAnswered:
+        if (o.response.status == wps::QueryStatus::kOk) {
+          ++ok_answers;
+          std::cout << "answered, " << o.response.aps.size() << " record"
+                    << (o.response.aps.size() == 1 ? "" : "s");
+        } else {
+          std::cout << "answered (bad request)";
+        }
+        break;
+      case wps::OutcomeKind::kShed: std::cout << "shed by server"; break;
+      case wps::OutcomeKind::kTimedOut: std::cout << "timed out"; break;
+      case wps::OutcomeKind::kCircuitOpen: std::cout << "circuit open"; break;
+    }
+    std::cout << " after " << o.attempts << " attempt"
+              << (o.attempts == 1 ? "" : "s") << " in "
+              << (o.completed_ms - o.issued_ms) << " ms\n";
+  }
+
+  const wps::RemoteClientStats& st = client.stats();
+  util::Table table({"issued", "answered", "shed", "timed out", "circuit",
+                     "tx", "retx", "retry-after", "stale"});
+  table.add_row({std::to_string(st.issued), std::to_string(st.answered),
+                 std::to_string(st.shed), std::to_string(st.timed_out),
+                 std::to_string(st.circuit_open),
+                 std::to_string(st.transmissions),
+                 std::to_string(st.retransmissions),
+                 std::to_string(st.retry_after_seen),
+                 std::to_string(st.stale_responses)});
+  table.print(std::cout);
+
+  if (flags.has("expect-ok")) {
+    const auto expect = static_cast<std::size_t>(flags.get_int("expect-ok", 0));
+    if (ok_answers < expect) {
+      std::cerr << "mmctl wps-query send: expected >= " << expect
+                << " ok answers, got " << ok_answers << "\n";
+      return 1;
+    }
+  }
+  return g_wps_interrupted.load() ? 130 : 0;
+}
+
 }  // namespace
 
 int cmd_wps_query(const util::Flags& flags) {
@@ -411,7 +773,8 @@ int cmd_wps_query(const util::Flags& flags) {
   const std::string mode = positional.empty() ? "" : positional.front();
   if (mode == "encode") return wps_query_encode(flags);
   if (mode == "decode") return wps_query_decode(flags);
-  std::cerr << "mmctl wps-query: first argument must be 'encode' or 'decode'\n";
+  if (mode == "send") return wps_query_send(flags);
+  std::cerr << "mmctl wps-query: first argument must be 'encode', 'decode', or 'send'\n";
   return 2;
 }
 

@@ -53,16 +53,23 @@ int cmd_net_recv(const util::Flags& flags);
 /// Freezes an AP database into the Basilisk mmap-backed snapshot format.
 int cmd_wps_build(const util::Flags& flags);
 
-/// `mmctl wps-serve --snapshot snap.wps --in requests.bin --out responses.bin
-///        [--threads N] [--stats-json out.json]`
-/// Answers lookup/nearest/range requests carried as Lattice wire frames read
-/// from a file or FIFO, writing response frames the same way.
+/// `mmctl wps-serve --snapshot snap.wps (--in req.bin --out resp.bin |
+///        --udp port) [--threads N] [--prewarm] [--max-queue N]
+///        [--dedup-window N] [--rcvbuf B] [--idle-timeout-ms T]
+///        [--stats-json out.json]`
+/// Answers lookup/nearest/range requests carried as Lattice wire frames —
+/// from a file/FIFO byte stream, or over loopback UDP through the Aegis
+/// fault-tolerant tier (request-id dedup, bounded queue with explicit load
+/// shedding). SIGHUP hot-swaps the snapshot with validation and rollback.
 int cmd_wps_serve(const util::Flags& flags);
 
 /// `mmctl wps-query encode --op lookup|nearest|range ... --out requests.bin`
 /// `mmctl wps-query decode --in responses.bin [--expect N]`
+/// `mmctl wps-query send --udp host:port --op ... [--count N] [--retries N]
+///        [--timeout-ms T] [--link-plan spec] [--expect-ok N]`
 /// The client end of wps-serve: appends request frames onto a stream /
-/// decodes and prints a response stream.
+/// decodes and prints a response stream / runs the retrying Aegis
+/// RemoteClient against a live --udp server.
 int cmd_wps_query(const util::Flags& flags);
 
 /// `mmctl wps-surveil [--seed S] [--devices N] [--fixed-aps N]

@@ -80,6 +80,10 @@ commands:
              --in <s1.bin[,s2.bin...]> recorded streams to replay
              --udp-listen <port>       ... or receive datagrams on loopback
              --udp-idle-secs <s>       end-of-stream silence (default: 5)
+             --idle-timeout-ms <ms>    same, in ms (clamped 100..600000;
+                                       wins over --udp-idle-secs)
+             --rcvbuf <bytes>          SO_RCVBUF request (default: 4 MiB,
+                                       clamped 64 KiB..64 MiB)
              --stream-ids <1,2,...>    per-file stream ids (default: 1..N)
              --fec-window <W>          reassembly window in sequences
                                        (default: 256)
@@ -94,17 +98,31 @@ commands:
              --no-mac-index            skip the O(log n) BSSID index section
              --no-fsync                skip fsync before the atomic rename
   wps-serve  answer WPS lookup/nearest/range requests carried as Lattice
-             wire frames over a file or FIFO
-             --snapshot <snap.wps> --in <req> --out <resp>   (required)
+             wire frames over a file/FIFO, or over UDP through the Aegis
+             fault-tolerant tier (dedup, load shedding, SIGHUP hot-swap)
+             --snapshot <snap.wps>     (required)
+             --in <req> --out <resp>   byte-stream mode (required sans --udp)
+             --udp <port>              ... or serve datagrams on loopback
+                                       (port 0 = kernel-assigned, printed)
+             --max-queue <N>           shed beyond this backlog (default: 256)
+             --dedup-window <N>        replayable responses (default: 4096)
+             --rcvbuf <bytes> / --idle-timeout-ms <ms>   as in net-recv
+             --prewarm                 verify+index every tile eagerly at
+                                       open; prewarm_s lands in the JSON
              --threads <N>             concurrent query execution (default: 1;
                                        responses stay in request order)
              --stats-json <out.json>   machine-readable serve stats
+             SIGHUP re-opens --snapshot beside the live mmap and atomically
+             swaps epochs (validation failure rolls back; serving continues)
   wps-query  the client end of wps-serve
              encode --op lookup --bssid <mac> --out <req>
              encode --op nearest --x <m> --y <m> --k <N> --out <req>
              encode --op range --x <m> --y <m> --radius <m> --out <req>
                     [--stream-id N] [--seq N]   (appends one frame per call)
              decode --in <resp> [--max-rows N] [--expect N]
+             send   --udp <host:port> --op ... [--count N] [--retries N]
+                    [--timeout-ms T] [--seed S] [--link-plan <spec>]
+                    [--expect-ok N]   retrying Aegis client over live UDP
   wps-surveil  replay the opportunistic mass-surveillance scenario: a moving
              population tracked through nothing but WPS query access
              --seed <S> --devices <N> --fixed-aps <N>
