@@ -1,17 +1,22 @@
-// Afterburner offline throughput: Tracker::locate_all over a synthetic
-// capture (serial vs threaded), the Gamma-memo cache's effect, and the
-// parallel Monte-Carlo / AP-Rad kernels. The acceptance bar is a >= 4x
-// locate_all speedup at 4 threads on a 4-core machine; every parallel run is
+// Slipstream offline throughput: Tracker::locate_all over a synthetic
+// capture (serial vs a 1/2/4/8 thread sweep), per-stage timings from
+// LocateAllProfile, the gated Gamma-memo cache's effect, and the parallel
+// Monte-Carlo / AP-Rad kernels. The acceptance bar is a >= 4x locate_all
+// speedup at 4+ threads; on machines with >= 4 hardware cores missing it is
+// a hard failure, on smaller runners it reports WARN. Every parallel run is
 // also checked bit-for-bit against its serial twin, and a mismatch is a hard
-// failure (determinism is the engine's contract, not an aspiration).
+// failure anywhere (determinism is the engine's contract, not an aspiration).
 //
-//   bench_offline_throughput [--devices N] [--clusters C] [--aps-per-device K]
-//                            [--reps R] [--threads T] [--mc-trials N]
-//                            [--out BENCH_offline.json]
+//   bench_offline_throughput [--smoke] [--devices N] [--clusters C]
+//                            [--aps-per-device K] [--reps R] [--threads T]
+//                            [--mc-trials N] [--out BENCH_offline.json]
 //
-// Devices are grouped into clusters that share one Gamma (phones in the same
-// room hear the same APs), so the duplicate fraction — and hence the cache
-// hit rate — is (devices - clusters) / devices by construction.
+// --smoke shrinks the workload for CI (fewer devices / reps / MC trials);
+// explicit flags still win. Devices are grouped into clusters that share one
+// Gamma (phones in the same room hear the same APs), so the duplicate
+// fraction — and hence the cache hit rate — is (devices - clusters) / devices
+// by construction.
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <fstream>
@@ -100,9 +105,11 @@ bool same_results(const ResultMap& a, const ResultMap& b) {
 }
 
 struct LocateRun {
+  std::size_t threads = 1;
   double best_s = 0.0;
   double devices_per_sec = 0.0;
   marauder::GammaCacheStats cache;
+  marauder::LocateAllProfile profile;  ///< per-stage breakdown of the best rep
   ResultMap results;
 };
 
@@ -112,6 +119,7 @@ LocateRun run_locate(const marauder::ApDatabase& db,
                      const capture::ObservationStore& store, std::size_t threads,
                      bool gamma_cache, int reps) {
   LocateRun run;
+  run.threads = threads;
   run.best_s = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     marauder::TrackerOptions options;
@@ -119,10 +127,14 @@ LocateRun run_locate(const marauder::ApDatabase& db,
     options.threads = threads;
     options.gamma_cache = gamma_cache;
     marauder::Tracker tracker(db, options);
+    marauder::LocateAllProfile profile;
     const double t0 = now_seconds();
-    ResultMap results = tracker.locate_all(store);
+    ResultMap results = tracker.locate_all(store, {}, &profile);
     const double elapsed = now_seconds() - t0;
-    run.best_s = std::min(run.best_s, elapsed);
+    if (elapsed < run.best_s) {
+      run.best_s = elapsed;
+      run.profile = profile;
+    }
     run.cache = tracker.gamma_cache_stats();
     run.results = std::move(results);
   }
@@ -135,15 +147,17 @@ LocateRun run_locate(const marauder::ApDatabase& db,
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
-  const auto devices = static_cast<std::size_t>(flags.get_int("devices", 4000));
+  const bool smoke = flags.has("smoke");
+  const auto devices = static_cast<std::size_t>(
+      flags.get_int("devices", smoke ? 1500 : 4000));
   const auto clusters = static_cast<std::size_t>(
       flags.get_int("clusters", static_cast<std::int64_t>(devices) / 4));
   const auto aps_per_device = static_cast<std::size_t>(flags.get_int("aps-per-device", 6));
-  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  const int reps = static_cast<int>(flags.get_int("reps", smoke ? 2 : 3));
   const auto threads_flag = static_cast<std::size_t>(flags.get_int("threads", 0));
-  const std::size_t threads =
-      threads_flag == 0 ? util::ThreadPool::default_parallelism() : threads_flag;
-  const int mc_trials = static_cast<int>(flags.get_int("mc-trials", 4000));
+  const std::size_t hw_cores = util::ThreadPool::default_parallelism();
+  const std::size_t threads = threads_flag == 0 ? hw_cores : threads_flag;
+  const int mc_trials = static_cast<int>(flags.get_int("mc-trials", smoke ? 1500 : 4000));
   const std::string out_path = flags.get("out", "BENCH_offline.json");
 
   sim::CampusConfig campus;
@@ -154,33 +168,59 @@ int main(int argc, char** argv) {
   const auto store = make_store(devices, std::max<std::size_t>(clusters, 1),
                                 aps_per_device, truth, 0xafbe);
 
-  std::cout << "Afterburner offline throughput (" << devices << " devices, "
-            << clusters << " clusters, " << threads << " threads)\n\n";
+  std::cout << "Slipstream offline throughput (" << devices << " devices, "
+            << clusters << " clusters, " << hw_cores << " hw cores"
+            << (smoke ? ", smoke" : "") << ")\n\n";
 
-  // locate_all: serial w/o cache, serial w/ cache, threaded w/ cache.
+  // locate_all baselines: serial without the Gamma cache, serial with it.
   const LocateRun serial_nocache = run_locate(db, store, 1, false, reps);
   const LocateRun serial = run_locate(db, store, 1, true, reps);
-  const LocateRun threaded = run_locate(db, store, threads, true, reps);
   const double cache_speedup =
       serial.best_s > 0.0 ? serial_nocache.best_s / serial.best_s : 0.0;
-  const double locate_speedup =
-      threaded.best_s > 0.0 ? serial.best_s / threaded.best_s : 0.0;
   const double hit_rate =
       serial.cache.hits + serial.cache.misses > 0
           ? static_cast<double>(serial.cache.hits) /
                 static_cast<double>(serial.cache.hits + serial.cache.misses)
           : 0.0;
-  const bool locate_identical = same_results(serial_nocache.results, serial.results) &&
-                                same_results(serial.results, threaded.results);
   std::cout << "locate_all serial (no cache): "
             << static_cast<std::uint64_t>(serial_nocache.devices_per_sec)
             << " devices/s\n"
             << "locate_all serial (cache):    "
             << static_cast<std::uint64_t>(serial.devices_per_sec) << " devices/s  ("
-            << cache_speedup << "x, hit rate " << hit_rate << ")\n"
-            << "locate_all threaded (cache):  "
-            << static_cast<std::uint64_t>(threaded.devices_per_sec) << " devices/s  ("
-            << locate_speedup << "x vs serial)\n";
+            << cache_speedup << "x, hit rate " << hit_rate << ", duplicate ratio "
+            << serial.profile.duplicate_ratio
+            << (serial.profile.cache_engaged ? ", memo engaged" : ", memo off")
+            << ")\n\n";
+
+  // Thread sweep: cache on, each point bit-compared against the serial run.
+  // Per-stage timings come from LocateAllProfile (plan = Gamma gather + key
+  // build + grouping, locate = parallel localization of unique disc sets,
+  // merge = fan-out + ordered map fold).
+  const std::size_t sweep_threads[] = {1, 2, 4, 8};
+  std::vector<LocateRun> sweep;
+  std::vector<double> sweep_speedup;
+  std::vector<bool> sweep_identical;
+  bool locate_identical = same_results(serial_nocache.results, serial.results);
+  double locate_speedup = 0.0;  // best speedup among 4+ thread points
+  std::cout << "thread sweep (cache on):\n";
+  for (const std::size_t t : sweep_threads) {
+    LocateRun run = run_locate(db, store, t, true, reps);
+    const double speedup = run.best_s > 0.0 ? serial.best_s / run.best_s : 0.0;
+    const bool identical = same_results(serial.results, run.results);
+    locate_identical = locate_identical && identical;
+    if (t >= 4) locate_speedup = std::max(locate_speedup, speedup);
+    std::cout << "  threads=" << t << ": "
+              << static_cast<std::uint64_t>(run.devices_per_sec) << " devices/s  ("
+              << speedup << "x; plan " << run.profile.plan_s << " s, locate "
+              << run.profile.locate_s << " s, merge " << run.profile.merge_s
+              << " s; " << run.profile.unique_gammas << " unique gammas, "
+              << run.profile.outlier_devices << " outlier devices"
+              << (identical ? "" : "; BIT MISMATCH") << ")\n";
+    sweep_speedup.push_back(speedup);
+    sweep_identical.push_back(identical);
+    sweep.push_back(std::move(run));
+  }
+  std::cout << "\n";
 
   // Parallel Monte-Carlo kernel (the bench_fig* workhorse).
   const double mc_t0 = now_seconds();
@@ -228,16 +268,34 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"offline_throughput\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"hw_cores\": " << hw_cores << ",\n"
       << "  \"devices\": " << devices << ",\n"
       << "  \"clusters\": " << clusters << ",\n"
-      << "  \"threads\": " << threads << ",\n"
       << "  \"reps\": " << reps << ",\n"
       << "  \"serial_nocache_devices_per_sec\": " << serial_nocache.devices_per_sec << ",\n"
       << "  \"serial_devices_per_sec\": " << serial.devices_per_sec << ",\n"
-      << "  \"threaded_devices_per_sec\": " << threaded.devices_per_sec << ",\n"
-      << "  \"locate_speedup\": " << locate_speedup << ",\n"
+      << "  \"duplicate_ratio\": " << serial.profile.duplicate_ratio << ",\n"
+      << "  \"cache_engaged\": " << (serial.profile.cache_engaged ? "true" : "false")
+      << ",\n"
+      << "  \"unique_gammas\": " << serial.profile.unique_gammas << ",\n"
+      << "  \"outlier_devices\": " << serial.profile.outlier_devices << ",\n"
       << "  \"cache_speedup\": " << cache_speedup << ",\n"
       << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+      << "  \"threads_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const LocateRun& run = sweep[i];
+    out << "    {\"threads\": " << run.threads
+        << ", \"devices_per_sec\": " << run.devices_per_sec
+        << ", \"speedup\": " << sweep_speedup[i]
+        << ", \"plan_s\": " << run.profile.plan_s
+        << ", \"locate_s\": " << run.profile.locate_s
+        << ", \"merge_s\": " << run.profile.merge_s
+        << ", \"identical\": " << (sweep_identical[i] ? "true" : "false") << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"locate_speedup\": " << locate_speedup << ",\n"
       << "  \"locate_identical\": " << (locate_identical ? "true" : "false") << ",\n"
       << "  \"mc_trials\": " << mc_trials << ",\n"
       << "  \"mc_serial_s\": " << mc_serial_s << ",\n"
@@ -251,17 +309,27 @@ int main(int argc, char** argv) {
       << "}\n";
   std::cout << "wrote " << out_path << "\n";
 
-  // Determinism is a hard failure; throughput targets are machine-dependent
-  // and report WARN on small runners (the CI smoke job runs on whatever
-  // cores it gets).
+  // Determinism is a hard failure everywhere. The >= 4x locate target is a
+  // hard failure only where it is provable — machines with >= 4 hardware
+  // cores; oversubscribed sweep points on a small runner can't hit it, so
+  // those report WARN. The cache target stays advisory (machine-dependent).
+  bool failed = false;
   const bool identical = locate_identical && mc_identical && aprad_identical;
+  if (!identical) failed = true;
   std::cout << (identical ? "PASS" : "FAIL")
             << ": parallel results bit-identical to serial\n";
   const bool met = locate_speedup >= 4.0;
-  std::cout << (met ? "PASS" : "WARN") << ": locate_all speedup " << locate_speedup
-            << "x at " << threads << " threads (target >= 4x on >= 4 cores)\n";
+  if (hw_cores >= 4) {
+    if (!met) failed = true;
+    std::cout << (met ? "PASS" : "FAIL") << ": locate_all speedup " << locate_speedup
+              << "x at 4+ threads (target >= 4x, " << hw_cores << " hw cores)\n";
+  } else {
+    std::cout << (met ? "PASS" : "WARN") << ": locate_all speedup " << locate_speedup
+              << "x at 4+ threads (target gated: only " << hw_cores
+              << " hw cores)\n";
+  }
   const bool cache_met = cache_speedup >= 1.3;
   std::cout << (cache_met ? "PASS" : "WARN") << ": Gamma-cache speedup " << cache_speedup
             << "x (target >= 1.3x at 75% duplicate Gammas)\n";
-  return identical ? 0 : 1;
+  return failed ? 1 : 0;
 }

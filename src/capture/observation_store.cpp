@@ -107,17 +107,30 @@ std::set<net80211::MacAddress> ObservationStore::gamma(
 std::vector<net80211::MacAddress> ObservationStore::gamma_sorted(
     const net80211::MacAddress& device, const ObservationWindow& window) const {
   std::vector<net80211::MacAddress> aps;
+  gamma_append(device, window, aps);
+  return aps;
+}
+
+void ObservationStore::gamma_append(const net80211::MacAddress& device,
+                                    const ObservationWindow& window,
+                                    std::vector<net80211::MacAddress>& out) const {
   const DeviceRecord* rec = this->device(device);
-  if (rec == nullptr) return aps;
-  aps.reserve(rec->contacts.size());
+  if (rec == nullptr) return;
+  out.reserve(out.size() + rec->contacts.size());
   // contacts is an ordered map, so appending in iteration order yields the
   // ascending-BSSID order gamma() produces.
   for (const auto& [ap, contact] : rec->contacts) {
-    const bool in_window = std::any_of(contact.times.begin(), contact.times.end(),
-                                       [&](sim::SimTime t) { return window.contains(t); });
-    if (in_window) aps.push_back(ap);
+    // First/last retained instants are genuine members of `times`, so hitting
+    // either settles the any-member-in-window question in O(1) — the common
+    // case for the default whole-capture window. Only stores whose window
+    // clips both ends fall back to the linear membership scan.
+    const bool in_window =
+        (!contact.times.empty() && (window.contains(contact.times.front()) ||
+                                    window.contains(contact.times.back()))) ||
+        std::any_of(contact.times.begin(), contact.times.end(),
+                    [&](sim::SimTime t) { return window.contains(t); });
+    if (in_window) out.push_back(ap);
   }
-  return aps;
 }
 
 std::vector<std::set<net80211::MacAddress>> ObservationStore::all_gammas(

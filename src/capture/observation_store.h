@@ -101,6 +101,13 @@ class ObservationStore {
   [[nodiscard]] std::vector<net80211::MacAddress> gamma_sorted(
       const net80211::MacAddress& device, const ObservationWindow& window = {}) const;
 
+  /// Appends the device's Gamma (same members and order as gamma_sorted) to
+  /// `out` without clearing it. Slipstream's locate arena builds every
+  /// device's Gamma through one reused buffer, so the per-device vector
+  /// allocation of gamma_sorted disappears from the hot path.
+  void gamma_append(const net80211::MacAddress& device, const ObservationWindow& window,
+                    std::vector<net80211::MacAddress>& out) const;
+
   /// Gamma sets of all devices (input to AP-Rad's co-observation constraints).
   [[nodiscard]] std::vector<std::set<net80211::MacAddress>> all_gammas(
       const ObservationWindow& window = {}) const;

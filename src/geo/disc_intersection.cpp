@@ -16,22 +16,8 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 constexpr double kEps = 1e-9;
 constexpr double kMinArcSpan = 1e-10;
 
-/// Disjointness test equivalent to a.disjoint_from(b, eps) but without the
-/// hypot: an axis-aligned bounding-box reject first (one subtract + compare
-/// per axis settles far-apart pairs, the common case on a metro-scale AP
-/// set), then the squared-distance comparison. Both sides of the exact
-/// compare are monotone transforms of the originals, so the decision only
-/// moves for tangencies inside the last ulp.
-bool disjoint_prefiltered(const Circle& a, const Circle& b, double eps) {
-  const double reach = a.radius + b.radius + eps;
-  if (reach < 0.0) return true;  // degenerate eps: nothing can touch
-  const double dx = std::abs(a.center.x - b.center.x);
-  const double dy = std::abs(a.center.y - b.center.y);
-  if (dx > reach || dy > reach) return true;  // bounding boxes already apart
-  return dx * dx + dy * dy > reach * reach;
-}
-
-/// Containment test equivalent to a.inside_of(b, eps), same treatment: a
+/// Containment test equivalent to a.inside_of(b, eps), same treatment as the
+/// soa_any_pair_disjoint kernel: a
 /// lies inside b iff |a.center - b.center| <= b.radius - a.radius + eps.
 bool inside_prefiltered(const Circle& a, const Circle& b, double eps) {
   const double slack = b.radius - a.radius + eps;
@@ -186,6 +172,48 @@ void arc_moment_terms(const Circle& c, double t0, double t1, double& mx, double&
 
 }  // namespace
 
+bool soa_any_pair_disjoint(const DiscSlab& slab, double eps) {
+  for (std::size_t i = 0; i + 1 < slab.n; ++i) {
+    const double xi = slab.x[i];
+    const double yi = slab.y[i];
+    const double ri = slab.r[i];
+    // Branch-free inner loop: accumulate how many pairs exceed their reach.
+    // A disjoint pair anywhere means an empty intersection, so existence is
+    // all compute() needs — which pair fired never affects the result.
+    std::size_t found = 0;
+    for (std::size_t j = i + 1; j < slab.n; ++j) {
+      const double dx = slab.x[j] - xi;
+      const double dy = slab.y[j] - yi;
+      const double reach = slab.r[j] + ri + eps;
+      // A negative reach means nothing can touch (the scalar predicate's
+      // degenerate-eps early-out); squaring would lose its sign, so test it
+      // explicitly — bitwise-or keeps the loop branch-free.
+      found += static_cast<std::size_t>((reach < 0.0) |
+                                        (dx * dx + dy * dy > reach * reach));
+    }
+    if (found != 0) return true;
+  }
+  return false;
+}
+
+bool any_pair_disjoint(std::span<const Circle> discs, double eps) {
+  // Gather once into per-thread SoA scratch; the kernel then streams three
+  // contiguous double arrays instead of striding through 24-byte structs.
+  static thread_local std::vector<double> sx;
+  static thread_local std::vector<double> sy;
+  static thread_local std::vector<double> sr;
+  const std::size_t n = discs.size();
+  sx.resize(n);
+  sy.resize(n);
+  sr.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sx[i] = discs[i].center.x;
+    sy[i] = discs[i].center.y;
+    sr[i] = discs[i].radius;
+  }
+  return soa_any_pair_disjoint({sx.data(), sy.data(), sr.data(), n}, eps);
+}
+
 DiscIntersection DiscIntersection::compute(std::span<const Circle> discs) {
   if (discs.empty()) throw std::invalid_argument("DiscIntersection: need at least one disc");
   for (const Circle& c : discs) {
@@ -196,15 +224,13 @@ DiscIntersection DiscIntersection::compute(std::span<const Circle> discs) {
 
   DiscIntersection result;
 
-  // Early exit: any two discs disjoint => empty intersection.
-  for (std::size_t i = 0; i < discs.size(); ++i) {
-    for (std::size_t j = i + 1; j < discs.size(); ++j) {
-      if (disjoint_prefiltered(discs[i], discs[j], -kEps)) {
-        result.empty_ = true;
-        result.discs_.assign(discs.begin(), discs.end());
-        return result;
-      }
-    }
+  // Early exit: any two discs disjoint => empty intersection. The SoA kernel
+  // makes the same squared-distance decision the scalar predicate would for
+  // every pair, so which path detects it cannot change the result.
+  if (any_pair_disjoint(discs, -kEps)) {
+    result.empty_ = true;
+    result.discs_.assign(discs.begin(), discs.end());
+    return result;
   }
 
   // Prune redundant discs: if disc i is contained in disc j, disc j adds no

@@ -21,6 +21,33 @@
 
 namespace mm::geo {
 
+/// Flat SoA view of a disc slab: x[i], y[i], r[i] describe disc i. This is
+/// the memory layout Slipstream's locate arena stores per-device Gamma discs
+/// in — three contiguous double streams that the prefilter kernels below (and
+/// M-Loc's pairwise-distance fill) consume linearly, so the compiler can
+/// auto-vectorize the inner loops instead of gathering through Circle structs.
+struct DiscSlab {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* r = nullptr;
+  std::size_t n = 0;
+};
+
+/// Squared-distance disjointness prefilter over a SoA slab: true iff some
+/// pair (i, j) of discs is disjoint under `eps`, i.e. |c_i - c_j| >
+/// r_i + r_j + eps. Decision-identical to testing Circle::disjoint_from-style
+/// predicates over every pair (asserted by a randomized oracle test): the
+/// comparison runs on squared values, a monotone transform of both sides, the
+/// bounding-box early-outs of the scalar predicate are implied by it, and a
+/// negative reach (degenerate eps) is tested explicitly before squaring. The
+/// inner loop is branch-free over contiguous doubles, so it streams and
+/// vectorizes.
+[[nodiscard]] bool soa_any_pair_disjoint(const DiscSlab& slab, double eps);
+
+/// Same kernel over an AoS Circle span (gathers into thread-local SoA scratch
+/// first); the early-exit pass of DiscIntersection::compute runs through this.
+[[nodiscard]] bool any_pair_disjoint(std::span<const Circle> discs, double eps);
+
 /// One boundary arc: the piece of circle `circle_index` from `theta_begin` to
 /// `theta_end` traversed counter-clockwise (theta_end > theta_begin; the span
 /// never exceeds 2*pi). A full-circle boundary is a single arc of span 2*pi.

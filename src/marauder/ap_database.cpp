@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -13,11 +14,18 @@ namespace mm::marauder {
 /// Derived views over aps_, built on first use. `sorted` holds pointers into
 /// the (node-stable) unordered_map; `grid` indexes positions by the record's
 /// rank in `sorted`, so ascending grid ids ARE ascending BSSIDs and every
-/// spatial query inherits the canonical ordering for free.
+/// spatial query inherits the canonical ordering for free. The SoA slab
+/// (slab_x/slab_y/slab_r + the rank index) is built with `sorted` and shares
+/// its lifetime: radius mutations patch slab_r in place, position mutations
+/// (add) invalidate everything.
 struct ApDatabase::Caches {
   std::mutex mutex;
   bool sorted_valid = false;
   std::vector<const KnownAp*> sorted;
+  std::vector<double> slab_x;
+  std::vector<double> slab_y;
+  std::vector<double> slab_r;  ///< NaN = unknown radius
+  std::unordered_map<net80211::MacAddress, std::uint32_t, net80211::MacHasher> rank;
   bool grid_valid = false;
   std::optional<geo::SpatialIndex> grid;
 };
@@ -61,6 +69,10 @@ void ApDatabase::invalidate_caches() {
   std::lock_guard<std::mutex> lock(c.mutex);
   c.sorted_valid = false;
   c.sorted.clear();
+  c.slab_x.clear();
+  c.slab_y.clear();
+  c.slab_r.clear();
+  c.rank.clear();
   c.grid_valid = false;
   c.grid.reset();
 }
@@ -76,18 +88,60 @@ const KnownAp* ApDatabase::find(const net80211::MacAddress& bssid) const {
   return it == aps_.end() ? nullptr : &it->second;
 }
 
+namespace {
+constexpr double kUnknownRadius = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+void ApDatabase::build_sorted_locked(Caches& c) const {
+  if (c.sorted_valid) return;
+  c.sorted.clear();
+  c.sorted.reserve(aps_.size());
+  for (const auto& [mac, ap] : aps_) c.sorted.push_back(&ap);
+  std::sort(c.sorted.begin(), c.sorted.end(),
+            [](const KnownAp* a, const KnownAp* b) { return a->bssid < b->bssid; });
+  // The slab mirrors the sorted view field-for-field; building both in one
+  // pass means no later locate_all or prepare() re-materializes anything.
+  const std::size_t n = c.sorted.size();
+  c.slab_x.resize(n);
+  c.slab_y.resize(n);
+  c.slab_r.resize(n);
+  c.rank.clear();
+  c.rank.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const KnownAp* ap = c.sorted[i];
+    c.slab_x[i] = ap->position.x;
+    c.slab_y[i] = ap->position.y;
+    c.slab_r[i] = ap->radius_m.value_or(kUnknownRadius);
+    c.rank.emplace(ap->bssid, static_cast<std::uint32_t>(i));
+  }
+  c.sorted_valid = true;
+}
+
 const std::vector<const KnownAp*>& ApDatabase::sorted_records() const {
   Caches& c = caches();
   std::lock_guard<std::mutex> lock(c.mutex);
-  if (!c.sorted_valid) {
-    c.sorted.clear();
-    c.sorted.reserve(aps_.size());
-    for (const auto& [mac, ap] : aps_) c.sorted.push_back(&ap);
-    std::sort(c.sorted.begin(), c.sorted.end(),
-              [](const KnownAp* a, const KnownAp* b) { return a->bssid < b->bssid; });
-    c.sorted_valid = true;
-  }
+  build_sorted_locked(c);
   return c.sorted;
+}
+
+ApDatabase::DiscSlabView ApDatabase::disc_slab() const {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  build_sorted_locked(c);
+  return {c.slab_x, c.slab_y, c.slab_r};
+}
+
+std::uint32_t ApDatabase::rank_of(const net80211::MacAddress& bssid) const {
+  const RankMap& rank = rank_index();
+  const auto it = rank.find(bssid);
+  return it == rank.end() ? kNoRank : it->second;
+}
+
+const ApDatabase::RankMap& ApDatabase::rank_index() const {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  build_sorted_locked(c);
+  return c.rank;
 }
 
 namespace {
@@ -158,11 +212,23 @@ void ApDatabase::set_radius(const net80211::MacAddress& bssid, double radius_m) 
   if (it == aps_.end()) throw std::out_of_range("ApDatabase::set_radius: unknown BSSID");
   it->second.radius_m = radius_m;
   // In-place field mutation: record addresses and positions are untouched,
-  // so both caches stay valid.
+  // so the sorted/grid caches stay valid; the radius slab is patched in
+  // lock-step instead of being torn down and re-materialized per LP row.
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  if (c.sorted_valid) {
+    const auto rank_it = c.rank.find(bssid);
+    if (rank_it != c.rank.end()) c.slab_r[rank_it->second] = radius_m;
+  }
 }
 
 void ApDatabase::strip_radii() {
   for (auto& [mac, ap] : aps_) ap.radius_m.reset();
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  if (c.sorted_valid) {
+    std::fill(c.slab_r.begin(), c.slab_r.end(), kUnknownRadius);
+  }
 }
 
 std::vector<geo::Circle> ApDatabase::discs_for(

@@ -4,6 +4,7 @@
 // records into the local tangent plane the algorithms work in.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -57,8 +58,36 @@ class ApDatabase {
   /// mixed-u64 probe per disc lookup on the locate hot path); the sorted
   /// view is built lazily, cached, and invalidated by add() — set_radius /
   /// strip_radii mutate record fields in place and cannot reorder the
-  /// pointer vector, so they keep the cache.
+  /// pointer vector, so they keep the cache (set_radius / strip_radii patch
+  /// the radius slab in place for the same reason).
   [[nodiscard]] const std::vector<const KnownAp*>& sorted_records() const;
+
+  /// Flat SoA slab over sorted_records(): x[i]/y[i] are record i's position,
+  /// radius[i] its stored radius or NaN when unknown (callers substitute
+  /// their default). Built lazily alongside the sorted view and kept in
+  /// lock-step with it: set_radius patches radius[i] in place, add()
+  /// invalidates. Slipstream's locate arena and AP-Rad's constraint prep
+  /// read positions straight out of these streams instead of re-gathering
+  /// KnownAp structs per Gamma member.
+  struct DiscSlabView {
+    std::span<const double> x;
+    std::span<const double> y;
+    std::span<const double> radius;  ///< NaN = unknown
+  };
+  [[nodiscard]] DiscSlabView disc_slab() const;
+
+  /// Rank of a BSSID in sorted_records() (= its index into the slab), or
+  /// kNoRank when unknown. One mixed-u64 hash probe, same cost as find().
+  static constexpr std::uint32_t kNoRank = 0xffffffffu;
+  [[nodiscard]] std::uint32_t rank_of(const net80211::MacAddress& bssid) const;
+
+  /// The BSSID -> rank map behind rank_of, returned by reference after the
+  /// one locked lazy build (same read-only concurrency contract as
+  /// sorted_records). Hot loops probe this directly so a million Gamma
+  /// members don't take a mutex each.
+  using RankMap =
+      std::unordered_map<net80211::MacAddress, std::uint32_t, net80211::MacHasher>;
+  [[nodiscard]] const RankMap& rank_index() const;
 
   /// APs whose position lies within `radius_m` of `center`, in ascending
   /// BSSID order, served by a lazily built Atlas grid (invalidated whenever
@@ -126,6 +155,8 @@ class ApDatabase {
   struct Caches;
   Caches& caches() const;
   void invalidate_caches();
+  /// Builds the sorted view + SoA slab + rank index; caller holds c.mutex.
+  void build_sorted_locked(Caches& c) const;
 
   std::unordered_map<net80211::MacAddress, KnownAp, net80211::MacHasher> aps_;
   mutable std::unique_ptr<Caches> caches_;

@@ -1,6 +1,7 @@
 #include "marauder/aprad.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -22,15 +23,25 @@ ApRadConstraints aprad_prepare_constraints(
     const ApDatabase& db, const std::vector<std::set<net80211::MacAddress>>& gammas,
     const ApRadOptions& options) {
   ApRadConstraints out;
+  // Database views, forced once: membership checks probe the rank index and
+  // positions stream out of the SoA slab — no KnownAp re-gather per Gamma
+  // member, no lazy-build mutex inside the scans below.
+  const ApDatabase::RankMap& rank = db.rank_index();
+  const ApDatabase::DiscSlabView slab = db.disc_slab();
   // Observed APs (known to the database) become LP variables. This scan
   // stays serial: variable indices follow first-appearance order across the
   // gamma list, and that order feeds everything downstream.
   std::vector<net80211::MacAddress>& observed = out.observed;
+  std::vector<std::uint32_t> observed_rank;
   std::map<net80211::MacAddress, std::size_t> index;
   for (const auto& gamma : gammas) {
     for (const auto& mac : gamma) {
-      if (db.find(mac) == nullptr) continue;
-      if (index.emplace(mac, observed.size()).second) observed.push_back(mac);
+      const auto rit = rank.find(mac);
+      if (rit == rank.end()) continue;
+      if (index.emplace(mac, observed.size()).second) {
+        observed.push_back(mac);
+        observed_rank.push_back(rit->second);
+      }
     }
   }
   if (observed.empty()) return out;
@@ -67,10 +78,11 @@ ApRadConstraints aprad_prepare_constraints(
         return acc;
       });
 
+  // Positions from the slab (the same doubles db.find(...)->position holds).
   std::vector<geo::Vec2>& position = out.position;
   position.resize(observed.size());
   for (std::size_t i = 0; i < observed.size(); ++i) {
-    position[i] = db.find(observed[i])->position;
+    position[i] = {slab.x[observed_rank[i]], slab.y[observed_rank[i]]};
   }
 
   // Soft "<" upper bounds against each AP's nearest non-co-observed

@@ -1,6 +1,7 @@
 #include "marauder/mloc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "geo/disc_intersection.h"
@@ -35,46 +36,44 @@ void estimate_from_region(LocalizationResult& result, const geo::DiscIntersectio
   result.estimate = acc / static_cast<double>(vertices.size());
 }
 
-/// Pairwise centre distances, computed once per rejection pass. The greedy
-/// loop below runs O(n) compute() calls per eviction and, before this cache,
-/// re-derived all O(n^2) centre distances on every most_violating_disc()
-/// call on top of that; the matrix makes each lookup a load of the exact
-/// same double the direct computation would produce.
-class PairwiseDistances {
- public:
-  explicit PairwiseDistances(const std::vector<geo::Circle>& discs)
-      : n_(discs.size()), d_(n_ * n_, 0.0) {
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (std::size_t j = i + 1; j < n_; ++j) {
-        const double d = discs[i].center.distance_to(discs[j].center);
-        d_[i * n_ + j] = d;
-        d_[j * n_ + i] = d;
-      }
+/// Pairwise centre distances into scratch.dist (n*n, symmetric), computed
+/// once per rejection pass. The greedy loop below runs O(n) compute() calls
+/// per eviction and would otherwise re-derive all O(n^2) centre distances on
+/// every most_violating_disc() call on top of that. The centres stream
+/// through scratch.sx/sy first so the distance loop reads two flat arrays;
+/// std::hypot keeps every entry the exact double Vec2::distance_to produces.
+void fill_pairwise_distances(const std::vector<geo::Circle>& discs, MLocScratch& s) {
+  const std::size_t n = discs.size();
+  s.sx.resize(n);
+  s.sy.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.sx[i] = discs[i].center.x;
+    s.sy[i] = discs[i].center.y;
+  }
+  s.dist.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::hypot(s.sx[j] - s.sx[i], s.sy[j] - s.sy[i]);
+      s.dist[i * n + j] = d;
+      s.dist[j * n + i] = d;
     }
   }
-
-  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
-    return d_[i * n_ + j];
-  }
-
- private:
-  std::size_t n_;
-  std::vector<double> d_;
-};
+}
 
 /// Index (into `retained`) of the disc most inconsistent with the rest: the
 /// one whose worst pairwise gap (centre distance minus the two radii) is
-/// largest. `original` maps retained positions back to rows of `dist`.
+/// largest. `original` maps retained positions back to rows of `dist`
+/// (stride `n`, the pre-eviction disc count).
 std::size_t most_violating_disc(const std::vector<geo::Circle>& retained,
                                 const std::vector<std::size_t>& original,
-                                const PairwiseDistances& dist) {
+                                const std::vector<double>& dist, std::size_t n) {
   std::size_t worst = 0;
   double worst_gap = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < retained.size(); ++i) {
     double gap = -std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < retained.size(); ++j) {
       if (i == j) continue;
-      const double d = dist(original[i], original[j]);
+      const double d = dist[original[i] * n + original[j]];
       gap = std::max(gap, d - retained[i].radius - retained[j].radius);
     }
     if (gap > worst_gap) {
@@ -85,40 +84,101 @@ std::size_t most_violating_disc(const std::vector<geo::Circle>& retained,
   return worst;
 }
 
-/// Greedy minimal-rejection pass: removes up to `max_outliers` discs so the
-/// intersection of the survivors is non-empty. Prefers the single removal
-/// whose surviving region is tightest (most information kept); when no
-/// single removal helps, evicts the most violating disc and retries.
-/// Returns the number of discs removed, or nullopt if the region is still
-/// empty at the budget.
-std::optional<std::size_t> reject_outliers(std::vector<geo::Circle>& retained,
-                                           std::size_t max_outliers) {
-  const PairwiseDistances dist(retained);
-  std::vector<std::size_t> original(retained.size());
-  for (std::size_t i = 0; i < original.size(); ++i) original[i] = i;
+/// Greedy minimal-rejection pass over scratch.retained: removes up to
+/// `max_outliers` discs so the intersection of the survivors is non-empty.
+/// Prefers the single removal whose surviving region is tightest (most
+/// information kept); when no single removal helps, evicts the most violating
+/// disc and retries. Returns the number of discs removed, or nullopt if the
+/// region is still empty at the budget. All intermediates live in the
+/// scratch, so repeat calls from one worker never allocate once the buffers
+/// have grown to the largest Gamma.
+std::optional<std::size_t> reject_outliers(MLocScratch& s, std::size_t max_outliers) {
+  std::vector<geo::Circle>& retained = s.retained;
+  const std::size_t n0 = retained.size();
+  fill_pairwise_distances(retained, s);
+  s.original.resize(n0);
+  for (std::size_t i = 0; i < n0; ++i) s.original[i] = i;
   std::size_t rejected = 0;
   while (rejected < max_outliers && retained.size() > 1) {
     std::size_t best = retained.size();
     double best_area = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < retained.size(); ++i) {
-      std::vector<geo::Circle> candidate;
-      candidate.reserve(retained.size() - 1);
+      s.candidate.clear();
       for (std::size_t j = 0; j < retained.size(); ++j) {
-        if (j != i) candidate.push_back(retained[j]);
+        if (j != i) s.candidate.push_back(retained[j]);
       }
-      const auto region = geo::DiscIntersection::compute(candidate);
+      const auto region = geo::DiscIntersection::compute(s.candidate);
       if (!region.empty() && region.area() < best_area) {
         best = i;
         best_area = region.area();
       }
     }
-    if (best == retained.size()) best = most_violating_disc(retained, original, dist);
+    if (best == retained.size()) {
+      best = most_violating_disc(retained, s.original, s.dist, n0);
+    }
     retained.erase(retained.begin() + static_cast<std::ptrdiff_t>(best));
-    original.erase(original.begin() + static_cast<std::ptrdiff_t>(best));
+    s.original.erase(s.original.begin() + static_cast<std::ptrdiff_t>(best));
     ++rejected;
     if (!geo::DiscIntersection::compute(retained).empty()) return rejected;
   }
   return std::nullopt;
+}
+
+LocalizationResult locate_prepared_impl(std::span<const geo::Circle> discs,
+                                        const geo::DiscIntersection& prepared,
+                                        const MLocOptions& options, MLocScratch& scratch) {
+  LocalizationResult result;
+  result.method = "M-Loc";
+  result.num_aps = discs.size();
+  result.discs.assign(discs.begin(), discs.end());
+  if (discs.empty()) return result;
+  if (discs.size() == 1) {
+    result.ok = true;
+    result.estimate = discs.front().center;
+    return result;
+  }
+
+  geo::DiscIntersection region = prepared;
+
+  if (region.empty() && options.reject_outliers) {
+    // Inconsistent evidence (corrupted RSSI/radius rows, ghost APs from
+    // bit-flipped BSSIDs, underestimated radii): discard the fewest discs
+    // that restore a non-empty intersection so the estimate degrades
+    // instead of collapsing to the centroid fallback.
+    scratch.retained.assign(result.discs.begin(), result.discs.end());
+    if (const auto rejected = reject_outliers(scratch, options.max_outliers)) {
+      result.discs_rejected = *rejected;
+      result.discs = scratch.retained;
+      if (result.discs.size() == 1) {
+        result.ok = true;
+        result.estimate = result.discs.front().center;
+        return result;
+      }
+      region = geo::DiscIntersection::compute(result.discs);
+    }
+  }
+
+  if (region.empty()) {
+    // Inconsistent discs (underestimated radii). Fall back to the centroid
+    // of AP positions so the attack still produces an answer.
+    geo::Vec2 acc;
+    for (const geo::Circle& disc : result.discs) acc += disc.center;
+    result.ok = true;
+    result.used_fallback = true;
+    result.estimate = acc / static_cast<double>(result.discs.size());
+    return result;
+  }
+
+  estimate_from_region(result, region, options);
+  return result;
+}
+
+/// Per-thread scratch for the overloads that don't take one; keeps the
+/// public convenience API allocation-free on repeat calls without changing
+/// its signature or results.
+MLocScratch& local_scratch() {
+  static thread_local MLocScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -139,6 +199,11 @@ bool region_covers(const LocalizationResult& result, geo::Vec2 point, double eps
 
 LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
                                const MLocOptions& options) {
+  return mloc_locate(discs, options, local_scratch());
+}
+
+LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
+                               const MLocOptions& options, MLocScratch& scratch) {
   LocalizationResult result;
   result.method = "M-Loc";
   result.num_aps = discs.size();
@@ -153,56 +218,14 @@ LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
     return result;
   }
 
-  return mloc_locate_prepared(discs, geo::DiscIntersection::compute(discs), options);
+  return locate_prepared_impl(discs, geo::DiscIntersection::compute(discs), options,
+                              scratch);
 }
 
 LocalizationResult mloc_locate_prepared(std::span<const geo::Circle> discs,
                                         const geo::DiscIntersection& prepared,
                                         const MLocOptions& options) {
-  LocalizationResult result;
-  result.method = "M-Loc";
-  result.num_aps = discs.size();
-  result.discs.assign(discs.begin(), discs.end());
-  if (discs.empty()) return result;
-  if (discs.size() == 1) {
-    result.ok = true;
-    result.estimate = discs.front().center;
-    return result;
-  }
-
-  geo::DiscIntersection region = prepared;
-
-  if (region.empty() && options.reject_outliers) {
-    // Inconsistent evidence (corrupted RSSI/radius rows, ghost APs from
-    // bit-flipped BSSIDs, underestimated radii): discard the fewest discs
-    // that restore a non-empty intersection so the estimate degrades
-    // instead of collapsing to the centroid fallback.
-    std::vector<geo::Circle> retained = result.discs;
-    if (const auto rejected = reject_outliers(retained, options.max_outliers)) {
-      result.discs_rejected = *rejected;
-      result.discs = retained;
-      if (retained.size() == 1) {
-        result.ok = true;
-        result.estimate = retained.front().center;
-        return result;
-      }
-      region = geo::DiscIntersection::compute(retained);
-    }
-  }
-
-  if (region.empty()) {
-    // Inconsistent discs (underestimated radii). Fall back to the centroid
-    // of AP positions so the attack still produces an answer.
-    geo::Vec2 acc;
-    for (const geo::Circle& disc : result.discs) acc += disc.center;
-    result.ok = true;
-    result.used_fallback = true;
-    result.estimate = acc / static_cast<double>(result.discs.size());
-    return result;
-  }
-
-  estimate_from_region(result, region, options);
-  return result;
+  return locate_prepared_impl(discs, prepared, options, local_scratch());
 }
 
 }  // namespace mm::marauder

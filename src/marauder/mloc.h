@@ -31,8 +31,29 @@ struct MLocOptions {
   std::size_t max_outliers = 2;
 };
 
+/// Reusable workspace for the M-Loc hot path. locate_all keeps one per
+/// worker thread so the outlier-rejection pass — the pairwise-distance
+/// matrix, its SoA center mirror, and the one-removed candidate sets — runs
+/// allocation-free across every device a worker processes. A
+/// default-constructed scratch is always valid; buffers grow to the largest
+/// Gamma seen and stay.
+struct MLocScratch {
+  std::vector<double> dist;           ///< n*n pairwise center distances
+  std::vector<double> sx;             ///< SoA x of the active disc set
+  std::vector<double> sy;             ///< SoA y of the active disc set
+  std::vector<geo::Circle> retained;  ///< surviving discs during rejection
+  std::vector<geo::Circle> candidate; ///< one-removed trial set
+  std::vector<std::size_t> original;  ///< retained position -> dist row
+};
+
 [[nodiscard]] LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
                                              const MLocOptions& options = {});
+
+/// Scratch-reusing variant: bit-identical to the allocation-per-call one (the
+/// buffers only change where intermediates live, never what they hold).
+[[nodiscard]] LocalizationResult mloc_locate(std::span<const geo::Circle> discs,
+                                             const MLocOptions& options,
+                                             MLocScratch& scratch);
 
 /// M-Loc with a precomputed intersection region for `discs` (Riptide's
 /// incremental path: the region was maintained arc-by-arc as Gamma grew).

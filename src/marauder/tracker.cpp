@@ -1,12 +1,17 @@
 #include "marauder/tracker.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -47,22 +52,104 @@ bool same_discs(const std::vector<geo::Circle>& a, const std::vector<geo::Circle
   return true;
 }
 
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
 }  // namespace
 
-/// Thread-safe memo of mloc_locate by disc set. Entries keep their full disc
-/// vector: the 64-bit key is only a bucket address, equality is exact, so a
-/// hit returns precisely what recomputing would have.
+/// Thread-safe memo of mloc_locate by disc set, sharded by key so concurrent
+/// locate_all workers contend on 1/16th of a mutex instead of one (the
+/// Afterburner single-mutex cache serialized the whole parallel batch at
+/// high hit rates). Entries keep their full disc vector: the 64-bit key is
+/// only a bucket address, equality is exact, so a hit returns precisely what
+/// recomputing would have. Shard choice depends only on the key, never on
+/// scheduling, so contents and counters are deterministic.
 struct Tracker::GammaCache {
-  std::mutex mutex;
-  std::unordered_map<std::uint64_t, std::vector<std::pair<std::vector<geo::Circle>,
-                                                          LocalizationResult>>>
-      entries;
-  GammaCacheStats stats;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<std::vector<geo::Circle>, LocalizationResult>>>
+        entries;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  std::array<Shard, kShards> shards;
+
+  /// Last locate_all batch's measured duplication (guarded by meta_mutex).
+  std::mutex meta_mutex;
+  double duplicate_ratio = 0.0;
+  bool engaged = false;
+
+  Shard& shard_for(std::uint64_t key) { return shards[util::shard_of(key, kShards)]; }
+
+  /// Copies the memoized result into `out` and credits `hit_count` hits
+  /// (the number of devices this lookup answered for). False on absence —
+  /// counters untouched; the later put() records the miss.
+  bool try_get(std::uint64_t key, const std::vector<geo::Circle>& discs,
+               std::size_t hit_count, LocalizationResult& out) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) return false;
+    for (const auto& [cached_discs, cached_result] : it->second) {
+      if (same_discs(cached_discs, discs)) {
+        s.hits += hit_count;
+        out = cached_result;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Records one computed disc set: `miss_count` misses (the compute) plus
+  /// `hit_count` hits (duplicate devices the one compute covered). A racing
+  /// thread may have inserted the same Gamma meanwhile; the localization is
+  /// deterministic, so either copy is the same answer.
+  void put(std::uint64_t key, const std::vector<geo::Circle>& discs,
+           const LocalizationResult& result, std::size_t miss_count,
+           std::size_t hit_count) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.misses += miss_count;
+    s.hits += hit_count;
+    auto& bucket = s.entries[key];
+    for (const auto& [cached_discs, cached_result] : bucket) {
+      if (same_discs(cached_discs, discs)) return;
+    }
+    bucket.emplace_back(discs, result);
+  }
+
+  void set_meta(double ratio, bool engaged_now) {
+    std::lock_guard<std::mutex> lock(meta_mutex);
+    duplicate_ratio = ratio;
+    engaged = engaged_now;
+  }
+
+  [[nodiscard]] GammaCacheStats stats() {
+    GammaCacheStats out;
+    for (Shard& s : shards) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      out.hits += s.hits;
+      out.misses += s.misses;
+    }
+    std::lock_guard<std::mutex> lock(meta_mutex);
+    out.duplicate_ratio = duplicate_ratio;
+    out.engaged = engaged;
+    return out;
+  }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mutex);
-    entries.clear();
-    stats = {};
+    for (Shard& s : shards) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.entries.clear();
+      s.hits = 0;
+      s.misses = 0;
+    }
+    set_meta(0.0, false);
   }
 };
 
@@ -192,20 +279,212 @@ LocalizationResult Tracker::locate(const capture::ObservationStore& store,
 }
 
 std::map<net80211::MacAddress, LocalizationResult> Tracker::locate_all(
-    const capture::ObservationStore& store,
-    const capture::ObservationWindow& window) const {
+    const capture::ObservationStore& store, const capture::ObservationWindow& window,
+    LocateAllProfile* profile) const {
+  if (options_.soa_arena && (options_.algorithm == Algorithm::kMLoc ||
+                             options_.algorithm == Algorithm::kApRad)) {
+    return locate_all_arena(store, window, profile);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
   const std::vector<net80211::MacAddress> devices = store.devices();
   // Per-device localizations are independent: fan out over the sorted device
   // list, slot each result by index, then fold into the map in MAC order —
-  // the exact sequence the serial loop produced.
+  // the exact sequence the serial loop produced. Chunks are coarse
+  // (balanced_chunk): each dispatch must amortize over a batch of devices,
+  // not the 4-device chunks that sank Afterburner's parallel win.
   std::vector<LocalizationResult> per_device(devices.size());
   util::parallel_map_into(
       util::ThreadPool::shared(), options_.threads, per_device,
       [&](std::size_t i) { return locate(store, devices[i], window); },
-      /*chunk_size=*/4);
+      util::ThreadPool::balanced_chunk(devices.size(), options_.threads));
+  const auto t1 = std::chrono::steady_clock::now();
   std::map<net80211::MacAddress, LocalizationResult> results;
+  std::size_t outliers = 0;
   for (std::size_t i = 0; i < devices.size(); ++i) {
-    if (per_device[i].ok) results.emplace(devices[i], std::move(per_device[i]));
+    if (!per_device[i].ok) continue;
+    if (per_device[i].discs_rejected > 0) ++outliers;
+    results.emplace(devices[i], std::move(per_device[i]));
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  if (profile != nullptr) {
+    *profile = {};
+    profile->locate_s = seconds_between(t0, t1);
+    profile->merge_s = seconds_between(t1, t2);
+    profile->devices = devices.size();
+    profile->unique_gammas = devices.size();
+    profile->outlier_devices = outliers;
+    profile->cache_engaged = options_.gamma_cache &&
+                             (options_.algorithm == Algorithm::kMLoc ||
+                              options_.algorithm == Algorithm::kApRad);
+  }
+  return results;
+}
+
+std::map<net80211::MacAddress, LocalizationResult> Tracker::locate_all_arena(
+    const capture::ObservationStore& store, const capture::ObservationWindow& window,
+    LocateAllProfile* profile) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<net80211::MacAddress> devices = store.devices();
+  const std::size_t n = devices.size();
+
+  // Force the database's lazy views once, up front: the workers below only
+  // ever read them (no per-probe mutex).
+  const ApDatabase::DiscSlabView slab = db_.disc_slab();
+  const ApDatabase::RankMap& ranks = db_.rank_index();
+
+  const bool aprad = options_.algorithm == Algorithm::kApRad;
+  const double default_radius =
+      aprad ? options_.aprad.max_radius_m : options_.default_radius_m;
+  const MLocOptions& mloc_opts = aprad ? options_.aprad.mloc : options_.mloc;
+  const std::uint64_t tag = aprad ? kCacheTagApRad : kCacheTagMLoc;
+  const char* method = aprad ? "AP-Rad" : "M-Loc";
+
+  util::ThreadPool& pool = util::ThreadPool::shared();
+
+  // Plan: per-device disc ranks (ascending, because Gamma is sorted and the
+  // slab is BSSID-ordered) and the exact disc-set key. Both are slotted by
+  // device index, so the plan is identical at any parallelism. The key hash
+  // sequence matches disc_set_key(discs_for(gamma, default), tag) bit for
+  // bit — the slab holds the same doubles discs_for copies out of KnownAp —
+  // so the arena and the per-device locate() path share one memo keyspace.
+  std::vector<std::vector<std::uint32_t>> device_ranks(n);
+  std::vector<std::uint64_t> keys(n);
+  pool.run_chunks(
+      n, util::ThreadPool::balanced_chunk(n, options_.threads), options_.threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<net80211::MacAddress> gamma;  // reused across the chunk
+        for (std::size_t i = begin; i < end; ++i) {
+          gamma.clear();
+          store.gamma_append(devices[i], window, gamma);
+          std::vector<std::uint32_t>& dr = device_ranks[i];
+          dr.reserve(gamma.size());
+          for (const net80211::MacAddress& mac : gamma) {
+            const auto it = ranks.find(mac);
+            if (it != ranks.end()) dr.push_back(it->second);
+          }
+          std::uint64_t h = util::hash_combine(tag, dr.size());
+          for (const std::uint32_t r : dr) {
+            const double radius =
+                std::isnan(slab.radius[r]) ? default_radius : slab.radius[r];
+            h = util::hash_combine(h, std::bit_cast<std::uint64_t>(slab.x[r]));
+            h = util::hash_combine(h, std::bit_cast<std::uint64_t>(slab.y[r]));
+            h = util::hash_combine(h, std::bit_cast<std::uint64_t>(radius));
+          }
+          keys[i] = h;
+        }
+      });
+
+  // Group identical disc sets, walking devices in index (= ascending MAC)
+  // order so group numbering is deterministic. Equality is rank-sequence
+  // equality: within one call the slab is fixed, so equal ranks mean equal
+  // discs; a cross-sequence hash collision merely splits a group (correct,
+  // just one extra compute). Grouping is skipped entirely with the cache
+  // off — that path is the true per-device baseline.
+  constexpr std::uint32_t kNoGroup = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> group_of(n, 0);
+  std::vector<std::uint32_t> rep;         // group -> representative device
+  std::vector<std::uint32_t> group_size;  // group -> member count
+  if (options_.gamma_cache) {
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+    index.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::uint32_t>& candidates = index[keys[i]];
+      std::uint32_t g = kNoGroup;
+      for (const std::uint32_t cand : candidates) {
+        if (device_ranks[rep[cand]] == device_ranks[i]) {
+          g = cand;
+          break;
+        }
+      }
+      if (g == kNoGroup) {
+        g = static_cast<std::uint32_t>(rep.size());
+        rep.push_back(static_cast<std::uint32_t>(i));
+        group_size.push_back(0);
+        candidates.push_back(g);
+      }
+      group_of[i] = g;
+      ++group_size[g];
+    }
+  } else {
+    rep.resize(n);
+    group_size.assign(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      rep[i] = static_cast<std::uint32_t>(i);
+      group_of[i] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  const double duplicate_ratio =
+      n == 0 ? 0.0 : static_cast<double>(n - rep.size()) / static_cast<double>(n);
+  // The cross-call memo engages only when the measured duplication clears
+  // the bar; below it the memo would be a locked insert per unique Gamma
+  // with nothing amortizing it. Within-batch grouping above already
+  // captured whatever duplication exists.
+  const bool engaged = options_.gamma_cache && n > 0 &&
+                       duplicate_ratio >= options_.gamma_cache_min_duplicate_ratio;
+
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Localize each unique disc set once, slotted by group index. Per-chunk
+  // scratch (disc vector + M-Loc workspace) is reused across the chunk's
+  // groups, so the loop body allocates nothing once the buffers have grown.
+  const std::size_t groups = rep.size();
+  std::vector<LocalizationResult> group_results(groups);
+  pool.run_chunks(
+      groups, util::ThreadPool::balanced_chunk(groups, options_.threads, /*min_chunk=*/4),
+      options_.threads, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<geo::Circle> discs;
+        MLocScratch scratch;
+        for (std::size_t g = begin; g < end; ++g) {
+          const std::uint32_t d = rep[g];
+          discs.clear();
+          for (const std::uint32_t r : device_ranks[d]) {
+            const double radius =
+                std::isnan(slab.radius[r]) ? default_radius : slab.radius[r];
+            discs.push_back({{slab.x[r], slab.y[r]}, radius});
+          }
+          if (engaged && cache_->try_get(keys[d], discs, group_size[g], group_results[g])) {
+            continue;
+          }
+          group_results[g] = mloc_locate(discs, mloc_opts, scratch);
+          if (engaged) {
+            cache_->put(keys[d], discs, group_results[g], 1, group_size[g] - 1);
+          }
+        }
+      });
+
+  const auto t2 = std::chrono::steady_clock::now();
+
+  // Fan the group results back out to their devices and fold into the map in
+  // ascending-MAC order — the exact sequence the serial per-device loop
+  // produced. Unprepared AP-Rad results carry the Faultline fallback flag,
+  // matching locate().
+  const bool force_fallback = aprad && !prepared_;
+  std::map<net80211::MacAddress, LocalizationResult> results;
+  std::size_t outliers = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const LocalizationResult& group_result = group_results[group_of[i]];
+    if (!group_result.ok) continue;
+    LocalizationResult r = group_result;
+    r.method = method;
+    if (force_fallback) r.used_fallback = true;
+    if (r.discs_rejected > 0) ++outliers;
+    results.emplace(devices[i], std::move(r));
+  }
+  const auto t3 = std::chrono::steady_clock::now();
+
+  cache_->set_meta(duplicate_ratio, engaged);
+  if (profile != nullptr) {
+    *profile = {};
+    profile->plan_s = seconds_between(t0, t1);
+    profile->locate_s = seconds_between(t1, t2);
+    profile->merge_s = seconds_between(t2, t3);
+    profile->devices = n;
+    profile->unique_gammas = groups;
+    profile->outlier_devices = outliers;
+    profile->duplicate_ratio = duplicate_ratio;
+    profile->cache_engaged = engaged;
   }
   return results;
 }
@@ -215,40 +494,13 @@ LocalizationResult Tracker::cached_mloc(std::vector<geo::Circle> discs,
                                         std::uint64_t method_tag) const {
   if (!options_.gamma_cache) return mloc_locate(discs, mloc);
   const std::uint64_t key = disc_set_key(discs, method_tag);
-  {
-    std::lock_guard<std::mutex> lock(cache_->mutex);
-    const auto it = cache_->entries.find(key);
-    if (it != cache_->entries.end()) {
-      for (const auto& [cached_discs, cached_result] : it->second) {
-        if (same_discs(cached_discs, discs)) {
-          ++cache_->stats.hits;
-          return cached_result;
-        }
-      }
-    }
-  }
-  LocalizationResult result = mloc_locate(discs, mloc);
-  {
-    std::lock_guard<std::mutex> lock(cache_->mutex);
-    ++cache_->stats.misses;
-    auto& bucket = cache_->entries[key];
-    // A racing thread may have inserted the same Gamma while we computed;
-    // mloc_locate is deterministic, so either copy is the same answer.
-    bool present = false;
-    for (const auto& [cached_discs, cached_result] : bucket) {
-      if (same_discs(cached_discs, discs)) {
-        present = true;
-        break;
-      }
-    }
-    if (!present) bucket.emplace_back(std::move(discs), result);
-  }
+  LocalizationResult result;
+  if (cache_->try_get(key, discs, /*hit_count=*/1, result)) return result;
+  result = mloc_locate(discs, mloc);
+  cache_->put(key, discs, result, /*miss_count=*/1, /*hit_count=*/0);
   return result;
 }
 
-GammaCacheStats Tracker::gamma_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_->mutex);
-  return cache_->stats;
-}
+GammaCacheStats Tracker::gamma_cache_stats() const { return cache_->stats(); }
 
 }  // namespace mm::marauder

@@ -14,6 +14,15 @@ namespace mm::rf {
 namespace {
 constexpr double kMinDistanceM = 1.0;  // clamp to avoid log(0) in near field
 
+/// Shadowing draws are truncated to +/- this many sigma. Physically this is
+/// the standard truncated log-normal (a measured campus link never sees a
+/// 9-sigma fade), and it is what makes LogDistanceModel::max_range_m
+/// provable: with the draw bounded, loss(d) >= PL(d) - 6 sigma everywhere,
+/// so a finite cull radius exists. The raw Box-Muller tail below only
+/// reaches ~8.65 sigma (|z| <= sqrt(-2 ln 2^-54)), so the clamp trims a
+/// ~1e-9 sliver of draws while turning "never cull" into a real bound.
+constexpr double kShadowingClampSigma = 6.0;
+
 /// Deterministic standard-normal draw for a link, symmetric in endpoints.
 double link_gaussian(geo::Vec2 a, geo::Vec2 b, std::uint64_t seed) {
   // Quantize endpoints to a 1 m grid so tiny mobility steps see smoothly
@@ -91,16 +100,27 @@ double LogDistanceModel::path_loss_db(geo::Vec2 tx, double /*tx_height_m*/, geo:
   const double d = std::max(kMinDistanceM, tx.distance_to(rx));
   double loss = free_space_path_loss_db(1.0, freq_mhz) + 10.0 * exponent_ * std::log10(d);
   if (shadowing_sigma_db_ > 0.0) {
-    loss += shadowing_sigma_db_ * link_gaussian(tx, rx, seed_);
+    loss += shadowing_sigma_db_ *
+            std::clamp(link_gaussian(tx, rx, seed_), -kShadowingClampSigma,
+                       kShadowingClampSigma);
   }
   return loss;
 }
 
 double LogDistanceModel::max_range_m(double max_loss_db, double freq_mhz) const {
-  // The shadowing draw is unbounded in both directions, so loss is not
-  // monotone in distance and no finite range is provable.
-  if (shadowing_sigma_db_ > 0.0) return std::numeric_limits<double>::infinity();
-  const double excess = max_loss_db - free_space_path_loss_db(1.0, freq_mhz);
+  // With the shadowing draw truncated to +/- kShadowingClampSigma, every
+  // link's loss is at least the deterministic curve minus the 6-sigma
+  // allowance; that envelope is monotone in distance, so inverting it at
+  // (max_loss + 6 sigma) yields a provably conservative cull radius — the
+  // same quantile bound regardless of which cells the endpoints hash into.
+  // The sniffer's zero-Bernoulli-draw culling contract is preserved: the
+  // shadowing term is a pure position hash, never a draw from the event RNG
+  // stream, so culled links consume nothing. (Before the clamp this method
+  // retreated to +infinity — "never cull" — which made shadowed worlds scan
+  // every AP for every frame.)
+  const double allowance_db =
+      shadowing_sigma_db_ > 0.0 ? kShadowingClampSigma * shadowing_sigma_db_ : 0.0;
+  const double excess = max_loss_db + allowance_db - free_space_path_loss_db(1.0, freq_mhz);
   return std::pow(10.0, excess / (10.0 * exponent_)) * (1.0 + 1e-9);
 }
 

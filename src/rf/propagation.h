@@ -71,9 +71,9 @@ class FreeSpaceModel final : public PropagationModel {
   [[nodiscard]] double max_range_m(double max_loss_db, double freq_mhz) const override;
 };
 
-/// PL(d) = FSPL(d0=1m) + 10 n log10(d) + X_sigma, with X_sigma a log-normal
-/// shadowing term drawn deterministically from the (quantized, symmetric)
-/// link endpoints.
+/// PL(d) = FSPL(d0=1m) + 10 n log10(d) + X_sigma, with X_sigma a truncated
+/// log-normal shadowing term (clamped to +/- 6 sigma) drawn
+/// deterministically from the (quantized, symmetric) link endpoints.
 class LogDistanceModel final : public PropagationModel {
  public:
   LogDistanceModel(double exponent, double shadowing_sigma_db = 0.0,
@@ -81,8 +81,9 @@ class LogDistanceModel final : public PropagationModel {
 
   [[nodiscard]] double path_loss_db(geo::Vec2 tx, double tx_height_m, geo::Vec2 rx,
                                     double rx_height_m, double freq_mhz) const override;
-  /// Exact inverse when shadowing is disabled; with shadowing the loss is
-  /// not monotone in distance, so the bound stays unbounded (no culling).
+  /// Exact inverse when shadowing is disabled; with shadowing, the inverse
+  /// of the -6 sigma envelope — finite and provably conservative because the
+  /// draw is truncated, so shadowed worlds cull rssi-floor deliveries too.
   [[nodiscard]] double max_range_m(double max_loss_db, double freq_mhz) const override;
   [[nodiscard]] double exponent() const noexcept { return exponent_; }
 

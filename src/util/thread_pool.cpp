@@ -118,6 +118,18 @@ std::size_t ThreadPool::default_parallelism() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+std::size_t ThreadPool::balanced_chunk(std::size_t count, std::size_t parallelism,
+                                       std::size_t min_chunk) {
+  if (parallelism == 0) parallelism = default_parallelism();
+  if (count == 0) return std::max<std::size_t>(min_chunk, 1);
+  // ~4 chunks per participant: coarse enough to amortize dispatch, fine
+  // enough that one slow chunk can't leave the other participants idle for
+  // the whole tail.
+  const std::size_t target_chunks = std::max<std::size_t>(parallelism * 4, 1);
+  const std::size_t chunk = (count + target_chunks - 1) / target_chunks;
+  return std::max({chunk, min_chunk, std::size_t{1}});
+}
+
 void ThreadPool::run_chunks(std::size_t count, std::size_t chunk_size,
                             std::size_t parallelism, const ChunkFn& fn) {
   if (count == 0) return;

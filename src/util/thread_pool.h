@@ -53,6 +53,20 @@ class ThreadPool {
   /// `threads == 0` in the offline options structs).
   [[nodiscard]] static std::size_t default_parallelism();
 
+  /// Chunk size for device-batch workloads: ~4 chunks per participant for
+  /// load balance, floored at `min_chunk` so per-chunk dispatch (queue +
+  /// atomic + std::function call) stays amortized over real work. Afterburner
+  /// shipped locate_all with chunk_size=4 — at ~1.5 us/device that is ~6 us
+  /// of work per dispatch, and the pool overhead ate the whole parallel win
+  /// (BENCH_offline showed 0.25x). Callers whose results are slotted by index
+  /// may derive chunk_size from parallelism freely: chunk boundaries never
+  /// affect per-index outputs, only scheduling. Chunk-ordered *reductions*
+  /// must keep passing a fixed chunk_size instead (boundaries change the
+  /// floating-point grouping there).
+  [[nodiscard]] static std::size_t balanced_chunk(std::size_t count,
+                                                  std::size_t parallelism,
+                                                  std::size_t min_chunk = 64);
+
   using ChunkFn =
       std::function<void(std::size_t chunk_index, std::size_t begin, std::size_t end)>;
 

@@ -9,6 +9,7 @@
 #include <bit>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/theorems.h"
@@ -98,12 +99,13 @@ Capture make_capture(const fault::FaultPlan& plan = {}) {
 }
 
 ResultMap locate_all_with(const Capture& c, std::size_t threads, bool cache,
-                          bool reject_outliers) {
+                          bool reject_outliers, bool soa_arena = true) {
   marauder::TrackerOptions options;
   options.algorithm = marauder::Algorithm::kMLoc;
   options.threads = threads;
   options.gamma_cache = cache;
   options.mloc.reject_outliers = reject_outliers;
+  options.soa_arena = soa_arena;
   marauder::Tracker tracker(marauder::ApDatabase::from_truth(c.truth, true), options);
   return tracker.locate_all(c.store);
 }
@@ -175,6 +177,66 @@ TEST(AfterburnerDeterminism, MonteCarloKernelsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SlipstreamDeterminism, FullMatrixBitIdenticalUnderFaultPlan) {
+  // The Slipstream contract, exhaustively: thread count x Gamma-cache x
+  // arena/legacy path all produce the bit-identical result map, under a
+  // fault plan so the outlier-rejection scratch path is exercised too. The
+  // reference is the serial, uncached, legacy per-device loop — the
+  // configuration closest to a hand-written for loop.
+  fault::FaultPlan plan;
+  plan.corrupt_rate = 0.08;
+  plan.duplicate_rate = 0.05;
+  const Capture c = make_capture(plan);
+  ASSERT_GE(c.store.device_count(), 8u);
+  const ResultMap reference =
+      locate_all_with(c, 1, /*cache=*/false, /*reject_outliers=*/true, /*soa_arena=*/false);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (const bool cache : {false, true}) {
+      for (const bool soa : {false, true}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " cache=" + std::to_string(cache) + " soa=" + std::to_string(soa));
+        expect_same_results(reference, locate_all_with(c, threads, cache, true, soa));
+      }
+    }
+  }
+}
+
+TEST(SlipstreamCacheGate, MemoDisengagesOnLowDuplication) {
+  // Every device hears its own disjoint AP triple: zero duplicate Gammas, so
+  // the batch must stay below gamma_cache_min_duplicate_ratio and never
+  // touch the shared memo (the counters stay zero), while still grouping —
+  // trivially — and producing per-device results.
+  sim::CampusConfig campus;
+  campus.seed = 55;
+  campus.num_aps = 40;
+  const auto truth = sim::generate_campus_aps(campus);
+
+  capture::ObservationStore store;
+  for (std::size_t d = 0; d < 10; ++d) {
+    const auto mac = net80211::MacAddress::from_u64(0x0016f0002000ULL + d);
+    for (std::size_t k = 0; k < 3; ++k) {
+      store.record_contact(truth[d * 3 + k].bssid, mac, 1.0, -55.0);
+    }
+  }
+
+  marauder::TrackerOptions options;
+  options.algorithm = marauder::Algorithm::kMLoc;
+  marauder::Tracker tracker(marauder::ApDatabase::from_truth(truth, true), options);
+  marauder::LocateAllProfile profile;
+  const ResultMap results = tracker.locate_all(store, {}, &profile);
+  ASSERT_EQ(results.size(), 10u);
+  EXPECT_EQ(profile.devices, 10u);
+  EXPECT_EQ(profile.unique_gammas, 10u);
+  EXPECT_EQ(profile.duplicate_ratio, 0.0);
+  EXPECT_FALSE(profile.cache_engaged);
+
+  const auto stats = tracker.gamma_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_FALSE(stats.engaged);
+}
+
 TEST(AfterburnerDeterminism, GammaCacheHitsOnSharedGammasAndStaysExact) {
   // Two co-located device groups: every device in a group hears the same
   // APs, so each group costs one M-Loc solve and the rest are cache hits.
@@ -195,10 +257,22 @@ TEST(AfterburnerDeterminism, GammaCacheHitsOnSharedGammasAndStaysExact) {
   marauder::TrackerOptions options;
   options.algorithm = marauder::Algorithm::kMLoc;
   marauder::Tracker cached(marauder::ApDatabase::from_truth(truth, true), options);
-  const ResultMap with_cache = cached.locate_all(store);
+  marauder::LocateAllProfile profile;
+  const ResultMap with_cache = cached.locate_all(store, {}, &profile);
   const auto stats = cached.gamma_cache_stats();
   EXPECT_EQ(stats.misses, 2u);  // one per distinct Gamma
   EXPECT_EQ(stats.hits, 8u);
+  EXPECT_TRUE(stats.engaged);  // 8/10 duplicates clears the 5% gate easily
+  EXPECT_EQ(stats.duplicate_ratio, 0.8);
+  EXPECT_EQ(profile.unique_gammas, 2u);
+  EXPECT_TRUE(profile.cache_engaged);
+
+  // A second batch answers every device from the cross-call memo.
+  const ResultMap second = cached.locate_all(store);
+  expect_same_results(with_cache, second);
+  const auto stats2 = cached.gamma_cache_stats();
+  EXPECT_EQ(stats2.misses, 2u);
+  EXPECT_EQ(stats2.hits, 18u);
 
   options.gamma_cache = false;
   marauder::Tracker uncached(marauder::ApDatabase::from_truth(truth, true), options);

@@ -34,7 +34,9 @@ struct RunResult {
 
 /// One deterministic campus scenario: APs with beacons, a dozen wandering
 /// probers, one sniffer. Identical inputs whatever the delivery mode.
-RunResult run_campus(sim::DeliveryMode mode, const fault::FaultPlan& plan) {
+RunResult run_campus(sim::DeliveryMode mode, const fault::FaultPlan& plan,
+                     double shadowing_sigma_db = 0.0,
+                     double far_station_x_m = 50000.0) {
   sim::CampusConfig campus;
   campus.seed = 2024;
   campus.num_aps = 150;
@@ -43,10 +45,12 @@ RunResult run_campus(sim::DeliveryMode mode, const fault::FaultPlan& plan) {
 
   RunResult out;
   {
-    // Log-distance clutter (no shadowing): max_range_m is finite, so the
+    // Log-distance clutter: max_range_m is finite — with shadowing too,
+    // since the truncated draw admits a 6-sigma quantile bound — so the
     // sniffer's rssi-floor culling is actually exercised.
     sim::World world({.seed = 11,
-                      .propagation = std::make_shared<rf::LogDistanceModel>(3.2),
+                      .propagation = std::make_shared<rf::LogDistanceModel>(
+                          3.2, shadowing_sigma_db, /*seed=*/9),
                       .delivery = mode});
     sim::populate_world(world, truth, /*beacons_enabled=*/true);
 
@@ -75,7 +79,7 @@ RunResult run_campus(sim::DeliveryMode mode, const fault::FaultPlan& plan) {
     // each frame. Its decode probability is exactly 0 either way.
     capture::ObservationStore far_store;
     capture::SnifferConfig far_sc;
-    far_sc.position = {50000.0, 0.0};
+    far_sc.position = {far_station_x_m, 0.0};
     far_sc.antenna_height_m = 20.0;
     far_sc.fault_plan = plan;
     capture::Sniffer far_sniffer(far_sc, &far_store);
@@ -193,6 +197,42 @@ TEST(AtlasEquivalence, DeliveryCullingIsInvisibleUnderFaults) {
   EXPECT_EQ(scan.stats.frames_fault_duplicated, indexed.stats.frames_fault_duplicated);
   // (card_down_skips is NOT compared: it counts decode attempts during
   // dropout windows, and culled sub-floor deliveries never attempt.)
+  expect_stores_equal(scan.store, indexed.store);
+}
+
+TEST(AtlasEquivalence, ShadowedRssiFloorCullingIsInvisible) {
+  // Before Slipstream, LogDistanceModel with shadowing retreated to
+  // max_range_m = +infinity — shadowed worlds culled nothing and the indexed
+  // medium degenerated to a full scan. The draw is now truncated at
+  // +/- 6 sigma, so the quantile bound (inverse of the -6 sigma envelope) is
+  // provably conservative: the indexed run culls real deliveries while
+  // decoding, quarantining, and storing exactly what the scan run does. The
+  // shadowing term is a pure position hash — culled links consume zero
+  // Bernoulli draws from the event RNG stream, which is what keeps the two
+  // modes bit-identical.
+  // The 6-sigma allowance widens the cull radius by 10^(36 / (10 * 3.2)) —
+  // about 13x — so the shadowed far station sits at 1000 km: provably past
+  // the widened bound, because the clean runs above prove the base bound is
+  // under 50 km.
+  const double sigma_db = 6.0;
+  const double far_x_m = 1.0e6;
+  const RunResult scan = run_campus(sim::DeliveryMode::kScan, {}, sigma_db, far_x_m);
+  const RunResult indexed = run_campus(sim::DeliveryMode::kIndexed, {}, sigma_db, far_x_m);
+
+  EXPECT_EQ(scan.culled, 0u);
+  EXPECT_GT(indexed.culled, 0u);  // the finite shadowed bound must actually cull
+  EXPECT_EQ(scan.transmitted, indexed.transmitted);
+  // The far station sits beyond even the 6-sigma-widened bound, so its
+  // rssi-floor interest culls everything in kIndexed; either way it decodes
+  // nothing (its links are below the exact-zero decode floor).
+  EXPECT_EQ(scan.far_stats.frames_on_air, scan.transmitted);
+  EXPECT_EQ(indexed.far_stats.frames_on_air, 0u);
+  EXPECT_EQ(scan.far_stats.frames_decoded, 0u);
+  EXPECT_EQ(indexed.far_stats.frames_decoded, 0u);
+  EXPECT_GE(scan.stats.frames_on_air, indexed.stats.frames_on_air);
+  EXPECT_EQ(scan.stats.frames_decoded, indexed.stats.frames_decoded);
+  EXPECT_EQ(scan.stats.probe_requests, indexed.stats.probe_requests);
+  EXPECT_EQ(scan.stats.beacons, indexed.stats.beacons);
   expect_stores_equal(scan.store, indexed.store);
 }
 

@@ -213,6 +213,66 @@ TEST(DiscIntersection, MonteCarloAreaZeroForDisjoint) {
   EXPECT_DOUBLE_EQ(DiscIntersection::monte_carlo_area(discs, 10000, 1), 0.0);
 }
 
+/// Scalar reference for the Slipstream prefilter kernel: the exact
+/// squared-distance predicate, pair by pair, no SoA, no branch-free tricks.
+bool oracle_any_pair_disjoint(const std::vector<Circle>& discs, double eps) {
+  for (std::size_t i = 0; i < discs.size(); ++i) {
+    for (std::size_t j = i + 1; j < discs.size(); ++j) {
+      const double reach = discs[i].radius + discs[j].radius + eps;
+      if (reach < 0.0) return true;
+      const double dx = discs[j].center.x - discs[i].center.x;
+      const double dy = discs[j].center.y - discs[i].center.y;
+      if (dx * dx + dy * dy > reach * reach) return true;
+    }
+  }
+  return false;
+}
+
+TEST(SlipstreamPrefilter, KernelMatchesScalarOracleRandomized) {
+  // Randomized decision-equality sweep: dense clusters (rarely disjoint),
+  // sprawling fields (usually disjoint), and near-tangent pairs built to sit
+  // right at the reach boundary. Each case runs both the SoA kernel and the
+  // scalar oracle; any divergence is a correctness bug in the
+  // vector-friendly rewrite, not a tolerance issue.
+  util::Rng rng(0x51195);
+  std::size_t disjoint_cases = 0;
+  std::size_t overlap_cases = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = 2 + rng.next_u64() % 12;
+    const double spread = trial % 2 == 0 ? 3.0 : 40.0;  // dense vs sprawling
+    std::vector<Circle> discs;
+    discs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      discs.push_back({{rng.uniform(-spread, spread), rng.uniform(-spread, spread)},
+                       rng.uniform(0.5, 4.0)});
+    }
+    if (trial % 3 == 0 && n >= 2) {
+      // Force a near-tangent pair: place disc 1 exactly reach away from
+      // disc 0 along x, so the squared comparison sits on its boundary.
+      discs[1].center = {discs[0].center.x + discs[0].radius + discs[1].radius,
+                        discs[0].center.y};
+    }
+    const double eps = trial % 5 == 0 ? -1e-9 : rng.uniform(-1e-6, 1e-6);
+    const bool expected = oracle_any_pair_disjoint(discs, eps);
+    const bool got = any_pair_disjoint(discs, eps);
+    ASSERT_EQ(expected, got) << "trial " << trial << " n=" << n << " eps=" << eps;
+    (expected ? disjoint_cases : overlap_cases) += 1;
+  }
+  // The sweep must actually exercise both decisions.
+  EXPECT_GT(disjoint_cases, 100u);
+  EXPECT_GT(overlap_cases, 100u);
+
+  // Degenerate negative reach: eps so negative that nothing can touch. The
+  // kernel must take the sign-aware branch, not the squared compare.
+  const std::vector<Circle> touching{{{0.0, 0.0}, 1.0}, {{0.0, 0.0}, 1.0}};
+  EXPECT_TRUE(any_pair_disjoint(touching, -3.0));
+  EXPECT_TRUE(oracle_any_pair_disjoint(touching, -3.0));
+
+  // Single disc / empty slab: no pair exists.
+  const std::vector<Circle> one{{{1.0, 2.0}, 3.0}};
+  EXPECT_FALSE(any_pair_disjoint(one, -1e-9));
+}
+
 TEST(DiscIntersection, LargeKStressStaysConsistent) {
   util::Rng rng(31337);
   std::vector<Circle> discs;
