@@ -1,22 +1,23 @@
 // Defense evaluation — the paper's concluding call for "mobile identity
-// camouflaging protocols". The same Marauder's-Map attacker (M-Loc +
-// implicit-identifier linking + trajectory assembly) runs against a victim
-// deploying the defenses Section V surveys:
-//   none                     -> full trajectory under one identity;
-//   MAC rotation only        -> linker re-links via directed-probe SSIDs;
-//   rotation, no SSID leaks  -> trajectory shatters into 1-point pseudonyms;
-//   + random silent periods  -> fewer observable points overall;
-//   + mix zone               -> a spatial hole where tracking goes blind.
+// camouflaging protocols", rebuilt as a thin slice of the Chimera arena.
+//
+// Each row fixes one defense posture at 100% adoption and runs the arena's
+// simulate-once-attack-twice cell evaluation with two attacker capabilities:
+// the legacy SSID-fingerprint linker (Pang et al.) and the full resolver
+// (+ sequence continuity + Gamma adjacency). The ladder tells the paper's
+// Section V story with numbers:
+//   none                      -> both attackers track everyone;
+//   MAC rotation only         -> SSIDs leak, both attackers re-link;
+//   rotation + anonymization  -> the SSID attacker goes blind, the full
+//                                resolver re-links via implicit identifiers;
+//   + throttle + TX jitter    -> the full resolver still tracks, at cost;
+//   paranoid (silent periods) -> even the full resolver starts losing spans.
+#include <cstddef>
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "capture/sniffer.h"
-#include "marauder/linker.h"
-#include "marauder/tracker.h"
-#include "marauder/trajectory.h"
-#include "sim/mobile.h"
-#include "sim/mobility.h"
-#include "sim/scenario.h"
+#include "marauder/arena.h"
+#include "sim/population.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -24,106 +25,85 @@ namespace {
 
 using namespace mm;
 
-struct DefenseOutcome {
-  std::size_t macs_seen = 0;
-  std::size_t best_track_points = 0;  ///< longest single-identity trajectory
-  double best_track_error_m = 0.0;
-  std::size_t scheduled_scans = 0;
+struct PostureRow {
+  const char* label;
+  sim::DefenseProfile profile;
 };
-
-struct DefenseSetup {
-  const char* name;
-  bool rotate_and_silence = false;
-  double silent_mean_s = 0.0;
-  bool leak_ssids = false;
-  bool mix_zone = false;
-};
-
-DefenseOutcome run_defense(std::uint64_t seed, const DefenseSetup& setup) {
-  sim::CampusConfig campus;
-  campus.seed = seed;
-  campus.num_aps = 140;
-  campus.half_extent_m = 300.0;
-  const auto truth = sim::generate_campus_aps(campus);
-
-  sim::World world({.seed = seed ^ 0xdef, .propagation = nullptr});
-  sim::populate_world(world, truth, false);
-
-  auto walk = std::make_shared<sim::RouteWalk>(sim::lawnmower_route(220.0, 2), 1.5);
-  sim::MobileConfig mc;
-  mc.mac = *net80211::MacAddress::parse("00:16:6f:de:fe:01");
-  mc.profile.probes = true;
-  mc.profile.scan_interval_s = 40.0;
-  if (setup.leak_ssids) mc.profile.directed_ssids = {"home-wifi-2819"};
-  if (setup.rotate_and_silence) {
-    mc.profile.silent_period_mean_s = setup.silent_mean_s > 0.0 ? setup.silent_mean_s : 0.001;
-  }
-  if (setup.mix_zone) mc.profile.mix_zones = {{{0.0, 0.0}, 120.0}};
-  mc.mobility = walk;
-  world.add_mobile(std::make_unique<sim::MobileDevice>(mc));
-
-  capture::ObservationStore store;
-  capture::SnifferConfig sc;
-  sc.position = {0.0, 0.0};
-  sc.antenna_height_m = 20.0;
-  capture::Sniffer sniffer(sc, &store);
-  sniffer.attach(world);
-  world.run_until(walk->arrival_time() + 5.0);
-
-  marauder::Tracker tracker(marauder::ApDatabase::from_truth(truth, true),
-                            {.algorithm = marauder::Algorithm::kMLoc});
-  marauder::LinkerOptions linker_options;
-  linker_options.max_ssid_popularity = 1000;  // single victim: no crowd to hide in
-  const auto identities = marauder::link_identities(store, linker_options);
-
-  DefenseOutcome outcome;
-  outcome.macs_seen = store.device_count();
-  outcome.scheduled_scans =
-      static_cast<std::size_t>(walk->arrival_time() / mc.profile.scan_interval_s);
-  for (const auto& identity : identities) {
-    const auto track = marauder::build_trajectory(tracker, store, identity.macs);
-    if (track.size() <= outcome.best_track_points) continue;
-    outcome.best_track_points = track.size();
-    double err = 0.0;
-    for (const auto& point : track) {
-      err += point.position.distance_to(walk->position(point.time));
-    }
-    outcome.best_track_error_m = track.empty() ? 0.0 : err / static_cast<double>(track.size());
-  }
-  return outcome;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
-  const std::uint64_t seed = flags.get_seed(5150);
+  const bool smoke = flags.has("smoke");
 
-  const DefenseSetup setups[] = {
-      {"none (static MAC)", false, 0.0, true, false},
-      {"MAC rotation, SSIDs leak (Pang et al. re-links)", true, 0.001, true, false},
-      {"MAC rotation, no SSID leaks", true, 0.001, false, false},
-      {"rotation + silent periods (mean 60 s)", true, 60.0, false, false},
-      {"rotation + mix zone (r=120 m at campus center)", true, 0.001, false, true},
+  // Shared arena slice: every posture reuses this config, only the defense
+  // changes. Full adoption isolates the posture's own effect.
+  marauder::ArenaConfig base;
+  base.seed = flags.get_seed(5150);
+  base.devices = static_cast<std::size_t>(flags.get_int("devices", smoke ? 16 : 32));
+  base.num_aps = smoke ? 90 : 120;
+  base.duration_s = flags.get_double("duration", smoke ? 360.0 : 540.0);
+  base.adoption_levels = {1.0};
+  base.attackers = {marauder::default_arena_attackers()[1],   // "ssid"
+                    marauder::default_arena_attackers()[3]};  // "full"
+
+  sim::DefenseProfile rotation = sim::DefenseProfile::rotation_only(75.0);
+  sim::DefenseProfile anonymized = rotation;
+  anonymized.name = "rotate+anon";
+  anonymized.directed_probe_suppression = 1.0;
+
+  const PostureRow rows[] = {
+      {"none (static MAC)", sim::DefenseProfile{}},
+      {"MAC rotation, SSIDs leak (Pang et al. re-links)", rotation},
+      {"rotation + probe anonymization", anonymized},
+      {"rotation + anon + throttle + TX jitter", base.defense},
+      {"paranoid (+ random silent periods)", sim::DefenseProfile::paranoid()},
   };
 
-  std::cout << "Defense evaluation: the Marauder's Map vs Section V countermeasures\n\n";
-  util::Table table({"defense", "MACs seen", "longest linked track (pts)",
-                     "track avg error (m)"});
-  std::vector<std::size_t> points;
-  for (const DefenseSetup& setup : setups) {
-    const DefenseOutcome outcome = run_defense(seed, setup);
-    points.push_back(outcome.best_track_points);
-    table.add_row({setup.name, std::to_string(outcome.macs_seen),
-                   std::to_string(outcome.best_track_points),
-                   util::Table::fmt(outcome.best_track_error_m, 1)});
+  std::cout << "Defense evaluation: the Marauder's Map vs Section V countermeasures\n"
+            << "(" << base.devices << " devices at 100% adoption, "
+            << base.duration_s << " s capture per posture)\n\n";
+
+  util::Table table({"defense", "%-tracked (ssid)", "%-tracked (full)",
+                     "full median err (m)", "full longest track (s)"});
+  std::vector<double> ssid_tracked;
+  std::vector<double> full_tracked;
+  for (const PostureRow& row : rows) {
+    marauder::ArenaConfig config = base;
+    config.defense = row.profile;
+    const marauder::ArenaResult result = marauder::run_arena(config);
+    const marauder::ArenaCell& ssid = *result.column("ssid").front();
+    const marauder::ArenaCell& full = *result.column("full").front();
+    ssid_tracked.push_back(ssid.pct_tracked);
+    full_tracked.push_back(full.pct_tracked);
+    table.add_row({row.label, util::Table::fmt(ssid.pct_tracked, 1),
+                   util::Table::fmt(full.pct_tracked, 1),
+                   util::Table::fmt(full.median_error_m, 1),
+                   util::Table::fmt(full.longest_track_s, 0)});
   }
   table.print(std::cout);
-  std::cout << "\nexpected shape: the full trajectory survives rotation when SSIDs leak\n"
-            << "(implicit identifiers), shatters without them, and silent periods /\n"
-            << "mix zones further starve the tracker of points\n";
-  const bool shape = points[0] > 5 && points[1] >= points[0] / 2 && points[2] <= 2 &&
-                     points[3] <= points[1] && points[4] < points[1];
+
+  std::cout << "\nexpected shape: rotation alone does not shake either attacker\n"
+            << "(implicit identifiers re-link); anonymizing directed probes blinds\n"
+            << "the SSID linker but not the sequence/Gamma resolver; silent-period\n"
+            << "rotation is the first posture that costs the full resolver spans\n";
+
+  // Row indices: 0 none, 1 rotation, 2 +anon, 3 +throttle+jitter, 4 paranoid.
+  const bool undefended_tracked = ssid_tracked[0] >= 90.0 && full_tracked[0] >= 90.0;
+  const bool rotation_relinked = ssid_tracked[1] >= 70.0;
+  const bool anon_blinds_ssid = ssid_tracked[2] <= ssid_tracked[1] - 30.0;
+  const bool resolver_survives = full_tracked[2] >= ssid_tracked[2] + 30.0 &&
+                                 full_tracked[3] >= ssid_tracked[3] + 30.0;
+  const bool paranoid_bites = full_tracked[4] <= full_tracked[2] + 1e-9;
+  const bool shape = undefended_tracked && rotation_relinked && anon_blinds_ssid &&
+                     resolver_survives && paranoid_bites;
   std::cout << "shape check: " << (shape ? "HOLDS" : "VIOLATED") << "\n";
+  if (!shape) {
+    std::cerr << "  undefended_tracked=" << undefended_tracked
+              << " rotation_relinked=" << rotation_relinked
+              << " anon_blinds_ssid=" << anon_blinds_ssid
+              << " resolver_survives=" << resolver_survives
+              << " paranoid_bites=" << paranoid_bites << "\n";
+  }
   return shape ? 0 : 1;
 }

@@ -20,12 +20,16 @@ ClassifiedFrame classify_frame(const net80211::ManagementFrame& frame, double ti
   ClassifiedFrame out;
   out.event.time_s = time_s;
   out.event.rssi_dbm = rssi_dbm;
+  // The on-air sequence-control field carries 12 bits; frames built in
+  // memory may hold a wider counter, so mask exactly as serialization does.
+  const std::int32_t seq12 = static_cast<std::int32_t>(frame.sequence & 0x0FFF);
   switch (frame.subtype) {
     case net80211::ManagementSubtype::kProbeRequest:
       out.cls = FrameClass::kProbeRequest;
       out.has_event = true;
       out.event.kind = FrameEventKind::kProbeRequest;
       out.event.device = frame.addr2;
+      out.event.device_seq = seq12;
       out.event.set_ssid(frame.ssid());
       break;
     case net80211::ManagementSubtype::kProbeResponse:
@@ -51,6 +55,7 @@ ClassifiedFrame classify_frame(const net80211::ManagementFrame& frame, double ti
       out.has_event = true;
       out.event.kind = FrameEventKind::kPresence;
       out.event.device = frame.addr2;
+      out.event.device_seq = seq12;
       break;
     case net80211::ManagementSubtype::kAssociationResponse:
       out.cls = FrameClass::kOther;
@@ -69,6 +74,7 @@ ClassifiedFrame classify_frame(const net80211::ManagementFrame& frame, double ti
       out.event.kind = FrameEventKind::kContact;
       out.event.ap = frame.addr3;
       out.event.device = frame.addr2;
+      out.event.device_seq = seq12;
       break;
     default:
       out.cls = FrameClass::kOther;
@@ -92,6 +98,10 @@ void apply_event(const FrameEvent& event, ObservationStore& store) {
       store.record_beacon(event.ap, event.ssid_str().value_or(""), event.channel,
                           event.time_s, event.rssi_dbm);
       break;
+  }
+  if (event.device_seq >= 0 && event.kind != FrameEventKind::kBeacon) {
+    store.record_device_seq(event.device, event.time_s,
+                            static_cast<std::uint16_t>(event.device_seq & 0x0FFF));
   }
 }
 

@@ -47,6 +47,13 @@ struct FrameEvent {
   double time_s = 0.0;
   double rssi_dbm = -200.0;
   std::int16_t channel = 0;     ///< kBeacon only (DS parameter set)
+  /// 802.11 sequence number of the *device-transmitted* frame (0..4095), or
+  /// -1 when the frame was transmitted by the AP (probe response, successful
+  /// association response) and teaches nothing about the device's counter.
+  /// Chimera's sequence-continuity linker feeds on this: the 12-bit counter
+  /// survives a MAC rotation, so a fresh pseudonym picking up where a dead
+  /// one left off is evidence both MACs share one radio.
+  std::int32_t device_seq = -1;
   bool has_ssid = false;
   std::uint8_t ssid_len = 0;
   char ssid[kMaxSsid] = {};

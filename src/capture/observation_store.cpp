@@ -64,6 +64,19 @@ void ObservationStore::cap_contact_history(ApContact& contact) const {
                       contact.times.begin() + static_cast<std::ptrdiff_t>(drop));
 }
 
+void ObservationStore::record_device_seq(const net80211::MacAddress& device,
+                                         sim::SimTime time, std::uint16_t seq) {
+  DeviceRecord& rec = touch_device(devices_, device, time);
+  seq &= 0x0FFF;
+  if (rec.seq_frames == 0) {
+    rec.first_seq = seq;
+    rec.first_seq_time = time;
+  }
+  rec.last_seq = seq;
+  rec.last_seq_time = time;
+  ++rec.seq_frames;
+}
+
 void ObservationStore::record_beacon(const net80211::MacAddress& bssid,
                                      const std::string& ssid, int channel,
                                      sim::SimTime /*time*/, double rssi_dbm) {

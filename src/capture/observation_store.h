@@ -47,6 +47,19 @@ struct DeviceRecord {
   std::uint64_t probe_requests = 0;
   std::vector<std::string> directed_ssids;  ///< implicit identifiers leaked
   std::map<net80211::MacAddress, ApContact> contacts;
+  /// 802.11 sequence-number trace from device-transmitted frames. The 12-bit
+  /// counter is an implicit identifier in its own right: it keeps counting
+  /// across a MAC rotation, so the first sequence a fresh pseudonym shows
+  /// (relative to the last sequence a vanished one showed) is linking
+  /// evidence for Chimera's IdentityResolver. seq_frames == 0 means the
+  /// device was never caught transmitting a sequence-bearing frame.
+  std::uint64_t seq_frames = 0;
+  std::uint16_t first_seq = 0;          ///< 0..4095
+  std::uint16_t last_seq = 0;           ///< 0..4095
+  sim::SimTime first_seq_time = 0.0;
+  sim::SimTime last_seq_time = 0.0;
+
+  [[nodiscard]] bool has_seq() const noexcept { return seq_frames > 0; }
 };
 
 struct ApSighting {
@@ -82,6 +95,11 @@ class ObservationStore {
                       sim::SimTime time, double rssi_dbm);
   void record_beacon(const net80211::MacAddress& bssid, const std::string& ssid,
                      int channel, sim::SimTime time, double rssi_dbm);
+  /// Notes the 12-bit 802.11 sequence number of one device-transmitted frame
+  /// (see DeviceRecord's seq trace). Called by apply_event alongside the
+  /// per-kind record above, so batch and live ingestion stay identical.
+  void record_device_seq(const net80211::MacAddress& device, sim::SimTime time,
+                         std::uint16_t seq);
 
   [[nodiscard]] const ObservationStoreOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::size_t device_count() const noexcept { return devices_.size(); }

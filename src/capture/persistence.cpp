@@ -55,7 +55,10 @@ std::vector<util::CsvRow> serialize_store(const ObservationStore& store) {
   for (const auto& mac : store.devices()) {
     const DeviceRecord* rec = store.device(mac);
     rows.push_back({"device", mac.to_string(), fmt(rec->first_seen), fmt(rec->last_seen),
-                    std::to_string(rec->probe_requests), join(rec->directed_ssids, '|')});
+                    std::to_string(rec->probe_requests), join(rec->directed_ssids, '|'),
+                    std::to_string(rec->seq_frames), std::to_string(rec->first_seq),
+                    fmt(rec->first_seq_time), std::to_string(rec->last_seq),
+                    fmt(rec->last_seq_time)});
     for (const auto& [ap, contact] : rec->contacts) {
       std::vector<std::string> times;
       times.reserve(contact.times.size());
@@ -223,6 +226,22 @@ util::Result<LoadResult> load_observations(const std::filesystem::path& path,
     }
     rec.mac = *mac;
     rec.directed_ssids = split(row[5], '|');
+    // Sequence-trace columns (Chimera). Absent on pre-Chimera snapshots —
+    // an old save restores with no seq evidence rather than quarantining.
+    if (row.size() >= 11) {
+      std::uint64_t first_seq = 0;
+      std::uint64_t last_seq = 0;
+      if (!parse_u64_field(row[6], rec.seq_frames) || !parse_u64_field(row[7], first_seq) ||
+          !parse_double_field(row[8], rec.first_seq_time) ||
+          !parse_u64_field(row[9], last_seq) ||
+          !parse_double_field(row[10], rec.last_seq_time) || first_seq > 0x0FFF ||
+          last_seq > 0x0FFF) {
+        quarantine(stats, i, "malformed device seq trace");
+        continue;
+      }
+      rec.first_seq = static_cast<std::uint16_t>(first_seq);
+      rec.last_seq = static_cast<std::uint16_t>(last_seq);
+    }
     devices[rec.mac] = std::move(rec);
     ++stats.rows_loaded;
   }

@@ -115,6 +115,7 @@ void encode_wal_payload(std::uint64_t seq, const capture::FrameEvent& e,
   out[43] = e.has_ssid ? 1 : 0;
   out[44] = e.ssid_len;
   std::memcpy(out + 45, e.ssid, capture::FrameEvent::kMaxSsid);
+  put_u32(out + 77, static_cast<std::uint32_t>(e.device_seq));
 }
 
 bool decode_wal_payload(std::span<const std::uint8_t> payload, WalRecord& out) noexcept {
@@ -125,6 +126,9 @@ bool decode_wal_payload(std::span<const std::uint8_t> payload, WalRecord& out) n
   const std::uint8_t has_ssid = p[43];
   const std::uint8_t ssid_len = p[44];
   if (has_ssid > 1 || ssid_len > capture::FrameEvent::kMaxSsid) return false;
+  const std::uint32_t device_seq = get_u32(p + 77);
+  // device_seq is either "none" (-1) or a 12-bit on-air sequence number.
+  if (device_seq != 0xFFFFFFFFu && device_seq > 0x0FFF) return false;
   out.seq = get_u64(p);
   capture::FrameEvent& e = out.event;
   e.kind = static_cast<capture::FrameEventKind>(kind);
@@ -136,6 +140,7 @@ bool decode_wal_payload(std::span<const std::uint8_t> payload, WalRecord& out) n
   e.has_ssid = has_ssid != 0;
   e.ssid_len = ssid_len;
   std::memcpy(e.ssid, p + 45, capture::FrameEvent::kMaxSsid);
+  e.device_seq = static_cast<std::int32_t>(device_seq);
   e.stream_seq = out.seq;
   return true;
 }

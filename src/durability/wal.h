@@ -39,8 +39,9 @@ struct WalRecord {
   capture::FrameEvent event;
 };
 
-/// Fixed payload size of the v1 record codec.
-inline constexpr std::size_t kWalPayloadBytes = 77;
+/// Fixed payload size of the v2 record codec (v1's 77 bytes + the 4-byte
+/// device_seq field Chimera's sequence-continuity linker feeds on).
+inline constexpr std::size_t kWalPayloadBytes = 81;
 /// Framing sanity bound: a length field beyond this is a bad frame, not an
 /// allocation request.
 inline constexpr std::size_t kWalMaxPayloadBytes = 512;

@@ -1,95 +1,28 @@
 #include "marauder/linker.h"
 
-#include <algorithm>
-#include <numeric>
+#include "marauder/identity.h"
 
 namespace mm::marauder {
 
-namespace {
-
-/// Plain union-find over device indices.
-class DisjointSets {
- public:
-  explicit DisjointSets(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), 0);
-  }
-  std::size_t find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
-
- private:
-  std::vector<std::size_t> parent_;
-};
-
-}  // namespace
-
 std::vector<LinkedIdentity> link_identities(const capture::ObservationStore& store,
                                             const LinkerOptions& options) {
-  struct Device {
-    net80211::MacAddress mac;
-    sim::SimTime first_seen = 0.0;
-    std::set<std::string> fingerprint;
-  };
-  std::vector<Device> devices;
-  std::map<std::string, std::size_t> ssid_popularity;
-  for (const auto& mac : store.devices()) {
-    const capture::DeviceRecord* rec = store.device(mac);
-    Device dev;
-    dev.mac = mac;
-    dev.first_seen = rec->first_seen;
-    for (const std::string& ssid : rec->directed_ssids) {
-      dev.fingerprint.insert(ssid);
-      ++ssid_popularity[ssid];
-    }
-    devices.push_back(std::move(dev));
-  }
+  ResolverOptions resolver_options;
+  resolver_options.signals.ssid_fingerprint = true;
+  resolver_options.signals.sequence_continuity = false;
+  resolver_options.signals.gamma_temporal = false;
+  resolver_options.min_overlap = options.min_overlap;
+  resolver_options.max_ssid_popularity = options.max_ssid_popularity;
+  resolver_options.max_ssid_popularity_fraction = options.max_ssid_popularity_fraction;
 
-  // Drop over-popular SSIDs from every fingerprint: they identify a crowd,
-  // not a user.
-  for (Device& dev : devices) {
-    for (auto it = dev.fingerprint.begin(); it != dev.fingerprint.end();) {
-      if (ssid_popularity[*it] > options.max_ssid_popularity) {
-        it = dev.fingerprint.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  DisjointSets sets(devices.size());
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    if (devices[i].fingerprint.empty()) continue;
-    for (std::size_t j = i + 1; j < devices.size(); ++j) {
-      std::size_t overlap = 0;
-      for (const std::string& ssid : devices[j].fingerprint) {
-        overlap += devices[i].fingerprint.count(ssid);
-      }
-      if (overlap >= options.min_overlap) sets.unite(i, j);
-    }
-  }
-
-  std::map<std::size_t, LinkedIdentity> groups;
-  // Assemble groups in first-seen order so macs[0] is the earliest alias.
-  std::vector<std::size_t> order(devices.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return devices[a].first_seen < devices[b].first_seen;
-  });
-  for (const std::size_t i : order) {
-    LinkedIdentity& identity = groups[sets.find(i)];
-    identity.macs.push_back(devices[i].mac);
-    identity.fingerprint.insert(devices[i].fingerprint.begin(),
-                                devices[i].fingerprint.end());
-  }
-
+  const IdentityMap map = resolve_identities(store, resolver_options);
   std::vector<LinkedIdentity> result;
-  result.reserve(groups.size());
-  for (auto& [root, identity] : groups) result.push_back(std::move(identity));
+  result.reserve(map.identities.size());
+  for (const ResolvedIdentity& identity : map.identities) {
+    LinkedIdentity out;
+    out.macs = identity.macs;
+    out.fingerprint = identity.fingerprint;
+    result.push_back(std::move(out));
+  }
   return result;
 }
 

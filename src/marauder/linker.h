@@ -1,10 +1,13 @@
-// Pseudonym linking via implicit identifiers.
+// Pseudonym linking via implicit identifiers — legacy facade.
 //
 // The paper notes (Sections I and V) that MAC pseudonyms are broken by the
 // implicit identifiers of Pang et al. — above all the remembered-network
-// SSIDs a device leaks in directed probe requests. This module clusters the
-// pseudonymous MACs in an ObservationStore into probable user identities so
-// the tracker can follow a victim across address rotations:
+// SSIDs a device leaks in directed probe requests. This header keeps the
+// original single-signal linking API; since Chimera it is a thin wrapper
+// over marauder/identity.h's IdentityResolver with only the SSID-fingerprint
+// signal armed (and produces byte-identical output to the pre-Chimera
+// implementation). New code — and any attacker wanting the sequence-number
+// or Gamma-adjacency signals — should use IdentityResolver directly.
 //
 //   * fingerprint = the set of directed-probe SSIDs (the strongest implicit
 //     identifier; broadcast-only devices have an empty fingerprint and are
@@ -36,9 +39,14 @@ struct LinkedIdentity {
 struct LinkerOptions {
   /// Minimum number of shared directed-probe SSIDs for two MACs to link.
   std::size_t min_overlap = 1;
-  /// Ignore SSIDs probed by more than this many distinct MACs — an SSID
-  /// half the campus probes for ("eduroam") identifies nobody.
+  /// Absolute floor on the popularity cutoff: SSIDs probed by more than
+  /// max(this, ceil(max_ssid_popularity_fraction * devices)) distinct MACs
+  /// identify a crowd, not a user ("eduroam"), and are ignored. The floor
+  /// keeps small captures behaving as before; the fraction makes the cutoff
+  /// scale with the population instead of silently discarding genuinely rare
+  /// SSIDs once a capture outgrows a hand-tuned constant.
   std::size_t max_ssid_popularity = 3;
+  double max_ssid_popularity_fraction = 0.01;
 };
 
 /// Clusters the store's devices into identities. Every observed MAC appears

@@ -88,6 +88,22 @@ std::vector<TrackPoint> build_trajectory(const Tracker& tracker,
   return track;
 }
 
+std::vector<IdentityTrack> build_identity_trajectories(
+    const Tracker& tracker, const capture::ObservationStore& store,
+    const IdentityMap& identities, const TrajectoryOptions& options) {
+  std::vector<IdentityTrack> tracks;
+  tracks.reserve(identities.size());
+  for (const ResolvedIdentity& identity : identities.identities) {
+    IdentityTrack track;
+    track.identity = identity.id;
+    track.points = build_trajectory(
+        tracker, store,
+        std::span<const net80211::MacAddress>(identity.macs), options);
+    tracks.push_back(std::move(track));
+  }
+  return tracks;
+}
+
 double track_length_m(std::span<const TrackPoint> track) {
   double total = 0.0;
   for (std::size_t i = 1; i < track.size(); ++i) {

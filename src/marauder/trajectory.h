@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "capture/observation_store.h"
+#include "marauder/identity.h"
 #include "marauder/tracker.h"
 
 namespace mm::marauder {
@@ -44,5 +45,22 @@ struct TrajectoryOptions {
 
 /// Total path length of a track (meters).
 [[nodiscard]] double track_length_m(std::span<const TrackPoint> track);
+
+/// One resolved identity's movement track: the display-level object of the
+/// Marauder's Map once Chimera links pseudonyms. `identity` indexes into the
+/// IdentityMap the track was built from; each TrackPoint still names the
+/// alias MAC active during its burst, so rotation seams stay visible.
+struct IdentityTrack {
+  std::uint32_t identity = 0;
+  std::vector<TrackPoint> points;
+};
+
+/// Builds one track per resolved identity (alias bursts interleaved in time
+/// order). With a singleton-only map — no linking signals armed — this is
+/// exactly one build_trajectory per observed MAC, which is the pre-Chimera
+/// behaviour the null-point tests pin.
+[[nodiscard]] std::vector<IdentityTrack> build_identity_trajectories(
+    const Tracker& tracker, const capture::ObservationStore& store,
+    const IdentityMap& identities, const TrajectoryOptions& options = {});
 
 }  // namespace mm::marauder

@@ -1,7 +1,7 @@
 // Lattice FEC: XOR parity over blocks of data frames (DESIGN.md §12).
 //
 // Every data payload is the fixed-size durability WAL record codec (the
-// event's stream sequence + fields, kWalPayloadBytes = 77). After every k
+// event's stream sequence + fields, kWalPayloadBytes = 81). After every k
 // data frames the encoder emits one parity frame whose payload is the XOR of
 // the block's k payloads; because all payloads share one size, recovering a
 // single loss is the XOR of the parity with the k-1 survivors — and because

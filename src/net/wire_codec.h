@@ -14,7 +14,7 @@
 //   [u16 payload_len]
 //   [u32 crc32c]                        over bytes [2, 20) + payload
 //   [payload_len bytes]                 data: the durability WAL record
-//                                       codec (seq + event, 77 bytes);
+//                                       codec (seq + event, 81 bytes);
 //                                       parity: XOR of the block's payloads
 //
 // All integers little-endian, matching the WAL segment codec. The decoder is

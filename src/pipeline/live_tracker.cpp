@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 
 #include "durability/checkpoint.h"
 #include "util/counters.h"
@@ -33,6 +34,16 @@ struct LiveTracker::ShardState {
   };
   std::unordered_map<net80211::MacAddress, DeviceState, net80211::MacHasher> devices;
   IncrementalStats inc;  ///< staging; mirrored into the atomics below
+  /// Devices whose records changed since the last summary flush
+  /// (worker-private; drained by flush_summaries).
+  std::unordered_set<net80211::MacAddress, net80211::MacHasher> summary_dirty;
+  /// Chimera summary board: DeviceSummary of every device this shard owns.
+  /// The one shard structure read cross-thread while running — guarded by
+  /// its mutex, written only on ring-idle/shutdown flushes so the ingest hot
+  /// path never touches the lock.
+  mutable std::mutex summary_mutex;
+  std::unordered_map<net80211::MacAddress, marauder::DeviceSummary, net80211::MacHasher>
+      summaries;  // guarded by summary_mutex
   std::unique_ptr<durability::WalWriter> wal;
   std::uint64_t applied_seq = 0;  ///< exactly-once high-water mark
   std::uint64_t checkpointed_seq = 0;
@@ -212,6 +223,12 @@ void LiveTracker::rebuild_live_state(ShardState& state, RecoveryStats* stats) {
   state.incremental_updates.store(state.inc.incremental_updates,
                                   std::memory_order_relaxed);
   state.full_recomputes.store(state.inc.full_recomputes, std::memory_order_relaxed);
+
+  // The summary board is a pure function of the restored store too.
+  for (const net80211::MacAddress& mac : state.store.devices()) {
+    state.summary_dirty.insert(mac);
+  }
+  flush_summaries(state);
 }
 
 void LiveTracker::start() {
@@ -315,6 +332,7 @@ void LiveTracker::worker_loop(std::size_t shard, ShardState& state) {
       (void)state.wal->seal();
       mirror_wal_stats(state);
     }
+    flush_summaries(state);
     maybe_checkpoint(shard, state, /*force=*/true);
   } catch (...) {
     // The supervisor sees `dead` and swaps in a fresh generation recovered
@@ -362,6 +380,9 @@ void LiveTracker::process_event(std::size_t shard, ShardState& state,
   }
 
   capture::apply_event(event, state.store);
+  if (event.kind != capture::FrameEventKind::kBeacon) {
+    state.summary_dirty.insert(event.device);
+  }
   state.applied_seq = seq;
   state.applied_seq_pub.store(seq, std::memory_order_relaxed);
   state.frames.fetch_add(1, std::memory_order_relaxed);
@@ -420,7 +441,25 @@ void LiveTracker::idle_maintenance(std::size_t shard, ShardState& state) {
     (void)state.wal->commit();
     mirror_wal_stats(state);
   }
+  flush_summaries(state);
   maybe_checkpoint(shard, state, /*force=*/false);
+}
+
+void LiveTracker::flush_summaries(ShardState& state) {
+  if (state.summary_dirty.empty()) return;
+  // Summarize outside the lock (store reads are worker-private), then move
+  // the batch onto the board in one short critical section.
+  std::vector<marauder::DeviceSummary> fresh;
+  fresh.reserve(state.summary_dirty.size());
+  for (const net80211::MacAddress& mac : state.summary_dirty) {
+    const capture::DeviceRecord* rec = state.store.device(mac);
+    if (rec != nullptr) fresh.push_back(marauder::summarize_device(*rec));
+  }
+  state.summary_dirty.clear();
+  const std::lock_guard<std::mutex> lock(state.summary_mutex);
+  for (marauder::DeviceSummary& summary : fresh) {
+    state.summaries[summary.mac] = std::move(summary);
+  }
 }
 
 void LiveTracker::maybe_checkpoint(std::size_t shard, ShardState& state, bool force) {
@@ -572,6 +611,32 @@ std::vector<std::pair<net80211::MacAddress, LivePosition>> LiveTracker::snapshot
     if (shard_degraded(shard_for(mac))) position.shard_degraded = 1;
   }
   return out;
+}
+
+marauder::IdentityMap LiveTracker::resolve_identities(
+    const marauder::ResolverOptions& options) const {
+  marauder::IdentityResolver resolver(options);
+  for (const auto& shard : shards_) {
+    // Each MAC lives in exactly one shard, so merging the boards is a
+    // disjoint union; upsert order is irrelevant (resolve() sorts by MAC).
+    ShardState* state = shard->state.load(std::memory_order_acquire);
+    const std::lock_guard<std::mutex> lock(state->summary_mutex);
+    for (const auto& [mac, summary] : state->summaries) {
+      resolver.upsert(summary);
+    }
+  }
+  return resolver.resolve();
+}
+
+std::optional<LivePosition> LiveTracker::locate_identity(
+    const marauder::ResolvedIdentity& identity) {
+  std::optional<LivePosition> best;
+  for (const net80211::MacAddress& mac : identity.macs) {
+    std::optional<LivePosition> position = locate(mac);
+    if (!position) continue;
+    if (!best || position->updated_at_s > best->updated_at_s) best = position;
+  }
+  return best;
 }
 
 const capture::ObservationStore& LiveTracker::shard_store(std::size_t shard) const {

@@ -41,6 +41,7 @@
 #include "capture/persistence.h"
 #include "durability/wal.h"
 #include "marauder/ap_database.h"
+#include "marauder/identity.h"
 #include "marauder/mloc.h"
 #include "net80211/mac_address.h"
 #include "pipeline/frame_ring.h"
@@ -136,6 +137,29 @@ class LiveTracker {
   [[nodiscard]] std::vector<std::pair<net80211::MacAddress, LivePosition>> snapshot()
       const;
 
+  // --- Chimera identity surface (DESIGN.md §16) ---
+  //
+  // Each shard worker keeps a mutex-guarded *summary board*: the
+  // marauder::DeviceSummary of every device it owns, refreshed from its
+  // store slice on ring-idle and at shutdown (summaries are pure functions
+  // of DeviceRecords, so the flush is incremental over dirty devices).
+  // Resolution merges the boards — each MAC lives in exactly one shard — and
+  // is therefore the same pure function the batch path computes: after
+  // stop(), resolve_identities() over a capture pushed through the live path
+  // equals marauder::resolve_identities() over the batch store, identically.
+
+  /// Resolves pseudonyms into identities over the merged per-shard summary
+  /// boards. Callable while running (boards lag ingest by at most one
+  /// idle/flush cycle) or after stop() (exact).
+  [[nodiscard]] marauder::IdentityMap resolve_identities(
+      const marauder::ResolverOptions& options = {}) const;
+
+  /// "Where is identity X": the freshest published position among the
+  /// identity's alias MACs (seqlock reads; wait-free against ingest). This
+  /// is what keeps the map pointing at a victim through pseudonym rotation.
+  [[nodiscard]] std::optional<LivePosition> locate_identity(
+      const marauder::ResolvedIdentity& identity);
+
   [[nodiscard]] PipelineStats stats() const;
 
   /// Shard-private store slice. Safe to read only after stop() (the owning
@@ -169,6 +193,9 @@ class LiveTracker {
   void publish_device(ShardState& state, const net80211::MacAddress& mac,
                       double event_time_s);
   void idle_maintenance(std::size_t shard, ShardState& state);
+  /// Re-summarizes dirty devices from the shard's store slice onto its
+  /// summary board (worker thread only; board mutex held for the move).
+  void flush_summaries(ShardState& state);
   void maybe_checkpoint(std::size_t shard, ShardState& state, bool force);
   void mirror_wal_stats(ShardState& state) const;
   /// Checkpoint + WAL tail -> store/counters; then live-state rebuild.

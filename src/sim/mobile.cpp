@@ -6,6 +6,12 @@ namespace mm::sim {
 
 MobileDevice::MobileDevice(MobileConfig config) : config_(std::move(config)) {
   if (!config_.mobility) throw std::invalid_argument("MobileDevice: mobility model required");
+  mac_history_.push_back(config_.mac);
+  // Real NICs boot with arbitrary counter values; a MAC-derived start keeps
+  // the population's counters de-synchronized without touching the world
+  // RNG stream (an extra draw here would perturb every downstream draw and
+  // break the defenses-off null point).
+  sequence_ = static_cast<std::uint16_t>(net80211::MacHasher{}(config_.mac) & 0x0FFF);
 }
 
 geo::Vec2 MobileDevice::position() const {
@@ -21,6 +27,29 @@ void MobileDevice::attach(World& world) {
       schedule_next_scan();
     });
   }
+  if (config_.profile.mac_rotation_interval_s > 0.0) {
+    // Random phase so a population of adopters does not rotate in lockstep
+    // (synchronized rotations would be a mix zone by accident).
+    const SimTime phase =
+        world.rng().uniform(0.0, config_.profile.mac_rotation_interval_s);
+    world.queue().schedule_in(phase, [this] {
+      rotate_mac(net80211::MacAddress::random_local(world_->rng()));
+      schedule_next_rotation();
+    });
+  }
+}
+
+void MobileDevice::schedule_next_rotation() {
+  world_->queue().schedule_in(config_.profile.mac_rotation_interval_s, [this] {
+    rotate_mac(net80211::MacAddress::random_local(world_->rng()));
+    schedule_next_rotation();
+  });
+}
+
+double MobileDevice::jittered_tx_power_dbm() {
+  const double j = config_.profile.tx_power_jitter_db;
+  if (j <= 0.0 || world_ == nullptr) return config_.tx_power_dbm;
+  return config_.tx_power_dbm + world_->rng().uniform(-j, j);
 }
 
 void MobileDevice::schedule_next_scan() {
@@ -62,14 +91,14 @@ void MobileDevice::sweep_channels() {
         ++suppressed_;
         return;
       }
-      const TxRadio radio{position(), config_.antenna_height_m, config_.tx_power_dbm,
+      const TxRadio radio{position(), config_.antenna_height_m, jittered_tx_power_dbm(),
                           config_.antenna_gain_dbi, channel, this};
       // Wildcard probe first; directed probes reveal remembered networks.
-      world_->transmit(net80211::make_probe_request(config_.mac, std::nullopt, sequence_++),
+      world_->transmit(net80211::make_probe_request(config_.mac, std::nullopt, next_seq()),
                        radio);
       ++probes_sent_;
       for (const std::string& ssid : config_.profile.directed_ssids) {
-        world_->transmit(net80211::make_probe_request(config_.mac, ssid, sequence_++),
+        world_->transmit(net80211::make_probe_request(config_.mac, ssid, next_seq()),
                          radio);
         ++probes_sent_;
       }
@@ -109,8 +138,8 @@ void MobileDevice::on_air_frame(const net80211::ManagementFrame& frame, const Rx
         world_->queue().schedule_in(0.005, [this, bssid, channel] {
           associated_channel_ = channel;
           world_->transmit(net80211::make_association_request(
-                               config_.mac, bssid, *config_.profile.home_ssid, sequence_++),
-                           {position(), config_.antenna_height_m, config_.tx_power_dbm,
+                               config_.mac, bssid, *config_.profile.home_ssid, next_seq()),
+                           {position(), config_.antenna_height_m, jittered_tx_power_dbm(),
                             config_.antenna_gain_dbi, channel, this});
         });
       }
@@ -143,8 +172,8 @@ void MobileDevice::send_keepalive() {
   if (radio_silenced()) {
     ++suppressed_;
   } else {
-    world_->transmit(net80211::make_data_null(config_.mac, *associated_bssid_, sequence_++),
-                     {position(), config_.antenna_height_m, config_.tx_power_dbm,
+    world_->transmit(net80211::make_data_null(config_.mac, *associated_bssid_, next_seq()),
+                     {position(), config_.antenna_height_m, jittered_tx_power_dbm(),
                       config_.antenna_gain_dbi, associated_channel_, this});
     ++keepalives_sent_;
   }
@@ -152,6 +181,9 @@ void MobileDevice::send_keepalive() {
                               [this] { send_keepalive(); });
 }
 
-void MobileDevice::rotate_mac(const net80211::MacAddress& fresh) { config_.mac = fresh; }
+void MobileDevice::rotate_mac(const net80211::MacAddress& fresh) {
+  config_.mac = fresh;
+  mac_history_.push_back(fresh);
+}
 
 }  // namespace mm::sim

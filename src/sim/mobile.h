@@ -45,6 +45,16 @@ struct ScanProfile {
   /// Mix zones (Beresford & Stajano): regions where the device transmits
   /// nothing at all, mixing its identity with everyone else's.
   std::vector<geo::Circle> mix_zones;
+  /// Periodic pseudonym rotation *without* a silent period: every this many
+  /// seconds the MAC is replaced in place while traffic continues. This is
+  /// the naive defense the sequence-continuity and Gamma-adjacency linkers
+  /// exist to defeat — the counter keeps counting and the Gamma set barely
+  /// moves across the seam. 0 disables (and draws no RNG).
+  double mac_rotation_interval_s = 0.0;
+  /// TX-power jitter (dB): each probe-sweep channel dwell and each keepalive
+  /// transmits at tx_power_dbm + Uniform(-j, +j), smearing the RSSI evidence
+  /// the localization weights feed on. 0 disables (and draws no RNG).
+  double tx_power_jitter_db = 0.0;
 };
 
 struct MobileConfig {
@@ -90,6 +100,13 @@ class MobileDevice final : public FrameReceiver {
   /// example); clears nothing else — trackers must cope on their own.
   void rotate_mac(const net80211::MacAddress& fresh);
 
+  /// Every pseudonym this device has used, oldest first (entry 0 is the
+  /// factory MAC). The arena's ground truth: a track is attributed to the
+  /// device whose history contains the track's burst MAC.
+  [[nodiscard]] const std::vector<net80211::MacAddress>& mac_history() const noexcept {
+    return mac_history_;
+  }
+
   /// True when a defense currently muzzles the radio (silent period active
   /// or the device sits inside a mix zone).
   [[nodiscard]] bool radio_silenced() const;
@@ -99,12 +116,25 @@ class MobileDevice final : public FrameReceiver {
 
  private:
   void schedule_next_scan();
+  void schedule_next_rotation();
   void sweep_channels();
   void send_keepalive();
+  /// Post-increments the 12-bit 802.11 sequence counter (wraps at 4096,
+  /// exactly like real silicon — the wraparound case Chimera's continuity
+  /// linker must survive).
+  std::uint16_t next_seq() noexcept {
+    const std::uint16_t s = sequence_;
+    sequence_ = static_cast<std::uint16_t>((sequence_ + 1) & 0x0FFF);
+    return s;
+  }
+  /// This transmission's TX power: the configured dBm plus the profile's
+  /// jitter (no RNG touched when the defense is off).
+  [[nodiscard]] double jittered_tx_power_dbm();
 
   MobileConfig config_;
   World* world_ = nullptr;
   std::uint16_t sequence_ = 0;
+  std::vector<net80211::MacAddress> mac_history_;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t scans_started_ = 0;
   std::uint64_t keepalives_sent_ = 0;

@@ -1,6 +1,8 @@
 #include "sim/population.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 
 namespace mm::sim {
 
@@ -33,6 +35,67 @@ std::vector<DayStats> simulate_population(const PopulationConfig& cfg, util::Rng
     days.push_back(std::move(day));
   }
   return days;
+}
+
+DefenseProfile DefenseProfile::standard() {
+  DefenseProfile d;
+  d.name = "standard";
+  d.mac_rotation_interval_s = 90.0;
+  d.tx_power_jitter_db = 4.0;
+  d.scan_interval_scale = 2.0;
+  d.directed_probe_suppression = 0.5;
+  return d;
+}
+
+DefenseProfile DefenseProfile::rotation_only(double interval_s) {
+  DefenseProfile d;
+  d.name = "rotation-only";
+  d.mac_rotation_interval_s = interval_s;
+  return d;
+}
+
+DefenseProfile DefenseProfile::paranoid() {
+  DefenseProfile d = standard();
+  d.name = "paranoid";
+  d.silent_period_mean_s = 45.0;
+  d.directed_probe_suppression = 1.0;
+  return d;
+}
+
+void apply_defense_profile(const DefenseProfile& defense, ScanProfile& profile) {
+  if (defense.silent_period_mean_s > 0.0) {
+    profile.silent_period_mean_s = defense.silent_period_mean_s;
+  }
+  if (defense.mac_rotation_interval_s > 0.0) {
+    profile.mac_rotation_interval_s = defense.mac_rotation_interval_s;
+  }
+  if (defense.tx_power_jitter_db > 0.0) {
+    profile.tx_power_jitter_db = defense.tx_power_jitter_db;
+  }
+  if (defense.scan_interval_scale != 1.0 && defense.scan_interval_scale > 0.0) {
+    profile.scan_interval_s *= defense.scan_interval_scale;
+  }
+  if (defense.directed_probe_suppression > 0.0) {
+    const double keep_fraction =
+        std::clamp(1.0 - defense.directed_probe_suppression, 0.0, 1.0);
+    const auto keep = static_cast<std::size_t>(
+        std::ceil(keep_fraction * static_cast<double>(profile.directed_ssids.size())));
+    profile.directed_ssids.resize(std::min(keep, profile.directed_ssids.size()));
+  }
+}
+
+std::vector<bool> assign_defense_adoption(std::size_t devices, double adoption,
+                                          std::uint64_t seed) {
+  std::vector<std::size_t> order(devices);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(util::hash_combine(seed, 0x61646f7074ULL));  // "adopt"
+  rng.shuffle(order);
+  const double a = std::clamp(adoption, 0.0, 1.0);
+  const auto count = static_cast<std::size_t>(
+      std::llround(a * static_cast<double>(devices)));
+  std::vector<bool> adopters(devices, false);
+  for (std::size_t k = 0; k < count; ++k) adopters[order[k]] = true;
+  return adopters;
 }
 
 }  // namespace mm::sim

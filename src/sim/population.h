@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/mobile.h"
 #include "util/rng.h"
 
 namespace mm::sim {
@@ -53,5 +55,62 @@ struct PopulationConfig {
 /// Simulates per-day populations; deterministic in the RNG state.
 [[nodiscard]] std::vector<DayStats> simulate_population(const PopulationConfig& cfg,
                                                         util::Rng& rng);
+
+// --- Per-device location-privacy posture (Section V; the arena's defense
+// axis) -----------------------------------------------------------------
+//
+// A DefenseProfile is what one device's OS vendor shipped: which privacy
+// countermeasures are on and how aggressively. apply_defense_profile() maps
+// it onto the primitive ScanProfile knobs; the default-constructed profile
+// maps to *no change at all* (and no extra RNG draws), which is what makes
+// arena runs at 0% adoption bit-identical to the undefended simulation.
+
+struct DefenseProfile {
+  std::string name = "none";
+  /// Hu & Wang random silent periods (rotation at each silence end).
+  double silent_period_mean_s = 0.0;
+  /// Naive periodic rotation with no silence (what seq/Gamma linkers defeat).
+  double mac_rotation_interval_s = 0.0;
+  /// TX-power jitter amplitude (dB) smearing RSSI evidence.
+  double tx_power_jitter_db = 0.0;
+  /// Probe-rate throttling: the device's scan interval is multiplied by this
+  /// (> 1 = fewer sweeps, less evidence per minute). 1 = unchanged.
+  double scan_interval_scale = 1.0;
+  /// Fraction of remembered SSIDs the OS refuses to probe by name (directed
+  /// probe anonymization; 1.0 = broadcast-only scanning, empty fingerprint).
+  double directed_probe_suppression = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return silent_period_mean_s > 0.0 || mac_rotation_interval_s > 0.0 ||
+           tx_power_jitter_db > 0.0 || scan_interval_scale != 1.0 ||
+           directed_probe_suppression > 0.0;
+  }
+
+  /// The arena's canonical adopted posture: periodic rotation + throttled,
+  /// partially-anonymized probing + TX jitter. Deliberately *not* a silent
+  /// period, so the attacker-capability axis has signal to separate on.
+  [[nodiscard]] static DefenseProfile standard();
+  /// Rotation only — the posture the paper calls broken by implicit
+  /// identifiers.
+  [[nodiscard]] static DefenseProfile rotation_only(double interval_s);
+  /// The strongest modeled posture: silent-period rotation on top of
+  /// everything in standard().
+  [[nodiscard]] static DefenseProfile paranoid();
+};
+
+/// Maps a profile onto a device's ScanProfile in place. A default profile is
+/// a no-op; directed-probe suppression keeps the first
+/// ceil((1 - suppression) * n) remembered SSIDs (deterministic truncation —
+/// no RNG).
+void apply_defense_profile(const DefenseProfile& defense, ScanProfile& profile);
+
+/// Deterministic adoption assignment: adopters[i] says whether device i (of
+/// `devices`) runs the defense at adoption fraction `adoption`. The adopter
+/// sets are *nested* across adoption levels for a fixed seed — raising
+/// adoption only ever adds adopters — so arena sweeps are monotone by
+/// construction, not by luck.
+[[nodiscard]] std::vector<bool> assign_defense_adoption(std::size_t devices,
+                                                        double adoption,
+                                                        std::uint64_t seed);
 
 }  // namespace mm::sim

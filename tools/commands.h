@@ -72,6 +72,14 @@ int cmd_wps_serve(const util::Flags& flags);
 /// RemoteClient against a live --udp server.
 int cmd_wps_query(const util::Flags& flags);
 
+/// `mmctl arena [--smoke] [--seed S] [--devices N] [--aps N] [--duration s]
+///        [--adoption 0,0.25,0.5,...] [--out BENCH_arena.json]`
+/// Runs the Chimera attack-vs-defense arena: one simulated campus population
+/// per defense adoption level, attacked by the resolver capability ladder
+/// (none / ssid / ssid+seq / full); prints per-cell %-tracked, median error,
+/// and longest linked track, optionally writing the machine-readable sweep.
+int cmd_arena(const util::Flags& flags);
+
 /// `mmctl wps-surveil [--seed S] [--devices N] [--fixed-aps N]
 ///        [--duration-hours H] [--refresh-hours H] [--sweep-hours H]
 ///        [--workdir dir] [--stats-json out.json]`

@@ -131,6 +131,12 @@ commands:
              --workdir <dir>           snapshot scratch dir (default: tmp)
              --top <N>                 rows of the tracked-device table
              --stats-json <out.json>   machine-readable report
+  arena      Chimera attack-vs-defense sweep: attacker capability (identity
+             signals enabled) x defense adoption, on a simulated campus
+             --seed <S> --devices <N> --aps <N> --duration <s>
+             --adoption <0,0.25,...>   adoption levels to sweep
+             --smoke                   small preset for CI
+             --out <BENCH_arena.json>  machine-readable sweep
 )";
 }
 
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
     if (command == "wps-serve") return mm::tools::cmd_wps_serve(flags);
     if (command == "wps-query") return mm::tools::cmd_wps_query(flags);
     if (command == "wps-surveil") return mm::tools::cmd_wps_surveil(flags);
+    if (command == "arena") return mm::tools::cmd_arena(flags);
   } catch (const std::exception& error) {
     std::cerr << "mmctl " << command << ": " << error.what() << "\n";
     return 1;
